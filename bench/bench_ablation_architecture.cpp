@@ -1,0 +1,112 @@
+// Architecture ablation (motivated by §III-B): two-party vs three-party vs
+// hybrid on the same workload, healthy and with the SCM fault-injected.
+//
+// Expected shape: three-party wins on network load (unicast lookups at the
+// directory instead of mesh-wide multicast), but collapses when its SCM
+// dies; hybrid recovers by falling back to two-party operation; two-party
+// is indifferent to the SCM.
+#include "bench_common.hpp"
+
+using namespace excovery;
+using core::ParamValue;
+using core::ProcessAction;
+
+namespace {
+
+struct Cell {
+  double responsiveness = 0;
+  double tx_packets_per_run = 0;
+};
+
+Cell run_cell(const char* protocol, bool with_scm, bool kill_scm,
+              int replications) {
+  core::scenario::TwoPartyOptions options;
+  options.protocol = protocol;
+  options.architecture = protocol;
+  options.scm_count = with_scm ? 1 : 0;
+  options.environment_count = 1;
+  options.replications = replications;
+  options.deadline_s = 12.0;
+  options.su_start_delay_s = 3.0;  // fault lands before the search begins
+  core::ExperimentDescription description = bench::must(
+      core::scenario::two_party_sd(options), "description");
+
+  if (kill_scm) {
+    core::ManipulationProcess manipulation;
+    manipulation.node_id = "SCM0";
+    ProcessAction wait = {"wait_for_time", {}};
+    wait.params.emplace_back("time", ParamValue::lit(Value{"1"}));
+    manipulation.actions.push_back(std::move(wait));
+    ProcessAction fault = {"fault_interface_start", {}};
+    fault.params.emplace_back("direction", ParamValue::lit(Value{"both"}));
+    manipulation.actions.push_back(std::move(fault));
+    ProcessAction wait_done = {"wait_for_event", {}};
+    wait_done.params.emplace_back("event_dependency",
+                                  ParamValue::lit(Value{"done"}));
+    manipulation.actions.push_back(std::move(wait_done));
+    ProcessAction stop = {"fault_interface_stop", {}};
+    manipulation.actions.push_back(std::move(stop));
+    description.manipulation_processes.push_back(std::move(manipulation));
+    Status valid = description.validate();
+    if (!valid.ok()) {
+      std::fprintf(stderr, "%s\n", valid.error().to_string().c_str());
+      std::exit(1);
+    }
+  }
+
+  bench::Executed executed = bench::must(
+      bench::execute_description(std::move(description)), protocol);
+
+  Cell cell;
+  stats::Proportion p = bench::must(
+      stats::responsiveness(executed.package, 12.0, 1), "responsiveness");
+  cell.responsiveness = p.estimate;
+  std::vector<stats::PacketStats> packet_stats = bench::must(
+      stats::packet_stats(executed.package), "packet stats");
+  double transmitted = 0;
+  for (const stats::PacketStats& run : packet_stats) {
+    transmitted += static_cast<double>(run.transmitted);
+  }
+  cell.tx_packets_per_run =
+      packet_stats.empty() ? 0
+                           : transmitted / static_cast<double>(
+                                               packet_stats.size());
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int replications = argc > 1 ? std::atoi(argv[1]) : 10;
+  bench::banner("bench_ablation_architecture",
+                "ablation: two-party vs three-party vs hybrid, healthy and "
+                "with SCM failure");
+
+  std::printf("\n%-14s %-22s %-22s\n", "", "healthy", "SCM killed at t=1s");
+  std::printf("%-14s %-10s %-12s %-10s %-12s\n", "architecture", "resp.",
+              "tx pkts/run", "resp.", "tx pkts/run");
+
+  struct Row {
+    const char* label;
+    const char* protocol;
+    bool with_scm;
+  };
+  for (const Row& row : {Row{"two-party", "mdns", false},
+                         Row{"three-party", "slp", true},
+                         Row{"hybrid", "hybrid", true}}) {
+    Cell healthy = run_cell(row.protocol, row.with_scm, false, replications);
+    Cell faulty = row.with_scm
+                      ? run_cell(row.protocol, row.with_scm, true,
+                                 replications)
+                      : healthy;  // no SCM to kill in two-party
+    std::printf("%-14s %-10.2f %-12.1f %-10.2f %-12.1f\n", row.label,
+                healthy.responsiveness, healthy.tx_packets_per_run,
+                faulty.responsiveness, faulty.tx_packets_per_run);
+  }
+
+  std::printf(
+      "\nshape check: three-party's directory lookups keep its multicast\n"
+      "load low but make it collapse with the SCM; hybrid pays a dual-stack\n"
+      "overhead and survives; two-party is unaffected.\n");
+  return 0;
+}

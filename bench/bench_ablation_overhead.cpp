@@ -1,0 +1,131 @@
+// Framework overhead ablation (motivated by §IV-B: observation "has to be
+// done in the least invasive way" and §II-B's concern that measuring must
+// not perturb the measured system).
+//
+// google-benchmark microbenchmarks of every framework hot path: event
+// recording, packet capture, XML description parsing, schema validation,
+// treatment plan generation, conditioning, and a full tiny experiment.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "storage/conditioning.hpp"
+#include "xml/parser.hpp"
+
+using namespace excovery;
+
+namespace {
+
+core::ExperimentDescription make_description(int replications = 10) {
+  core::scenario::TwoPartyOptions options;
+  options.replications = replications;
+  options.pairs_levels = {2, 5};
+  options.bw_levels = {10, 50, 100};
+  options.loss_levels = {0.0, 0.2};
+  return bench::must(core::scenario::two_party_sd(options), "description");
+}
+
+void BM_DescriptionParse(benchmark::State& state) {
+  std::string xml_text = make_description().to_xml_text();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ExperimentDescription::parse(xml_text));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(xml_text.size() * state.iterations()));
+}
+BENCHMARK(BM_DescriptionParse);
+
+void BM_DescriptionSerialize(benchmark::State& state) {
+  core::ExperimentDescription description = make_description();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(description.to_xml_text());
+  }
+}
+BENCHMARK(BM_DescriptionSerialize);
+
+void BM_SchemaValidate(benchmark::State& state) {
+  core::ExperimentDescription description = make_description();
+  xml::ElementPtr root = description.to_xml();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::description_schema().validate(*root).ok());
+  }
+}
+BENCHMARK(BM_SchemaValidate);
+
+void BM_PlanGeneration(benchmark::State& state) {
+  core::ExperimentDescription description =
+      make_description(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::TreatmentPlan::generate(description));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0) * 12);
+}
+BENCHMARK(BM_PlanGeneration)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_EventRecording(benchmark::State& state) {
+  sim::Scheduler scheduler;
+  storage::Level2Store level2;
+  core::EventRecorder recorder(scheduler, level2, nullptr);
+  recorder.begin_run(1);
+  Value parameter{"SM0"};
+  for (auto _ : state) {
+    recorder.record("SU0", "sd_service_add", parameter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventRecording);
+
+void BM_PacketCaptureToWire(benchmark::State& state) {
+  net::CapturedPacket captured;
+  captured.direction = net::Direction::kReceive;
+  captured.packet.payload.assign(96, 0x42);
+  captured.packet.route = {0, 1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::capture_to_wire(captured));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketCaptureToWire);
+
+void BM_Conditioning(benchmark::State& state) {
+  // A level-2 store with a realistic volume of raw data.
+  storage::Level2Store level2;
+  for (int run = 1; run <= 10; ++run) {
+    for (const char* node : {"SM0", "SU0"}) {
+      level2.add_sync({run, node, 1000, 0});
+      for (int i = 0; i < 50; ++i) {
+        level2.node(node).record_event(
+            {run, run * 1000 + i, "sd_service_add", Value{"SM0"}});
+        level2.node(node).record_packet(
+            {run, run * 1000 + i, "SM0", Bytes(64, 0x11)});
+      }
+    }
+    level2.mark_run_complete(run);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::condition(level2, "<e/>", {}));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_Conditioning);
+
+void BM_FullTinyExperiment(benchmark::State& state) {
+  core::scenario::TwoPartyOptions options;
+  options.replications = 1;
+  options.environment_count = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::execute(options));
+  }
+}
+BENCHMARK(BM_FullTinyExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("bench_ablation_overhead",
+                "ablation: framework overhead on every measurement hot path");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

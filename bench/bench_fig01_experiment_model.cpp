@@ -1,0 +1,62 @@
+// Fig. 1 — "Model of a generic experiment process": a black box with
+// controllable factors (inputs) and observable responses (outputs).
+//
+// Regenerated from running code: a live factor sweep through a complete
+// experiment, printing the factor -> response table the model describes.
+// The factor is the injected message-loss level; the responses are the
+// observed responsiveness and mean discovery latency.
+#include "bench_common.hpp"
+
+using namespace excovery;
+
+int main() {
+  bench::banner("bench_fig01_experiment_model",
+                "Fig. 1: generic experiment process (factors -> black box "
+                "process -> responses)");
+
+  core::scenario::TwoPartyOptions options;
+  options.replications = 20;
+  options.environment_count = 2;
+  options.deadline_s = 8.0;
+  options.loss_levels = {0.0, 0.25, 0.5};
+
+  bench::Executed executed =
+      bench::must(bench::execute(options), "experiment");
+
+  std::printf("\n  factors (inputs)            |  responses (outputs)\n");
+  std::printf("  loss level   replication     |  responsiveness(2s)   mean "
+              "t_R\n");
+  std::printf("  ---------------------------- | ------------------------------"
+              "\n");
+
+  std::vector<stats::RunDiscovery> discoveries = bench::must(
+      stats::discoveries(executed.package), "discoveries");
+  for (std::size_t level = 0; level < options.loss_levels.size(); ++level) {
+    std::int64_t lo =
+        static_cast<std::int64_t>(level) * options.replications + 1;
+    std::int64_t hi = lo + options.replications - 1;
+    std::size_t hits = 0;
+    std::size_t trials = 0;
+    std::vector<double> latencies;
+    for (const stats::RunDiscovery& run : discoveries) {
+      if (run.run_id < lo || run.run_id > hi) continue;
+      ++trials;
+      for (const auto& [provider, latency] : run.latencies) {
+        latencies.push_back(latency);
+        if (latency <= 2.0) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    stats::Proportion p = stats::wilson(hits, trials);
+    std::printf("  %-12.2f x%-14d |  %.2f [%.2f..%.2f]     %.3fs\n",
+                options.loss_levels[level], options.replications, p.estimate,
+                p.lower, p.upper, stats::mean(latencies));
+  }
+
+  std::printf(
+      "\nmodel check: the controlled factor (loss) visibly moves the\n"
+      "responses while everything else is held constant & replicated.\n");
+  return 0;
+}

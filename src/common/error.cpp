@@ -1,0 +1,36 @@
+#include "common/error.hpp"
+
+namespace excovery {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kValidation: return "validation";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kState: return "state";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kRpc: return "rpc";
+    case ErrorCode::kAborted: return "aborted";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out{excovery::to_string(code_)};
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Error Error::with_context(std::string_view context) const {
+  std::string msg{context};
+  msg += ": ";
+  msg += message_;
+  return {code_, std::move(msg)};
+}
+
+}  // namespace excovery

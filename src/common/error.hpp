@@ -1,0 +1,191 @@
+// Error and Result types used across the whole ExCovery code base.
+//
+// The framework avoids exceptions on expected failure paths (malformed
+// descriptions, missing nodes, storage corruption, ...) and instead threads
+// Result<T> values through the APIs, reserving exceptions for programming
+// errors.  This mirrors the Core Guidelines advice of using exceptions only
+// for exceptional conditions while keeping recoverable errors explicit.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace excovery {
+
+/// Coarse classification of recoverable errors.
+enum class ErrorCode {
+  kInvalidArgument,   ///< caller passed something malformed
+  kParse,             ///< malformed XML / document structure
+  kValidation,        ///< structurally valid but semantically wrong description
+  kNotFound,          ///< referenced entity (node, factor, table, ...) missing
+  kState,             ///< operation not legal in the current state
+  kIo,                ///< file or storage I/O failed
+  kTimeout,           ///< a wait_for_event or RPC deadline expired
+  kRpc,               ///< control-channel failure
+  kAborted,           ///< run aborted (fault recovery will resume it)
+  kUnsupported,       ///< feature not available on this platform
+  kInternal,          ///< invariant violation that was contained
+};
+
+/// Human-readable name of an ErrorCode ("timeout", "parse", ...).
+std::string_view to_string(ErrorCode code) noexcept;
+
+/// A recoverable error: a code plus a human-oriented message.
+class [[nodiscard]] Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "timeout: waiting for event sd_service_add" style rendering.
+  std::string to_string() const;
+
+  /// Prefix the message with added context, keeping the code.
+  Error with_context(std::string_view context) const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an Error.  Minimal std::expected stand-in
+/// (std::expected is C++23; this project targets C++20).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Error& error() const& {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+  Error&& error() && {
+    assert(!ok());
+    return std::get<Error>(std::move(storage_));
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  /// Map the value through `fn`, passing errors through unchanged.
+  template <typename Fn>
+  auto map(Fn&& fn) && -> Result<decltype(fn(std::declval<T&&>()))> {
+    if (!ok()) return std::get<Error>(std::move(storage_));
+    return fn(std::get<T>(std::move(storage_)));
+  }
+
+  /// Attach context to the error, if any.
+  Result<T> context(std::string_view ctx) && {
+    if (ok()) return std::move(*this);
+    return std::get<Error>(std::move(storage_)).with_context(ctx);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> analogue: success or an Error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                   // success
+  Status(Error error) : error_(std::move(error)) {}     // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return {}; }
+
+  bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  Status context(std::string_view ctx) && {
+    if (ok()) return {};
+    return error_->with_context(ctx);
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Convenience factories.
+inline Error err_invalid(std::string message) {
+  return {ErrorCode::kInvalidArgument, std::move(message)};
+}
+inline Error err_parse(std::string message) {
+  return {ErrorCode::kParse, std::move(message)};
+}
+inline Error err_validation(std::string message) {
+  return {ErrorCode::kValidation, std::move(message)};
+}
+inline Error err_not_found(std::string message) {
+  return {ErrorCode::kNotFound, std::move(message)};
+}
+inline Error err_state(std::string message) {
+  return {ErrorCode::kState, std::move(message)};
+}
+inline Error err_io(std::string message) {
+  return {ErrorCode::kIo, std::move(message)};
+}
+inline Error err_timeout(std::string message) {
+  return {ErrorCode::kTimeout, std::move(message)};
+}
+inline Error err_rpc(std::string message) {
+  return {ErrorCode::kRpc, std::move(message)};
+}
+inline Error err_aborted(std::string message) {
+  return {ErrorCode::kAborted, std::move(message)};
+}
+inline Error err_unsupported(std::string message) {
+  return {ErrorCode::kUnsupported, std::move(message)};
+}
+inline Error err_internal(std::string message) {
+  return {ErrorCode::kInternal, std::move(message)};
+}
+
+}  // namespace excovery
+
+/// Propagate the error of a Result/Status expression out of the enclosing
+/// function (which must itself return a Result or Status).
+#define EXC_TRY(expr)                          \
+  do {                                         \
+    auto exc_try_status_ = (expr);             \
+    if (!exc_try_status_.ok())                 \
+      return std::move(exc_try_status_).error(); \
+  } while (false)
+
+/// Assign the value of a Result expression to `lhs`, or propagate its error.
+#define EXC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return std::move(tmp).error();   \
+  lhs = std::move(tmp).value()
+
+#define EXC_ASSIGN_CONCAT_INNER(a, b) a##b
+#define EXC_ASSIGN_CONCAT(a, b) EXC_ASSIGN_CONCAT_INNER(a, b)
+#define EXC_ASSIGN_OR_RETURN(lhs, expr) \
+  EXC_ASSIGN_OR_RETURN_IMPL(EXC_ASSIGN_CONCAT(exc_res_, __LINE__), lhs, expr)

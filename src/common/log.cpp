@@ -1,0 +1,71 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace excovery {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view component,
+             std::string_view message) {
+    std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+                 static_cast<int>(to_string(level).size()),
+                 to_string(level).data(), static_cast<int>(component.size()),
+                 component.data(), static_cast<int>(message.size()),
+                 message.data());
+  };
+}
+
+Logger::Sink Logger::set_sink(Sink sink) {
+  std::lock_guard lock(mutex_);
+  Sink old = std::move(sink_);
+  sink_ = std::move(sink);
+  return old;
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (!enabled(level)) return;
+  std::lock_guard lock(mutex_);
+  if (sink_) sink_(level, component, message);
+}
+
+void CapturingLog::log(LogLevel level, std::string_view message) {
+  {
+    std::lock_guard lock(mutex_);
+    captured_ += to_string(level);
+    captured_ += ' ';
+    captured_ += component_;
+    captured_ += ": ";
+    captured_ += message;
+    captured_ += '\n';
+  }
+  Logger::instance().log(level, component_, message);
+}
+
+std::string CapturingLog::text() const {
+  std::lock_guard lock(mutex_);
+  return captured_;
+}
+
+void CapturingLog::clear() {
+  std::lock_guard lock(mutex_);
+  captured_.clear();
+}
+
+}  // namespace excovery

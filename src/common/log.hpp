@@ -1,0 +1,91 @@
+// Minimal structured logger.
+//
+// Experiment logs are first-class measurement artifacts in ExCovery (they
+// land in the Logs table of the level-3 store), so the logger supports
+// capturing into per-node string sinks in addition to stderr.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace excovery {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError };
+
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Global logger with a pluggable sink.  Thread-safe.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+
+  /// Replace the sink (default writes to stderr).  Returns the old sink.
+  Sink set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view component,
+           std::string_view message);
+
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+ private:
+  Logger();
+
+  std::mutex mutex_;
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// A per-component capturing log that also forwards to the global logger.
+/// NodeManager instances use one of these so their log text can be stored
+/// into the Logs table verbatim.
+class CapturingLog {
+ public:
+  explicit CapturingLog(std::string component)
+      : component_(std::move(component)) {}
+
+  void log(LogLevel level, std::string_view message);
+  void info(std::string_view message) { log(LogLevel::kInfo, message); }
+  void warn(std::string_view message) { log(LogLevel::kWarn, message); }
+  void error(std::string_view message) { log(LogLevel::kError, message); }
+
+  /// Entire captured text ("LEVEL component: message\n" lines).
+  std::string text() const;
+  void clear();
+
+  const std::string& component() const noexcept { return component_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::string component_;
+  std::string captured_;
+};
+
+}  // namespace excovery
+
+#define EXC_LOG(level, component, message)                                \
+  do {                                                                    \
+    if (::excovery::Logger::instance().enabled(level)) {                  \
+      std::ostringstream exc_log_oss_;                                    \
+      exc_log_oss_ << message; /* NOLINT */                               \
+      ::excovery::Logger::instance().log(level, component,                \
+                                         exc_log_oss_.str());             \
+    }                                                                     \
+  } while (false)
+
+#define EXC_LOG_DEBUG(component, message) \
+  EXC_LOG(::excovery::LogLevel::kDebug, component, message)
+#define EXC_LOG_INFO(component, message) \
+  EXC_LOG(::excovery::LogLevel::kInfo, component, message)
+#define EXC_LOG_WARN(component, message) \
+  EXC_LOG(::excovery::LogLevel::kWarn, component, message)
+#define EXC_LOG_ERROR(component, message) \
+  EXC_LOG(::excovery::LogLevel::kError, component, message)

@@ -1,0 +1,115 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace excovery {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) noexcept
+    : state_(0), inc_((stream << 1) | 1ULL) {
+  (*this)();
+  state_ += seed;
+  (*this)();
+}
+
+Pcg32::result_type Pcg32::operator()() noexcept {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+  auto rot = static_cast<std::uint32_t>(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint32_t Pcg32::bounded(std::uint32_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint32_t threshold = (~bound + 1u) % bound;
+  for (;;) {
+    std::uint32_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::uniform01() noexcept {
+  // 32 random bits scaled to [0,1).
+  return static_cast<double>((*this)()) * 0x1.0p-32;
+}
+
+double Pcg32::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Pcg32::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (hi <= lo) return lo;
+  auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range <= 0xFFFFFFFFull) {
+    return lo + static_cast<std::int64_t>(
+                    bounded(static_cast<std::uint32_t>(range)));
+  }
+  // Compose two 32-bit draws for wide ranges; slight bias is acceptable for
+  // the framework's use (no range this wide is used in experiments).
+  std::uint64_t wide =
+      (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+  return lo + static_cast<std::int64_t>(wide % range);
+}
+
+bool Pcg32::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Pcg32::exponential(double lambda) noexcept {
+  double u = uniform01();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-32;
+  return -std::log(u) / lambda;
+}
+
+double Pcg32::normal(double mean, double stddev) noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = uniform01();
+  double u2 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-32;
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+Pcg32 RngFactory::stream(std::string_view name,
+                         std::uint64_t index) const noexcept {
+  std::uint64_t seed = derive_seed(name, index);
+  std::uint64_t tmp = seed ^ 0x6a09e667f3bcc908ULL;
+  std::uint64_t stream_sel = splitmix64(tmp);
+  return {seed, stream_sel};
+}
+
+std::uint64_t RngFactory::derive_seed(std::string_view name,
+                                      std::uint64_t index) const noexcept {
+  std::uint64_t state = master_seed_ ^ fnv1a64(name) ^ (index * 0x9E3779B97f4A7C15ULL);
+  return splitmix64(state);
+}
+
+}  // namespace excovery

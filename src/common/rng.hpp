@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation.
+//
+// Section IV-C1 of the paper: "The various random values used in ExCovery
+// are generated using pseudo-random generators.  This allows for perfect
+// repeatability of random sequences used within an experiment when
+// initialized with the same seed.  Which seed is used for initialization is
+// clearly defined in the experiment description."
+//
+// We realise this with *named streams*: every consumer derives its own
+// generator from (experiment seed, stream name, index) so that adding a new
+// random consumer never perturbs the sequences seen by existing ones.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace excovery {
+
+/// SplitMix64 step; used for seed derivation and as a simple generator.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stable 64-bit FNV-1a hash of a string (used to fold stream names into
+/// seeds; never changes between versions, part of the repeatability
+/// contract).
+std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+/// PCG32 (XSH-RR 64/32): small, fast, statistically solid generator with a
+/// 64-bit state and 64-bit stream-selection increment.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  Pcg32() noexcept : Pcg32(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL) {}
+  Pcg32(std::uint64_t seed, std::uint64_t stream) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return 0xFFFFFFFFu; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform in [0, bound) without modulo bias.
+  std::uint32_t bounded(std::uint32_t bound) noexcept;
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+  /// Exponential with rate lambda (>0).
+  double exponential(double lambda) noexcept;
+  /// Normal via Box-Muller (mean, stddev).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = bounded(static_cast<std::uint32_t>(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  // Box-Muller caches one deviate.
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Root of the per-experiment randomness tree.  All generators in one
+/// experiment derive from a single master seed recorded in the description.
+class RngFactory {
+ public:
+  explicit RngFactory(std::uint64_t master_seed) noexcept
+      : master_seed_(master_seed) {}
+
+  std::uint64_t master_seed() const noexcept { return master_seed_; }
+
+  /// Generator for a named stream ("treatment-order", "traffic-pairs", ...)
+  /// and an index (run id, node id, ...).  Deterministic in all inputs.
+  Pcg32 stream(std::string_view name, std::uint64_t index = 0) const noexcept;
+
+  /// Derived 64-bit sub-seed for handing to components that own their RNGs.
+  std::uint64_t derive_seed(std::string_view name,
+                            std::uint64_t index = 0) const noexcept;
+
+ private:
+  std::uint64_t master_seed_;
+};
+
+}  // namespace excovery

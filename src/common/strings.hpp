@@ -1,0 +1,42 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace excovery::strings {
+
+/// Remove leading/trailing ASCII whitespace.
+std::string trim(std::string_view s);
+
+/// Remove one pair of surrounding double quotes, if present.  The paper's
+/// XML listings quote scalar values ("done", "30"); descriptions accept both
+/// quoted and bare forms.
+std::string strip_quotes(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+/// Split on a separator character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Shortest round-trippable rendering of a double ("1.5", "0.001", "3").
+std::string format_double(double d);
+
+/// Lower-case hex encoding / decoding of raw bytes.
+std::string to_hex(const std::vector<std::uint8_t>& bytes);
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace excovery::strings

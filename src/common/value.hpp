@@ -1,0 +1,111 @@
+// Value: the dynamically typed datum used throughout ExCovery.
+//
+// Factor levels, action parameters, event parameters, XML-RPC arguments and
+// storage cells all carry Values.  The type set intentionally matches what
+// both XML-RPC (scalar + array + struct) and the relational store (typed
+// columns) can represent, so data flows end to end without lossy casts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace excovery {
+
+class Value;
+
+using ValueArray = std::vector<Value>;
+using ValueMap = std::map<std::string, Value>;
+using Bytes = std::vector<std::uint8_t>;
+
+/// Discriminator for Value alternatives.
+enum class ValueType {
+  kNull,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kBytes,
+  kArray,
+  kMap,
+};
+
+std::string_view to_string(ValueType type) noexcept;
+
+/// A dynamically typed value (null, bool, int64, double, string, bytes,
+/// array, map).  Small, regular, value-semantic.
+class Value {
+ public:
+  Value() = default;  // null
+  Value(bool b) : data_(b) {}                      // NOLINT
+  Value(std::int64_t i) : data_(i) {}              // NOLINT
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(double d) : data_(d) {}                    // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}    // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}  // NOLINT
+  Value(Bytes b) : data_(std::move(b)) {}          // NOLINT
+  Value(ValueArray a) : data_(std::move(a)) {}     // NOLINT
+  Value(ValueMap m) : data_(std::move(m)) {}       // NOLINT
+
+  ValueType type() const noexcept {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const noexcept { return type() == ValueType::kNull; }
+  bool is_bool() const noexcept { return type() == ValueType::kBool; }
+  bool is_int() const noexcept { return type() == ValueType::kInt; }
+  bool is_double() const noexcept { return type() == ValueType::kDouble; }
+  bool is_string() const noexcept { return type() == ValueType::kString; }
+  bool is_bytes() const noexcept { return type() == ValueType::kBytes; }
+  bool is_array() const noexcept { return type() == ValueType::kArray; }
+  bool is_map() const noexcept { return type() == ValueType::kMap; }
+  /// Int or double.
+  bool is_number() const noexcept { return is_int() || is_double(); }
+
+  // Checked accessors: assert on type mismatch (programming error).
+  bool as_bool() const { return std::get<bool>(data_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(data_); }
+  double as_double() const {
+    if (is_int()) return static_cast<double>(as_int());
+    return std::get<double>(data_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Bytes& as_bytes() const { return std::get<Bytes>(data_); }
+  const ValueArray& as_array() const { return std::get<ValueArray>(data_); }
+  ValueArray& as_array() { return std::get<ValueArray>(data_); }
+  const ValueMap& as_map() const { return std::get<ValueMap>(data_); }
+  ValueMap& as_map() { return std::get<ValueMap>(data_); }
+
+  // Coercing accessors used when reading levels/parameters from XML text.
+  /// Parse-to-int: ints pass through, numeric strings are parsed.
+  Result<std::int64_t> to_int() const;
+  /// Parse-to-double: numbers pass through, numeric strings are parsed.
+  Result<double> to_double() const;
+  /// Parse-to-bool: bools pass through; "true"/"false"/"1"/"0" strings.
+  Result<bool> to_bool() const;
+  /// Render any scalar as text (arrays/maps render as compact literals).
+  std::string to_text() const;
+
+  /// Map element lookup; null Value if absent (map type required).
+  const Value* find(std::string_view key) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order over (type index, content); used for deterministic
+  /// serialisation and for ORDER BY in the relational store.
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string, Bytes,
+               ValueArray, ValueMap>
+      data_;
+};
+
+}  // namespace excovery

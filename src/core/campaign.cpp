@@ -1,0 +1,50 @@
+#include "core/campaign.hpp"
+
+#include <optional>
+
+namespace excovery::core {
+
+namespace {
+
+Result<storage::ExperimentPackage> run_entry(CampaignEntry& entry) {
+  EXC_TRY(entry.description.validate());
+  EXC_ASSIGN_OR_RETURN(
+      std::unique_ptr<SimPlatform> platform,
+      SimPlatform::create(entry.description, std::move(entry.platform)));
+  ExperiMaster master(entry.description, *platform,
+                      std::move(entry.master));
+  return master.execute();
+}
+
+}  // namespace
+
+std::vector<CampaignOutcome> run_campaign(std::vector<CampaignEntry> entries,
+                                          const CampaignOptions& options) {
+  std::vector<std::optional<CampaignOutcome>> slots(entries.size());
+  {
+    ThreadPool pool(options.workers);
+    pool.parallel_for(entries.size(), [&](std::size_t index) {
+      CampaignEntry& entry = entries[index];
+      Result<storage::ExperimentPackage> package = run_entry(entry);
+      if (options.progress) options.progress(entry.id, package.ok());
+      slots[index].emplace(entry.id, std::move(package));
+    });
+  }
+
+  std::vector<CampaignOutcome> outcomes;
+  outcomes.reserve(slots.size());
+  for (std::optional<CampaignOutcome>& slot : slots) {
+    outcomes.push_back(std::move(*slot));
+  }
+
+  if (options.archive) {
+    for (const CampaignOutcome& outcome : outcomes) {
+      if (!outcome.package.ok()) continue;
+      if (options.archive->contains(outcome.id)) continue;
+      (void)options.archive->store(outcome.id, outcome.package.value());
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace excovery::core

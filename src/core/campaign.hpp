@@ -1,0 +1,54 @@
+// Campaign runner: execute many independent experiments in parallel.
+//
+// Replications within one experiment are sequenced by the master (state is
+// shared through the platform), but *experiments* — different descriptions,
+// seeds, topologies — are pure functions of their inputs (DESIGN.md §6).
+// The campaign runner fans a list of experiment configurations out over a
+// thread pool and collects the conditioned packages in input order,
+// bit-identical to sequential execution.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/description.hpp"
+#include "core/master.hpp"
+#include "core/platform.hpp"
+#include "storage/package.hpp"
+#include "storage/repository.hpp"
+
+namespace excovery::core {
+
+/// One experiment of a campaign.
+struct CampaignEntry {
+  std::string id;  ///< unique id (also the repository key, if archiving)
+  ExperimentDescription description;
+  SimPlatformConfig platform;   ///< topology + seed for this experiment
+  MasterOptions master;
+};
+
+struct CampaignOutcome {
+  std::string id;
+  Result<storage::ExperimentPackage> package;
+
+  CampaignOutcome(std::string id_, Result<storage::ExperimentPackage> p)
+      : id(std::move(id_)), package(std::move(p)) {}
+};
+
+struct CampaignOptions {
+  std::size_t workers = 0;  ///< 0 = hardware concurrency
+  /// When set, every successful package is stored under its entry id.
+  storage::Repository* archive = nullptr;
+  /// Progress callback, invoked from worker threads as entries finish.
+  std::function<void(const std::string& id, bool ok)> progress;
+};
+
+/// Execute all entries; outcomes are returned in input order.  Individual
+/// failures do not stop the campaign.  Archiving (when requested) happens
+/// on the calling thread after all entries finished.
+std::vector<CampaignOutcome> run_campaign(std::vector<CampaignEntry> entries,
+                                          const CampaignOptions& options = {});
+
+}  // namespace excovery::core

@@ -1,0 +1,590 @@
+#include "core/description.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace excovery::core {
+
+Result<FactorUsage> parse_factor_usage(const std::string& text) {
+  std::string t = strings::to_lower(strings::trim(text));
+  if (t == "blocking") return FactorUsage::kBlocking;
+  if (t == "constant") return FactorUsage::kConstant;
+  if (t == "random") return FactorUsage::kRandom;
+  if (t == "replication") return FactorUsage::kReplication;
+  return err_validation("unknown factor usage '" + text + "'");
+}
+
+std::string_view to_string(FactorUsage usage) noexcept {
+  switch (usage) {
+    case FactorUsage::kBlocking: return "blocking";
+    case FactorUsage::kConstant: return "constant";
+    case FactorUsage::kRandom: return "random";
+    case FactorUsage::kReplication: return "replication";
+  }
+  return "?";
+}
+
+const ParamValue* ProcessAction::param(std::string_view name) const {
+  for (const auto& [key, value] : params) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+const Factor* ExperimentDescription::find_factor(std::string_view id) const {
+  for (const Factor& factor : factors) {
+    if (factor.id == id) return &factor;
+  }
+  return nullptr;
+}
+
+const ActorProcess* ExperimentDescription::find_actor(
+    std::string_view actor_id) const {
+  for (const ActorProcess& process : actor_processes) {
+    if (process.actor_id == actor_id) return &process;
+  }
+  return nullptr;
+}
+
+std::string ExperimentDescription::info(const std::string& key) const {
+  auto it = info_params.find(key);
+  return it == info_params.end() ? "" : it->second.to_text();
+}
+
+// ===== parsing ==============================================================
+
+namespace {
+
+/// Parse a level element.  For actor_node_map factors, a level contains
+/// <actor id="..."><instance id="0">A</instance>...</actor> children and
+/// becomes a map actor-id -> array of node ids.  Plain levels become
+/// string Values (typed coercion happens at use sites).
+Result<Value> parse_level(const xml::Element& level, const std::string& type) {
+  if (type == "actor_node_map") {
+    ValueMap map;
+    for (const xml::Element* actor : level.children_named("actor")) {
+      EXC_ASSIGN_OR_RETURN(std::string actor_id, actor->require_attr("id"));
+      ValueArray instances;
+      for (const xml::Element* instance : actor->children_named("instance")) {
+        instances.emplace_back(instance->text());
+      }
+      map.emplace(std::move(actor_id), Value{std::move(instances)});
+    }
+    return Value{std::move(map)};
+  }
+  return Value{strings::strip_quotes(level.text())};
+}
+
+Result<Factor> parse_factor(const xml::Element& element) {
+  Factor factor;
+  EXC_ASSIGN_OR_RETURN(factor.id, element.require_attr("id"));
+  factor.type = element.attr_or("type", "string");
+  EXC_ASSIGN_OR_RETURN(factor.usage,
+                       parse_factor_usage(element.attr_or("usage", "constant")));
+  EXC_ASSIGN_OR_RETURN(const xml::Element* levels,
+                       element.require_child("levels"));
+  for (const xml::Element* level : levels->children_named("level")) {
+    EXC_ASSIGN_OR_RETURN(Value value, parse_level(*level, factor.type));
+    factor.levels.push_back(std::move(value));
+  }
+  if (factor.levels.empty()) {
+    return err_validation("factor '" + factor.id + "' has no levels");
+  }
+  return factor;
+}
+
+Result<NodeSetRef> parse_node_ref(const xml::Element& node) {
+  NodeSetRef ref;
+  ref.actor = node.attr_or("actor", "");
+  ref.instance = node.attr_or("instance", "all");
+  return ref;
+}
+
+Result<ParamValue> parse_param_value(const xml::Element& element) {
+  if (const xml::Element* factorref = element.child("factorref")) {
+    EXC_ASSIGN_OR_RETURN(std::string id, factorref->require_attr("id"));
+    return ParamValue::factor(std::move(id));
+  }
+  if (const xml::Element* node = element.child("node")) {
+    EXC_ASSIGN_OR_RETURN(NodeSetRef ref, parse_node_ref(*node));
+    return ParamValue::nodes(std::move(ref));
+  }
+  return ParamValue::lit(Value{strings::strip_quotes(element.text())});
+}
+
+Result<ProcessAction> parse_action(const xml::Element& element) {
+  ProcessAction action;
+  action.name = element.name();
+  for (const xml::Attribute& attr : element.attributes()) {
+    action.params.emplace_back(attr.name, ParamValue::lit(Value{attr.value}));
+  }
+  for (const xml::ElementPtr& child : element.children()) {
+    EXC_ASSIGN_OR_RETURN(ParamValue value, parse_param_value(*child));
+    action.params.emplace_back(child->name(), std::move(value));
+  }
+  // Bare text content (e.g. <event_flag>"done"</event_flag> shorthand)
+  // becomes the "value" parameter.
+  if (element.children().empty() && !element.text().empty() &&
+      element.attributes().empty()) {
+    action.params.emplace_back(
+        "value", ParamValue::lit(Value{strings::strip_quotes(element.text())}));
+  }
+  return action;
+}
+
+Result<std::vector<ProcessAction>> parse_actions(const xml::Element& list) {
+  std::vector<ProcessAction> actions;
+  for (const xml::ElementPtr& child : list.children()) {
+    EXC_ASSIGN_OR_RETURN(ProcessAction action, parse_action(*child));
+    actions.push_back(std::move(action));
+  }
+  return actions;
+}
+
+Result<PlatformNode> parse_platform_node(const xml::Element& element,
+                                         bool requires_abstract) {
+  PlatformNode node;
+  EXC_ASSIGN_OR_RETURN(node.id, element.require_attr("id"));
+  node.abstract_id = element.attr_or("abstract", "");
+  node.address = element.attr_or("address", "");
+  if (requires_abstract && node.abstract_id.empty()) {
+    return err_validation("actor platform node '" + node.id +
+                          "' missing abstract mapping");
+  }
+  return node;
+}
+
+}  // namespace
+
+Result<ExperimentDescription> ExperimentDescription::from_xml(
+    const xml::Element& root) {
+  if (root.name() != "experiment") {
+    return err_validation("root element must be <experiment>, got <" +
+                          root.name() + ">");
+  }
+  ExperimentDescription description;
+  description.name = root.attr_or("name", "experiment");
+  if (const std::string* seed = root.attr("seed")) {
+    EXC_ASSIGN_OR_RETURN(std::int64_t s, Value{*seed}.to_int());
+    description.seed = static_cast<std::uint64_t>(s);
+  }
+
+  if (const xml::Element* params = root.child("parameterlist")) {
+    for (const xml::Element* param : params->children_named("parameter")) {
+      EXC_ASSIGN_OR_RETURN(std::string key, param->require_attr("key"));
+      description.info_params.emplace(std::move(key), Value{param->text()});
+    }
+  }
+
+  if (const xml::Element* nodes = root.child("nodelist")) {
+    for (const xml::Element* node : nodes->children_named("node")) {
+      EXC_ASSIGN_OR_RETURN(std::string id, node->require_attr("id"));
+      description.abstract_nodes.push_back(std::move(id));
+    }
+  }
+
+  if (const xml::Element* factorlist = root.child("factorlist")) {
+    for (const xml::ElementPtr& child : factorlist->children()) {
+      if (child->name() == "factor") {
+        EXC_ASSIGN_OR_RETURN(Factor factor, parse_factor(*child));
+        if (factor.type == "actor_node_map") {
+          description.node_factor_id = factor.id;
+        }
+        description.factors.push_back(std::move(factor));
+      } else if (child->name() == "replicationfactor") {
+        EXC_ASSIGN_OR_RETURN(description.replication_factor_id,
+                             child->require_attr("id"));
+        EXC_ASSIGN_OR_RETURN(std::int64_t n, Value{child->text()}.to_int());
+        if (n < 1) return err_validation("replication factor must be >= 1");
+        description.replications = static_cast<int>(n);
+      }
+    }
+  }
+
+  if (const xml::Element* processes = root.child("processes")) {
+    for (const xml::ElementPtr& child : processes->children()) {
+      if (child->name() == "node_process") {
+        for (const xml::Element* actor : child->children_named("actor")) {
+          ActorProcess process;
+          EXC_ASSIGN_OR_RETURN(process.actor_id, actor->require_attr("id"));
+          process.name = actor->attr_or("name", process.actor_id);
+          if (const xml::Element* actions = actor->child("sd_actions")) {
+            EXC_ASSIGN_OR_RETURN(process.actions, parse_actions(*actions));
+          } else if (const xml::Element* generic = actor->child("actions")) {
+            EXC_ASSIGN_OR_RETURN(process.actions, parse_actions(*generic));
+          }
+          description.actor_processes.push_back(std::move(process));
+        }
+      } else if (child->name() == "manipulation_process") {
+        ManipulationProcess process;
+        EXC_ASSIGN_OR_RETURN(process.node_id, child->require_attr("node"));
+        if (const xml::Element* actions = child->child("actions")) {
+          EXC_ASSIGN_OR_RETURN(process.actions, parse_actions(*actions));
+        }
+        description.manipulation_processes.push_back(std::move(process));
+      } else if (child->name() == "env_process") {
+        EnvProcess process;
+        if (const xml::Element* actions = child->child("env_actions")) {
+          EXC_ASSIGN_OR_RETURN(process.actions, parse_actions(*actions));
+        }
+        description.env_processes.push_back(std::move(process));
+      }
+    }
+  }
+
+  if (const xml::Element* platform = root.child("platform")) {
+    if (const xml::Element* actors = platform->child("actor_nodes")) {
+      for (const xml::Element* node : actors->children_named("node")) {
+        EXC_ASSIGN_OR_RETURN(PlatformNode parsed,
+                             parse_platform_node(*node, true));
+        description.platform.actor_nodes.push_back(std::move(parsed));
+      }
+    }
+    if (const xml::Element* envs = platform->child("environment_nodes")) {
+      for (const xml::Element* node : envs->children_named("node")) {
+        EXC_ASSIGN_OR_RETURN(PlatformNode parsed,
+                             parse_platform_node(*node, false));
+        description.platform.environment_nodes.push_back(std::move(parsed));
+      }
+    }
+  }
+
+  return description;
+}
+
+Result<ExperimentDescription> ExperimentDescription::parse(
+    const std::string& xml_text) {
+  EXC_ASSIGN_OR_RETURN(xml::ElementPtr root, xml::parse_element(xml_text));
+  EXC_ASSIGN_OR_RETURN(ExperimentDescription description, from_xml(*root));
+  EXC_TRY(description.validate());
+  return description;
+}
+
+// ===== serialisation ========================================================
+
+namespace {
+
+void write_level(const Value& level, const std::string& type,
+                 xml::Element& parent) {
+  xml::Element& element = parent.add_child("level");
+  if (type == "actor_node_map" && level.is_map()) {
+    for (const auto& [actor_id, instances] : level.as_map()) {
+      xml::Element& actor = element.add_child("actor");
+      actor.set_attr("id", actor_id);
+      if (instances.is_array()) {
+        int index = 0;
+        for (const Value& instance : instances.as_array()) {
+          xml::Element& inst = actor.add_child("instance");
+          inst.set_attr("id", std::to_string(index++));
+          inst.set_text(instance.to_text());
+        }
+      }
+    }
+  } else {
+    element.set_text(level.to_text());
+  }
+}
+
+void write_param(const std::string& name, const ParamValue& value,
+                 xml::Element& action) {
+  xml::Element& element = action.add_child(name);
+  switch (value.kind) {
+    case ParamValue::Kind::kLiteral:
+      element.set_text(value.literal.to_text());
+      break;
+    case ParamValue::Kind::kFactorRef:
+      element.add_child("factorref").set_attr("id", value.factor_id);
+      break;
+    case ParamValue::Kind::kNodeSet: {
+      xml::Element& node = element.add_child("node");
+      if (!value.node_set.actor.empty()) {
+        node.set_attr("actor", value.node_set.actor);
+      }
+      node.set_attr("instance", value.node_set.instance);
+      break;
+    }
+  }
+}
+
+void write_actions(const std::vector<ProcessAction>& actions,
+                   xml::Element& list) {
+  for (const ProcessAction& action : actions) {
+    xml::Element& element = list.add_child(action.name);
+    for (const auto& [name, value] : action.params) {
+      write_param(name, value, element);
+    }
+  }
+}
+
+}  // namespace
+
+xml::ElementPtr ExperimentDescription::to_xml() const {
+  auto root = std::make_unique<xml::Element>("experiment");
+  root->set_attr("name", name);
+  root->set_attr("seed", std::to_string(seed));
+
+  if (!info_params.empty()) {
+    xml::Element& params = root->add_child("parameterlist");
+    for (const auto& [key, value] : info_params) {
+      xml::Element& param = params.add_child("parameter");
+      param.set_attr("key", key);
+      param.set_text(value.to_text());
+    }
+  }
+
+  xml::Element& nodes = root->add_child("nodelist");
+  for (const std::string& id : abstract_nodes) {
+    nodes.add_child("node").set_attr("id", id);
+  }
+
+  xml::Element& factorlist = root->add_child("factorlist");
+  for (const Factor& factor : factors) {
+    xml::Element& element = factorlist.add_child("factor");
+    element.set_attr("id", factor.id);
+    element.set_attr("type", factor.type);
+    element.set_attr("usage", std::string(to_string(factor.usage)));
+    xml::Element& levels = element.add_child("levels");
+    for (const Value& level : factor.levels) {
+      write_level(level, factor.type, levels);
+    }
+  }
+  xml::Element& replication = factorlist.add_child("replicationfactor");
+  replication.set_attr("usage", "replication");
+  replication.set_attr("type", "int");
+  replication.set_attr("id", replication_factor_id);
+  replication.set_text(std::to_string(replications));
+
+  xml::Element& processes = root->add_child("processes");
+  if (!actor_processes.empty()) {
+    xml::Element& node_process = processes.add_child("node_process");
+    for (const ActorProcess& process : actor_processes) {
+      xml::Element& actor = node_process.add_child("actor");
+      actor.set_attr("id", process.actor_id);
+      actor.set_attr("name", process.name);
+      xml::Element& actions = actor.add_child("sd_actions");
+      write_actions(process.actions, actions);
+    }
+  }
+  for (const ManipulationProcess& process : manipulation_processes) {
+    xml::Element& element = processes.add_child("manipulation_process");
+    element.set_attr("node", process.node_id);
+    xml::Element& actions = element.add_child("actions");
+    write_actions(process.actions, actions);
+  }
+  for (const EnvProcess& process : env_processes) {
+    xml::Element& element = processes.add_child("env_process");
+    xml::Element& actions = element.add_child("env_actions");
+    write_actions(process.actions, actions);
+  }
+
+  xml::Element& platform_element = root->add_child("platform");
+  xml::Element& actor_nodes = platform_element.add_child("actor_nodes");
+  for (const PlatformNode& node : platform.actor_nodes) {
+    xml::Element& element = actor_nodes.add_child("node");
+    element.set_attr("id", node.id);
+    element.set_attr("abstract", node.abstract_id);
+    if (!node.address.empty()) element.set_attr("address", node.address);
+  }
+  xml::Element& env_nodes = platform_element.add_child("environment_nodes");
+  for (const PlatformNode& node : platform.environment_nodes) {
+    xml::Element& element = env_nodes.add_child("node");
+    element.set_attr("id", node.id);
+    if (!node.address.empty()) element.set_attr("address", node.address);
+  }
+
+  return root;
+}
+
+std::string ExperimentDescription::to_xml_text() const {
+  return xml::write(*to_xml());
+}
+
+// ===== validation ===========================================================
+
+Status ExperimentDescription::validate() const {
+  std::vector<std::string> problems;
+
+  if (abstract_nodes.empty()) {
+    problems.push_back("no abstract nodes declared");
+  }
+  if (replications < 1) problems.push_back("replications must be >= 1");
+
+  // Factor ids unique.
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    for (std::size_t j = i + 1; j < factors.size(); ++j) {
+      if (factors[i].id == factors[j].id) {
+        problems.push_back("duplicate factor id '" + factors[i].id + "'");
+      }
+    }
+  }
+
+  // The actor map factor (if present) must reference declared abstract
+  // nodes and declared actor processes.
+  if (!node_factor_id.empty()) {
+    const Factor* node_factor = find_factor(node_factor_id);
+    if (!node_factor) {
+      problems.push_back("node factor '" + node_factor_id + "' not found");
+    } else {
+      for (const Value& level : node_factor->levels) {
+        if (!level.is_map()) {
+          problems.push_back("actor_node_map level is not a map");
+          continue;
+        }
+        for (const auto& [actor_id, instances] : level.as_map()) {
+          if (!find_actor(actor_id)) {
+            problems.push_back("actor map references undefined actor '" +
+                               actor_id + "'");
+          }
+          if (instances.is_array()) {
+            for (const Value& instance : instances.as_array()) {
+              const std::string node = instance.to_text();
+              if (std::find(abstract_nodes.begin(), abstract_nodes.end(),
+                            node) == abstract_nodes.end()) {
+                problems.push_back("actor map references undeclared node '" +
+                                   node + "'");
+              }
+            }
+          }
+        }
+      }
+    }
+  } else if (!actor_processes.empty()) {
+    problems.push_back(
+        "actor processes defined but no actor_node_map factor present");
+  }
+
+  // Manipulation processes must target declared abstract nodes.
+  for (const ManipulationProcess& process : manipulation_processes) {
+    if (std::find(abstract_nodes.begin(), abstract_nodes.end(),
+                  process.node_id) == abstract_nodes.end()) {
+      problems.push_back("manipulation process targets undeclared node '" +
+                         process.node_id + "'");
+    }
+  }
+
+  // Every factorref in any process must resolve.
+  auto check_actions = [&](const std::vector<ProcessAction>& actions,
+                           const std::string& where) {
+    for (const ProcessAction& action : actions) {
+      for (const auto& [param_name, value] : action.params) {
+        if (value.kind == ParamValue::Kind::kFactorRef &&
+            !find_factor(value.factor_id) &&
+            value.factor_id != replication_factor_id) {
+          problems.push_back(where + ": action '" + action.name +
+                             "' references unknown factor '" +
+                             value.factor_id + "' in parameter '" +
+                             param_name + "'");
+        }
+      }
+    }
+  };
+  for (const ActorProcess& process : actor_processes) {
+    check_actions(process.actions, "actor " + process.actor_id);
+  }
+  for (const ManipulationProcess& process : manipulation_processes) {
+    check_actions(process.actions, "manipulation on " + process.node_id);
+  }
+  for (const EnvProcess& process : env_processes) {
+    check_actions(process.actions, "env process");
+  }
+
+  // Platform mapping: every abstract node needs a concrete node.
+  if (!platform.actor_nodes.empty()) {
+    for (const std::string& abstract : abstract_nodes) {
+      bool mapped = std::any_of(platform.actor_nodes.begin(),
+                                platform.actor_nodes.end(),
+                                [&](const PlatformNode& node) {
+                                  return node.abstract_id == abstract;
+                                });
+      if (!mapped) {
+        problems.push_back("abstract node '" + abstract +
+                           "' has no platform mapping");
+      }
+    }
+  }
+
+  if (problems.empty()) return {};
+  return err_validation(strings::join(problems, "; "));
+}
+
+// ===== schema ===============================================================
+
+const xml::Schema& description_schema() {
+  static const xml::Schema schema = [] {
+    xml::Schema s;
+    s.element("experiment")
+        .attr("name")
+        .attr("seed")
+        .child("parameterlist", xml::Occurs::optional())
+        .child("nodelist", xml::Occurs::required())
+        .child("factorlist", xml::Occurs::required())
+        .child("processes", xml::Occurs::required())
+        .child("platform", xml::Occurs::optional())
+        .no_text();
+    s.element("parameterlist")
+        .child("parameter", xml::Occurs::any())
+        .no_text();
+    s.element("parameter").attr("key", /*required=*/true);
+    s.element("nodelist").child("node", xml::Occurs::at_least(1)).no_text();
+    s.element("factorlist")
+        .child("factor", xml::Occurs::any())
+        .child("replicationfactor", xml::Occurs::optional())
+        .no_text();
+    s.element("factor")
+        .attr("id", true)
+        .attr("type")
+        .attr("usage", false,
+              {"blocking", "constant", "random", "replication"})
+        .child("levels", xml::Occurs::required())
+        .child("description", xml::Occurs::optional())
+        .no_text();
+    s.element("levels").child("level", xml::Occurs::at_least(1)).no_text();
+    s.element("level").open_children();
+    s.element("replicationfactor").attr("id", true).attr("type").attr("usage");
+    s.element("processes")
+        .child("node_process", xml::Occurs::any())
+        .child("manipulation_process", xml::Occurs::any())
+        .child("env_process", xml::Occurs::any())
+        .no_text();
+    s.element("node_process")
+        .child("actor", xml::Occurs::any())
+        .child("nodes", xml::Occurs::optional())
+        .no_text();
+    s.element("actor")
+        .attr("id", true)
+        .attr("name")
+        .child("sd_actions", xml::Occurs::optional())
+        .child("actions", xml::Occurs::optional())
+        .open_children()  // also appears inside actor_node_map levels
+        .open_attrs()
+        .no_text();
+    s.element("manipulation_process")
+        .attr("node", true)
+        .child("actions", xml::Occurs::optional())
+        .no_text();
+    s.element("env_process")
+        .child("env_actions", xml::Occurs::optional())
+        .no_text();
+    // Action lists hold arbitrary action elements (plugins can add more).
+    s.element("sd_actions").open_children().no_text();
+    s.element("actions").open_children().no_text();
+    s.element("env_actions").open_children().no_text();
+    s.element("factorref").attr("id", true);
+    s.element("platform")
+        .child("actor_nodes", xml::Occurs::optional())
+        .child("environment_nodes", xml::Occurs::optional())
+        .no_text();
+    s.element("actor_nodes").child("node", xml::Occurs::any()).no_text();
+    s.element("environment_nodes").child("node", xml::Occurs::any()).no_text();
+    // <node> appears both as declaration and selector; keep attrs open.
+    s.element("node").attr("id").attr("abstract").attr("address")
+        .attr("actor").attr("instance");
+    return s;
+  }();
+  return schema;
+}
+
+}  // namespace excovery::core

@@ -1,0 +1,196 @@
+// The abstract experiment description (§IV-C).
+//
+// "ExCovery executes experiments on the base of an abstract description
+// made up of three parts.  The first contains the experiment design, which
+// factors are applied in which combination and order.  The second part
+// contains manipulations on the process environment and the participants
+// themselves ... The third part is the description of the distributed
+// process to be examined.  ExCovery uses XML to notate the description."
+//
+// The XML dialect follows the paper's listings (Figures 4-10):
+//
+//   <experiment name="..." seed="...">
+//     <parameterlist>                        (Fig. 4: informative params)
+//       <parameter key="sd_architecture">two-party</parameter> ...
+//     </parameterlist>
+//     <nodelist><node id="A"/><node id="B"/></nodelist>
+//     <factorlist>                           (Fig. 5)
+//       <factor id="..." type="..." usage="blocking|random|constant">
+//         <levels><level>...</level>...</levels>
+//       </factor>
+//       <replicationfactor usage="replication" type="int" id="...">N
+//       </replicationfactor>
+//     </factorlist>
+//     <processes>                            (Fig. 6, 9, 10)
+//       <node_process>
+//         <nodes><factorref id="fact_nodes"/></nodes>
+//         <actor id="actor0" name="SM"><sd_actions>...</sd_actions></actor>
+//       </node_process>
+//       <manipulation_process node="A"><actions>...</actions>
+//       </manipulation_process>
+//       <env_process><env_actions>...</env_actions></env_process> (Fig. 7)
+//     </processes>
+//     <platform>                             (Fig. 8)
+//       <actor_nodes><node id="..." abstract="..." address="..."/>...
+//       </actor_nodes>
+//       <environment_nodes><node id="..." address="..."/>...
+//       </environment_nodes>
+//     </platform>
+//   </experiment>
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/value.hpp"
+#include "xml/dom.hpp"
+#include "xml/schema.hpp"
+
+namespace excovery::core {
+
+/// How a factor participates in the design (§II-A1 taxonomy, Fig. 5 usage
+/// attribute).
+enum class FactorUsage {
+  kBlocking,   ///< controllable nuisance factor: outermost, ordered
+  kConstant,   ///< held-constant per treatment, swept one-after-another
+  kRandom,     ///< design factor whose level order is randomised
+  kReplication ///< the replication count (paper's <replicationfactor>)
+};
+
+Result<FactorUsage> parse_factor_usage(const std::string& text);
+std::string_view to_string(FactorUsage usage) noexcept;
+
+/// A treatment factor with its set of levels (§IV-C: "Factor ... consists
+/// of a set of levels").  Levels are Values; for type "actor_node_map" each
+/// level is a map actor-id -> array of abstract node ids.
+struct Factor {
+  std::string id;
+  std::string type;  ///< "int", "double", "string", "actor_node_map"
+  FactorUsage usage = FactorUsage::kConstant;
+  std::vector<Value> levels;
+};
+
+/// Selector for a set of nodes by actor role ("<node actor='actor0'
+/// instance='all'/>"), used in from/param dependencies and action targets.
+struct NodeSetRef {
+  std::string actor;     ///< actor id; empty = any
+  std::string instance;  ///< "all", a number, or empty (= all)
+};
+
+/// A parameter of an action: a literal value, a reference to a factor, or
+/// a node-set selector.
+struct ParamValue {
+  enum class Kind { kLiteral, kFactorRef, kNodeSet };
+  Kind kind = Kind::kLiteral;
+  Value literal;
+  std::string factor_id;
+  NodeSetRef node_set;
+
+  static ParamValue lit(Value v) {
+    ParamValue p;
+    p.literal = std::move(v);
+    return p;
+  }
+  static ParamValue factor(std::string id) {
+    ParamValue p;
+    p.kind = Kind::kFactorRef;
+    p.factor_id = std::move(id);
+    return p;
+  }
+  static ParamValue nodes(NodeSetRef ref) {
+    ParamValue p;
+    p.kind = Kind::kNodeSet;
+    p.node_set = std::move(ref);
+    return p;
+  }
+};
+
+/// One step of a process: an action name plus named parameters.  Flow
+/// control functions (§IV-C2) use the reserved names wait_for_time,
+/// wait_for_event, wait_marker and event_flag.
+struct ProcessAction {
+  std::string name;
+  std::vector<std::pair<std::string, ParamValue>> params;
+
+  /// First parameter with the given name, or nullptr.
+  const ParamValue* param(std::string_view name) const;
+};
+
+/// An actor description: "Process prototype to be executed on one specific
+/// actor of the experiment process.  Each abstract node is mapped to one
+/// actor description, multiple abstract nodes can instantiate the same
+/// actor description."
+struct ActorProcess {
+  std::string actor_id;   ///< e.g. "actor0"
+  std::string name;       ///< e.g. "SM"
+  std::vector<ProcessAction> actions;
+};
+
+/// A fault/manipulation process bound to one abstract node (§IV-D3).
+struct ManipulationProcess {
+  std::string node_id;  ///< abstract node the process runs for
+  std::vector<ProcessAction> actions;
+};
+
+/// The environment manipulation process: "not node specific ... controls
+/// manipulations to the environment, like traffic generation."
+struct EnvProcess {
+  std::vector<ProcessAction> actions;
+};
+
+/// Platform node mapping (Fig. 8): abstract/environment node to concrete
+/// platform node (identified by host name) and network address.
+struct PlatformNode {
+  std::string id;           ///< concrete platform node (host name)
+  std::string abstract_id;  ///< mapped abstract node ("" for env nodes)
+  std::string address;      ///< IP address text
+};
+
+struct PlatformSpec {
+  std::vector<PlatformNode> actor_nodes;
+  std::vector<PlatformNode> environment_nodes;
+};
+
+struct ExperimentDescription {
+  std::string name = "experiment";
+  std::uint64_t seed = 1;  ///< master PRNG seed (§IV-C1: "clearly defined")
+  ValueMap info_params;    ///< Fig. 4 informative key-value parameters
+
+  std::vector<std::string> abstract_nodes;
+  std::vector<Factor> factors;
+  std::string replication_factor_id = "fact_replication";
+  int replications = 1;
+
+  /// The actor-map factor naming which factor assigns nodes to actors.
+  std::string node_factor_id;
+
+  std::vector<ActorProcess> actor_processes;
+  std::vector<ManipulationProcess> manipulation_processes;
+  std::vector<EnvProcess> env_processes;
+  PlatformSpec platform;
+
+  // ---- lookups -----------------------------------------------------------
+  const Factor* find_factor(std::string_view id) const;
+  const ActorProcess* find_actor(std::string_view actor_id) const;
+  /// Informative parameter (Fig. 4), "" if absent.
+  std::string info(const std::string& key) const;
+
+  // ---- XML ---------------------------------------------------------------
+  static Result<ExperimentDescription> from_xml(const xml::Element& root);
+  static Result<ExperimentDescription> parse(const std::string& xml_text);
+  xml::ElementPtr to_xml() const;
+  std::string to_xml_text() const;
+
+  /// Semantic validation: factor references resolve, node maps reference
+  /// declared abstract nodes, platform maps every abstract node, etc.
+  Status validate() const;
+};
+
+/// Schema for the description dialect (§IV-C: "An XML schema description is
+/// provided with the framework code").
+const xml::Schema& description_schema();
+
+}  // namespace excovery::core

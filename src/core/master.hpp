@@ -1,0 +1,94 @@
+// ExperiMaster: "a program that executes experiment runs as specified in
+// the description.  Each run is a sequence of actions performed on the
+// participating nodes" (§IV) ... "ExCovery manages series of experiments
+// and recovers from failures by resuming aborted runs" (§VII).
+//
+// Per-run workflow (§IV-C1): each run consists of three phases —
+//   preparation: reset the environment to a defined initial condition
+//     (drop leftover packets, stop stray faults), run_init on every node,
+//     time-sync measurement per participant, topology probe;
+//   execution: all process interpreters (actor processes per mapped node,
+//     manipulation processes, environment processes) run concurrently under
+//     the discrete-event scheduler until completion or the run watchdog;
+//   clean-up: run_exit on every node (stops roles/faults, collects packet
+//     captures and plugin measurements).
+//
+// After all runs: collection & conditioning produce the level-3 package
+// (storage::condition), completing the workflow of Fig. 3.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/description.hpp"
+#include "core/interpreter.hpp"
+#include "core/plan.hpp"
+#include "core/platform.hpp"
+#include "storage/conditioning.hpp"
+#include "storage/package.hpp"
+
+namespace excovery::core {
+
+struct MasterOptions {
+  /// Attempts per run before the experiment gives up (failure recovery).
+  int max_attempts_per_run = 3;
+  /// Simulated-time watchdog per run; a run whose processes have not all
+  /// completed by then is aborted (and resumed/retried).
+  sim::SimDuration run_watchdog = sim::SimDuration::from_seconds(300);
+  /// Extra simulated settle time after the last process finishes, letting
+  /// in-flight packets drain before clean-up.
+  sim::SimDuration settle = sim::SimDuration::from_millis(200);
+  /// Comment stored into ExperimentInfo.
+  std::string comment;
+
+  /// Progress callback: (run, attempt, ok).
+  std::function<void(const RunSpec&, int attempt, bool ok)> progress;
+  /// Test hook: force the given (run_id, attempt) to abort mid-run.
+  std::function<bool(std::int64_t run_id, int attempt)> abort_hook;
+};
+
+class ExperiMaster : public ActionDispatcher {
+ public:
+  /// The master drives an already-created platform (the platform embodies
+  /// the "platform setup" step of Fig. 3).
+  ExperiMaster(const ExperimentDescription& description,
+               SimPlatform& platform, MasterOptions options = {});
+
+  /// Execute the full treatment plan and return the conditioned level-3
+  /// package (collection + conditioning + storage of Fig. 3).
+  Result<storage::ExperimentPackage> execute();
+
+  /// Execute a single run (used by execute(); public for tests/benches).
+  Status execute_run(const RunSpec& run, int attempt = 1);
+
+  const TreatmentPlan& plan() const noexcept { return *plan_; }
+  SimPlatform& platform() noexcept { return platform_; }
+
+  /// Runs that completed (in execution order).
+  const std::vector<std::int64_t>& completed_runs() const noexcept {
+    return platform_.level2().completed_runs();
+  }
+  /// Total aborted attempts encountered (recovery metric).
+  int aborted_attempts() const noexcept { return aborted_attempts_; }
+
+ private:
+  // ActionDispatcher implementation -----------------------------------------
+  Status node_action(const std::string& concrete_node,
+                     const std::string& method, ValueMap params) override;
+  Status env_action(const std::string& method, ValueMap params) override;
+
+  Status prepare_run(const RunSpec& run);
+  Status run_processes(const RunSpec& run, int attempt);
+  Status cleanup_run(const RunSpec& run);
+
+  const ExperimentDescription& description_;
+  SimPlatform& platform_;
+  MasterOptions options_;
+  std::unique_ptr<TreatmentPlan> plan_;
+  const RunSpec* current_run_ = nullptr;
+  faults::FaultHandle env_drop_all_;
+  int aborted_attempts_ = 0;
+  bool experiment_initialized_ = false;
+};
+
+}  // namespace excovery::core

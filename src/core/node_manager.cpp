@@ -1,0 +1,365 @@
+#include "core/node_manager.hpp"
+
+#include "common/strings.hpp"
+#include "core/platform.hpp"
+
+namespace excovery::core {
+
+namespace {
+
+/// Parameter helpers over the single-struct RPC calling convention.
+std::string param_text(const ValueMap& params, const std::string& key,
+                       const std::string& fallback = "") {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return strings::strip_quotes(it->second.to_text());
+}
+
+Result<double> param_double(const ValueMap& params, const std::string& key,
+                            double fallback) {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return it->second.to_double();
+}
+
+Result<std::int64_t> param_int(const ValueMap& params, const std::string& key,
+                               std::int64_t fallback) {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return it->second.to_int();
+}
+
+Result<ValueMap> unwrap(const ValueArray& rpc_params) {
+  if (rpc_params.empty()) return ValueMap{};
+  if (!rpc_params.front().is_map()) {
+    return err_rpc("expected a single struct parameter");
+  }
+  return rpc_params.front().as_map();
+}
+
+}  // namespace
+
+NodeManager::NodeManager(SimPlatform& platform, std::string name,
+                         net::NodeId node_id, AgentFactory agent_factory)
+    : platform_(platform),
+      name_(std::move(name)),
+      node_id_(node_id),
+      agent_factory_(std::move(agent_factory)),
+      log_("node/" + name_) {
+  register_methods();
+}
+
+NodeManager::~NodeManager() = default;
+
+void NodeManager::register_methods() {
+  auto wrap = [this](auto handler) {
+    return [this, handler](const ValueArray& rpc_params) -> Result<Value> {
+      EXC_ASSIGN_OR_RETURN(ValueMap params, unwrap(rpc_params));
+      return handler(params);
+    };
+  };
+
+  // ---- management -------------------------------------------------------
+  server_.register_method(
+      "experiment_init", wrap([this](const ValueMap&) -> Result<Value> {
+        EXC_TRY(experiment_init());
+        return Value{true};
+      }));
+  server_.register_method(
+      "experiment_exit", wrap([this](const ValueMap&) -> Result<Value> {
+        EXC_TRY(experiment_exit());
+        return Value{true};
+      }));
+  server_.register_method(
+      "run_init", wrap([this](const ValueMap& params) -> Result<Value> {
+        EXC_ASSIGN_OR_RETURN(std::int64_t run, param_int(params, "run_id", 0));
+        EXC_TRY(run_init(run));
+        return Value{true};
+      }));
+  server_.register_method(
+      "run_exit", wrap([this](const ValueMap& params) -> Result<Value> {
+        EXC_ASSIGN_OR_RETURN(std::int64_t run, param_int(params, "run_id", 0));
+        EXC_TRY(run_exit(run));
+        return Value{true};
+      }));
+  server_.register_method(
+      "clock_read", wrap([this](const ValueMap&) -> Result<Value> {
+        return Value{platform_.network()
+                         .clock(node_id_)
+                         .read(platform_.scheduler().now())
+                         .nanos()};
+      }));
+  server_.register_method(
+      "event_flag", wrap([this](const ValueMap& params) -> Result<Value> {
+        std::string value = param_text(params, "value");
+        if (value.empty()) return err_invalid("event_flag needs a value");
+        Value parameter;
+        if (auto it = params.find("parameter"); it != params.end()) {
+          parameter = it->second;
+        }
+        platform_.recorder().record(name_, value, parameter);
+        return Value{true};
+      }));
+
+  // ---- SD process actions -----------------------------------------------
+  for (const char* method :
+       {"sd_init", "sd_exit", "sd_start_search", "sd_stop_search",
+        "sd_start_publish", "sd_stop_publish", "sd_update_publication"}) {
+    server_.register_method(
+        method, wrap([this, method](const ValueMap& params) -> Result<Value> {
+          return dispatch_sd(method, params);
+        }));
+  }
+
+  // ---- fault injections ---------------------------------------------------
+  for (const char* method :
+       {"fault_interface_start", "fault_interface_stop",
+        "fault_message_loss_start", "fault_message_loss_stop",
+        "fault_message_delay_start", "fault_message_delay_stop",
+        "fault_path_loss_start", "fault_path_loss_stop",
+        "fault_path_delay_start", "fault_path_delay_stop"}) {
+    server_.register_method(
+        method, wrap([this, method](const ValueMap& params) -> Result<Value> {
+          return dispatch_fault(method, params);
+        }));
+  }
+}
+
+Status NodeManager::ensure_agent() {
+  if (agent_) return {};
+  agent_ = agent_factory_();
+  if (!agent_) return err_internal("agent factory returned null");
+  agent_->set_event_sink(
+      [this](std::string_view event, const Value& parameter) {
+        platform_.recorder().record(name_, event, parameter);
+      });
+  return {};
+}
+
+Result<Value> NodeManager::dispatch_sd(const std::string& method,
+                                       const ValueMap& params) {
+  if (method == "sd_init") {
+    EXC_TRY(ensure_agent());
+    std::string role_text = param_text(params, "role", "SU");
+    EXC_ASSIGN_OR_RETURN(sd::SdRole role, sd::parse_role(role_text));
+    // Remaining parameters pass through to the SDP implementation.
+    ValueMap sdp_params = params;
+    sdp_params.erase("role");
+    log_.info("sd_init role=" + std::string(sd::to_string(role)));
+    EXC_TRY(agent_->init(role, sdp_params));
+    return Value{true};
+  }
+  if (!agent_) return err_state("sd action '" + method + "' before sd_init");
+
+  if (method == "sd_exit") {
+    log_.info("sd_exit");
+    EXC_TRY(agent_->exit());
+    agent_.reset();
+    return Value{true};
+  }
+  if (method == "sd_start_search") {
+    std::string type = param_text(params, "type", "_expservice._udp");
+    EXC_TRY(agent_->start_search(type));
+    return Value{true};
+  }
+  if (method == "sd_stop_search") {
+    std::string type = param_text(params, "type", "_expservice._udp");
+    EXC_TRY(agent_->stop_search(type));
+    return Value{true};
+  }
+  if (method == "sd_start_publish") {
+    sd::ServiceInstance instance;
+    instance.instance_name = param_text(params, "instance", name_);
+    instance.type = param_text(params, "type", "_expservice._udp");
+    EXC_ASSIGN_OR_RETURN(std::int64_t port, param_int(params, "port", 8080));
+    instance.port = static_cast<net::Port>(port);
+    if (auto it = params.find("attributes");
+        it != params.end() && it->second.is_map()) {
+      for (const auto& [key, value] : it->second.as_map()) {
+        instance.attributes[key] = value.to_text();
+      }
+    }
+    EXC_TRY(agent_->start_publish(instance));
+    return Value{true};
+  }
+  if (method == "sd_stop_publish") {
+    std::string instance = param_text(params, "instance", name_);
+    EXC_TRY(agent_->stop_publish(instance));
+    return Value{true};
+  }
+  if (method == "sd_update_publication") {
+    sd::ServiceInstance instance;
+    instance.instance_name = param_text(params, "instance", name_);
+    instance.type = param_text(params, "type", "_expservice._udp");
+    EXC_ASSIGN_OR_RETURN(std::int64_t port, param_int(params, "port", 8080));
+    instance.port = static_cast<net::Port>(port);
+    if (auto it = params.find("attributes");
+        it != params.end() && it->second.is_map()) {
+      for (const auto& [key, value] : it->second.as_map()) {
+        instance.attributes[key] = value.to_text();
+      }
+    }
+    EXC_TRY(agent_->update_publication(instance));
+    return Value{true};
+  }
+  return err_rpc("unknown sd method '" + method + "'");
+}
+
+faults::TemporalSpec NodeManager::temporal_from(const ValueMap& params) const {
+  faults::TemporalSpec spec;
+  if (auto it = params.find("duration"); it != params.end()) {
+    if (Result<double> seconds = it->second.to_double(); seconds.ok()) {
+      spec.duration = sim::SimDuration::from_seconds(seconds.value());
+    }
+  }
+  if (auto it = params.find("rate"); it != params.end()) {
+    if (Result<double> rate = it->second.to_double(); rate.ok()) {
+      spec.rate = rate.value();
+    }
+  }
+  if (auto it = params.find("randomseed"); it != params.end()) {
+    if (Result<std::int64_t> seed = it->second.to_int(); seed.ok()) {
+      spec.randomseed = static_cast<std::uint64_t>(seed.value());
+    }
+  }
+  return spec;
+}
+
+Result<Value> NodeManager::dispatch_fault(const std::string& method,
+                                          const ValueMap& params) {
+  faults::FaultInjector& injector = platform_.injector();
+
+  // Stop methods: tear down the active fault of that kind on this node.
+  if (strings::ends_with(method, "_stop")) {
+    std::string kind = method.substr(0, method.size() - 5);
+    auto it = active_faults_.find(kind);
+    if (it == active_faults_.end()) {
+      return err_state("no active " + kind + " on node " + name_);
+    }
+    it->second->stop();
+    active_faults_.erase(it);
+    return Value{true};
+  }
+
+  std::string kind = method.substr(0, method.size() - 6);  // strip "_start"
+  if (active_faults_.count(kind) != 0) {
+    return err_state(kind + " already active on node " + name_);
+  }
+  faults::TemporalSpec temporal = temporal_from(params);
+
+  Result<faults::FaultHandle> handle = [&]() -> Result<faults::FaultHandle> {
+    if (kind == "fault_interface") {
+      EXC_ASSIGN_OR_RETURN(
+          faults::FaultDirection direction,
+          faults::parse_fault_direction(param_text(params, "direction",
+                                                   "both")));
+      return injector.interface_fault(node_id_, direction, temporal);
+    }
+    if (kind == "fault_message_loss") {
+      EXC_ASSIGN_OR_RETURN(double probability,
+                           param_double(params, "probability", 0.0));
+      EXC_ASSIGN_OR_RETURN(
+          faults::FaultDirection direction,
+          faults::parse_fault_direction(param_text(params, "direction",
+                                                   "both")));
+      return injector.message_loss(node_id_, probability, direction, temporal);
+    }
+    if (kind == "fault_message_delay") {
+      EXC_ASSIGN_OR_RETURN(double delay_ms,
+                           param_double(params, "delay_ms", 0.0));
+      return injector.message_delay(
+          node_id_, sim::SimDuration::from_seconds(delay_ms / 1000.0),
+          temporal);
+    }
+    if (kind == "fault_path_loss" || kind == "fault_path_delay") {
+      std::string peer_name = param_text(params, "peer");
+      if (peer_name.empty()) return err_invalid(kind + " needs a peer");
+      EXC_ASSIGN_OR_RETURN(net::NodeId peer, platform_.node_id(peer_name));
+      if (kind == "fault_path_loss") {
+        EXC_ASSIGN_OR_RETURN(double probability,
+                             param_double(params, "probability", 0.0));
+        return injector.path_loss(node_id_, peer, probability, temporal);
+      }
+      EXC_ASSIGN_OR_RETURN(double delay_ms,
+                           param_double(params, "delay_ms", 0.0));
+      return injector.path_delay(
+          node_id_, peer, sim::SimDuration::from_seconds(delay_ms / 1000.0),
+          temporal);
+    }
+    return err_rpc("unknown fault method '" + method + "'");
+  }();
+  if (!handle.ok()) return std::move(handle).error();
+  active_faults_.emplace(kind, std::move(handle).value());
+  return Value{true};
+}
+
+void NodeManager::register_plugin(const std::string& plugin,
+                                  const std::string& name, PluginFn fn) {
+  plugins_.push_back(Plugin{plugin, name, std::move(fn)});
+}
+
+Status NodeManager::experiment_init() {
+  log_.info("experiment_init");
+  platform_.recorder().record(name_, "experiment_init");
+  return {};
+}
+
+Status NodeManager::experiment_exit() {
+  log_.info("experiment_exit");
+  platform_.recorder().record(name_, "experiment_exit");
+  // Persist this node's log into its level-2 store.
+  platform_.level2().node(name_).append_log(log_.text());
+  log_.clear();
+  return {};
+}
+
+Status NodeManager::run_init(std::int64_t run_id) {
+  current_run_ = run_id;
+  log_.info(strings::format("run_init %lld", static_cast<long long>(run_id)));
+  platform_.recorder().record(name_, "run_init", Value{run_id});
+  return {};
+}
+
+Status NodeManager::run_exit(std::int64_t run_id) {
+  // Terminate any SD role still active (clean-up phase must leave a
+  // defined state for the next run).
+  if (agent_ && agent_->initialized()) {
+    (void)agent_->exit();
+    agent_.reset();
+  }
+  // Stop faults still active on this node.
+  for (auto& [kind, fault] : active_faults_) fault->stop();
+  active_faults_.clear();
+
+  collect_captures(run_id);
+
+  // Plugin measurements run at the end of every run (§IV-B, plugins have
+  // "a separate storage location on the node").
+  for (const Plugin& plugin : plugins_) {
+    platform_.level2().node(name_).add_plugin_measurement(
+        run_id, plugin.plugin, plugin.name, plugin.fn(run_id));
+  }
+
+  log_.info(strings::format("run_exit %lld", static_cast<long long>(run_id)));
+  platform_.recorder().record(name_, "run_exit", Value{run_id});
+  return {};
+}
+
+void NodeManager::collect_captures(std::int64_t run_id) {
+  std::vector<net::CapturedPacket> captures =
+      platform_.network().take_captures(node_id_);
+  storage::NodeStore& store = platform_.level2().node(name_);
+  const net::Topology& topology = platform_.network().topology();
+  for (const net::CapturedPacket& captured : captures) {
+    storage::RawPacket raw;
+    raw.run_id = run_id;
+    raw.local_time_ns = captured.local_time.nanos();
+    if (!captured.packet.route.empty()) {
+      raw.src_node = topology.node(captured.packet.route.front()).name;
+    }
+    raw.data = net::capture_to_wire(captured);
+    store.record_packet(std::move(raw));
+  }
+}
+
+}  // namespace excovery::core

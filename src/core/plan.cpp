@@ -1,0 +1,188 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace excovery::core {
+
+Result<Value> Treatment::level(const std::string& factor_id) const {
+  auto it = levels.find(factor_id);
+  if (it == levels.end()) {
+    return err_not_found("treatment has no level for factor '" + factor_id +
+                         "'");
+  }
+  return it->second;
+}
+
+Result<std::int64_t> Treatment::level_int(const std::string& factor_id) const {
+  EXC_ASSIGN_OR_RETURN(Value value, level(factor_id));
+  return value.to_int();
+}
+
+Result<double> Treatment::level_double(const std::string& factor_id) const {
+  EXC_ASSIGN_OR_RETURN(Value value, level(factor_id));
+  return value.to_double();
+}
+
+Result<std::string> Treatment::level_text(const std::string& factor_id) const {
+  EXC_ASSIGN_OR_RETURN(Value value, level(factor_id));
+  return value.to_text();
+}
+
+std::vector<std::string> RunSpec::acting_nodes() const {
+  std::vector<std::string> out;
+  for (const auto& [actor, nodes] : actor_map) {
+    out.insert(out.end(), nodes.begin(), nodes.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+Result<ActorMap> actor_map_from_level(const Value& level) {
+  if (!level.is_map()) {
+    return err_validation("actor_node_map level is not a map");
+  }
+  ActorMap map;
+  for (const auto& [actor_id, instances] : level.as_map()) {
+    std::vector<std::string> nodes;
+    if (instances.is_array()) {
+      for (const Value& instance : instances.as_array()) {
+        nodes.push_back(instance.to_text());
+      }
+    }
+    map.emplace(actor_id, std::move(nodes));
+  }
+  return map;
+}
+
+}  // namespace
+
+Result<TreatmentPlan> TreatmentPlan::generate(
+    const ExperimentDescription& description) {
+  RngFactory rng_factory(description.seed);
+
+  // Order: blocking factors first (outermost), then the rest in list order.
+  std::vector<const Factor*> ordered;
+  for (const Factor& factor : description.factors) {
+    if (factor.usage == FactorUsage::kBlocking) ordered.push_back(&factor);
+  }
+  for (const Factor& factor : description.factors) {
+    if (factor.usage != FactorUsage::kBlocking) ordered.push_back(&factor);
+  }
+
+  // Per-factor level order; "random" factors are shuffled reproducibly.
+  std::vector<std::vector<const Value*>> level_orders;
+  level_orders.reserve(ordered.size());
+  for (const Factor* factor : ordered) {
+    std::vector<const Value*> order;
+    order.reserve(factor->levels.size());
+    for (const Value& level : factor->levels) order.push_back(&level);
+    if (factor->usage == FactorUsage::kRandom) {
+      Pcg32 rng = rng_factory.stream("factor-order/" + factor->id);
+      rng.shuffle(order);
+    }
+    level_orders.push_back(std::move(order));
+  }
+
+  TreatmentPlan plan;
+  plan.replications_ = description.replications;
+
+  // Cartesian product, first factor varying least often.
+  std::size_t combinations = 1;
+  for (const auto& order : level_orders) combinations *= order.size();
+  plan.treatment_count_ = combinations;
+
+  std::vector<std::size_t> indices(ordered.size(), 0);
+  std::int64_t run_id = 1;
+  for (std::size_t combo = 0; combo < combinations; ++combo) {
+    Treatment treatment;
+    for (std::size_t f = 0; f < ordered.size(); ++f) {
+      treatment.levels[ordered[f]->id] = *level_orders[f][indices[f]];
+    }
+
+    ActorMap actor_map;
+    if (!description.node_factor_id.empty()) {
+      auto it = treatment.levels.find(description.node_factor_id);
+      if (it != treatment.levels.end()) {
+        EXC_ASSIGN_OR_RETURN(actor_map, actor_map_from_level(it->second));
+      }
+    }
+
+    for (int replication = 0; replication < description.replications;
+         ++replication) {
+      RunSpec run;
+      run.run_id = run_id++;
+      run.treatment_index = static_cast<std::int64_t>(combo);
+      run.replication = replication;
+      run.treatment = treatment;
+      // The replication index is itself addressable as a factor level
+      // (Fig. 7 wires fact_replication_id into the traffic generator's
+      // switch seed).
+      run.treatment.levels[description.replication_factor_id] =
+          Value{static_cast<std::int64_t>(replication)};
+      run.actor_map = actor_map;
+      plan.runs_.push_back(std::move(run));
+    }
+
+    // Odometer increment: last factor changes every treatment.
+    for (std::size_t f = ordered.size(); f-- > 0;) {
+      if (++indices[f] < level_orders[f].size()) break;
+      indices[f] = 0;
+    }
+  }
+
+  if (plan.runs_.empty() && description.replications > 0) {
+    // No factors at all: a single empty treatment, replicated.
+    for (int replication = 0; replication < description.replications;
+         ++replication) {
+      RunSpec run;
+      run.run_id = run_id++;
+      run.replication = replication;
+      run.treatment.levels[description.replication_factor_id] =
+          Value{static_cast<std::int64_t>(replication)};
+      plan.runs_.push_back(std::move(run));
+    }
+    plan.treatment_count_ = 1;
+  }
+
+  return plan;
+}
+
+std::vector<const RunSpec*> TreatmentPlan::remaining(
+    const std::vector<std::int64_t>& completed) const {
+  std::vector<const RunSpec*> out;
+  for (const RunSpec& run : runs_) {
+    if (std::find(completed.begin(), completed.end(), run.run_id) ==
+        completed.end()) {
+      out.push_back(&run);
+    }
+  }
+  return out;
+}
+
+std::string TreatmentPlan::format(std::size_t max_rows) const {
+  std::string out = strings::format(
+      "treatment plan: %zu treatments x %d replications = %zu runs\n",
+      treatment_count_, replications_, runs_.size());
+  std::size_t shown = 0;
+  for (const RunSpec& run : runs_) {
+    if (shown++ >= max_rows) {
+      out += strings::format("  ... (%zu more runs)\n", runs_.size() - shown + 1);
+      break;
+    }
+    out += strings::format("  run %3lld  rep %3d  ",
+                           static_cast<long long>(run.run_id),
+                           run.replication);
+    for (const auto& [factor, level] : run.treatment.levels) {
+      out += factor + "=" + level.to_text() + " ";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace excovery::core

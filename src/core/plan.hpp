@@ -1,0 +1,80 @@
+// Treatment plan generation (§IV-C1).
+//
+// "To execute the overall experiment and its individual runs from the
+// abstract experiment description, ExCovery generates treatment plans from
+// replications, the factors and their levels.  Plans are OFAT if no custom
+// factor level variation plan is given."
+//
+// OFAT ordering: "In an OFAT design the first factor varies least often
+// during execution while the last factor changes every run" (§IV-C).
+// Blocking factors are hoisted outermost (blocks group observations taken
+// under similar conditions, §II-A3); factors with usage "random" have their
+// level order randomised from a seed-derived stream, so the plan is fully
+// reproducible (§IV-C1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/description.hpp"
+
+namespace excovery::core {
+
+/// One treatment: the complete assignment of levels to factors
+/// ("the entire description of what can be applied to the treatment
+/// factors of an experimental unit").
+struct Treatment {
+  std::map<std::string, Value> levels;  ///< factor id -> level value
+
+  Result<Value> level(const std::string& factor_id) const;
+  /// Level coerced to int/double/string.
+  Result<std::int64_t> level_int(const std::string& factor_id) const;
+  Result<double> level_double(const std::string& factor_id) const;
+  Result<std::string> level_text(const std::string& factor_id) const;
+};
+
+/// The resolved actor mapping of a run: actor id -> abstract node ids.
+using ActorMap = std::map<std::string, std::vector<std::string>>;
+
+/// One experiment run: a treatment plus a replication index.
+struct RunSpec {
+  std::int64_t run_id = 0;     ///< 1-based, sequential in execution order
+  std::int64_t treatment_index = 0;
+  int replication = 0;         ///< 0-based replication of this treatment
+  Treatment treatment;
+  ActorMap actor_map;
+
+  /// All abstract nodes acting in this run (union over actors).
+  std::vector<std::string> acting_nodes() const;
+};
+
+class TreatmentPlan {
+ public:
+  /// Generate the full OFAT plan from a description.
+  static Result<TreatmentPlan> generate(
+      const ExperimentDescription& description);
+
+  const std::vector<RunSpec>& runs() const noexcept { return runs_; }
+  std::size_t run_count() const noexcept { return runs_.size(); }
+  std::size_t treatment_count() const noexcept { return treatment_count_; }
+  int replications() const noexcept { return replications_; }
+
+  /// Runs not yet marked complete in `completed` (resume support, §VII:
+  /// "recovers from failures by resuming aborted runs").
+  std::vector<const RunSpec*> remaining(
+      const std::vector<std::int64_t>& completed) const;
+
+  /// Human-readable plan head for inspection tooling.
+  std::string format(std::size_t max_rows = 10) const;
+
+ private:
+  std::vector<RunSpec> runs_;
+  std::size_t treatment_count_ = 0;
+  int replications_ = 1;
+};
+
+}  // namespace excovery::core

@@ -1,0 +1,39 @@
+#include "core/recorder.hpp"
+
+namespace excovery::core {
+
+EventRecorder::EventRecorder(sim::Scheduler& scheduler,
+                             storage::Level2Store& level2, ClockFn clock_of)
+    : scheduler_(scheduler),
+      level2_(level2),
+      clock_of_(std::move(clock_of)) {}
+
+void EventRecorder::begin_run(std::int64_t run_id) {
+  run_id_ = run_id;
+  history_.clear();
+}
+
+void EventRecorder::record(const std::string& node, std::string_view type,
+                           const Value& parameter) {
+  ++recorded_;
+
+  // (1) level-2 storage with the node's local timestamp.
+  storage::RawEvent raw;
+  raw.run_id = run_id_;
+  raw.local_time_ns = clock_of_ ? clock_of_(node)
+                                : scheduler_.now().nanos();
+  raw.type = std::string(type);
+  raw.parameter = parameter;
+  level2_.node(node).record_event(std::move(raw));
+
+  // (2)+(3) reference-time publication for flow control.
+  sim::BusEvent event;
+  event.time = scheduler_.now();
+  event.node = node;
+  event.name = std::string(type);
+  event.parameter = parameter;
+  history_.push_back(event);
+  bus_.publish(event);
+}
+
+}  // namespace excovery::core

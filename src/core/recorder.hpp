@@ -1,0 +1,69 @@
+// Event measurement and recording (§IV-B1).
+//
+// "State changes on nodes in the context of ExCovery reflect events ...
+// They contain a local time stamp and may have additional parameters."
+//
+// The recorder is the single funnel for events: every occurrence is
+//  (1) stored into the originating node's level-2 store with the node's
+//      *local* clock reading (as a real testbed would see it), and
+//  (2) published on the master's event bus with the reference time, which
+//      is what wait_for_event flow control subscribes to (the prototype
+//      forwards events to the master over the control channel), and
+//  (3) appended to a per-run history so waits can match events that
+//      occurred between a wait_marker and the wait's start.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/value.hpp"
+#include "sim/event_bus.hpp"
+#include "sim/scheduler.hpp"
+#include "storage/level2.hpp"
+
+namespace excovery::core {
+
+/// Name used for events raised by environment processes, which are not
+/// bound to a participant node.
+inline constexpr const char* kEnvironmentNode = "environment";
+
+class EventRecorder {
+ public:
+  /// `clock_of` returns the local clock reading (ns) of a node at the
+  /// current reference time; the environment pseudo-node uses reference
+  /// time directly.
+  using ClockFn = std::function<std::int64_t(const std::string& node)>;
+
+  EventRecorder(sim::Scheduler& scheduler, storage::Level2Store& level2,
+                ClockFn clock_of);
+
+  /// Current run id applied to recorded data.
+  void begin_run(std::int64_t run_id);
+  std::int64_t current_run() const noexcept { return run_id_; }
+
+  /// Record an event occurring now on `node`.
+  void record(const std::string& node, std::string_view type,
+              const Value& parameter = {});
+
+  /// Reference-time history of the current run (for marker-based waits).
+  const std::vector<sim::BusEvent>& history() const noexcept {
+    return history_;
+  }
+
+  sim::EventBus& bus() noexcept { return bus_; }
+
+  /// Total events recorded across all runs.
+  std::uint64_t recorded() const noexcept { return recorded_; }
+
+ private:
+  sim::Scheduler& scheduler_;
+  storage::Level2Store& level2_;
+  ClockFn clock_of_;
+  sim::EventBus bus_;
+  std::vector<sim::BusEvent> history_;
+  std::int64_t run_id_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace excovery::core

@@ -1,0 +1,332 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace excovery::core::scenario {
+
+namespace {
+
+ProcessAction action(std::string name) {
+  ProcessAction a;
+  a.name = std::move(name);
+  return a;
+}
+
+ProcessAction& with(ProcessAction& a, std::string key, ParamValue value) {
+  a.params.emplace_back(std::move(key), std::move(value));
+  return a;
+}
+
+ParamValue lit(std::string text) { return ParamValue::lit(Value{std::move(text)}); }
+
+}  // namespace
+
+Result<ExperimentDescription> two_party_sd(const TwoPartyOptions& options) {
+  if (options.sm_count < 1 || options.su_count < 1) {
+    return err_invalid("scenario needs at least one SM and one SU");
+  }
+  ExperimentDescription description;
+  description.name = "sd-" + options.protocol + "-" + options.architecture;
+  description.seed = options.seed;
+  description.replications = options.replications;
+  description.replication_factor_id = "fact_replication_id";
+  description.info_params["sd_architecture"] = Value{options.architecture};
+  description.info_params["sd_protocol"] = Value{options.protocol};
+  description.info_params["sd_comm"] = Value{"active"};
+  description.info_params["sd_service_type"] = Value{options.service_type};
+
+  // Abstract nodes and identity platform mapping (as in Fig. 8's A -> A).
+  auto add_nodes = [&](const char* prefix, int count, ValueArray& instances) {
+    for (int i = 0; i < count; ++i) {
+      std::string id = strings::format("%s%d", prefix, i);
+      description.abstract_nodes.push_back(id);
+      description.platform.actor_nodes.push_back(PlatformNode{id, id, ""});
+      instances.emplace_back(id);
+    }
+  };
+  ValueArray sm_instances;
+  ValueArray su_instances;
+  ValueArray scm_instances;
+  add_nodes("SM", options.sm_count, sm_instances);
+  add_nodes("SU", options.su_count, su_instances);
+  add_nodes("SCM", options.scm_count, scm_instances);
+  for (int i = 0; i < options.environment_count; ++i) {
+    description.platform.environment_nodes.push_back(
+        PlatformNode{strings::format("ENV%d", i), "", ""});
+  }
+
+  // Actor map factor (blocking, per Fig. 5).
+  Factor nodes_factor;
+  nodes_factor.id = "fact_nodes";
+  nodes_factor.type = "actor_node_map";
+  nodes_factor.usage = FactorUsage::kBlocking;
+  ValueMap actor_map;
+  actor_map.emplace("actor0", Value{sm_instances});
+  actor_map.emplace("actor1", Value{su_instances});
+  if (options.scm_count > 0) {
+    actor_map.emplace("actor2", Value{scm_instances});
+  }
+  nodes_factor.levels.push_back(Value{std::move(actor_map)});
+  description.node_factor_id = nodes_factor.id;
+  description.factors.push_back(std::move(nodes_factor));
+
+  bool with_traffic =
+      !options.pairs_levels.empty() && !options.bw_levels.empty();
+  if (with_traffic) {
+    Factor pairs_factor;
+    pairs_factor.id = "fact_pairs";
+    pairs_factor.type = "int";
+    pairs_factor.usage = FactorUsage::kRandom;
+    for (std::int64_t level : options.pairs_levels) {
+      pairs_factor.levels.emplace_back(level);
+    }
+    description.factors.push_back(std::move(pairs_factor));
+
+    Factor bw_factor;
+    bw_factor.id = "fact_bw";
+    bw_factor.type = "int";
+    bw_factor.usage = FactorUsage::kConstant;
+    for (std::int64_t level : options.bw_levels) {
+      bw_factor.levels.emplace_back(level);
+    }
+    description.factors.push_back(std::move(bw_factor));
+  }
+
+  bool with_loss = !options.loss_levels.empty();
+  if (with_loss) {
+    Factor loss_factor;
+    loss_factor.id = "fact_loss";
+    loss_factor.type = "double";
+    loss_factor.usage = FactorUsage::kConstant;
+    for (double level : options.loss_levels) {
+      loss_factor.levels.emplace_back(level);
+    }
+    description.factors.push_back(std::move(loss_factor));
+  }
+
+  // ---- SM process (Fig. 9) ------------------------------------------------
+  {
+    ActorProcess sm;
+    sm.actor_id = "actor0";
+    sm.name = "SM";
+    ProcessAction init = action("sd_init");
+    with(init, "role", lit("SM"));
+    sm.actions.push_back(std::move(init));
+    ProcessAction publish = action("sd_start_publish");
+    with(publish, "type", lit(options.service_type));
+    sm.actions.push_back(std::move(publish));
+    ProcessAction wait_done = action("wait_for_event");
+    with(wait_done, "event_dependency", lit("done"));
+    with(wait_done, "from_dependency",
+         ParamValue::nodes(NodeSetRef{"actor1", "all"}));
+    sm.actions.push_back(std::move(wait_done));
+    ProcessAction unpublish = action("sd_stop_publish");
+    with(unpublish, "type", lit(options.service_type));
+    sm.actions.push_back(std::move(unpublish));
+    sm.actions.push_back(action("sd_exit"));
+    description.actor_processes.push_back(std::move(sm));
+  }
+
+  // ---- SU process (Fig. 10) -----------------------------------------------
+  {
+    ActorProcess su;
+    su.actor_id = "actor1";
+    su.name = "SU";
+    ProcessAction wait_publish = action("wait_for_event");
+    with(wait_publish, "from_dependency",
+         ParamValue::nodes(NodeSetRef{"actor0", "all"}));
+    with(wait_publish, "event_dependency", lit("sd_start_publish"));
+    su.actions.push_back(std::move(wait_publish));
+    if (with_traffic) {
+      ProcessAction wait_ready = action("wait_for_event");
+      with(wait_ready, "event_dependency", lit("ready_to_init"));
+      su.actions.push_back(std::move(wait_ready));
+    }
+    if (options.su_start_delay_s > 0.0) {
+      ProcessAction delay = action("wait_for_time");
+      with(delay, "time",
+           lit(strings::format_double(options.su_start_delay_s)));
+      su.actions.push_back(std::move(delay));
+    }
+    ProcessAction init = action("sd_init");
+    with(init, "role", lit("SU"));
+    su.actions.push_back(std::move(init));
+    su.actions.push_back(action("wait_marker"));
+    ProcessAction search = action("sd_start_search");
+    with(search, "type", lit(options.service_type));
+    su.actions.push_back(std::move(search));
+    ProcessAction wait_found = action("wait_for_event");
+    with(wait_found, "from_dependency",
+         ParamValue::nodes(NodeSetRef{"actor1", "all"}));
+    with(wait_found, "event_dependency", lit("sd_service_add"));
+    with(wait_found, "param_dependency",
+         ParamValue::nodes(NodeSetRef{"actor0", "all"}));
+    with(wait_found, "timeout",
+         lit(strings::format_double(options.deadline_s)));
+    su.actions.push_back(std::move(wait_found));
+    ProcessAction done = action("event_flag");
+    with(done, "value", lit("done"));
+    su.actions.push_back(std::move(done));
+    ProcessAction stop_search = action("sd_stop_search");
+    with(stop_search, "type", lit(options.service_type));
+    su.actions.push_back(std::move(stop_search));
+    su.actions.push_back(action("sd_exit"));
+    description.actor_processes.push_back(std::move(su));
+  }
+
+  // ---- SCM process (three-party/hybrid) -----------------------------------
+  if (options.scm_count > 0) {
+    ActorProcess scm;
+    scm.actor_id = "actor2";
+    scm.name = "SCM";
+    ProcessAction init = action("sd_init");
+    with(init, "role", lit("SCM"));
+    scm.actions.push_back(std::move(init));
+    ProcessAction wait_done = action("wait_for_event");
+    with(wait_done, "event_dependency", lit("done"));
+    with(wait_done, "from_dependency",
+         ParamValue::nodes(NodeSetRef{"actor1", "all"}));
+    scm.actions.push_back(std::move(wait_done));
+    scm.actions.push_back(action("sd_exit"));
+    description.actor_processes.push_back(std::move(scm));
+  }
+
+  // ---- loss manipulation on every SU (§IV-D3) ------------------------------
+  if (with_loss) {
+    for (int i = 0; i < options.su_count; ++i) {
+      ManipulationProcess manipulation;
+      manipulation.node_id = strings::format("SU%d", i);
+      ProcessAction start = action("fault_message_loss_start");
+      with(start, "probability", ParamValue::factor("fact_loss"));
+      with(start, "direction", lit("both"));
+      // Vary the drop pattern across replications by seeding from the
+      // replication id (the Fig. 7 technique; a constant seed would replay
+      // the identical loss realisation in every run).
+      with(start, "randomseed", ParamValue::factor("fact_replication_id"));
+      manipulation.actions.push_back(std::move(start));
+      ProcessAction wait_done = action("wait_for_event");
+      with(wait_done, "event_dependency", lit("done"));
+      with(wait_done, "from_dependency",
+           ParamValue::nodes(NodeSetRef{"actor1", "all"}));
+      manipulation.actions.push_back(std::move(wait_done));
+      ProcessAction stop = action("fault_message_loss_stop");
+      manipulation.actions.push_back(std::move(stop));
+      description.manipulation_processes.push_back(std::move(manipulation));
+    }
+  }
+
+  // ---- environment traffic process (Fig. 7) --------------------------------
+  if (with_traffic) {
+    EnvProcess env;
+    ProcessAction ready = action("event_flag");
+    with(ready, "value", lit("ready_to_init"));
+    env.actions.push_back(std::move(ready));
+    ProcessAction start = action("env_traffic_start");
+    with(start, "bw", ParamValue::factor("fact_bw"));
+    with(start, "choice", lit("1"));  // non-acting nodes
+    with(start, "random_switch_amount", lit("1"));
+    with(start, "random_switch_seed",
+         ParamValue::factor("fact_replication_id"));
+    with(start, "random_pairs", ParamValue::factor("fact_pairs"));
+    with(start, "random_seed", ParamValue::factor("fact_pairs"));
+    env.actions.push_back(std::move(start));
+    ProcessAction wait_done = action("wait_for_event");
+    with(wait_done, "event_dependency", lit("done"));
+    with(wait_done, "from_dependency",
+         ParamValue::nodes(NodeSetRef{"actor1", "all"}));
+    env.actions.push_back(std::move(wait_done));
+    env.actions.push_back(action("env_traffic_stop"));
+    description.env_processes.push_back(std::move(env));
+  }
+
+  EXC_TRY(description.validate());
+  return description;
+}
+
+Result<net::Topology> topology_for(const ExperimentDescription& description,
+                                   const TopologyOptions& options) {
+  std::vector<std::string> names;
+  for (const PlatformNode& node : description.platform.actor_nodes) {
+    names.push_back(node.id);
+  }
+  for (const PlatformNode& node : description.platform.environment_nodes) {
+    names.push_back(node.id);
+  }
+  if (names.empty()) return err_invalid("description declares no nodes");
+
+  switch (options.kind) {
+    case TopologyKind::kFullMesh: {
+      net::Topology topo;
+      for (const std::string& name : names) topo.add_node(name);
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        for (std::size_t j = i + 1; j < names.size(); ++j) {
+          EXC_TRY(topo.connect(static_cast<net::NodeId>(i),
+                               static_cast<net::NodeId>(j), options.link));
+        }
+      }
+      return topo;
+    }
+    case TopologyKind::kChain: {
+      // SMs at the head, then `chain_spacing` relays between consecutive
+      // named nodes so hop distance is controlled.
+      net::Topology topo;
+      net::NodeId previous = net::kInvalidNode;
+      int relay = 0;
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i > 0) {
+          for (int r = 0; r < options.chain_spacing - 1; ++r) {
+            net::NodeId hop = topo.add_node(
+                strings::format("RELAY%d", relay++),
+                static_cast<double>(topo.node_count()), 0.0);
+            EXC_TRY(topo.connect(previous, hop, options.link));
+            previous = hop;
+          }
+        }
+        net::NodeId current =
+            topo.add_node(names[i], static_cast<double>(topo.node_count()), 0.0);
+        if (previous != net::kInvalidNode) {
+          EXC_TRY(topo.connect(previous, current, options.link));
+        }
+        previous = current;
+      }
+      return topo;
+    }
+    case TopologyKind::kGrid: {
+      auto side = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(names.size()))));
+      net::Topology grid = net::Topology::grid(side, side, options.link);
+      // Rename the first |names| grid nodes; surplus stay as relays.
+      net::Topology topo;
+      for (std::size_t i = 0; i < grid.node_count(); ++i) {
+        const net::TopologyNode& node = grid.nodes()[i];
+        topo.add_node(i < names.size() ? names[i] : node.name, node.x, node.y);
+      }
+      for (const net::Link& link : grid.links()) {
+        EXC_TRY(topo.connect(link.a, link.b, link.model));
+      }
+      return topo;
+    }
+    case TopologyKind::kRandomGeometric: {
+      EXC_ASSIGN_OR_RETURN(
+          net::Topology random,
+          net::Topology::random_geometric(
+              std::max(names.size(), static_cast<std::size_t>(names.size())),
+              options.radius, options.seed, options.link));
+      net::Topology topo;
+      for (std::size_t i = 0; i < random.node_count(); ++i) {
+        const net::TopologyNode& node = random.nodes()[i];
+        topo.add_node(i < names.size() ? names[i] : node.name, node.x, node.y);
+      }
+      for (const net::Link& link : random.links()) {
+        EXC_TRY(topo.connect(link.a, link.b, link.model));
+      }
+      return topo;
+    }
+  }
+  return err_internal("unhandled topology kind");
+}
+
+}  // namespace excovery::core::scenario

@@ -1,0 +1,70 @@
+// Canonical case-study scenarios (§V): ready-made experiment descriptions
+// for service discovery as an experiment process, exactly in the shape of
+// the paper's Figures 9 and 10, plus the traffic-generation environment
+// process of Figure 7 and message-loss manipulation processes (§IV-D).
+//
+// Examples, tests and the reproduction benches all build on these, the way
+// the prototype shipped its SD process descriptions with the framework.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/description.hpp"
+#include "net/topology.hpp"
+
+namespace excovery::core::scenario {
+
+enum class TopologyKind { kFullMesh, kChain, kGrid, kRandomGeometric };
+
+struct TwoPartyOptions {
+  int sm_count = 1;          ///< service managers (publishers), actor0
+  int su_count = 1;          ///< service users (requesters), actor1
+  int scm_count = 0;         ///< cache managers, actor2 (3-party/hybrid)
+  int environment_count = 4; ///< non-acting load nodes
+  int replications = 10;
+  double deadline_s = 30.0;  ///< SU search deadline (Fig. 10 uses 30 s)
+  std::uint64_t seed = 1;
+  std::string service_type = "_expservice._udp";
+  std::string protocol = "mdns";      ///< mdns | slp | hybrid
+  std::string architecture = "two-party";  ///< informative parameter
+
+  /// Traffic-generation factors (Fig. 5/7); empty disables the env process.
+  std::vector<std::int64_t> pairs_levels;  ///< e.g. {5, 20}
+  std::vector<std::int64_t> bw_levels;     ///< kbit/s, e.g. {10, 50, 100}
+
+  /// Message-loss factor: when non-empty, a manipulation process applies
+  /// fault_message_loss with these probabilities on every SU node.
+  std::vector<double> loss_levels;
+
+  /// Extra wait inserted before the SU initialises and searches (after the
+  /// publish wait).  Lets experiments place faults in the window between
+  /// publication/registration and the search (e.g. killing the SCM before
+  /// directed discovery starts).
+  double su_start_delay_s = 0.0;
+};
+
+/// Build the complete experiment description: actor processes per Fig. 9
+/// (SM) and Fig. 10 (SU), optional SCM role, optional Fig. 7 environment
+/// process, optional loss manipulation, factors and platform mapping.
+/// Node names: SM0.., SU0.., SCM0.., ENV0.. (abstract == concrete).
+Result<ExperimentDescription> two_party_sd(const TwoPartyOptions& options);
+
+struct TopologyOptions {
+  TopologyKind kind = TopologyKind::kFullMesh;
+  net::LinkModel link;
+  /// Chain: nodes are spread along the chain with SUs and SMs at opposite
+  /// ends, separated by `chain_spacing` relay hops.
+  int chain_spacing = 1;
+  /// Random geometric: connection radius.
+  double radius = 0.35;
+  std::uint64_t seed = 7;
+};
+
+/// Build a simulator topology containing every node the description's
+/// platform section names (in order), arranged per `options`.
+Result<net::Topology> topology_for(const ExperimentDescription& description,
+                                   const TopologyOptions& options = {});
+
+}  // namespace excovery::core::scenario

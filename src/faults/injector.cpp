@@ -1,0 +1,340 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace excovery::faults {
+
+Result<FaultDirection> parse_fault_direction(const std::string& text) {
+  std::string t = strings::to_lower(strings::trim(strings::strip_quotes(text)));
+  if (t == "receive" || t == "rx") return FaultDirection::kReceive;
+  if (t == "transmit" || t == "tx") return FaultDirection::kTransmit;
+  if (t == "both") return FaultDirection::kBoth;
+  if (t == "random") return FaultDirection::kRandom;
+  return err_invalid("unknown fault direction '" + text + "'");
+}
+
+std::string_view to_string(FaultDirection d) noexcept {
+  switch (d) {
+    case FaultDirection::kReceive: return "receive";
+    case FaultDirection::kTransmit: return "transmit";
+    case FaultDirection::kBoth: return "both";
+    case FaultDirection::kRandom: return "random";
+  }
+  return "?";
+}
+
+bool is_experiment_packet(const net::Packet& packet,
+                          net::Port port) noexcept {
+  return packet.dst_port == port || packet.src_port == port;
+}
+
+namespace {
+
+/// Generic fault whose activation installs state and whose deactivation
+/// removes it, with lifecycle bookkeeping.
+class GenericFault final : public ActiveFault {
+ public:
+  GenericFault(std::string kind, std::function<void()> activate,
+               std::function<void()> deactivate)
+      : kind_(std::move(kind)),
+        activate_(std::move(activate)),
+        deactivate_(std::move(deactivate)) {}
+
+  ~GenericFault() override = default;
+
+  void arm_immediately() {
+    active_ = true;
+    activate_();
+  }
+
+  /// Schedule activation window [start, start+length] on the scheduler.
+  void arm_window(sim::Scheduler& scheduler, sim::SimDuration start,
+                  sim::SimDuration length) {
+    auto self = weak_self_.lock();
+    scheduler.schedule(start, [this, self] {
+      if (stopped_) return;
+      active_ = true;
+      activate_();
+    });
+    scheduler.schedule(start + length, [this, self] { stop(); });
+  }
+
+  void stop() override {
+    if (stopped_) return;
+    stopped_ = true;
+    if (active_) {
+      active_ = false;
+      deactivate_();
+    }
+  }
+
+  bool active() const override { return active_; }
+  const std::string& kind() const override { return kind_; }
+
+  /// GenericFault keeps itself alive across scheduled callbacks.
+  void set_self(std::shared_ptr<GenericFault> self) { weak_self_ = self; }
+
+ private:
+  std::string kind_;
+  std::function<void()> activate_;
+  std::function<void()> deactivate_;
+  bool active_ = false;
+  bool stopped_ = false;
+  std::weak_ptr<GenericFault> weak_self_;
+};
+
+}  // namespace
+
+FaultInjector::FaultInjector(net::Network& network, net::Port experiment_port)
+    : network_(network), experiment_port_(experiment_port) {}
+
+void FaultInjector::emit(const std::string& node, const std::string& event,
+                         const Value& parameter) {
+  if (sink_) sink_(node, event, parameter);
+}
+
+FaultDirection FaultInjector::resolve_direction(FaultDirection dir,
+                                                std::uint64_t seed) const {
+  if (dir != FaultDirection::kRandom) return dir;
+  std::uint64_t state = seed ^ 0xD1CEu;
+  return (splitmix64(state) & 1) ? FaultDirection::kReceive
+                                 : FaultDirection::kTransmit;
+}
+
+FaultHandle FaultInjector::schedule(std::string kind,
+                                    const std::string& node_name,
+                                    const TemporalSpec& temporal,
+                                    std::function<void()> activate,
+                                    std::function<void()> deactivate) {
+  std::string start_event = "fault_" + kind + "_start";
+  std::string stop_event = "fault_" + kind + "_stop";
+  auto fault = std::make_shared<GenericFault>(
+      std::move(kind),
+      [this, node_name, start_event, activate = std::move(activate)] {
+        activate();
+        emit(node_name, start_event, Value{});
+      },
+      [this, node_name, stop_event, deactivate = std::move(deactivate)] {
+        deactivate();
+        emit(node_name, stop_event, Value{});
+      });
+  fault->set_self(fault);
+  registered_.push_back(fault);
+
+  if (!temporal.duration.has_value()) {
+    // "Every fault injection ... is started only once and without a given
+    // duration, needs to be explicitly stopped."
+    fault->arm_immediately();
+  } else {
+    double rate = std::clamp(temporal.rate, 0.0, 1.0);
+    auto window = static_cast<double>(temporal.duration->nanos());
+    auto active_len = static_cast<std::int64_t>(window * rate);
+    std::int64_t slack = temporal.duration->nanos() - active_len;
+    Pcg32 rng = RngFactory(temporal.randomseed).stream("fault-window");
+    std::int64_t start =
+        slack > 0 ? rng.uniform_int(0, slack) : 0;
+    fault->arm_window(network_.scheduler(), sim::SimDuration(start),
+                      sim::SimDuration(active_len));
+  }
+  return fault;
+}
+
+Result<FaultHandle> FaultInjector::interface_fault(
+    net::NodeId node, FaultDirection dir, const TemporalSpec& temporal) {
+  if (node >= network_.node_count()) {
+    return err_invalid("interface_fault: unknown node " + std::to_string(node));
+  }
+  FaultDirection resolved = resolve_direction(dir, temporal.randomseed);
+  std::string name = network_.topology().node(node).name;
+  bool affect_rx =
+      resolved == FaultDirection::kReceive || resolved == FaultDirection::kBoth;
+  bool affect_tx = resolved == FaultDirection::kTransmit ||
+                   resolved == FaultDirection::kBoth;
+  return schedule(
+      "interface", name, temporal,
+      [this, node, affect_rx, affect_tx] {
+        if (affect_rx) {
+          network_.set_interface_up(node, net::Direction::kReceive, false);
+        }
+        if (affect_tx) {
+          network_.set_interface_up(node, net::Direction::kTransmit, false);
+        }
+      },
+      [this, node, affect_rx, affect_tx] {
+        if (affect_rx) {
+          network_.set_interface_up(node, net::Direction::kReceive, true);
+        }
+        if (affect_tx) {
+          network_.set_interface_up(node, net::Direction::kTransmit, true);
+        }
+      });
+}
+
+Result<FaultHandle> FaultInjector::message_loss(net::NodeId node,
+                                                double probability,
+                                                FaultDirection dir,
+                                                const TemporalSpec& temporal) {
+  if (node >= network_.node_count()) {
+    return err_invalid("message_loss: unknown node " + std::to_string(node));
+  }
+  if (probability < 0.0 || probability > 1.0) {
+    return err_invalid("message_loss: probability out of [0,1]");
+  }
+  FaultDirection resolved = resolve_direction(dir, temporal.randomseed);
+  std::string name = network_.topology().node(node).name;
+  // Loss decisions draw from a dedicated deterministic stream.
+  auto rng = std::make_shared<Pcg32>(
+      RngFactory(temporal.randomseed ^ fnv1a64(name)).stream("message-loss"));
+  auto handle = std::make_shared<net::FilterHandle>();
+  net::Port port = experiment_port_;
+  return schedule(
+      "message_loss", name, temporal,
+      [this, node, resolved, probability, rng, handle, port] {
+        std::optional<net::Direction> scope_dir;
+        if (resolved == FaultDirection::kReceive) {
+          scope_dir = net::Direction::kReceive;
+        } else if (resolved == FaultDirection::kTransmit) {
+          scope_dir = net::Direction::kTransmit;
+        }
+        *handle = network_.add_filter(
+            net::FilterScope{node, scope_dir},
+            [rng, probability, port](net::NodeId, net::Direction,
+                                     net::Packet& packet) {
+              if (!is_experiment_packet(packet, port)) {
+                return net::FilterVerdict::pass();
+              }
+              return rng->bernoulli(probability)
+                         ? net::FilterVerdict::drop()
+                         : net::FilterVerdict::pass();
+            });
+      },
+      [this, handle] { network_.remove_filter(*handle); });
+}
+
+Result<FaultHandle> FaultInjector::message_delay(net::NodeId node,
+                                                 sim::SimDuration delay,
+                                                 const TemporalSpec& temporal) {
+  if (node >= network_.node_count()) {
+    return err_invalid("message_delay: unknown node " + std::to_string(node));
+  }
+  std::string name = network_.topology().node(node).name;
+  auto handle = std::make_shared<net::FilterHandle>();
+  net::Port port = experiment_port_;
+  return schedule(
+      "message_delay", name, temporal,
+      [this, node, delay, handle, port] {
+        *handle = network_.add_filter(
+            net::FilterScope{node, std::nullopt},
+            [delay, port](net::NodeId, net::Direction, net::Packet& packet) {
+              if (!is_experiment_packet(packet, port)) {
+                return net::FilterVerdict::pass();
+              }
+              return net::FilterVerdict::delayed(delay);
+            });
+      },
+      [this, handle] { network_.remove_filter(*handle); });
+}
+
+Result<FaultHandle> FaultInjector::path_loss(net::NodeId node,
+                                             net::NodeId peer,
+                                             double probability,
+                                             const TemporalSpec& temporal) {
+  if (node >= network_.node_count() || peer >= network_.node_count()) {
+    return err_invalid("path_loss: unknown node");
+  }
+  if (probability < 0.0 || probability > 1.0) {
+    return err_invalid("path_loss: probability out of [0,1]");
+  }
+  std::string name = network_.topology().node(node).name;
+  net::Address peer_addr = network_.topology().node(peer).address;
+  auto rng = std::make_shared<Pcg32>(
+      RngFactory(temporal.randomseed ^ fnv1a64(name)).stream("path-loss"));
+  auto handle = std::make_shared<net::FilterHandle>();
+  net::Port port = experiment_port_;
+  return schedule(
+      "path_loss", name, temporal,
+      [this, node, peer_addr, probability, rng, handle, port] {
+        *handle = network_.add_filter(
+            net::FilterScope{node, std::nullopt},
+            [rng, probability, peer_addr, port](net::NodeId, net::Direction,
+                                                net::Packet& packet) {
+              if (!is_experiment_packet(packet, port)) {
+                return net::FilterVerdict::pass();
+              }
+              if (packet.src != peer_addr && packet.dst != peer_addr) {
+                return net::FilterVerdict::pass();
+              }
+              return rng->bernoulli(probability)
+                         ? net::FilterVerdict::drop()
+                         : net::FilterVerdict::pass();
+            });
+      },
+      [this, handle] { network_.remove_filter(*handle); });
+}
+
+Result<FaultHandle> FaultInjector::path_delay(net::NodeId node,
+                                              net::NodeId peer,
+                                              sim::SimDuration delay,
+                                              const TemporalSpec& temporal) {
+  if (node >= network_.node_count() || peer >= network_.node_count()) {
+    return err_invalid("path_delay: unknown node");
+  }
+  std::string name = network_.topology().node(node).name;
+  net::Address peer_addr = network_.topology().node(peer).address;
+  auto handle = std::make_shared<net::FilterHandle>();
+  net::Port port = experiment_port_;
+  return schedule(
+      "path_delay", name, temporal,
+      [this, node, peer_addr, delay, handle, port] {
+        *handle = network_.add_filter(
+            net::FilterScope{node, std::nullopt},
+            [delay, peer_addr, port](net::NodeId, net::Direction,
+                                     net::Packet& packet) {
+              if (!is_experiment_packet(packet, port)) {
+                return net::FilterVerdict::pass();
+              }
+              if (packet.src != peer_addr && packet.dst != peer_addr) {
+                return net::FilterVerdict::pass();
+              }
+              return net::FilterVerdict::delayed(delay);
+            });
+      },
+      [this, handle] { network_.remove_filter(*handle); });
+}
+
+Result<FaultHandle> FaultInjector::drop_all_packets(
+    const TemporalSpec& temporal) {
+  auto handle = std::make_shared<net::FilterHandle>();
+  net::Port port = experiment_port_;
+  return schedule(
+      "drop_all", "", temporal,
+      [this, handle, port] {
+        // Scope: every node, both directions — including forwarding, since
+        // transmit filters run on relays too.
+        *handle = network_.add_filter(
+            net::FilterScope{std::nullopt, std::nullopt},
+            [port](net::NodeId, net::Direction, net::Packet& packet) {
+              return is_experiment_packet(packet, port)
+                         ? net::FilterVerdict::drop()
+                         : net::FilterVerdict::pass();
+            });
+      },
+      [this, handle] { network_.remove_filter(*handle); });
+}
+
+void FaultInjector::reset() {
+  for (const FaultHandle& fault : registered_) fault->stop();
+  registered_.clear();
+}
+
+std::size_t FaultInjector::active_count() const {
+  std::size_t count = 0;
+  for (const FaultHandle& fault : registered_) {
+    if (fault->active()) ++count;
+  }
+  return count;
+}
+
+}  // namespace excovery::faults

@@ -1,0 +1,173 @@
+#include "faults/traffic.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace excovery::faults {
+
+Result<PairChoice> parse_pair_choice(const std::string& text) {
+  std::string t = strings::to_lower(strings::trim(strings::strip_quotes(text)));
+  if (t == "0" || t == "acting") return PairChoice::kActing;
+  if (t == "1" || t == "nonacting" || t == "non-acting" || t == "environment") {
+    return PairChoice::kNonActing;
+  }
+  if (t == "2" || t == "all") return PairChoice::kAll;
+  return err_invalid("unknown pair choice '" + text + "'");
+}
+
+namespace {
+
+NodePair ordered(net::NodeId a, net::NodeId b) {
+  return a < b ? NodePair{a, b} : NodePair{b, a};
+}
+
+bool contains(const std::vector<NodePair>& pairs, const NodePair& p) {
+  return std::find(pairs.begin(), pairs.end(), p) != pairs.end();
+}
+
+/// Draw one pair not already in `existing`; returns invalid pair when the
+/// space is exhausted.
+NodePair draw_fresh(Pcg32& rng, const std::vector<net::NodeId>& candidates,
+                    const std::vector<NodePair>& existing) {
+  std::size_t n = candidates.size();
+  std::size_t max_pairs = n * (n - 1) / 2;
+  if (existing.size() >= max_pairs) return {};
+  for (;;) {
+    auto i = static_cast<std::size_t>(rng.bounded(static_cast<std::uint32_t>(n)));
+    auto j = static_cast<std::size_t>(
+        rng.bounded(static_cast<std::uint32_t>(n - 1)));
+    if (j >= i) ++j;
+    NodePair p = ordered(candidates[i], candidates[j]);
+    if (!contains(existing, p)) return p;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<NodePair>> select_pairs(
+    const std::vector<net::NodeId>& candidates, int count,
+    std::uint64_t seed) {
+  if (count < 0) return err_invalid("pair count must be non-negative");
+  std::size_t n = candidates.size();
+  std::size_t max_pairs = n < 2 ? 0 : n * (n - 1) / 2;
+  if (static_cast<std::size_t>(count) > max_pairs) {
+    return err_invalid(strings::format(
+        "cannot select %d distinct pairs from %zu candidates", count, n));
+  }
+  Pcg32 rng = RngFactory(seed).stream("traffic-pairs");
+  std::vector<NodePair> out;
+  out.reserve(static_cast<std::size_t>(count));
+  while (out.size() < static_cast<std::size_t>(count)) {
+    out.push_back(draw_fresh(rng, candidates, out));
+  }
+  return out;
+}
+
+std::vector<NodePair> switch_pairs(std::vector<NodePair> current,
+                                   const std::vector<net::NodeId>& candidates,
+                                   int amount, std::uint64_t seed,
+                                   std::uint64_t run_index) {
+  if (amount <= 0 || current.empty() || candidates.size() < 2) return current;
+  Pcg32 rng = RngFactory(seed).stream("traffic-switch", run_index);
+  int to_switch = std::min<int>(amount, static_cast<int>(current.size()));
+  for (int i = 0; i < to_switch; ++i) {
+    auto victim = static_cast<std::size_t>(
+        rng.bounded(static_cast<std::uint32_t>(current.size())));
+    NodePair fresh = draw_fresh(rng, candidates, current);
+    if (fresh.a == net::kInvalidNode) break;  // pair space exhausted
+    current[victim] = fresh;
+  }
+  return current;
+}
+
+TrafficGenerator::TrafficGenerator(net::Network& network)
+    : network_(network) {}
+
+TrafficGenerator::~TrafficGenerator() { stop(); }
+
+Status TrafficGenerator::start(const TrafficConfig& config,
+                               const std::vector<net::NodeId>& acting,
+                               const std::vector<net::NodeId>& environment,
+                               std::uint64_t run_index) {
+  if (running_) return err_state("traffic generator already running");
+  std::vector<net::NodeId> candidates;
+  switch (config.choice) {
+    case PairChoice::kActing:
+      candidates = acting;
+      break;
+    case PairChoice::kNonActing:
+      candidates = environment;
+      break;
+    case PairChoice::kAll:
+      candidates = acting;
+      candidates.insert(candidates.end(), environment.begin(),
+                        environment.end());
+      break;
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  EXC_ASSIGN_OR_RETURN(
+      pairs_, select_pairs(candidates, config.pairs, config.pair_seed));
+  pairs_ = switch_pairs(std::move(pairs_), candidates, config.switch_amount,
+                        config.switch_seed, run_index);
+  config_ = config;
+  running_ = true;
+  ++generation_;
+
+  // Bind receive handlers that count deliveries (idempotent per node).
+  auto bind_counter = [this](net::NodeId node) {
+    if (std::find(bound_.begin(), bound_.end(), node) != bound_.end()) return;
+    bound_.push_back(node);
+    network_.bind(node, net::kTrafficPort,
+                  [this](net::NodeId, const net::Packet&) { ++delivered_; });
+  };
+
+  double rate_bps = config.rate_kbps * 1000.0;
+  double interval_s =
+      rate_bps > 0
+          ? static_cast<double>(config.payload_bytes) * 8.0 / rate_bps
+          : 0.0;
+  if (interval_s <= 0.0) return err_invalid("traffic rate must be positive");
+  sim::SimDuration interval = sim::SimDuration::from_seconds(interval_s);
+
+  flows_.clear();
+  for (const NodePair& pair : pairs_) {
+    bind_counter(pair.a);
+    bind_counter(pair.b);
+    flows_.push_back(Flow{pair.a, pair.b, interval});
+    flows_.push_back(Flow{pair.b, pair.a, interval});
+  }
+  for (std::size_t i = 0; i < flows_.size(); ++i) schedule_next(i);
+  return {};
+}
+
+void TrafficGenerator::schedule_next(std::size_t flow_index) {
+  const Flow& flow = flows_[flow_index];
+  std::uint64_t generation = generation_;
+  network_.scheduler().schedule(flow.interval, [this, flow_index, generation] {
+    if (!running_ || generation != generation_) return;
+    const Flow& f = flows_[flow_index];
+    net::Packet packet;
+    packet.dst = network_.topology().node(f.to).address;
+    packet.src_port = net::kTrafficPort;
+    packet.dst_port = net::kTrafficPort;
+    packet.payload.assign(config_.payload_bytes, 0xAB);
+    ++offered_;
+    (void)network_.send(f.from, std::move(packet));
+    schedule_next(flow_index);
+  });
+}
+
+void TrafficGenerator::stop() {
+  if (!running_) return;
+  running_ = false;
+  ++generation_;
+  for (net::NodeId node : bound_) network_.unbind(node, net::kTrafficPort);
+  bound_.clear();
+  flows_.clear();
+}
+
+}  // namespace excovery::faults

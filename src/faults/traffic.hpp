@@ -1,0 +1,110 @@
+// Background traffic generation (§IV-D2).
+//
+// "Creates network load between a given number of node pairs.  Each pair
+// bidirectionally communicates at a given data rate.  Pairs can be randomly
+// chosen from the acting nodes, non-acting nodes or all nodes.  They vary
+// from run to run as determined by a switch amount parameter."
+//
+// Pair selection and the per-run switching are deterministic in their seeds
+// so that replications can reproduce identical load patterns (Fig. 7 wires
+// the replication id into random_switch_seed for exactly this purpose).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace excovery::faults {
+
+/// Which candidate set pairs are drawn from (Fig. 7 <choice>).
+enum class PairChoice {
+  kActing = 0,     ///< nodes mapped to actors of the experiment process
+  kNonActing = 1,  ///< environment nodes only
+  kAll = 2,
+};
+
+Result<PairChoice> parse_pair_choice(const std::string& text);
+
+struct TrafficConfig {
+  double rate_kbps = 50.0;       ///< per pair, per direction
+  int pairs = 1;                 ///< number of node pairs
+  PairChoice choice = PairChoice::kNonActing;
+  std::uint64_t pair_seed = 0;   ///< seed for the base pair selection
+  int switch_amount = 0;         ///< pairs switched out per run
+  std::uint64_t switch_seed = 0; ///< seed for the per-run switching
+  std::size_t payload_bytes = 512;
+};
+
+/// An unordered node pair.
+struct NodePair {
+  net::NodeId a = net::kInvalidNode;
+  net::NodeId b = net::kInvalidNode;
+
+  friend bool operator==(const NodePair&, const NodePair&) = default;
+};
+
+/// Deterministically choose `count` distinct pairs from candidates.
+/// Fails if the candidate set yields fewer than `count` distinct pairs.
+Result<std::vector<NodePair>> select_pairs(
+    const std::vector<net::NodeId>& candidates, int count,
+    std::uint64_t seed);
+
+/// Replace `amount` pairs of `current` with fresh pairs drawn from the
+/// candidates (deterministic in seed and run index).  Pairs already present
+/// are never duplicated.
+std::vector<NodePair> switch_pairs(std::vector<NodePair> current,
+                                   const std::vector<net::NodeId>& candidates,
+                                   int amount, std::uint64_t seed,
+                                   std::uint64_t run_index);
+
+/// Constant-bit-rate bidirectional load between node pairs.
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(net::Network& network);
+  ~TrafficGenerator();
+
+  TrafficGenerator(const TrafficGenerator&) = delete;
+  TrafficGenerator& operator=(const TrafficGenerator&) = delete;
+
+  /// Start generating load.  `acting` and `environment` are the node sets
+  /// the choice parameter selects from; `run_index` drives pair switching.
+  Status start(const TrafficConfig& config,
+               const std::vector<net::NodeId>& acting,
+               const std::vector<net::NodeId>& environment,
+               std::uint64_t run_index);
+  void stop();
+  bool running() const noexcept { return running_; }
+
+  const std::vector<NodePair>& active_pairs() const noexcept { return pairs_; }
+
+  /// Offered load so far (packets scheduled for sending).
+  std::uint64_t packets_offered() const noexcept { return offered_; }
+  /// Load packets that reached their pair peer.
+  std::uint64_t packets_delivered() const noexcept { return delivered_; }
+
+ private:
+  void schedule_next(std::size_t flow_index);
+
+  struct Flow {
+    net::NodeId from;
+    net::NodeId to;
+    sim::SimDuration interval;
+  };
+
+  net::Network& network_;
+  std::vector<NodePair> pairs_;
+  std::vector<Flow> flows_;
+  std::vector<net::NodeId> bound_;
+  TrafficConfig config_;
+  bool running_ = false;
+  std::uint64_t generation_ = 0;  ///< invalidates scheduled sends on stop
+  std::uint64_t offered_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace excovery::faults

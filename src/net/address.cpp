@@ -1,0 +1,35 @@
+#include "net/address.hpp"
+
+#include "common/strings.hpp"
+
+namespace excovery::net {
+
+std::string Address::to_string() const {
+  return strings::format("%u.%u.%u.%u", (raw_ >> 24) & 0xFF,
+                         (raw_ >> 16) & 0xFF, (raw_ >> 8) & 0xFF, raw_ & 0xFF);
+}
+
+Result<Address> Address::parse(const std::string& text) {
+  std::vector<std::string> parts = strings::split(text, '.');
+  if (parts.size() != 4) {
+    return err_invalid("bad address '" + text + "': expected a.b.c.d");
+  }
+  std::uint32_t raw = 0;
+  for (const std::string& part : parts) {
+    if (part.empty() || part.size() > 3) {
+      return err_invalid("bad address octet '" + part + "'");
+    }
+    int octet = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') {
+        return err_invalid("bad address octet '" + part + "'");
+      }
+      octet = octet * 10 + (c - '0');
+    }
+    if (octet > 255) return err_invalid("address octet out of range: " + part);
+    raw = (raw << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Address(raw);
+}
+
+}  // namespace excovery::net

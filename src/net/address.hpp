@@ -1,0 +1,69 @@
+// Network addressing for the simulated IP network.
+//
+// Nodes carry IPv4-style addresses (the prototype targets IP networks,
+// §I/§VI).  A reserved multicast range models the link-scope multicast
+// groups that Zeroconf SD uses; the simulator floods those across the mesh
+// like the DES testbed's multicast forwarding does.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace excovery::net {
+
+/// An IPv4-style address.
+class Address {
+ public:
+  constexpr Address() = default;
+  constexpr explicit Address(std::uint32_t raw) noexcept : raw_(raw) {}
+  constexpr Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                    std::uint8_t d) noexcept
+      : raw_((static_cast<std::uint32_t>(a) << 24) |
+             (static_cast<std::uint32_t>(b) << 16) |
+             (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  constexpr std::uint32_t raw() const noexcept { return raw_; }
+
+  /// 224.0.0.0/4 is multicast, as in IPv4.
+  constexpr bool is_multicast() const noexcept {
+    return (raw_ >> 28) == 0xE;
+  }
+  constexpr bool is_broadcast() const noexcept {
+    return raw_ == 0xFFFFFFFFu;
+  }
+  constexpr bool is_unspecified() const noexcept { return raw_ == 0; }
+
+  std::string to_string() const;
+  static Result<Address> parse(const std::string& text);
+
+  /// Experiment-node unicast addresses: 10.0.<hi>.<lo> by node index.
+  static constexpr Address for_node(std::uint32_t index) noexcept {
+    return Address(10, 0, static_cast<std::uint8_t>((index >> 8) & 0xFF),
+                   static_cast<std::uint8_t>(index & 0xFF));
+  }
+  /// The mDNS-style SD multicast group (224.0.0.251 in real Zeroconf).
+  static constexpr Address sd_multicast() noexcept {
+    return Address(224, 0, 0, 251);
+  }
+  static constexpr Address broadcast() noexcept {
+    return Address(0xFFFFFFFFu);
+  }
+
+  constexpr auto operator<=>(const Address&) const noexcept = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+/// UDP-style port.
+using Port = std::uint16_t;
+
+/// The well-known SD port (5353 in real mDNS).
+inline constexpr Port kSdPort = 5353;
+/// Port used by the traffic generator's load flows.
+inline constexpr Port kTrafficPort = 9000;
+
+}  // namespace excovery::net

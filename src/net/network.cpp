@@ -1,0 +1,359 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace excovery::net {
+
+Network::Network(sim::Scheduler& scheduler, Topology topology,
+                 std::uint64_t seed)
+    : scheduler_(scheduler),
+      topology_(std::move(topology)),
+      routing_(topology_),
+      loss_rng_(RngFactory(seed).stream("net-loss")),
+      jitter_rng_(RngFactory(seed).stream("net-jitter")) {
+  nodes_.resize(topology_.node_count());
+}
+
+void Network::bind(NodeId node, Port port, PacketHandler handler) {
+  nodes_.at(node).handlers[port] = std::move(handler);
+}
+
+void Network::unbind(NodeId node, Port port) {
+  nodes_.at(node).handlers.erase(port);
+}
+
+void Network::join_group(NodeId node, Address group) {
+  nodes_.at(node).groups.insert(group);
+}
+
+void Network::leave_group(NodeId node, Address group) {
+  nodes_.at(node).groups.erase(group);
+}
+
+Result<std::uint64_t> Network::send(NodeId from, Packet packet) {
+  if (from >= nodes_.size()) {
+    return err_invalid("send from unknown node " + std::to_string(from));
+  }
+  NodeState& sender = nodes_[from];
+  if (packet.src.is_unspecified()) {
+    packet.src = topology_.node(from).address;
+  } else if (packet.src != topology_.node(from).address) {
+    return err_invalid("source address " + packet.src.to_string() +
+                       " does not belong to node '" +
+                       topology_.node(from).name + "'");
+  }
+
+  packet.uid = next_uid_++;
+  packet.tag = sender.next_tag++;  // wraps at 65535, like the 16-bit tagger
+  if (sender.next_tag == 0) sender.next_tag = 1;
+  packet.route.clear();
+  packet.route.push_back(from);
+
+  stats_.sent++;
+  stats_.bytes_sent += packet.wire_size();
+
+  // Transmit-side interface state.
+  if (!sender.tx_up) {
+    stats_.dropped_interface++;
+    return packet.uid;
+  }
+  // Transmit-side filters (may delay or drop the whole send).
+  std::optional<sim::SimDuration> tx_delay =
+      apply_filters(from, Direction::kTransmit, packet);
+  if (!tx_delay) {
+    stats_.dropped_filter++;
+    return packet.uid;
+  }
+  capture(from, Direction::kTransmit, packet);
+
+  std::uint64_t uid = packet.uid;
+  auto launch = [this, from, packet = std::move(packet)]() mutable {
+    if (packet.dst.is_multicast() || packet.dst.is_broadcast()) {
+      // The sender is also a member of groups it joined (loopback delivery,
+      // as real multicast sockets do with IP_MULTICAST_LOOP).
+      NodeState& s = nodes_[from];
+      s.seen_uids.insert(packet.uid);
+      if (packet.dst.is_broadcast() ||
+          s.groups.count(packet.dst) != 0) {
+        deliver_local(from, packet);
+      }
+      flood(from, std::move(packet));
+    } else {
+      forward_unicast(from, std::move(packet));
+    }
+  };
+  if (tx_delay->nanos() > 0) {
+    scheduler_.schedule(*tx_delay, std::move(launch));
+  } else {
+    launch();
+  }
+  return uid;
+}
+
+void Network::set_interface_up(NodeId node, Direction direction, bool up) {
+  NodeState& state = nodes_.at(node);
+  if (direction == Direction::kReceive) {
+    state.rx_up = up;
+  } else {
+    state.tx_up = up;
+  }
+}
+
+bool Network::interface_up(NodeId node, Direction direction) const {
+  const NodeState& state = nodes_.at(node);
+  return direction == Direction::kReceive ? state.rx_up : state.tx_up;
+}
+
+FilterHandle Network::add_filter(FilterScope scope, PacketFilter filter) {
+  std::uint64_t id = next_filter_id_++;
+  filters_.push_back(InstalledFilter{id, scope, std::move(filter)});
+  return FilterHandle(id);
+}
+
+void Network::remove_filter(FilterHandle handle) {
+  if (!handle.valid()) return;
+  filters_.erase(std::remove_if(filters_.begin(), filters_.end(),
+                                [&](const InstalledFilter& f) {
+                                  return f.id == handle.id_;
+                                }),
+                 filters_.end());
+}
+
+const std::vector<CapturedPacket>& Network::captures(NodeId node) const {
+  return nodes_.at(node).captures;
+}
+
+std::vector<CapturedPacket> Network::take_captures(NodeId node) {
+  return std::exchange(nodes_.at(node).captures, {});
+}
+
+void Network::clear_captures() {
+  for (NodeState& state : nodes_) state.captures.clear();
+}
+
+void Network::set_clock_model(NodeId node, const sim::ClockModel& model) {
+  std::uint64_t jitter_seed =
+      fnv1a64(topology_.node(node).name) ^ 0xC10C4ULL;
+  nodes_.at(node).clock = sim::LocalClock(model, jitter_seed);
+}
+
+void Network::reset_run_state() {
+  for (NodeState& state : nodes_) {
+    state.seen_uids.clear();
+    state.captures.clear();
+  }
+}
+
+Status Network::set_link_model(NodeId a, NodeId b, const LinkModel& model) {
+  LinkModel* link = topology_.mutable_link_between(a, b);
+  if (!link) {
+    return err_not_found("no link between nodes " + std::to_string(a) +
+                         " and " + std::to_string(b));
+  }
+  *link = model;
+  routing_.rebuild(topology_);
+  return {};
+}
+
+std::optional<sim::SimDuration> Network::apply_filters(NodeId node,
+                                                       Direction dir,
+                                                       Packet& packet) {
+  sim::SimDuration total{};
+  for (InstalledFilter& installed : filters_) {
+    if (installed.scope.node && *installed.scope.node != node) continue;
+    if (installed.scope.direction && *installed.scope.direction != dir) {
+      continue;
+    }
+    FilterVerdict verdict = installed.filter(node, dir, packet);
+    switch (verdict.action) {
+      case FilterVerdict::Action::kDrop:
+        return std::nullopt;
+      case FilterVerdict::Action::kDelay:
+        total += verdict.delay;
+        break;
+      case FilterVerdict::Action::kPass:
+        break;
+    }
+  }
+  return total;
+}
+
+void Network::capture(NodeId node, Direction dir, const Packet& packet) {
+  if (!capture_) return;
+  NodeState& state = nodes_[node];
+  CapturedPacket cap;
+  cap.local_time = state.clock.read(scheduler_.now());
+  cap.direction = dir;
+  cap.node = node;
+  cap.packet = packet;
+  state.captures.push_back(std::move(cap));
+}
+
+sim::SimDuration Network::serialisation(const LinkModel& model,
+                                        std::size_t bytes) {
+  double seconds = model.bandwidth_bps > 0
+                       ? static_cast<double>(bytes) * 8.0 / model.bandwidth_bps
+                       : 0.0;
+  return sim::SimDuration::from_seconds(seconds);
+}
+
+sim::SimDuration Network::hop_delay(const LinkModel& model,
+                                    std::size_t bytes) {
+  sim::SimDuration delay = model.base_delay + serialisation(model, bytes);
+  if (model.jitter_frac > 0) {
+    double jitter_max =
+        model.jitter_frac * static_cast<double>(model.base_delay.nanos());
+    delay += sim::SimDuration(static_cast<std::int64_t>(
+        jitter_rng_.uniform(0.0, jitter_max)));
+  }
+  return delay;
+}
+
+void Network::transfer(NodeId from, NodeId to, Packet packet,
+                       std::function<void(Packet)> on_arrival) {
+  const LinkModel* link = topology_.link_between(from, to);
+  if (!link) {
+    stats_.dropped_no_route++;
+    return;
+  }
+  if (loss_rng_.bernoulli(link->loss)) {
+    stats_.dropped_loss++;
+    return;
+  }
+  sim::SimDuration delay = hop_delay(*link, packet.wire_size());
+  // Shared-medium contention: the sender's single radio serialises its
+  // transmissions.  Queueing beyond the limit is congestive tail drop.
+  if (queue_limit_.nanos() > 0) {
+    NodeState& sender = nodes_[from];
+    sim::SimTime now = scheduler_.now();
+    sim::SimTime start = std::max(now, sender.tx_free_at);
+    sim::SimDuration queueing = start - now;
+    if (queueing > queue_limit_) {
+      stats_.dropped_queue++;
+      return;
+    }
+    sender.tx_free_at = start + serialisation(*link, packet.wire_size());
+    delay += queueing;
+  }
+  scheduler_.schedule(
+      delay, [this, to, packet = std::move(packet),
+              on_arrival = std::move(on_arrival)]() mutable {
+        NodeState& receiver = nodes_[to];
+        if (!receiver.rx_up) {
+          stats_.dropped_interface++;
+          return;
+        }
+        packet.route.push_back(to);
+        on_arrival(std::move(packet));
+      });
+}
+
+void Network::deliver_local(NodeId node, Packet packet) {
+  NodeState& state = nodes_[node];
+  // Receive-side filters and capture apply to locally delivered packets.
+  std::optional<sim::SimDuration> rx_delay =
+      apply_filters(node, Direction::kReceive, packet);
+  if (!rx_delay) {
+    stats_.dropped_filter++;
+    return;
+  }
+  auto handoff = [this, node, packet = std::move(packet)]() mutable {
+    NodeState& s = nodes_[node];
+    capture(node, Direction::kReceive, packet);
+    auto it = s.handlers.find(packet.dst_port);
+    if (it == s.handlers.end()) {
+      stats_.dropped_no_handler++;
+      return;
+    }
+    stats_.delivered++;
+    it->second(node, packet);
+  };
+  if (rx_delay->nanos() > 0) {
+    scheduler_.schedule(*rx_delay, std::move(handoff));
+  } else {
+    handoff();
+  }
+  (void)state;
+}
+
+void Network::forward_unicast(NodeId current, Packet packet) {
+  Result<NodeId> dest = topology_.find(packet.dst);
+  if (!dest.ok()) {
+    stats_.dropped_no_route++;
+    return;
+  }
+  NodeId target = dest.value();
+  if (current == target) {
+    deliver_local(current, std::move(packet));
+    return;
+  }
+  NodeId next = routing_.next_hop(current, target);
+  if (next == kInvalidNode) {
+    stats_.dropped_no_route++;
+    return;
+  }
+  // Intermediate nodes must be willing to forward: a node whose interfaces
+  // are down does not relay ("drop all packets" relies on this).
+  if (current != packet.route.front()) {
+    NodeState& relay = nodes_[current];
+    if (!relay.tx_up) {
+      stats_.dropped_interface++;
+      return;
+    }
+    std::optional<sim::SimDuration> fwd =
+        apply_filters(current, Direction::kTransmit, packet);
+    if (!fwd) {
+      stats_.dropped_filter++;
+      return;
+    }
+    stats_.forwarded++;
+  }
+  transfer(current, next, std::move(packet), [this](Packet arrived) {
+    NodeId here = arrived.route.back();
+    forward_unicast(here, std::move(arrived));
+  });
+}
+
+void Network::flood(NodeId origin_hop, Packet packet) {
+  if (packet.ttl == 0) {
+    stats_.dropped_ttl++;
+    return;
+  }
+  Packet relayed = packet;
+  relayed.ttl--;
+  for (const auto& [neighbour, link] : topology_.neighbours(origin_hop)) {
+    (void)link;
+    Packet copy = relayed;
+    transfer(origin_hop, neighbour, std::move(copy),
+             [this](Packet arrived) {
+               NodeId here = arrived.route.back();
+               NodeState& state = nodes_[here];
+               // Duplicate suppression: first arrival wins.
+               if (!state.seen_uids.insert(arrived.uid).second) return;
+               bool member = arrived.dst.is_broadcast() ||
+                             state.groups.count(arrived.dst) != 0;
+               if (member) {
+                 Packet local = arrived;
+                 deliver_local(here, std::move(local));
+               }
+               // Relay onward if the node can transmit.
+               if (!state.tx_up) {
+                 stats_.dropped_interface++;
+                 return;
+               }
+               Packet onward = std::move(arrived);
+               std::optional<sim::SimDuration> fwd =
+                   apply_filters(here, Direction::kTransmit, onward);
+               if (!fwd) {
+                 stats_.dropped_filter++;
+                 return;
+               }
+               stats_.forwarded++;
+               flood(here, std::move(onward));
+             });
+  }
+}
+
+}  // namespace excovery::net

@@ -1,0 +1,213 @@
+// The simulated network: packet delivery over a Topology, driven by the
+// discrete-event scheduler.
+//
+// This class implements the three platform capability groups of §IV-A that
+// concern the data plane:
+//  * Connection control (§IV-A2): per-node interface up/down in either
+//    direction, and rule-based packet manipulation (drop/delay/modify)
+//    through filter chains — the hooks the fault injectors plug into.
+//  * Measurement (§IV-A3): per-node packet capture with local timestamps
+//    and unaltered content, a packet tagger (incrementing 16-bit id per
+//    sender) and hop-by-hop route tracking on every packet.
+//  * Time: per-node local clocks with configurable offset/drift/jitter.
+//
+// Unicast travels hop-by-hop along min-hop routes; multicast/broadcast
+// floods the mesh with duplicate suppression and a TTL, matching how the
+// DES testbed forwards link-scope multicast for Zeroconf experiments.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/packet.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "sim/clock.hpp"
+#include "sim/scheduler.hpp"
+
+namespace excovery::net {
+
+/// What a packet filter decided for one packet at one node.
+struct FilterVerdict {
+  enum class Action { kPass, kDrop, kDelay } action = Action::kPass;
+  sim::SimDuration delay{};  ///< extra delay when action == kDelay
+
+  static FilterVerdict pass() { return {}; }
+  static FilterVerdict drop() { return {Action::kDrop, {}}; }
+  static FilterVerdict delayed(sim::SimDuration d) {
+    return {Action::kDelay, d};
+  }
+};
+
+/// A packet manipulation rule (§IV-A2).  May mutate the packet (content
+/// modification).  Applied at the node/direction it is installed for.
+using PacketFilter =
+    std::function<FilterVerdict(NodeId node, Direction dir, Packet& packet)>;
+
+/// Handle for removing an installed filter.
+class FilterHandle {
+ public:
+  FilterHandle() = default;
+  bool valid() const noexcept { return id_ != 0; }
+
+ private:
+  friend class Network;
+  explicit FilterHandle(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Where filters apply.
+struct FilterScope {
+  std::optional<NodeId> node;        ///< nullopt = all nodes
+  std::optional<Direction> direction;  ///< nullopt = both directions
+};
+
+/// Delivery callback: (receiving node, packet).
+using PacketHandler = std::function<void(NodeId, const Packet&)>;
+
+/// Aggregate delivery statistics (observed by benches and tests).
+struct NetworkStats {
+  std::uint64_t sent = 0;             ///< send() calls accepted
+  std::uint64_t delivered = 0;        ///< handler invocations
+  std::uint64_t forwarded = 0;        ///< intermediate hop transmissions
+  std::uint64_t dropped_loss = 0;     ///< stochastic per-hop link loss
+  std::uint64_t dropped_interface = 0;///< interface down
+  std::uint64_t dropped_filter = 0;   ///< filter verdicts
+  std::uint64_t dropped_ttl = 0;      ///< multicast TTL exhausted
+  std::uint64_t dropped_no_route = 0; ///< unreachable unicast destination
+  std::uint64_t dropped_no_handler = 0;
+  std::uint64_t dropped_queue = 0;    ///< egress queue overflow (congestion)
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Scheduler& scheduler, Topology topology, std::uint64_t seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const Topology& topology() const noexcept { return topology_; }
+  sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  std::size_t node_count() const noexcept { return topology_.node_count(); }
+
+  // ---- application layer ------------------------------------------------
+  /// Bind a handler to (node, port).  Replaces any existing binding.
+  void bind(NodeId node, Port port, PacketHandler handler);
+  void unbind(NodeId node, Port port);
+  /// Join / leave a multicast group on a node.
+  void join_group(NodeId node, Address group);
+  void leave_group(NodeId node, Address group);
+
+  /// Send a packet from a node.  The network assigns the unique id, applies
+  /// the sender's tagger, and routes (unicast) or floods (multicast /
+  /// broadcast).  Returns the assigned uid, or an error if the source
+  /// address does not match the node.
+  Result<std::uint64_t> send(NodeId from, Packet packet);
+
+  // ---- connection control (§IV-A2) --------------------------------------
+  void set_interface_up(NodeId node, Direction direction, bool up);
+  bool interface_up(NodeId node, Direction direction) const;
+
+  FilterHandle add_filter(FilterScope scope, PacketFilter filter);
+  void remove_filter(FilterHandle handle);
+  std::size_t filter_count() const noexcept { return filters_.size(); }
+
+  // ---- measurement (§IV-A3, §IV-B2) --------------------------------------
+  void set_capture_enabled(bool enabled) noexcept { capture_ = enabled; }
+  bool capture_enabled() const noexcept { return capture_; }
+  const std::vector<CapturedPacket>& captures(NodeId node) const;
+  /// Move out all captures of a node (drains the buffer).
+  std::vector<CapturedPacket> take_captures(NodeId node);
+  void clear_captures();
+
+  /// Hop count between nodes per current routing (-1 unreachable).
+  int hop_count(NodeId a, NodeId b) const { return routing_.hop_count(a, b); }
+
+  sim::LocalClock& clock(NodeId node) { return nodes_.at(node).clock; }
+  void set_clock_model(NodeId node, const sim::ClockModel& model);
+
+  const NetworkStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// Reset per-run state: duplicate-suppression sets, captures, tag
+  /// counters.  Used by run preparation ("network packets generated in
+  /// previous runs must be dropped", §IV-C1).
+  void reset_run_state();
+
+  /// Degrade or restore a specific link at runtime (used by environment
+  /// manipulations); rebuilds routing.
+  Status set_link_model(NodeId a, NodeId b, const LinkModel& model);
+
+  /// Shared-medium contention: each node has a single radio, so its
+  /// transmissions serialise.  A packet whose queueing delay would exceed
+  /// this limit is dropped (tail drop); this is what makes background load
+  /// degrade discovery in a mesh.  Zero disables contention modelling.
+  void set_queue_limit(sim::SimDuration limit) noexcept {
+    queue_limit_ = limit;
+  }
+  sim::SimDuration queue_limit() const noexcept { return queue_limit_; }
+
+ private:
+  struct NodeState {
+    bool rx_up = true;
+    bool tx_up = true;
+    sim::SimTime tx_free_at;  ///< radio busy until (egress serialisation)
+    std::uint16_t next_tag = 1;
+    std::set<Address> groups;
+    std::unordered_set<std::uint64_t> seen_uids;  // multicast dedup
+    std::map<Port, PacketHandler> handlers;
+    std::vector<CapturedPacket> captures;
+    sim::LocalClock clock;
+  };
+
+  struct InstalledFilter {
+    std::uint64_t id;
+    FilterScope scope;
+    PacketFilter filter;
+  };
+
+  /// Apply filters at a node/direction.  Returns nullopt if dropped;
+  /// otherwise the accumulated extra delay.
+  std::optional<sim::SimDuration> apply_filters(NodeId node, Direction dir,
+                                                Packet& packet);
+
+  void capture(NodeId node, Direction dir, const Packet& packet);
+
+  /// Per-hop transfer: schedules arrival of `packet` at `to` from `from`.
+  /// Invokes `on_arrival` if the hop succeeds (loss/downed-rx drop it).
+  void transfer(NodeId from, NodeId to, Packet packet,
+                std::function<void(Packet)> on_arrival);
+
+  sim::SimDuration hop_delay(const LinkModel& model, std::size_t bytes);
+
+  /// Serialisation time of `bytes` on a link.
+  static sim::SimDuration serialisation(const LinkModel& model,
+                                        std::size_t bytes);
+
+  void deliver_local(NodeId node, Packet packet);
+  void forward_unicast(NodeId current, Packet packet);
+  void flood(NodeId origin_hop, Packet packet);
+
+  sim::Scheduler& scheduler_;
+  Topology topology_;
+  RoutingTable routing_;
+  std::vector<NodeState> nodes_;
+  std::vector<InstalledFilter> filters_;
+  NetworkStats stats_;
+  sim::SimDuration queue_limit_ = sim::SimDuration::from_millis(250);
+  bool capture_ = true;
+  std::uint64_t next_uid_ = 1;
+  std::uint64_t next_filter_id_ = 1;
+  Pcg32 loss_rng_;
+  Pcg32 jitter_rng_;
+};
+
+}  // namespace excovery::net

@@ -1,0 +1,49 @@
+#include "net/packet.hpp"
+
+#include "common/bytes.hpp"
+
+namespace excovery::net {
+
+Bytes capture_to_wire(const CapturedPacket& captured) {
+  ByteWriter w;
+  w.u8(captured.direction == Direction::kReceive ? 0 : 1);
+  const Packet& p = captured.packet;
+  w.u32(p.src.raw());
+  w.u32(p.dst.raw());
+  w.u16(p.src_port);
+  w.u16(p.dst_port);
+  w.u8(p.ttl);
+  w.u16(p.tag);
+  w.u64(p.uid);
+  w.u16(static_cast<std::uint16_t>(p.route.size()));
+  for (NodeId hop : p.route) w.u32(hop);
+  w.blob(p.payload);
+  return w.take();
+}
+
+Result<WireImage> capture_from_wire(const Bytes& data) {
+  ByteReader r(data);
+  WireImage image;
+  EXC_ASSIGN_OR_RETURN(std::uint8_t direction, r.u8());
+  image.direction =
+      direction == 0 ? Direction::kReceive : Direction::kTransmit;
+  Packet& p = image.packet;
+  EXC_ASSIGN_OR_RETURN(std::uint32_t src, r.u32());
+  p.src = Address(src);
+  EXC_ASSIGN_OR_RETURN(std::uint32_t dst, r.u32());
+  p.dst = Address(dst);
+  EXC_ASSIGN_OR_RETURN(p.src_port, r.u16());
+  EXC_ASSIGN_OR_RETURN(p.dst_port, r.u16());
+  EXC_ASSIGN_OR_RETURN(p.ttl, r.u8());
+  EXC_ASSIGN_OR_RETURN(p.tag, r.u16());
+  EXC_ASSIGN_OR_RETURN(p.uid, r.u64());
+  EXC_ASSIGN_OR_RETURN(std::uint16_t hops, r.u16());
+  for (std::uint16_t i = 0; i < hops; ++i) {
+    EXC_ASSIGN_OR_RETURN(std::uint32_t hop, r.u32());
+    p.route.push_back(hop);
+  }
+  EXC_ASSIGN_OR_RETURN(p.payload, r.blob());
+  return image;
+}
+
+}  // namespace excovery::net

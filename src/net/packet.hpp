@@ -1,0 +1,70 @@
+// The simulated network packet.
+//
+// Matches the paper's measurement model (§IV-B2): "A measured packet
+// consists of a time stamp ... a unique identifier, a source and destination
+// network address and the packet content itself."  The 16-bit `tag` field
+// reproduces the prototype's packet tagger (§VI-A), which writes an
+// incrementing identifier into an IP header option of every selected packet;
+// `route` realises the hop-by-hop packet tracking required by §IV-A3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.hpp"
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace excovery::net {
+
+/// Index of a node within a Network (dense, assigned at topology build).
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+struct Packet {
+  Address src;
+  Address dst;
+  Port src_port = 0;
+  Port dst_port = 0;
+  std::uint8_t ttl = 32;       ///< hop limit for multicast flooding
+  std::uint16_t tag = 0;       ///< packet tagger id (set by the sender node)
+  std::uint64_t uid = 0;       ///< globally unique id (set by the network)
+  Bytes payload;
+  std::vector<NodeId> route;   ///< nodes traversed, in order (tracking)
+
+  std::size_t wire_size() const noexcept {
+    // 28-byte IP+UDP-style header + 4-byte tag option + payload.
+    return 32 + payload.size();
+  }
+};
+
+/// Direction of packet movement relative to a node.
+enum class Direction { kReceive, kTransmit };
+
+inline const char* to_string(Direction d) noexcept {
+  return d == Direction::kReceive ? "rx" : "tx";
+}
+
+/// One entry in a node's packet capture (§IV-B2, stored into the Packets
+/// table).  Timestamps are the capturing node's *local* clock reading, as on
+/// a real testbed; conditioning later maps them to the common time base.
+struct CapturedPacket {
+  sim::SimTime local_time;
+  Direction direction;
+  NodeId node = kInvalidNode;
+  Packet packet;
+};
+
+/// Serialise a captured packet's complete, unaltered content (headers, tag,
+/// route trace and payload) into the byte image stored in the Packets
+/// table; `from_wire` recovers it for analysis.
+Bytes capture_to_wire(const CapturedPacket& captured);
+
+struct WireImage {
+  Direction direction = Direction::kReceive;
+  Packet packet;
+};
+Result<WireImage> capture_from_wire(const Bytes& data);
+
+}  // namespace excovery::net

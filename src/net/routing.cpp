@@ -1,0 +1,77 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace excovery::net {
+
+RoutingTable::RoutingTable(const Topology& topology) { rebuild(topology); }
+
+void RoutingTable::rebuild(const Topology& topology) {
+  size_ = topology.node_count();
+  next_hop_.assign(size_ * size_, kInvalidNode);
+  hops_.assign(size_ * size_, -1);
+
+  // Adjacency lists, sorted for deterministic BFS order.
+  std::vector<std::vector<NodeId>> adjacency(size_);
+  for (const Link& link : topology.links()) {
+    adjacency[link.a].push_back(link.b);
+    adjacency[link.b].push_back(link.a);
+  }
+  for (auto& list : adjacency) std::sort(list.begin(), list.end());
+
+  // BFS from every source.
+  for (NodeId source = 0; source < size_; ++source) {
+    std::vector<NodeId> parent(size_, kInvalidNode);
+    std::vector<std::int16_t> dist(size_, -1);
+    std::queue<NodeId> frontier;
+    frontier.push(source);
+    dist[source] = 0;
+    while (!frontier.empty()) {
+      NodeId current = frontier.front();
+      frontier.pop();
+      for (NodeId next : adjacency[current]) {
+        if (dist[next] < 0) {
+          dist[next] = static_cast<std::int16_t>(dist[current] + 1);
+          parent[next] = current;
+          frontier.push(next);
+        }
+      }
+    }
+    for (NodeId target = 0; target < size_; ++target) {
+      hops_[index(source, target)] = dist[target];
+      if (target == source || dist[target] < 0) continue;
+      // Walk back from target to the neighbour of source.
+      NodeId walk = target;
+      while (parent[walk] != source) walk = parent[walk];
+      next_hop_[index(source, target)] = walk;
+    }
+  }
+}
+
+NodeId RoutingTable::next_hop(NodeId from, NodeId to) const {
+  if (from >= size_ || to >= size_) return kInvalidNode;
+  return next_hop_[index(from, to)];
+}
+
+int RoutingTable::hop_count(NodeId from, NodeId to) const {
+  if (from >= size_ || to >= size_) return -1;
+  return hops_[index(from, to)];
+}
+
+std::vector<NodeId> RoutingTable::path(NodeId from, NodeId to) const {
+  std::vector<NodeId> out;
+  if (from >= size_ || to >= size_) return out;
+  if (from == to) return {from};
+  if (hop_count(from, to) < 0) return out;
+  out.push_back(from);
+  NodeId current = from;
+  while (current != to) {
+    current = next_hop(current, to);
+    if (current == kInvalidNode) return {};
+    out.push_back(current);
+  }
+  return out;
+}
+
+}  // namespace excovery::net

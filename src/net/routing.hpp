@@ -1,0 +1,46 @@
+// Shortest-path routing over a Topology.
+//
+// The DES testbed runs mesh routing protocols below the experiment traffic;
+// the simulator substitutes precomputed min-hop routing (BFS all-pairs with
+// deterministic tie-breaking on lower node id).  `hop_count` also serves the
+// topology measurement of §IV-B4, taken before and after each experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace excovery::net {
+
+class RoutingTable {
+ public:
+  /// Build next-hop tables for the given topology.
+  explicit RoutingTable(const Topology& topology);
+
+  /// Recompute after topology/link changes.
+  void rebuild(const Topology& topology);
+
+  /// Next hop from `from` toward `to`; kInvalidNode if unreachable or from==to.
+  NodeId next_hop(NodeId from, NodeId to) const;
+
+  /// Hop count between nodes; -1 if unreachable, 0 if identical.
+  int hop_count(NodeId from, NodeId to) const;
+
+  /// Full path from `from` to `to` including both endpoints; empty if
+  /// unreachable.
+  std::vector<NodeId> path(NodeId from, NodeId to) const;
+
+  std::size_t node_count() const noexcept { return size_; }
+
+ private:
+  std::size_t index(NodeId from, NodeId to) const noexcept {
+    return static_cast<std::size_t>(from) * size_ + to;
+  }
+
+  std::size_t size_ = 0;
+  std::vector<NodeId> next_hop_;  ///< size_ x size_ matrix
+  std::vector<std::int16_t> hops_;
+};
+
+}  // namespace excovery::net

@@ -1,0 +1,176 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+#include <queue>
+
+#include "common/strings.hpp"
+
+namespace excovery::net {
+
+NodeId Topology::add_node(std::string name, std::optional<Address> address) {
+  auto id = static_cast<NodeId>(nodes_.size());
+  Address addr = address.value_or(Address::for_node(id + 1));
+  nodes_.push_back(TopologyNode{std::move(name), addr, 0.0, 0.0});
+  return id;
+}
+
+NodeId Topology::add_node(std::string name, double x, double y) {
+  NodeId id = add_node(std::move(name));
+  nodes_[id].x = x;
+  nodes_[id].y = y;
+  return id;
+}
+
+Status Topology::connect(NodeId a, NodeId b, const LinkModel& model) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    return err_invalid("link endpoint out of range");
+  }
+  if (a == b) return err_invalid("self-link not allowed");
+  if (link_between(a, b) != nullptr) {
+    return err_invalid(strings::format("nodes %u and %u already linked", a, b));
+  }
+  links_.push_back(Link{a, b, model});
+  return {};
+}
+
+Result<NodeId> Topology::find(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return err_not_found("no node named '" + name + "'");
+}
+
+Result<NodeId> Topology::find(Address address) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].address == address) return static_cast<NodeId>(i);
+  }
+  return err_not_found("no node with address " + address.to_string());
+}
+
+std::vector<std::pair<NodeId, const LinkModel*>> Topology::neighbours(
+    NodeId id) const {
+  std::vector<std::pair<NodeId, const LinkModel*>> out;
+  for (const Link& link : links_) {
+    if (link.a == id) out.emplace_back(link.b, &link.model);
+    if (link.b == id) out.emplace_back(link.a, &link.model);
+  }
+  return out;
+}
+
+const LinkModel* Topology::link_between(NodeId a, NodeId b) const {
+  for (const Link& link : links_) {
+    if ((link.a == a && link.b == b) || (link.a == b && link.b == a)) {
+      return &link.model;
+    }
+  }
+  return nullptr;
+}
+
+LinkModel* Topology::mutable_link_between(NodeId a, NodeId b) {
+  for (Link& link : links_) {
+    if ((link.a == a && link.b == b) || (link.a == b && link.b == a)) {
+      return &link.model;
+    }
+  }
+  return nullptr;
+}
+
+bool Topology::connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    NodeId current = frontier.front();
+    frontier.pop();
+    for (const auto& [next, model] : neighbours(current)) {
+      (void)model;
+      if (!seen[next]) {
+        seen[next] = true;
+        ++visited;
+        frontier.push(next);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+Topology Topology::chain(std::size_t length, const LinkModel& model) {
+  Topology topo;
+  for (std::size_t i = 0; i < length; ++i) {
+    topo.add_node("n" + std::to_string(i), static_cast<double>(i), 0.0);
+  }
+  for (std::size_t i = 0; i + 1 < length; ++i) {
+    (void)topo.connect(static_cast<NodeId>(i), static_cast<NodeId>(i + 1),
+                       model);
+  }
+  return topo;
+}
+
+Topology Topology::grid(std::size_t width, std::size_t height,
+                        const LinkModel& model) {
+  Topology topo;
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      topo.add_node("n" + std::to_string(y * width + x),
+                    static_cast<double>(x), static_cast<double>(y));
+    }
+  }
+  auto id = [width](std::size_t x, std::size_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) (void)topo.connect(id(x, y), id(x + 1, y), model);
+      if (y + 1 < height) (void)topo.connect(id(x, y), id(x, y + 1), model);
+    }
+  }
+  return topo;
+}
+
+Topology Topology::full_mesh(std::size_t size, const LinkModel& model) {
+  Topology topo;
+  for (std::size_t i = 0; i < size; ++i) {
+    topo.add_node("n" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < size; ++i) {
+    for (std::size_t j = i + 1; j < size; ++j) {
+      (void)topo.connect(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                         model);
+    }
+  }
+  return topo;
+}
+
+Result<Topology> Topology::random_geometric(std::size_t size, double radius,
+                                            std::uint64_t seed,
+                                            const LinkModel& model) {
+  constexpr int kMaxAttempts = 64;
+  RngFactory factory(seed);
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Pcg32 rng = factory.stream("geometric-topology",
+                               static_cast<std::uint64_t>(attempt));
+    Topology topo;
+    for (std::size_t i = 0; i < size; ++i) {
+      topo.add_node("n" + std::to_string(i), rng.uniform01(), rng.uniform01());
+    }
+    for (std::size_t i = 0; i < size; ++i) {
+      for (std::size_t j = i + 1; j < size; ++j) {
+        double dx = topo.nodes()[i].x - topo.nodes()[j].x;
+        double dy = topo.nodes()[i].y - topo.nodes()[j].y;
+        if (std::sqrt(dx * dx + dy * dy) <= radius) {
+          (void)topo.connect(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                             model);
+        }
+      }
+    }
+    if (topo.connected()) return topo;
+  }
+  return err_invalid(strings::format(
+      "could not generate a connected geometric graph (size=%zu radius=%.3f)",
+      size, radius));
+}
+
+}  // namespace excovery::net

@@ -1,0 +1,104 @@
+// Network topology: nodes, links and link-quality models.
+//
+// Substitutes the physical DES wireless mesh (§VI, [22]).  Generators cover
+// the shapes used in mesh-testbed studies: chains (controlled hop distance),
+// grids, random geometric graphs (the standard wireless connectivity model)
+// and full meshes (single-broadcast-domain LANs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/address.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace excovery::net {
+
+/// Quality model of one (directed) link.  The simulator applies, per hop:
+/// Bernoulli loss, base propagation delay, serialisation delay from
+/// bandwidth, and uniform jitter as a fraction of base delay.
+struct LinkModel {
+  sim::SimDuration base_delay = sim::SimDuration::from_micros(500);
+  double loss = 0.0;             ///< per-hop loss probability [0,1]
+  double jitter_frac = 0.1;      ///< uniform jitter in [0, frac*base_delay]
+  double bandwidth_bps = 6e6;    ///< serialisation rate (802.11-ish basic)
+
+  static LinkModel ideal() {
+    return {sim::SimDuration::from_micros(100), 0.0, 0.0, 1e9};
+  }
+};
+
+/// An undirected edge between two nodes.
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  LinkModel model;
+};
+
+/// A named node with an address and an optional position (for geometric
+/// topologies; also used by visualisation).
+struct TopologyNode {
+  std::string name;
+  Address address;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class Topology {
+ public:
+  /// Add a node; the address defaults to Address::for_node(index).
+  NodeId add_node(std::string name,
+                  std::optional<Address> address = std::nullopt);
+  NodeId add_node(std::string name, double x, double y);
+
+  /// Connect two nodes bidirectionally.  Duplicate links are rejected.
+  Status connect(NodeId a, NodeId b, const LinkModel& model = {});
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+  const TopologyNode& node(NodeId id) const { return nodes_.at(id); }
+  const std::vector<TopologyNode>& nodes() const noexcept { return nodes_; }
+  const std::vector<Link>& links() const noexcept { return links_; }
+
+  /// Node id by name; kNotFound error if absent.
+  Result<NodeId> find(const std::string& name) const;
+  /// Node id by address.
+  Result<NodeId> find(Address address) const;
+
+  /// Neighbours of a node with the link models toward them.
+  std::vector<std::pair<NodeId, const LinkModel*>> neighbours(
+      NodeId id) const;
+  /// Link model between two adjacent nodes, nullptr if not adjacent.
+  const LinkModel* link_between(NodeId a, NodeId b) const;
+  /// Mutable access for fault injection that degrades specific links.
+  LinkModel* mutable_link_between(NodeId a, NodeId b);
+
+  /// True if every node can reach every other node.
+  bool connected() const;
+
+  // ---- Generators ------------------------------------------------------
+  /// Chain n0 - n1 - ... - n_{k-1}: hop distance fully controlled.
+  static Topology chain(std::size_t length, const LinkModel& model = {});
+  /// w x h grid with 4-neighbourhood.
+  static Topology grid(std::size_t width, std::size_t height,
+                       const LinkModel& model = {});
+  /// Every node adjacent to every other (one broadcast domain).
+  static Topology full_mesh(std::size_t size, const LinkModel& model = {});
+  /// Random geometric graph: nodes uniform in the unit square, connected if
+  /// within `radius`.  Retries placement until connected (bounded attempts);
+  /// deterministic in the seed.
+  static Result<Topology> random_geometric(std::size_t size, double radius,
+                                           std::uint64_t seed,
+                                           const LinkModel& model = {});
+
+ private:
+  std::vector<TopologyNode> nodes_;
+  std::vector<Link> links_;
+};
+
+}  // namespace excovery::net

@@ -1,0 +1,252 @@
+#include "rpc/codec.hpp"
+
+#include "common/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace excovery::rpc {
+
+namespace {
+
+// Minimal base64 for the <base64> scalar.
+constexpr char kBase64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::string base64_encode(const Bytes& data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 2 < data.size()) {
+    std::uint32_t triple = (static_cast<std::uint32_t>(data[i]) << 16) |
+                           (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                           data[i + 2];
+    out.push_back(kBase64Alphabet[(triple >> 18) & 0x3F]);
+    out.push_back(kBase64Alphabet[(triple >> 12) & 0x3F]);
+    out.push_back(kBase64Alphabet[(triple >> 6) & 0x3F]);
+    out.push_back(kBase64Alphabet[triple & 0x3F]);
+    i += 3;
+  }
+  std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kBase64Alphabet[(v >> 18) & 0x3F]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 0x3F]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kBase64Alphabet[(v >> 18) & 0x3F]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 0x3F]);
+    out.push_back(kBase64Alphabet[(v >> 6) & 0x3F]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<Bytes> base64_decode(const std::string& text) {
+  auto value_of = [](char c) -> int {
+    if (c >= 'A' && c <= 'Z') return c - 'A';
+    if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+    if (c >= '0' && c <= '9') return c - '0' + 52;
+    if (c == '+') return 62;
+    if (c == '/') return 63;
+    return -1;
+  };
+  Bytes out;
+  std::uint32_t accum = 0;
+  int bits = 0;
+  for (char c : text) {
+    if (c == '=' || c == '\n' || c == '\r' || c == ' ' || c == '\t') continue;
+    int v = value_of(c);
+    if (v < 0) return err_parse(std::string("bad base64 character '") + c + "'");
+    accum = (accum << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((accum >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void encode_value(const Value& value, xml::Element& parent) {
+  xml::Element& holder = parent.add_child("value");
+  switch (value.type()) {
+    case ValueType::kNull:
+      holder.add_child("nil");
+      break;
+    case ValueType::kBool:
+      holder.add_text_child("boolean", value.as_bool() ? "1" : "0");
+      break;
+    case ValueType::kInt:
+      // XML-RPC "int" is 32-bit; use the common i8 extension when needed.
+      if (value.as_int() >= INT32_MIN && value.as_int() <= INT32_MAX) {
+        holder.add_text_child("int", std::to_string(value.as_int()));
+      } else {
+        holder.add_text_child("i8", std::to_string(value.as_int()));
+      }
+      break;
+    case ValueType::kDouble:
+      holder.add_text_child("double", strings::format_double(value.as_double()));
+      break;
+    case ValueType::kString:
+      holder.add_text_child("string", value.as_string());
+      break;
+    case ValueType::kBytes:
+      holder.add_text_child("base64", base64_encode(value.as_bytes()));
+      break;
+    case ValueType::kArray: {
+      xml::Element& data = holder.add_child("array").add_child("data");
+      for (const Value& item : value.as_array()) encode_value(item, data);
+      break;
+    }
+    case ValueType::kMap: {
+      xml::Element& strct = holder.add_child("struct");
+      for (const auto& [name, item] : value.as_map()) {
+        xml::Element& member = strct.add_child("member");
+        member.add_text_child("name", name);
+        encode_value(item, member);
+      }
+      break;
+    }
+  }
+}
+
+Result<Value> decode_value(const xml::Element& value_element) {
+  if (value_element.name() != "value") {
+    return err_parse("expected <value>, got <" + value_element.name() + ">");
+  }
+  if (value_element.children().empty()) {
+    // Bare text inside <value> is a string per the spec.
+    return Value{value_element.text()};
+  }
+  const xml::Element& typed = *value_element.children().front();
+  const std::string& type = typed.name();
+  if (type == "nil") return Value{};
+  if (type == "boolean") {
+    std::string t = typed.text();
+    if (t == "1" || t == "true") return Value{true};
+    if (t == "0" || t == "false") return Value{false};
+    return err_parse("bad boolean '" + t + "'");
+  }
+  if (type == "int" || type == "i4" || type == "i8") {
+    return Value{typed.text()}.to_int().map(
+        [](std::int64_t v) { return Value{v}; });
+  }
+  if (type == "double") {
+    return Value{typed.text()}.to_double().map(
+        [](double v) { return Value{v}; });
+  }
+  if (type == "string") return Value{typed.text()};
+  if (type == "base64") {
+    EXC_ASSIGN_OR_RETURN(Bytes bytes, base64_decode(typed.text()));
+    return Value{std::move(bytes)};
+  }
+  if (type == "array") {
+    EXC_ASSIGN_OR_RETURN(const xml::Element* data, typed.require_child("data"));
+    ValueArray array;
+    for (const xml::ElementPtr& child : data->children()) {
+      EXC_ASSIGN_OR_RETURN(Value item, decode_value(*child));
+      array.push_back(std::move(item));
+    }
+    return Value{std::move(array)};
+  }
+  if (type == "struct") {
+    ValueMap map;
+    for (const xml::ElementPtr& member : typed.children()) {
+      if (member->name() != "member") {
+        return err_parse("expected <member> inside <struct>");
+      }
+      EXC_ASSIGN_OR_RETURN(const xml::Element* name,
+                           member->require_child("name"));
+      EXC_ASSIGN_OR_RETURN(const xml::Element* inner,
+                           member->require_child("value"));
+      EXC_ASSIGN_OR_RETURN(Value item, decode_value(*inner));
+      map.emplace(name->text(), std::move(item));
+    }
+    return Value{std::move(map)};
+  }
+  return err_parse("unknown XML-RPC scalar type <" + type + ">");
+}
+
+std::string encode(const MethodCall& call) {
+  xml::Element root("methodCall");
+  root.add_text_child("methodName", call.method);
+  xml::Element& params = root.add_child("params");
+  for (const Value& param : call.params) {
+    xml::Element& holder = params.add_child("param");
+    encode_value(param, holder);
+  }
+  return xml::write(root, {.pretty = false});
+}
+
+std::string encode(const MethodResponse& response) {
+  xml::Element root("methodResponse");
+  if (response.is_fault) {
+    xml::Element& fault = root.add_child("fault");
+    ValueMap detail;
+    detail.emplace("faultCode", Value{response.fault_code});
+    detail.emplace("faultString", Value{response.fault_string});
+    encode_value(Value{std::move(detail)}, fault);
+  } else {
+    xml::Element& holder = root.add_child("params").add_child("param");
+    encode_value(response.result, holder);
+  }
+  return xml::write(root, {.pretty = false});
+}
+
+Result<MethodCall> decode_call(const std::string& xml_text) {
+  EXC_ASSIGN_OR_RETURN(xml::ElementPtr root, xml::parse_element(xml_text));
+  if (root->name() != "methodCall") {
+    return err_parse("expected <methodCall>, got <" + root->name() + ">");
+  }
+  EXC_ASSIGN_OR_RETURN(const xml::Element* name,
+                       root->require_child("methodName"));
+  MethodCall call;
+  call.method = name->text();
+  if (const xml::Element* params = root->child("params")) {
+    for (const xml::Element* param : params->children_named("param")) {
+      EXC_ASSIGN_OR_RETURN(const xml::Element* holder,
+                           param->require_child("value"));
+      EXC_ASSIGN_OR_RETURN(Value value, decode_value(*holder));
+      call.params.push_back(std::move(value));
+    }
+  }
+  return call;
+}
+
+Result<MethodResponse> decode_response(const std::string& xml_text) {
+  EXC_ASSIGN_OR_RETURN(xml::ElementPtr root, xml::parse_element(xml_text));
+  if (root->name() != "methodResponse") {
+    return err_parse("expected <methodResponse>, got <" + root->name() + ">");
+  }
+  if (const xml::Element* fault = root->child("fault")) {
+    EXC_ASSIGN_OR_RETURN(const xml::Element* holder,
+                         fault->require_child("value"));
+    EXC_ASSIGN_OR_RETURN(Value detail, decode_value(*holder));
+    if (!detail.is_map()) return err_parse("fault detail is not a struct");
+    MethodResponse response;
+    response.is_fault = true;
+    if (const Value* code = detail.find("faultCode")) {
+      EXC_ASSIGN_OR_RETURN(std::int64_t c, code->to_int());
+      response.fault_code = static_cast<int>(c);
+    }
+    if (const Value* message = detail.find("faultString")) {
+      response.fault_string = message->to_text();
+    }
+    return response;
+  }
+  EXC_ASSIGN_OR_RETURN(const xml::Element* params,
+                       root->require_child("params"));
+  EXC_ASSIGN_OR_RETURN(const xml::Element* param,
+                       params->require_child("param"));
+  EXC_ASSIGN_OR_RETURN(const xml::Element* holder,
+                       param->require_child("value"));
+  EXC_ASSIGN_OR_RETURN(Value value, decode_value(*holder));
+  return MethodResponse::success(std::move(value));
+}
+
+}  // namespace excovery::rpc

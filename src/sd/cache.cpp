@@ -1,0 +1,103 @@
+#include "sd/cache.hpp"
+
+namespace excovery::sd {
+
+void ServiceCache::store(const ServiceRecord& record) {
+  const std::string& name = record.instance.instance_name;
+  auto it = entries_.find(name);
+
+  if (record.ttl_seconds == 0) {
+    // Goodbye: withdraw if present.
+    if (it != entries_.end()) {
+      ServiceInstance instance = it->second.record.instance;
+      scheduler_.cancel(it->second.expiry_timer);
+      entries_.erase(it);
+      notify(CacheChange::kRemoved, instance);
+    }
+    return;
+  }
+
+  sim::SimTime expires =
+      scheduler_.now() + sim::SimDuration::from_seconds(
+                             static_cast<double>(record.ttl_seconds));
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.record = record;
+    entry.expires = expires;
+    auto [inserted, ok] = entries_.emplace(name, std::move(entry));
+    (void)ok;
+    schedule_expiry(name, inserted->second);
+    notify(CacheChange::kAdded, record.instance);
+    return;
+  }
+
+  bool is_update = record.instance.version > it->second.record.instance.version;
+  scheduler_.cancel(it->second.expiry_timer);
+  it->second.record = record;
+  it->second.expires = expires;
+  schedule_expiry(name, it->second);
+  if (is_update) notify(CacheChange::kUpdated, record.instance);
+  // Same-version refresh: TTL extended silently (cache maintenance).
+}
+
+void ServiceCache::schedule_expiry(const std::string& name, Entry& entry) {
+  sim::SimTime deadline = entry.expires;
+  entry.expiry_timer = scheduler_.schedule_at(deadline, [this, name, deadline] {
+    auto it = entries_.find(name);
+    if (it == entries_.end()) return;
+    // A refresh may have moved the deadline; only expire if still due.
+    if (it->second.expires > deadline) return;
+    ServiceInstance instance = it->second.record.instance;
+    entries_.erase(it);
+    notify(CacheChange::kExpired, instance);
+  });
+}
+
+std::vector<ServiceInstance> ServiceCache::instances(
+    const ServiceType& type) const {
+  std::vector<ServiceInstance> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.record.instance.type == type) {
+      out.push_back(entry.record.instance);
+    }
+  }
+  return out;
+}
+
+std::vector<ServiceInstance> ServiceCache::all_instances() const {
+  std::vector<ServiceInstance> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back(entry.record.instance);
+  }
+  return out;
+}
+
+bool ServiceCache::contains(const std::string& instance_name) const {
+  return entries_.find(instance_name) != entries_.end();
+}
+
+std::uint32_t ServiceCache::remaining_ttl(
+    const std::string& instance_name) const {
+  auto it = entries_.find(instance_name);
+  if (it == entries_.end()) return 0;
+  sim::SimDuration left = it->second.expires - scheduler_.now();
+  if (left.nanos() <= 0) return 0;
+  return static_cast<std::uint32_t>(left.seconds());
+}
+
+std::uint32_t ServiceCache::original_ttl(
+    const std::string& instance_name) const {
+  auto it = entries_.find(instance_name);
+  if (it == entries_.end()) return 0;
+  return it->second.record.ttl_seconds;
+}
+
+void ServiceCache::clear() {
+  for (auto& [name, entry] : entries_) {
+    scheduler_.cancel(entry.expiry_timer);
+  }
+  entries_.clear();
+}
+
+}  // namespace excovery::sd

@@ -1,0 +1,71 @@
+// Local service cache with TTL expiry.
+//
+// "most SDPs implement also a local cache on SUs and SMs to reduce network
+// load" (§III-A).  Records expire when their TTL elapses; expiry, addition,
+// update and withdrawal are reported through a listener so the owning agent
+// can emit sd_service_add / sd_service_del / sd_service_upd.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sd/message.hpp"
+#include "sim/scheduler.hpp"
+
+namespace excovery::sd {
+
+/// What happened to a cached record.
+enum class CacheChange { kAdded, kUpdated, kRemoved, kExpired };
+
+using CacheListener =
+    std::function<void(CacheChange change, const ServiceInstance& instance)>;
+
+class ServiceCache {
+ public:
+  explicit ServiceCache(sim::Scheduler& scheduler) : scheduler_(scheduler) {}
+
+  void set_listener(CacheListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Insert or refresh a record.  A record with ttl 0 withdraws (goodbye).
+  /// A record with a higher version than the cached one is an update.
+  void store(const ServiceRecord& record);
+
+  /// All live instances of a type.
+  std::vector<ServiceInstance> instances(const ServiceType& type) const;
+  /// All live instances.
+  std::vector<ServiceInstance> all_instances() const;
+
+  bool contains(const std::string& instance_name) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Remaining TTL of an instance in seconds (0 if absent).  Used to build
+  /// known-answer lists.
+  std::uint32_t remaining_ttl(const std::string& instance_name) const;
+  /// Original TTL the record arrived with (0 if absent).
+  std::uint32_t original_ttl(const std::string& instance_name) const;
+
+  /// Drop everything without emitting events (agent exit).
+  void clear();
+
+ private:
+  struct Entry {
+    ServiceRecord record;
+    sim::SimTime expires;
+    sim::TimerHandle expiry_timer;
+  };
+
+  void notify(CacheChange change, const ServiceInstance& instance) {
+    if (listener_) listener_(change, instance);
+  }
+  void schedule_expiry(const std::string& name, Entry& entry);
+
+  sim::Scheduler& scheduler_;
+  CacheListener listener_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace excovery::sd

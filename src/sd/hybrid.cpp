@@ -1,0 +1,263 @@
+#include "sd/hybrid.hpp"
+
+namespace excovery::sd {
+
+HybridAgent::HybridAgent(net::Network& network, net::NodeId node,
+                         const HybridConfig& config)
+    : network_(network), node_(node), config_(config) {}
+
+HybridAgent::~HybridAgent() {
+  if (initialized_) (void)exit();
+}
+
+Status HybridAgent::init(SdRole role, const ValueMap& params) {
+  if (initialized_) return err_state("hybrid agent already initialised");
+  role_ = role;
+
+  if (role == SdRole::kServiceCacheManager) {
+    // A hybrid SCM is simply the three-party directory.
+    slp_ = std::make_unique<SlpAgent>(network_, node_, config_.slp);
+    slp_->set_event_sink([this](std::string_view event, const Value& param) {
+      route_inner_event(event, param, /*from_mdns=*/false);
+    });
+    pending_inits_ = 1;
+    initialized_ = true;
+    return slp_->init(role, params);
+  }
+
+  mdns_ = std::make_unique<MdnsAgent>(network_, node_, config_.mdns);
+  slp_ = std::make_unique<SlpAgent>(network_, node_, config_.slp);
+  mdns_->set_event_sink([this](std::string_view event, const Value& param) {
+    route_inner_event(event, param, /*from_mdns=*/true);
+  });
+  slp_->set_event_sink([this](std::string_view event, const Value& param) {
+    route_inner_event(event, param, /*from_mdns=*/false);
+  });
+  pending_inits_ = 2;
+  initialized_ = true;
+  EXC_TRY(mdns_->init(role, params));
+  EXC_TRY(slp_->init(role, params));
+
+  // Start the SCM liveness watchdog.
+  std::uint64_t generation = generation_;
+  network_.scheduler().schedule(config_.watchdog_interval,
+                                [this, generation] {
+                                  if (generation != generation_) return;
+                                  watchdog();
+                                });
+  return {};
+}
+
+void HybridAgent::route_inner_event(std::string_view event,
+                                    const Value& parameter, bool from_mdns) {
+  // Lifecycle events of the inner stacks are implementation detail; the
+  // hybrid emits one lifecycle of its own.
+  if (event == events::kInitDone) {
+    if (--pending_inits_ == 0) {
+      emit(events::kInitDone, Value{to_string(role_).data()});
+    }
+    return;
+  }
+  if (event == events::kExitDone || event == events::kStartSearch ||
+      event == events::kStopSearch || event == events::kStartPublish ||
+      event == events::kStopPublish) {
+    return;
+  }
+
+  if (event == events::kScmFound) {
+    emit(events::kScmFound, parameter);
+    enter_directed_mode();
+    return;
+  }
+  if (event == events::kScmStarted || event == events::kScmRegistrationAdd ||
+      event == events::kScmRegistrationDel ||
+      event == events::kScmRegistrationUpd) {
+    emit(event, parameter);
+    return;
+  }
+
+  // Discovery events: deduplicate across stacks.
+  if (event == events::kServiceAdd) {
+    const std::string& name = parameter.as_string();
+    const SdAgent* source =
+        from_mdns ? static_cast<const SdAgent*>(mdns_.get())
+                  : static_cast<const SdAgent*>(slp_.get());
+    // Find which search the instance belongs to.
+    for (const ServiceType& type : active_searches_) {
+      for (const ServiceInstance& instance : source->discovered(type)) {
+        if (instance.instance_name != name) continue;
+        if (reported_[type].insert(name).second) {
+          emit(events::kServiceAdd, parameter);
+        }
+        return;
+      }
+    }
+    return;
+  }
+  if (event == events::kServiceDel) {
+    const std::string& name = parameter.as_string();
+    for (auto& [type, names] : reported_) {
+      if (names.count(name) == 0) continue;
+      // Only report the loss when neither stack still knows the instance.
+      bool still_known = false;
+      for (const SdAgent* agent :
+           {static_cast<const SdAgent*>(mdns_.get()),
+            static_cast<const SdAgent*>(slp_.get())}) {
+        if (!agent) continue;
+        for (const ServiceInstance& instance : agent->discovered(type)) {
+          if (instance.instance_name == name) {
+            still_known = true;
+            break;
+          }
+        }
+      }
+      if (!still_known) {
+        names.erase(name);
+        emit(events::kServiceDel, parameter);
+      }
+      return;
+    }
+    return;
+  }
+  if (event == events::kServiceUpd) {
+    emit(event, parameter);
+    return;
+  }
+  // Unknown / user-specified events pass through.
+  emit(event, parameter);
+}
+
+void HybridAgent::enter_directed_mode() {
+  if (directed_mode_ || !mdns_) return;
+  directed_mode_ = true;
+  // Suspend active mDNS querying; the SCM serves lookups from here on.
+  for (const ServiceType& type : active_searches_) {
+    (void)mdns_->stop_search(type);
+  }
+}
+
+void HybridAgent::leave_directed_mode() {
+  if (!directed_mode_ || !mdns_) return;
+  directed_mode_ = false;
+  for (const ServiceType& type : active_searches_) {
+    (void)mdns_->start_search(type);
+  }
+}
+
+void HybridAgent::watchdog() {
+  if (!initialized_) return;
+  if (directed_mode_ && slp_ && !slp_->known_scm().has_value()) {
+    leave_directed_mode();
+  }
+  std::uint64_t generation = generation_;
+  network_.scheduler().schedule(config_.watchdog_interval,
+                                [this, generation] {
+                                  if (generation != generation_) return;
+                                  watchdog();
+                                });
+}
+
+Status HybridAgent::exit() {
+  if (!initialized_) return err_state("hybrid agent not initialised");
+  if (mdns_) EXC_TRY(mdns_->exit());
+  if (slp_) EXC_TRY(slp_->exit());
+  mdns_.reset();
+  slp_.reset();
+  active_searches_.clear();
+  reported_.clear();
+  published_.clear();
+  directed_mode_ = false;
+  ++generation_;
+  initialized_ = false;
+  emit(events::kExitDone);
+  return {};
+}
+
+Status HybridAgent::start_search(const ServiceType& type) {
+  if (!initialized_) return err_state("start_search before init");
+  if (role_ == SdRole::kServiceCacheManager) {
+    return err_state("SCM nodes do not search");
+  }
+  if (!active_searches_.insert(type).second) {
+    return err_state("search for '" + type + "' already active");
+  }
+  emit(events::kStartSearch, Value{type});
+  EXC_TRY(slp_->start_search(type));
+  if (!directed_mode_) {
+    EXC_TRY(mdns_->start_search(type));
+  }
+  return {};
+}
+
+Status HybridAgent::stop_search(const ServiceType& type) {
+  if (!initialized_) return err_state("stop_search before init");
+  if (active_searches_.erase(type) == 0) {
+    return err_state("no active search for '" + type + "'");
+  }
+  (void)slp_->stop_search(type);
+  if (!directed_mode_ && mdns_) (void)mdns_->stop_search(type);
+  reported_.erase(type);
+  emit(events::kStopSearch, Value{type});
+  return {};
+}
+
+Status HybridAgent::start_publish(const ServiceInstance& instance) {
+  if (!initialized_) return err_state("start_publish before init");
+  if (role_ != SdRole::kServiceManager) {
+    return err_state("only SM nodes publish services");
+  }
+  if (!published_.emplace(instance.instance_name, instance).second) {
+    return err_state("instance '" + instance.instance_name +
+                     "' already published");
+  }
+  emit(events::kStartPublish, Value{instance.instance_name});
+  EXC_TRY(mdns_->start_publish(instance));
+  EXC_TRY(slp_->start_publish(instance));
+  return {};
+}
+
+Status HybridAgent::stop_publish(const std::string& instance_name) {
+  if (!initialized_) return err_state("stop_publish before init");
+  if (published_.erase(instance_name) == 0) {
+    return err_state("instance '" + instance_name + "' is not published");
+  }
+  (void)mdns_->stop_publish(instance_name);
+  (void)slp_->stop_publish(instance_name);
+  emit(events::kStopPublish, Value{instance_name});
+  return {};
+}
+
+Status HybridAgent::update_publication(const ServiceInstance& instance) {
+  if (!initialized_) return err_state("update_publication before init");
+  auto it = published_.find(instance.instance_name);
+  if (it == published_.end()) {
+    return err_state("instance '" + instance.instance_name +
+                     "' is not published");
+  }
+  emit(events::kServiceUpd, Value{instance.instance_name});
+  it->second = instance;
+  EXC_TRY(mdns_->update_publication(instance));
+  EXC_TRY(slp_->update_publication(instance));
+  return {};
+}
+
+std::vector<ServiceInstance> HybridAgent::discovered(
+    const ServiceType& type) const {
+  std::map<std::string, ServiceInstance> merged;
+  if (mdns_) {
+    for (ServiceInstance& instance : mdns_->discovered(type)) {
+      merged.emplace(instance.instance_name, std::move(instance));
+    }
+  }
+  if (slp_) {
+    for (ServiceInstance& instance : slp_->discovered(type)) {
+      merged.emplace(instance.instance_name, std::move(instance));
+    }
+  }
+  std::vector<ServiceInstance> out;
+  out.reserve(merged.size());
+  for (auto& [name, instance] : merged) out.push_back(std::move(instance));
+  return out;
+}
+
+}  // namespace excovery::sd

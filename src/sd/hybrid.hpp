@@ -1,0 +1,88 @@
+// Hybrid (adaptive) SD architecture (§III-B: "There exist mixed forms that
+// can switch among two- and three-party, called adaptive or hybrid
+// architectures").
+//
+// Composition of the two concrete protocols:
+//  * While no SCM is known, the agent operates two-party: multicast mDNS
+//    queries/announcements carry discovery.
+//  * The SLP stack keeps looking for an SCM the whole time ("In a hybrid
+//    architecture, SU and SM agents keep looking for SCMs", §V).  When one
+//    is found (scm_found), active mDNS querying is suspended and directed
+//    discovery via the SCM takes over; publications are registered.
+//  * A watchdog monitors SCM liveness; when the SCM disappears, the agent
+//    falls back to two-party operation seamlessly.
+//
+// Discovery results from both stacks are merged and deduplicated, so the
+// experiment process sees exactly one sd_service_add per instance.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "sd/mdns.hpp"
+#include "sd/slp.hpp"
+
+namespace excovery::sd {
+
+struct HybridConfig {
+  MdnsConfig mdns;
+  SlpConfig slp;
+  /// Watchdog period for detecting SCM loss and re-enabling mDNS search.
+  sim::SimDuration watchdog_interval = sim::SimDuration::from_seconds(2);
+};
+
+class HybridAgent final : public SdAgent {
+ public:
+  HybridAgent(net::Network& network, net::NodeId node,
+              const HybridConfig& config = {});
+  ~HybridAgent() override;
+
+  Status init(SdRole role, const ValueMap& params) override;
+  Status exit() override;
+  Status start_search(const ServiceType& type) override;
+  Status stop_search(const ServiceType& type) override;
+  Status start_publish(const ServiceInstance& instance) override;
+  Status stop_publish(const std::string& instance_name) override;
+  Status update_publication(const ServiceInstance& instance) override;
+
+  std::vector<ServiceInstance> discovered(
+      const ServiceType& type) const override;
+  bool initialized() const override { return initialized_; }
+  SdRole role() const override { return role_; }
+
+  /// True while the agent operates in three-party (directed) mode.
+  bool directed_mode() const noexcept { return directed_mode_; }
+  std::optional<net::Address> known_scm() const {
+    return slp_ ? slp_->known_scm() : std::nullopt;
+  }
+
+  const MdnsAgent* mdns() const noexcept { return mdns_.get(); }
+  const SlpAgent* slp() const noexcept { return slp_.get(); }
+
+ private:
+  void route_inner_event(std::string_view event, const Value& parameter,
+                         bool from_mdns);
+  void enter_directed_mode();
+  void leave_directed_mode();
+  void watchdog();
+
+  net::Network& network_;
+  net::NodeId node_;
+  HybridConfig config_;
+  std::unique_ptr<MdnsAgent> mdns_;
+  std::unique_ptr<SlpAgent> slp_;
+
+  bool initialized_ = false;
+  SdRole role_ = SdRole::kServiceUser;
+  bool directed_mode_ = false;
+  int pending_inits_ = 0;
+  std::uint64_t generation_ = 0;
+
+  std::set<ServiceType> active_searches_;
+  /// Names for which sd_service_add has been emitted, per type.
+  std::map<ServiceType, std::set<std::string>> reported_;
+  std::map<std::string, ServiceInstance> published_;
+};
+
+}  // namespace excovery::sd

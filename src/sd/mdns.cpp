@@ -1,0 +1,481 @@
+#include "sd/mdns.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace excovery::sd {
+
+namespace {
+constexpr const char* kComponent = "sd.mdns";
+}
+
+MdnsAgent::MdnsAgent(net::Network& network, net::NodeId node,
+                     const MdnsConfig& config)
+    : network_(network),
+      node_(node),
+      config_(config),
+      rng_(RngFactory(config.seed ^ fnv1a64(network.topology().node(node).name))
+               .stream("mdns-agent")),
+      cache_(network.scheduler()) {
+  cache_.set_listener([this](CacheChange change,
+                             const ServiceInstance& instance) {
+    // Report discovery events only while a search for the type is active
+    // (§V: events belong to the search process).
+    if (searches_.find(instance.type) == searches_.end()) return;
+    switch (change) {
+      case CacheChange::kAdded:
+        emit(events::kServiceAdd, Value{instance.instance_name});
+        break;
+      case CacheChange::kUpdated:
+        emit(events::kServiceUpd, Value{instance.instance_name});
+        break;
+      case CacheChange::kRemoved:
+      case CacheChange::kExpired:
+        emit(events::kServiceDel, Value{instance.instance_name});
+        break;
+    }
+  });
+}
+
+MdnsAgent::~MdnsAgent() {
+  if (initialized_) (void)exit();
+}
+
+template <typename Fn>
+void MdnsAgent::schedule(sim::SimDuration delay, Fn&& fn) {
+  std::uint64_t generation = generation_;
+  network_.scheduler().schedule(
+      delay, [this, generation, fn = std::forward<Fn>(fn)]() mutable {
+        if (generation != generation_) return;  // agent exited meanwhile
+        fn();
+      });
+}
+
+Status MdnsAgent::init(SdRole role, const ValueMap& params) {
+  if (initialized_) return err_state("mdns agent already initialised");
+  if (role == SdRole::kServiceCacheManager) {
+    return err_unsupported(
+        "two-party mdns protocol has no SCM role; use the slp or hybrid "
+        "protocol for three-party experiments");
+  }
+  // User-specified SDP parameters (§V Init SD "optional list of
+  // parameters").
+  if (const auto it = params.find("record_ttl"); it != params.end()) {
+    EXC_ASSIGN_OR_RETURN(std::int64_t ttl, it->second.to_int());
+    if (ttl < 0) return err_invalid("record_ttl must be >= 0");
+    config_.record_ttl_seconds = static_cast<std::uint32_t>(ttl);
+  }
+  if (const auto it = params.find("probe_count"); it != params.end()) {
+    EXC_ASSIGN_OR_RETURN(std::int64_t n, it->second.to_int());
+    config_.probe_count = static_cast<int>(n);
+  }
+  role_ = role;
+  initialized_ = true;
+
+  network_.join_group(node_, net::Address::sd_multicast());
+  network_.bind(node_, net::kSdPort,
+                [this](net::NodeId, const net::Packet& packet) {
+                  on_packet(packet);
+                });
+
+  // "Configuration Discovery and Monitoring": identity establishment takes
+  // a short startup delay, after which participation is possible.
+  schedule(config_.startup_delay,
+           [this] { emit(events::kInitDone, Value{to_string(role_).data()}); });
+  return {};
+}
+
+Status MdnsAgent::exit() {
+  if (!initialized_) return err_state("mdns agent not initialised");
+  // Goodbyes for everything still published.
+  for (auto& [name, publication] : published_) {
+    if (publication.probing) continue;  // never confirmed, nothing to revoke
+    SdMessage goodbye;
+    goodbye.kind = MessageKind::kGoodbye;
+    goodbye.txn_id = next_txn();
+    goodbye.service_type = publication.instance.type;
+    goodbye.sender_name = network_.topology().node(node_).name;
+    goodbye.records.push_back(ServiceRecord{publication.instance, 0});
+    send_message(goodbye);
+    counters_.goodbyes_sent++;
+  }
+  published_.clear();
+  for (auto& [type, search] : searches_) {
+    network_.scheduler().cancel(search.timer);
+  }
+  searches_.clear();
+  cache_.clear();
+  network_.unbind(node_, net::kSdPort);
+  network_.leave_group(node_, net::Address::sd_multicast());
+  ++generation_;  // cancels all outstanding scheduled work
+  initialized_ = false;
+  emit(events::kExitDone);
+  return {};
+}
+
+Status MdnsAgent::start_search(const ServiceType& type) {
+  if (!initialized_) return err_state("start_search before init");
+  if (searches_.find(type) != searches_.end()) {
+    return err_state("search for '" + type + "' already active");
+  }
+  Search search;
+  search.type = type;
+  search.next_interval = config_.query_interval;
+  searches_.emplace(type, std::move(search));
+  emit(events::kStartSearch, Value{type});
+
+  // Passive head start: anything already cached counts as discovered.
+  for (const ServiceInstance& instance : cache_.instances(type)) {
+    emit(events::kServiceAdd, Value{instance.instance_name});
+  }
+
+  // First query after a random short delay (mDNS: 20-120 ms).
+  std::int64_t span =
+      config_.first_query_max.nanos() - config_.first_query_min.nanos();
+  sim::SimDuration first_delay =
+      config_.first_query_min +
+      sim::SimDuration(span > 0 ? rng_.uniform_int(0, span) : 0);
+  schedule_query(type, first_delay);
+  return {};
+}
+
+void MdnsAgent::schedule_query(const ServiceType& type,
+                               sim::SimDuration delay) {
+  std::uint64_t generation = generation_;
+  auto handle = network_.scheduler().schedule(delay, [this, generation, type] {
+    if (generation != generation_) return;
+    auto it = searches_.find(type);
+    if (it == searches_.end()) return;  // search stopped
+    send_query(type);
+    // Exponential back-off for the next round.
+    sim::SimDuration next = it->second.next_interval;
+    auto widened = static_cast<std::int64_t>(
+        static_cast<double>(next.nanos()) * config_.query_backoff);
+    it->second.next_interval =
+        std::min(sim::SimDuration(widened), config_.query_interval_max);
+    schedule_query(type, next);
+  });
+  if (auto it = searches_.find(type); it != searches_.end()) {
+    it->second.timer = handle;
+  }
+}
+
+void MdnsAgent::send_query(const ServiceType& type) {
+  SdMessage query;
+  query.kind = MessageKind::kQuery;
+  query.txn_id = next_txn();
+  query.service_type = type;
+  query.sender_name = network_.topology().node(node_).name;
+  // Known-answer suppression: list live cache entries with >50% TTL left.
+  for (const ServiceInstance& instance : cache_.instances(type)) {
+    std::uint32_t remaining = cache_.remaining_ttl(instance.instance_name);
+    std::uint32_t original = cache_.original_ttl(instance.instance_name);
+    if (original > 0 && remaining * 2 > original) {
+      query.known_answers.push_back(
+          KnownAnswer{instance.instance_name, remaining});
+    }
+  }
+  counters_.queries_sent++;
+  send_message(query);
+}
+
+Status MdnsAgent::stop_search(const ServiceType& type) {
+  if (!initialized_) return err_state("stop_search before init");
+  auto it = searches_.find(type);
+  if (it == searches_.end()) {
+    return err_state("no active search for '" + type + "'");
+  }
+  network_.scheduler().cancel(it->second.timer);
+  searches_.erase(it);
+  emit(events::kStopSearch, Value{type});
+  return {};
+}
+
+Status MdnsAgent::start_publish(const ServiceInstance& instance) {
+  if (!initialized_) return err_state("start_publish before init");
+  if (role_ != SdRole::kServiceManager) {
+    return err_state("only SM nodes publish services");
+  }
+  if (published_.find(instance.instance_name) != published_.end()) {
+    return err_state("instance '" + instance.instance_name +
+                     "' already published");
+  }
+  Publication publication;
+  publication.instance = instance;
+  if (publication.instance.provider.is_unspecified()) {
+    publication.instance.provider = network_.topology().node(node_).address;
+  }
+  publication.probing = config_.probe_count > 0;
+  publication.probes_left = config_.probe_count;
+  publication.announces_left = config_.announce_count;
+  std::string name = publication.instance.instance_name;
+  published_.emplace(name, std::move(publication));
+  emit(events::kStartPublish, Value{name});
+
+  if (config_.probe_count > 0) {
+    continue_probing(name);
+  } else {
+    continue_announcing(name);
+  }
+  return {};
+}
+
+void MdnsAgent::continue_probing(const std::string& instance_name) {
+  auto it = published_.find(instance_name);
+  if (it == published_.end()) return;
+  Publication& publication = it->second;
+  if (publication.probes_left == 0) {
+    publication.probing = false;
+    continue_announcing(instance_name);
+    return;
+  }
+  publication.probes_left--;
+  SdMessage probe;
+  probe.kind = MessageKind::kProbe;
+  probe.txn_id = next_txn();
+  probe.service_type = publication.instance.type;
+  probe.sender_name = network_.topology().node(node_).name;
+  probe.records.push_back(
+      ServiceRecord{publication.instance, config_.record_ttl_seconds});
+  counters_.probes_sent++;
+  send_message(probe);
+  schedule(config_.probe_interval,
+           [this, instance_name] { continue_probing(instance_name); });
+}
+
+void MdnsAgent::continue_announcing(const std::string& instance_name) {
+  auto it = published_.find(instance_name);
+  if (it == published_.end()) return;
+  Publication& publication = it->second;
+  if (publication.announces_left == 0) return;
+  publication.announces_left--;
+  SdMessage announce;
+  announce.kind = MessageKind::kAnnounce;
+  announce.txn_id = next_txn();
+  announce.service_type = publication.instance.type;
+  announce.sender_name = network_.topology().node(node_).name;
+  announce.records.push_back(
+      ServiceRecord{publication.instance, config_.record_ttl_seconds});
+  counters_.announces_sent++;
+  send_message(announce);
+  if (publication.announces_left > 0) {
+    schedule(config_.announce_interval,
+             [this, instance_name] { continue_announcing(instance_name); });
+  }
+}
+
+Status MdnsAgent::stop_publish(const std::string& instance_name) {
+  if (!initialized_) return err_state("stop_publish before init");
+  auto it = published_.find(instance_name);
+  if (it == published_.end()) {
+    return err_state("instance '" + instance_name + "' is not published");
+  }
+  if (!it->second.probing) {
+    SdMessage goodbye;
+    goodbye.kind = MessageKind::kGoodbye;
+    goodbye.txn_id = next_txn();
+    goodbye.service_type = it->second.instance.type;
+    goodbye.sender_name = network_.topology().node(node_).name;
+    goodbye.records.push_back(ServiceRecord{it->second.instance, 0});
+    counters_.goodbyes_sent++;
+    send_message(goodbye);
+  }
+  published_.erase(it);
+  emit(events::kStopPublish, Value{instance_name});
+  return {};
+}
+
+Status MdnsAgent::update_publication(const ServiceInstance& instance) {
+  if (!initialized_) return err_state("update_publication before init");
+  auto it = published_.find(instance.instance_name);
+  if (it == published_.end()) {
+    return err_state("instance '" + instance.instance_name +
+                     "' is not published");
+  }
+  // §V: "Generates an event sd_service_upd ... before the update is
+  // executed."
+  emit(events::kServiceUpd, Value{instance.instance_name});
+  ServiceInstance updated = instance;
+  if (updated.provider.is_unspecified()) {
+    updated.provider = network_.topology().node(node_).address;
+  }
+  updated.version = it->second.instance.version + 1;
+  it->second.instance = updated;
+  it->second.announces_left = config_.announce_count;
+  continue_announcing(instance.instance_name);
+  return {};
+}
+
+std::vector<ServiceInstance> MdnsAgent::discovered(
+    const ServiceType& type) const {
+  return cache_.instances(type);
+}
+
+void MdnsAgent::send_message(const SdMessage& message) {
+  net::Packet packet;
+  packet.dst = net::Address::sd_multicast();
+  packet.src_port = net::kSdPort;
+  packet.dst_port = net::kSdPort;
+  packet.ttl = config_.multicast_ttl;
+  packet.payload = encode(message);
+  Result<std::uint64_t> sent = network_.send(node_, std::move(packet));
+  if (!sent.ok()) {
+    EXC_LOG_WARN(kComponent, "send failed: " << sent.error().to_string());
+  }
+}
+
+void MdnsAgent::on_packet(const net::Packet& packet) {
+  Result<SdMessage> decoded = decode(packet.payload);
+  if (!decoded.ok()) {
+    EXC_LOG_DEBUG(kComponent,
+                  "dropping undecodable payload: "
+                      << decoded.error().to_string());
+    return;
+  }
+  const SdMessage& message = decoded.value();
+  // Ignore our own multicast loopback.
+  if (message.sender_name == network_.topology().node(node_).name) return;
+  switch (message.kind) {
+    case MessageKind::kQuery:
+      handle_query(message);
+      break;
+    case MessageKind::kProbe:
+      handle_probe(message);
+      break;
+    case MessageKind::kResponse:
+    case MessageKind::kAnnounce:
+    case MessageKind::kGoodbye:
+      handle_records(message);
+      break;
+    default:
+      break;  // three-party kinds are not ours
+  }
+}
+
+void MdnsAgent::handle_query(const SdMessage& message) {
+  // Collect our matching, confirmed publications.
+  std::vector<ServiceRecord> answers;
+  for (const auto& [name, publication] : published_) {
+    if (publication.probing) continue;
+    if (publication.instance.type != message.service_type) continue;
+    // Known-answer suppression.
+    bool suppressed = false;
+    for (const KnownAnswer& known : message.known_answers) {
+      if (known.instance_name == name &&
+          known.remaining_ttl_seconds * 2 > config_.record_ttl_seconds) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (suppressed) {
+      counters_.responses_suppressed++;
+      continue;
+    }
+    answers.push_back(
+        ServiceRecord{publication.instance, config_.record_ttl_seconds});
+  }
+  if (answers.empty()) return;
+
+  // Respond after a random aggregation delay, echoing the query txn id
+  // (request/response pairing).
+  std::uint32_t txn = message.txn_id;
+  ServiceType type = message.service_type;
+  std::int64_t span =
+      config_.response_delay_max.nanos() - config_.response_delay_min.nanos();
+  sim::SimDuration delay =
+      config_.response_delay_min +
+      sim::SimDuration(span > 0 ? rng_.uniform_int(0, span) : 0);
+  schedule(delay, [this, txn, type, answers = std::move(answers)] {
+    SdMessage response;
+    response.kind = MessageKind::kResponse;
+    response.txn_id = txn;
+    response.service_type = type;
+    response.sender_name = network_.topology().node(node_).name;
+    response.records = answers;
+    counters_.responses_sent++;
+    send_message(response);
+  });
+}
+
+void MdnsAgent::handle_probe(const SdMessage& message) {
+  // A probe for a name we are also probing (or own) is a conflict.  The
+  // mDNS rule is lexicographic tie-breaking; we resolve in favour of the
+  // established owner, and a probing node renames.
+  for (const ServiceRecord& record : message.records) {
+    auto it = published_.find(record.instance.instance_name);
+    if (it == published_.end()) continue;
+    if (it->second.probing) {
+      // We are still probing: the other side may be established or racing.
+      counters_.conflicts_detected++;
+      resolve_conflict(record.instance.instance_name);
+    } else {
+      // We own the name: defend it by answering immediately.
+      SdMessage defence;
+      defence.kind = MessageKind::kResponse;
+      defence.txn_id = message.txn_id;
+      defence.service_type = it->second.instance.type;
+      defence.sender_name = network_.topology().node(node_).name;
+      defence.records.push_back(
+          ServiceRecord{it->second.instance, config_.record_ttl_seconds});
+      counters_.responses_sent++;
+      send_message(defence);
+    }
+  }
+}
+
+void MdnsAgent::resolve_conflict(const std::string& instance_name) {
+  auto it = published_.find(instance_name);
+  if (it == published_.end()) return;
+  Publication publication = std::move(it->second);
+  published_.erase(it);
+  // Rename "name" -> "name-2" -> "name-3" ...
+  std::string base = instance_name;
+  int suffix = 2;
+  std::size_t dash = base.rfind('-');
+  if (dash != std::string::npos) {
+    bool numeric = dash + 1 < base.size();
+    for (std::size_t i = dash + 1; i < base.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(base[i]))) {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric) {
+      suffix = std::atoi(base.c_str() + dash + 1) + 1;
+      base = base.substr(0, dash);
+    }
+  }
+  std::string renamed = base + "-" + std::to_string(suffix);
+  publication.instance.instance_name = renamed;
+  publication.probing = config_.probe_count > 0;
+  publication.probes_left = config_.probe_count;
+  publication.announces_left = config_.announce_count;
+  published_.emplace(renamed, std::move(publication));
+  EXC_LOG_INFO(kComponent, "conflict: renamed '" << instance_name << "' to '"
+                                                 << renamed << "'");
+  if (config_.probe_count > 0) {
+    continue_probing(renamed);
+  } else {
+    continue_announcing(renamed);
+  }
+}
+
+void MdnsAgent::handle_records(const SdMessage& message) {
+  for (const ServiceRecord& record : message.records) {
+    // Conflict detection against our confirmed names.
+    auto it = published_.find(record.instance.instance_name);
+    if (it != published_.end() && it->second.probing &&
+        record.ttl_seconds > 0) {
+      counters_.conflicts_detected++;
+      resolve_conflict(record.instance.instance_name);
+      continue;
+    }
+    cache_.store(record);
+  }
+}
+
+}  // namespace excovery::sd

@@ -1,0 +1,140 @@
+// Two-party (decentralised) SD protocol in the style of Zeroconf mDNS/
+// DNS-SD — the protocol family of the paper's prototype (Avahi, §VI).
+//
+// Implemented mechanics, mirroring the parts of mDNS that matter for
+// dependability experiments:
+//  * probing before announcing (uniqueness check, with rename-on-conflict),
+//  * unsolicited announcements, repeated a configurable number of times,
+//  * active discovery: multicast queries with a randomised first delay and
+//    exponential back-off (1 s, 2 s, 4 s, ... capped),
+//  * passive discovery: caching of announcements heard while searching,
+//  * known-answer suppression (askers list what they hold; responders stay
+//    quiet if the asker's copy still has more than half its TTL),
+//  * randomised response delay (response aggregation window),
+//  * goodbye packets (TTL = 0) and cache TTL expiry,
+//  * request/response pairing via transaction ids (the paper's Avahi
+//    modification, §VI).
+//
+// Everything is deterministic given the config seed.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sd/cache.hpp"
+#include "sd/message.hpp"
+#include "sd/model.hpp"
+
+namespace excovery::sd {
+
+struct MdnsConfig {
+  sim::SimDuration startup_delay = sim::SimDuration::from_millis(50);
+
+  int probe_count = 3;
+  sim::SimDuration probe_interval = sim::SimDuration::from_millis(250);
+  int announce_count = 2;
+  sim::SimDuration announce_interval = sim::SimDuration::from_millis(1000);
+
+  sim::SimDuration first_query_min = sim::SimDuration::from_millis(20);
+  sim::SimDuration first_query_max = sim::SimDuration::from_millis(120);
+  sim::SimDuration query_interval = sim::SimDuration::from_millis(1000);
+  double query_backoff = 2.0;
+  sim::SimDuration query_interval_max = sim::SimDuration::from_seconds(60);
+
+  sim::SimDuration response_delay_min = sim::SimDuration::from_millis(20);
+  sim::SimDuration response_delay_max = sim::SimDuration::from_millis(120);
+
+  std::uint32_t record_ttl_seconds = 120;
+  std::uint8_t multicast_ttl = 32;  ///< mesh flooding hop limit
+  std::uint64_t seed = 0;
+};
+
+class MdnsAgent final : public SdAgent {
+ public:
+  MdnsAgent(net::Network& network, net::NodeId node,
+            const MdnsConfig& config = {});
+  ~MdnsAgent() override;
+
+  MdnsAgent(const MdnsAgent&) = delete;
+  MdnsAgent& operator=(const MdnsAgent&) = delete;
+
+  Status init(SdRole role, const ValueMap& params) override;
+  Status exit() override;
+  Status start_search(const ServiceType& type) override;
+  Status stop_search(const ServiceType& type) override;
+  Status start_publish(const ServiceInstance& instance) override;
+  Status stop_publish(const std::string& instance_name) override;
+  Status update_publication(const ServiceInstance& instance) override;
+
+  std::vector<ServiceInstance> discovered(
+      const ServiceType& type) const override;
+  bool initialized() const override { return initialized_; }
+  SdRole role() const override { return role_; }
+
+  /// Statistics (queries sent etc.) for analysis and tests.
+  struct Counters {
+    std::uint64_t queries_sent = 0;
+    std::uint64_t responses_sent = 0;
+    std::uint64_t responses_suppressed = 0;  ///< known-answer suppression
+    std::uint64_t announces_sent = 0;
+    std::uint64_t probes_sent = 0;
+    std::uint64_t goodbyes_sent = 0;
+    std::uint64_t conflicts_detected = 0;
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+  net::NodeId node() const noexcept { return node_; }
+  const MdnsConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Publication {
+    ServiceInstance instance;
+    bool probing = false;   ///< still in uniqueness probing
+    int probes_left = 0;
+    int announces_left = 0;
+  };
+  struct Search {
+    ServiceType type;
+    sim::SimDuration next_interval;
+    sim::TimerHandle timer;
+  };
+
+  void on_packet(const net::Packet& packet);
+  void handle_query(const SdMessage& message);
+  void handle_records(const SdMessage& message);
+  void handle_probe(const SdMessage& message);
+
+  void send_message(const SdMessage& message);
+  void send_query(const ServiceType& type);
+  void schedule_query(const ServiceType& type, sim::SimDuration delay);
+  void continue_probing(const std::string& instance_name);
+  void continue_announcing(const std::string& instance_name);
+  void resolve_conflict(const std::string& instance_name);
+
+  std::uint32_t next_txn() { return next_txn_id_++; }
+
+  /// Valid only while the current generation matches (cancels stale timers
+  /// after exit()).
+  template <typename Fn>
+  void schedule(sim::SimDuration delay, Fn&& fn);
+
+  net::Network& network_;
+  net::NodeId node_;
+  MdnsConfig config_;
+  Pcg32 rng_;
+  ServiceCache cache_;
+
+  bool initialized_ = false;
+  SdRole role_ = SdRole::kServiceUser;
+  std::uint64_t generation_ = 0;
+  std::uint32_t next_txn_id_ = 1;
+
+  std::map<std::string, Publication> published_;
+  std::map<ServiceType, Search> searches_;
+  Counters counters_;
+};
+
+}  // namespace excovery::sd

@@ -1,0 +1,109 @@
+#include "sd/message.hpp"
+
+namespace excovery::sd {
+
+namespace {
+/// Magic tag so stray non-SD payloads fail fast in decode().
+constexpr std::uint16_t kMagic = 0x5D5D;
+constexpr std::uint8_t kVersion = 1;
+}  // namespace
+
+std::string_view to_string(MessageKind kind) noexcept {
+  switch (kind) {
+    case MessageKind::kQuery: return "query";
+    case MessageKind::kResponse: return "response";
+    case MessageKind::kAnnounce: return "announce";
+    case MessageKind::kGoodbye: return "goodbye";
+    case MessageKind::kProbe: return "probe";
+    case MessageKind::kScmQuery: return "scm_query";
+    case MessageKind::kScmAdvert: return "scm_advert";
+    case MessageKind::kRegister: return "register";
+    case MessageKind::kRegisterAck: return "register_ack";
+    case MessageKind::kDeregister: return "deregister";
+    case MessageKind::kDirectedQuery: return "directed_query";
+    case MessageKind::kDirectedReply: return "directed_reply";
+  }
+  return "?";
+}
+
+Bytes encode(const SdMessage& message) {
+  ByteWriter w;
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(message.kind));
+  w.u32(message.txn_id);
+  w.string(message.service_type);
+  w.string(message.sender_name);
+  w.u32(message.lease_seconds);
+  w.u16(static_cast<std::uint16_t>(message.records.size()));
+  for (const ServiceRecord& record : message.records) {
+    w.string(record.instance.instance_name);
+    w.string(record.instance.type);
+    w.u32(record.instance.provider.raw());
+    w.u16(record.instance.port);
+    w.u32(record.instance.version);
+    w.u32(record.ttl_seconds);
+    w.u16(static_cast<std::uint16_t>(record.instance.attributes.size()));
+    for (const auto& [key, value] : record.instance.attributes) {
+      w.string(key);
+      w.string(value);
+    }
+  }
+  w.u16(static_cast<std::uint16_t>(message.known_answers.size()));
+  for (const KnownAnswer& ka : message.known_answers) {
+    w.string(ka.instance_name);
+    w.u32(ka.remaining_ttl_seconds);
+  }
+  return w.take();
+}
+
+Result<SdMessage> decode(const Bytes& payload) {
+  ByteReader r(payload);
+  EXC_ASSIGN_OR_RETURN(std::uint16_t magic, r.u16());
+  if (magic != kMagic) return err_parse("not an SD message (bad magic)");
+  EXC_ASSIGN_OR_RETURN(std::uint8_t version, r.u8());
+  if (version != kVersion) {
+    return err_parse("unsupported SD message version " +
+                     std::to_string(version));
+  }
+  SdMessage message;
+  EXC_ASSIGN_OR_RETURN(std::uint8_t kind, r.u8());
+  if ((kind < 1 || kind > 5) && (kind < 10 || kind > 16)) {
+    return err_parse("unknown SD message kind " + std::to_string(kind));
+  }
+  message.kind = static_cast<MessageKind>(kind);
+  EXC_ASSIGN_OR_RETURN(message.txn_id, r.u32());
+  EXC_ASSIGN_OR_RETURN(message.service_type, r.string());
+  EXC_ASSIGN_OR_RETURN(message.sender_name, r.string());
+  EXC_ASSIGN_OR_RETURN(message.lease_seconds, r.u32());
+  EXC_ASSIGN_OR_RETURN(std::uint16_t record_count, r.u16());
+  message.records.reserve(record_count);
+  for (std::uint16_t i = 0; i < record_count; ++i) {
+    ServiceRecord record;
+    EXC_ASSIGN_OR_RETURN(record.instance.instance_name, r.string());
+    EXC_ASSIGN_OR_RETURN(record.instance.type, r.string());
+    EXC_ASSIGN_OR_RETURN(std::uint32_t addr, r.u32());
+    record.instance.provider = net::Address(addr);
+    EXC_ASSIGN_OR_RETURN(record.instance.port, r.u16());
+    EXC_ASSIGN_OR_RETURN(record.instance.version, r.u32());
+    EXC_ASSIGN_OR_RETURN(record.ttl_seconds, r.u32());
+    EXC_ASSIGN_OR_RETURN(std::uint16_t attr_count, r.u16());
+    for (std::uint16_t j = 0; j < attr_count; ++j) {
+      EXC_ASSIGN_OR_RETURN(std::string key, r.string());
+      EXC_ASSIGN_OR_RETURN(std::string value, r.string());
+      record.instance.attributes.emplace(std::move(key), std::move(value));
+    }
+    message.records.push_back(std::move(record));
+  }
+  EXC_ASSIGN_OR_RETURN(std::uint16_t ka_count, r.u16());
+  message.known_answers.reserve(ka_count);
+  for (std::uint16_t i = 0; i < ka_count; ++i) {
+    KnownAnswer ka;
+    EXC_ASSIGN_OR_RETURN(ka.instance_name, r.string());
+    EXC_ASSIGN_OR_RETURN(ka.remaining_ttl_seconds, r.u32());
+    message.known_answers.push_back(std::move(ka));
+  }
+  return message;
+}
+
+}  // namespace excovery::sd

@@ -1,0 +1,79 @@
+// Wire format of the SD protocols.
+//
+// One message framing serves both the mDNS-style and the SLP-style
+// protocol (they differ in message kinds used and in transport pattern).
+// Every message carries a transaction id; responses echo the id of the
+// query that solicited them — this reproduces the paper's modification of
+// Avahi "to allow the association of request and response pairs" (§VI),
+// enabling response-time analysis at packet level, not just operation
+// level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "sd/model.hpp"
+
+namespace excovery::sd {
+
+enum class MessageKind : std::uint8_t {
+  // Two-party (mDNS-style)
+  kQuery = 1,        ///< multicast question for a service type
+  kResponse = 2,     ///< answer carrying service records
+  kAnnounce = 3,     ///< unsolicited announcement (passive discovery)
+  kGoodbye = 4,      ///< record withdrawal (ttl = 0)
+  kProbe = 5,        ///< uniqueness probe before announcing
+  // Three-party (SLP-style)
+  kScmQuery = 10,    ///< multicast "where is a directory?"
+  kScmAdvert = 11,   ///< SCM advertisement (solicited or heartbeat)
+  kRegister = 12,    ///< SM -> SCM service registration
+  kRegisterAck = 13, ///< SCM -> SM acknowledgement
+  kDeregister = 14,  ///< SM -> SCM withdrawal
+  kDirectedQuery = 15,  ///< SU -> SCM unicast lookup
+  kDirectedReply = 16,  ///< SCM -> SU results
+};
+
+std::string_view to_string(MessageKind kind) noexcept;
+
+/// A service record as carried on the wire: the instance plus its remaining
+/// time-to-live in seconds.  ttl == 0 withdraws the record.
+struct ServiceRecord {
+  ServiceInstance instance;
+  std::uint32_t ttl_seconds = 120;
+
+  friend bool operator==(const ServiceRecord&,
+                         const ServiceRecord&) = default;
+};
+
+/// A known-answer entry in a query: responders suppress answers the asker
+/// already holds with at least half the original TTL (mDNS known-answer
+/// suppression).
+struct KnownAnswer {
+  std::string instance_name;
+  std::uint32_t remaining_ttl_seconds = 0;
+
+  friend bool operator==(const KnownAnswer&, const KnownAnswer&) = default;
+};
+
+struct SdMessage {
+  MessageKind kind = MessageKind::kQuery;
+  std::uint32_t txn_id = 0;    ///< request/response pairing id
+  ServiceType service_type;    ///< queried or carried type
+  std::vector<ServiceRecord> records;
+  std::vector<KnownAnswer> known_answers;
+  std::uint32_t lease_seconds = 0;  ///< registration lease (3-party)
+  std::string sender_name;     ///< SM/SCM identity for registration events
+
+  friend bool operator==(const SdMessage&, const SdMessage&) = default;
+};
+
+/// Serialise to a packet payload.
+Bytes encode(const SdMessage& message);
+
+/// Parse a payload; malformed payloads yield kParse errors (a real stack
+/// must tolerate garbage — fault injection can corrupt content).
+Result<SdMessage> decode(const Bytes& payload);
+
+}  // namespace excovery::sd

@@ -1,0 +1,30 @@
+#include "sd/model.hpp"
+
+#include "common/strings.hpp"
+
+namespace excovery::sd {
+
+Result<SdRole> parse_role(const std::string& text) {
+  std::string t = strings::to_lower(strings::trim(strings::strip_quotes(text)));
+  if (t == "su" || t == "user" || t == "service_user") {
+    return SdRole::kServiceUser;
+  }
+  if (t == "sm" || t == "manager" || t == "service_manager") {
+    return SdRole::kServiceManager;
+  }
+  if (t == "scm" || t == "cache" || t == "service_cache_manager") {
+    return SdRole::kServiceCacheManager;
+  }
+  return err_invalid("unknown SD role '" + text + "'");
+}
+
+std::string_view to_string(SdRole role) noexcept {
+  switch (role) {
+    case SdRole::kServiceUser: return "SU";
+    case SdRole::kServiceManager: return "SM";
+    case SdRole::kServiceCacheManager: return "SCM";
+  }
+  return "?";
+}
+
+}  // namespace excovery::sd

@@ -1,0 +1,142 @@
+// The abstract service discovery model (§III and §V of the paper).
+//
+// Roles follow the Dabrowski/Mills/Quirolgico taxonomy the paper adopts:
+// service user (SU), service manager (SM), service cache manager (SCM).
+// The action set is §V's: Init SD, Exit SD, Start/Stop searching,
+// Start/Stop publishing, Update publication; each emits the events named
+// there.  "The description does not intend to model an SDP specific
+// behavior in detail ... so that multiple implementations which adhere to
+// the same SD concepts can be compared in experiments" — hence the SdAgent
+// interface with three implementations (mdns two-party, slp three-party,
+// hybrid).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/value.hpp"
+#include "net/address.hpp"
+
+namespace excovery::sd {
+
+/// Discovery role of a node (§III-A).
+enum class SdRole {
+  kServiceUser,          ///< SU — discovers services
+  kServiceManager,       ///< SM — publishes services
+  kServiceCacheManager,  ///< SCM — directory of registrations (3-party only)
+};
+
+Result<SdRole> parse_role(const std::string& text);
+std::string_view to_string(SdRole role) noexcept;
+
+/// An abstract service ("service type / service class", §III-A),
+/// e.g. "_expservice._udp".
+using ServiceType = std::string;
+
+/// A concrete service instance: "The SM identity, a service type
+/// specification, an interface location or network address and optionally,
+/// various additional attributes" (§III-A).
+struct ServiceInstance {
+  std::string instance_name;  ///< unique identity, e.g. "printer-42"
+  ServiceType type;
+  net::Address provider;      ///< interface location
+  net::Port port = 0;
+  std::map<std::string, std::string> attributes;  ///< TXT-style metadata
+  std::uint32_t version = 1;  ///< bumped by Update publication
+
+  friend bool operator==(const ServiceInstance&,
+                         const ServiceInstance&) = default;
+};
+
+// ---- the event vocabulary of §V -----------------------------------------
+namespace events {
+inline constexpr std::string_view kInitDone = "sd_init_done";
+inline constexpr std::string_view kExitDone = "sd_exit_done";
+inline constexpr std::string_view kStartSearch = "sd_start_search";
+inline constexpr std::string_view kStopSearch = "sd_stop_search";
+inline constexpr std::string_view kServiceAdd = "sd_service_add";
+inline constexpr std::string_view kServiceDel = "sd_service_del";
+inline constexpr std::string_view kServiceUpd = "sd_service_upd";
+inline constexpr std::string_view kStartPublish = "sd_start_publish";
+inline constexpr std::string_view kStopPublish = "sd_stop_publish";
+inline constexpr std::string_view kScmStarted = "scm_started";
+inline constexpr std::string_view kScmFound = "scm_found";
+inline constexpr std::string_view kScmRegistrationAdd = "scm_registration_add";
+inline constexpr std::string_view kScmRegistrationDel = "scm_registration_del";
+inline constexpr std::string_view kScmRegistrationUpd = "scm_registration_upd";
+}  // namespace events
+
+/// Sink for SD events: (event name, parameter).  The agent does not know
+/// which node it runs on from ExCovery's perspective; the core layer binds
+/// the sink to the node's event recorder.
+using SdEventSink =
+    std::function<void(std::string_view event, const Value& parameter)>;
+
+/// The abstract SD agent every protocol implements (§V action set).
+class SdAgent {
+ public:
+  virtual ~SdAgent() = default;
+
+  /// "Init SD — Mandatory action to allow participation of a node in the
+  /// SD."  Emits sd_init_done (and scm_started when role is SCM).
+  /// `params` configures SDP-specific knobs.
+  virtual Status init(SdRole role, const ValueMap& params) = 0;
+
+  /// "Exit SD — Stops the previously started role and all assigned searches
+  /// and publishings", emits sd_exit_done.
+  virtual Status exit() = 0;
+
+  /// "Start searching — initiates a continuous SD process for a given
+  /// service type", emits sd_start_search; discovered services emit
+  /// sd_service_add with the instance identifier as parameter.
+  virtual Status start_search(const ServiceType& type) = 0;
+
+  /// "Stop searching", emits sd_stop_search.
+  virtual Status stop_search(const ServiceType& type) = 0;
+
+  /// "Start publishing", emits sd_start_publish.
+  virtual Status start_publish(const ServiceInstance& instance) = 0;
+
+  /// "Stop publishing — gracefully", emits sd_stop_publish.
+  virtual Status stop_publish(const std::string& instance_name) = 0;
+
+  /// "Update publication", emits sd_service_upd before the update.
+  virtual Status update_publication(const ServiceInstance& instance) = 0;
+
+  /// Services currently known for a type (local cache view).
+  virtual std::vector<ServiceInstance> discovered(
+      const ServiceType& type) const = 0;
+
+  virtual bool initialized() const = 0;
+  virtual SdRole role() const = 0;
+
+  /// "Executing SDPs are allowed to generate user specified events which
+  /// will be recorded by ExCovery" (§V).
+  void generate_event(std::string_view name, const Value& parameter) {
+    if (sink_) sink_(name, parameter);
+  }
+
+  void set_event_sink(SdEventSink sink) { sink_ = std::move(sink); }
+
+ protected:
+  void emit(std::string_view event, const Value& parameter = {}) {
+    if (sink_) sink_(event, parameter);
+  }
+
+ private:
+  SdEventSink sink_;
+};
+
+/// Port of the SLP-style three-party protocol (427 is real SLP's).
+inline constexpr net::Port kSlpPort = 427;
+
+/// Multicast group of the SLP-style protocol (SLP uses 239.255.255.253).
+inline constexpr net::Address slp_multicast() noexcept {
+  return net::Address(239, 255, 255, 253);
+}
+
+}  // namespace excovery::sd

@@ -1,0 +1,523 @@
+#include "sd/slp.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace excovery::sd {
+
+namespace {
+constexpr const char* kComponent = "sd.slp";
+}
+
+SlpAgent::SlpAgent(net::Network& network, net::NodeId node,
+                   const SlpConfig& config)
+    : network_(network),
+      node_(node),
+      config_(config),
+      rng_(RngFactory(config.seed ^ fnv1a64(network.topology().node(node).name))
+               .stream("slp-agent")),
+      cache_(network.scheduler()),
+      scm_query_interval_current_(config.scm_query_interval) {
+  cache_.set_listener([this](CacheChange change,
+                             const ServiceInstance& instance) {
+    if (searches_.find(instance.type) == searches_.end()) return;
+    switch (change) {
+      case CacheChange::kAdded:
+        emit(events::kServiceAdd, Value{instance.instance_name});
+        break;
+      case CacheChange::kUpdated:
+        emit(events::kServiceUpd, Value{instance.instance_name});
+        break;
+      case CacheChange::kRemoved:
+      case CacheChange::kExpired:
+        emit(events::kServiceDel, Value{instance.instance_name});
+        break;
+    }
+  });
+}
+
+SlpAgent::~SlpAgent() {
+  if (initialized_) (void)exit();
+}
+
+template <typename Fn>
+void SlpAgent::schedule(sim::SimDuration delay, Fn&& fn) {
+  std::uint64_t generation = generation_;
+  network_.scheduler().schedule(
+      delay, [this, generation, fn = std::forward<Fn>(fn)]() mutable {
+        if (generation != generation_) return;
+        fn();
+      });
+}
+
+Status SlpAgent::init(SdRole role, const ValueMap& params) {
+  if (initialized_) return err_state("slp agent already initialised");
+  if (const auto it = params.find("lease_seconds"); it != params.end()) {
+    EXC_ASSIGN_OR_RETURN(std::int64_t lease, it->second.to_int());
+    if (lease <= 0) return err_invalid("lease_seconds must be positive");
+    config_.lease_seconds = static_cast<std::uint32_t>(lease);
+  }
+  role_ = role;
+  initialized_ = true;
+
+  network_.join_group(node_, slp_multicast());
+  network_.bind(node_, kSlpPort,
+                [this](net::NodeId, const net::Packet& packet) {
+                  on_packet(packet);
+                });
+
+  schedule(config_.startup_delay, [this] {
+    if (role_ == SdRole::kServiceCacheManager) {
+      // "When the SCM parameter is used, the node generates a scm_started
+      // event" (§V).
+      emit(events::kScmStarted,
+           Value{network_.topology().node(node_).name});
+      advert_heartbeat();
+      expire_registrations();
+    } else {
+      // SU/SM: begin SCM discovery ("discoverable items such [as] scopes
+      // and SCMs are discovered" during Init SD).
+      schedule_scm_query(sim::SimDuration::zero());
+    }
+    emit(events::kInitDone, Value{to_string(role_).data()});
+  });
+  return {};
+}
+
+Status SlpAgent::exit() {
+  if (!initialized_) return err_state("slp agent not initialised");
+  // Deregister everything still published (graceful withdrawal).
+  if (scm_.has_value()) {
+    for (const auto& [name, publication] : published_) {
+      if (!publication.registered) continue;
+      SdMessage msg;
+      msg.kind = MessageKind::kDeregister;
+      msg.txn_id = next_txn();
+      msg.service_type = publication.instance.type;
+      msg.sender_name = network_.topology().node(node_).name;
+      msg.records.push_back(ServiceRecord{publication.instance, 0});
+      send_unicast(*scm_, msg);
+    }
+  }
+  published_.clear();
+  for (auto& [type, search] : searches_) {
+    network_.scheduler().cancel(search.poll_timer);
+  }
+  searches_.clear();
+  registrations_.clear();
+  cache_.clear();
+  scm_.reset();
+  network_.unbind(node_, kSlpPort);
+  network_.leave_group(node_, slp_multicast());
+  ++generation_;
+  initialized_ = false;
+  emit(events::kExitDone);
+  return {};
+}
+
+// ---- SCM discovery (SU/SM side) -------------------------------------------
+
+void SlpAgent::schedule_scm_query(sim::SimDuration delay) {
+  schedule(delay, [this] {
+    if (scm_.has_value()) return;  // found meanwhile
+    send_scm_query();
+    sim::SimDuration next = scm_query_interval_current_;
+    auto widened = static_cast<std::int64_t>(
+        static_cast<double>(next.nanos()) * config_.scm_query_backoff);
+    scm_query_interval_current_ =
+        std::min(sim::SimDuration(widened), config_.scm_query_interval_max);
+    schedule_scm_query(next);
+  });
+}
+
+void SlpAgent::send_scm_query() {
+  SdMessage query;
+  query.kind = MessageKind::kScmQuery;
+  query.txn_id = next_txn();
+  query.sender_name = network_.topology().node(node_).name;
+  counters_.scm_queries_sent++;
+  send_multicast(query);
+}
+
+void SlpAgent::handle_scm_advert(const SdMessage& message, net::Address from) {
+  if (role_ == SdRole::kServiceCacheManager) return;
+  last_advert_ = network_.scheduler().now();
+  bool is_new = !scm_.has_value() || *scm_ != from;
+  if (is_new) {
+    scm_ = from;
+    // "SU and SM agents keep looking for SCMs and emit scm_found events
+    // when a SCM has been discovered" (§V).
+    emit(events::kScmFound, Value{message.sender_name});
+    // Register pending publications and kick active searches immediately.
+    for (const auto& [name, publication] : published_) {
+      if (!publication.registered) register_publication(name);
+    }
+    for (const auto& [type, search] : searches_) {
+      (void)search;
+      poll_scm(type);
+    }
+  }
+  // Watchdog: declare the SCM lost if adverts stop.
+  schedule(config_.scm_timeout, [this] {
+    if (!scm_.has_value()) return;
+    sim::SimDuration silent = network_.scheduler().now() - last_advert_;
+    if (silent >= config_.scm_timeout) scm_lost();
+  });
+}
+
+void SlpAgent::scm_lost() {
+  EXC_LOG_INFO(kComponent, "SCM lost on node "
+                               << network_.topology().node(node_).name);
+  scm_.reset();
+  for (auto& [name, publication] : published_) publication.registered = false;
+  scm_query_interval_current_ = config_.scm_query_interval;
+  schedule_scm_query(sim::SimDuration::zero());
+}
+
+// ---- registration (SM side) ------------------------------------------------
+
+void SlpAgent::register_publication(const std::string& instance_name) {
+  auto it = published_.find(instance_name);
+  if (it == published_.end() || !scm_.has_value()) return;
+  SdMessage msg;
+  msg.kind = MessageKind::kRegister;
+  msg.txn_id = next_txn();
+  msg.service_type = it->second.instance.type;
+  msg.sender_name = network_.topology().node(node_).name;
+  msg.lease_seconds = config_.lease_seconds;
+  msg.records.push_back(
+      ServiceRecord{it->second.instance, config_.record_ttl_seconds});
+  counters_.registers_sent++;
+  send_unicast(*scm_, msg);
+  // Optimistic: mark registered; the ack confirms, loss is healed by the
+  // half-lease renewal below.
+  it->second.registered = true;
+  schedule_renewal(instance_name);
+}
+
+void SlpAgent::schedule_renewal(const std::string& instance_name) {
+  sim::SimDuration half_lease = sim::SimDuration::from_seconds(
+      static_cast<double>(config_.lease_seconds) / 2.0);
+  schedule(half_lease, [this, instance_name] {
+    auto it = published_.find(instance_name);
+    if (it == published_.end()) return;  // unpublished meanwhile
+    if (!scm_.has_value()) {
+      it->second.registered = false;
+      return;
+    }
+    SdMessage msg;
+    msg.kind = MessageKind::kRegister;
+    msg.txn_id = next_txn();
+    msg.service_type = it->second.instance.type;
+    msg.sender_name = network_.topology().node(node_).name;
+    msg.lease_seconds = config_.lease_seconds;
+    msg.records.push_back(
+        ServiceRecord{it->second.instance, config_.record_ttl_seconds});
+    counters_.renewals_sent++;
+    send_unicast(*scm_, msg);
+    schedule_renewal(instance_name);
+  });
+}
+
+// ---- SCM side ---------------------------------------------------------------
+
+void SlpAgent::advert_heartbeat() {
+  SdMessage advert;
+  advert.kind = MessageKind::kScmAdvert;
+  advert.txn_id = next_txn();
+  advert.sender_name = network_.topology().node(node_).name;
+  counters_.adverts_sent++;
+  send_multicast(advert);
+  schedule(config_.advert_interval, [this] { advert_heartbeat(); });
+}
+
+void SlpAgent::expire_registrations() {
+  sim::SimTime now = network_.scheduler().now();
+  for (auto it = registrations_.begin(); it != registrations_.end();) {
+    if (it->second.lease_expires <= now) {
+      counters_.registrations_expired++;
+      // "when a registration is revoked or changed, the respective events
+      // scm_registration_del ..." — lease expiry revokes.
+      emit(events::kScmRegistrationDel, Value{it->second.owner});
+      it = registrations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  schedule(sim::SimDuration::from_seconds(1), [this] {
+    expire_registrations();
+  });
+}
+
+void SlpAgent::handle_scm_query(const SdMessage& message, net::Address from) {
+  if (role_ != SdRole::kServiceCacheManager) return;
+  SdMessage advert;
+  advert.kind = MessageKind::kScmAdvert;
+  advert.txn_id = message.txn_id;  // pair the solicited advert
+  advert.sender_name = network_.topology().node(node_).name;
+  counters_.adverts_sent++;
+  send_unicast(from, advert);
+}
+
+void SlpAgent::handle_register(const SdMessage& message, net::Address from) {
+  if (role_ != SdRole::kServiceCacheManager) return;
+  for (const ServiceRecord& record : message.records) {
+    const std::string& name = record.instance.instance_name;
+    sim::SimTime expires =
+        network_.scheduler().now() +
+        sim::SimDuration::from_seconds(
+            static_cast<double>(message.lease_seconds > 0
+                                    ? message.lease_seconds
+                                    : config_.lease_seconds));
+    auto it = registrations_.find(name);
+    if (it == registrations_.end()) {
+      registrations_.emplace(
+          name, Registration{record, message.sender_name, expires});
+      // "If an SM registers its service on an SCM node, a
+      // scm_registration_add event is generated with the registering
+      // node's identification as parameter" (§V).
+      emit(events::kScmRegistrationAdd, Value{message.sender_name});
+    } else {
+      bool changed =
+          record.instance.version > it->second.record.instance.version;
+      it->second.record = record;
+      it->second.lease_expires = expires;
+      if (changed) {
+        emit(events::kScmRegistrationUpd, Value{message.sender_name});
+      }
+    }
+  }
+  SdMessage ack;
+  ack.kind = MessageKind::kRegisterAck;
+  ack.txn_id = message.txn_id;
+  ack.sender_name = network_.topology().node(node_).name;
+  ack.lease_seconds = config_.lease_seconds;
+  send_unicast(from, ack);
+}
+
+void SlpAgent::handle_deregister(const SdMessage& message) {
+  if (role_ != SdRole::kServiceCacheManager) return;
+  for (const ServiceRecord& record : message.records) {
+    auto it = registrations_.find(record.instance.instance_name);
+    if (it == registrations_.end()) continue;
+    emit(events::kScmRegistrationDel, Value{it->second.owner});
+    registrations_.erase(it);
+  }
+}
+
+void SlpAgent::handle_directed_query(const SdMessage& message,
+                                     net::Address from) {
+  if (role_ != SdRole::kServiceCacheManager) return;
+  SdMessage reply;
+  reply.kind = MessageKind::kDirectedReply;
+  reply.txn_id = message.txn_id;
+  reply.service_type = message.service_type;
+  reply.sender_name = network_.topology().node(node_).name;
+  for (const auto& [name, registration] : registrations_) {
+    if (registration.record.instance.type == message.service_type) {
+      reply.records.push_back(registration.record);
+    }
+  }
+  counters_.directed_replies_sent++;
+  send_unicast(from, reply);
+}
+
+// ---- directed discovery (SU side) -------------------------------------------
+
+void SlpAgent::poll_scm(const ServiceType& type) {
+  if (!scm_.has_value()) return;
+  auto it = searches_.find(type);
+  if (it == searches_.end()) return;
+  SdMessage query;
+  query.kind = MessageKind::kDirectedQuery;
+  query.txn_id = next_txn();
+  query.service_type = type;
+  query.sender_name = network_.topology().node(node_).name;
+  counters_.directed_queries_sent++;
+  send_unicast(*scm_, query);
+
+  std::uint64_t generation = generation_;
+  it->second.poll_timer = network_.scheduler().schedule(
+      config_.poll_interval, [this, generation, type] {
+        if (generation != generation_) return;
+        poll_scm(type);
+      });
+}
+
+void SlpAgent::handle_directed_reply(const SdMessage& message) {
+  for (const ServiceRecord& record : message.records) {
+    cache_.store(record);
+  }
+}
+
+// ---- SdAgent actions ---------------------------------------------------------
+
+Status SlpAgent::start_search(const ServiceType& type) {
+  if (!initialized_) return err_state("start_search before init");
+  if (role_ == SdRole::kServiceCacheManager) {
+    return err_state("SCM nodes do not search");
+  }
+  if (searches_.find(type) != searches_.end()) {
+    return err_state("search for '" + type + "' already active");
+  }
+  searches_.emplace(type, Search{type, {}});
+  emit(events::kStartSearch, Value{type});
+  for (const ServiceInstance& instance : cache_.instances(type)) {
+    emit(events::kServiceAdd, Value{instance.instance_name});
+  }
+  // Directed discovery starts as soon as an SCM is known; otherwise the
+  // SCM discovery loop is already running and will kick the poll.
+  poll_scm(type);
+  return {};
+}
+
+Status SlpAgent::stop_search(const ServiceType& type) {
+  if (!initialized_) return err_state("stop_search before init");
+  auto it = searches_.find(type);
+  if (it == searches_.end()) {
+    return err_state("no active search for '" + type + "'");
+  }
+  network_.scheduler().cancel(it->second.poll_timer);
+  searches_.erase(it);
+  // "Includes removal of any notification request previously given to
+  // SCMs" — polling simply stops.
+  emit(events::kStopSearch, Value{type});
+  return {};
+}
+
+Status SlpAgent::start_publish(const ServiceInstance& instance) {
+  if (!initialized_) return err_state("start_publish before init");
+  if (role_ != SdRole::kServiceManager) {
+    return err_state("only SM nodes publish services");
+  }
+  if (published_.find(instance.instance_name) != published_.end()) {
+    return err_state("instance '" + instance.instance_name +
+                     "' already published");
+  }
+  Publication publication;
+  publication.instance = instance;
+  if (publication.instance.provider.is_unspecified()) {
+    publication.instance.provider = network_.topology().node(node_).address;
+  }
+  std::string name = publication.instance.instance_name;
+  published_.emplace(name, std::move(publication));
+  emit(events::kStartPublish, Value{name});
+  if (scm_.has_value()) register_publication(name);
+  return {};
+}
+
+Status SlpAgent::stop_publish(const std::string& instance_name) {
+  if (!initialized_) return err_state("stop_publish before init");
+  auto it = published_.find(instance_name);
+  if (it == published_.end()) {
+    return err_state("instance '" + instance_name + "' is not published");
+  }
+  if (it->second.registered && scm_.has_value()) {
+    SdMessage msg;
+    msg.kind = MessageKind::kDeregister;
+    msg.txn_id = next_txn();
+    msg.service_type = it->second.instance.type;
+    msg.sender_name = network_.topology().node(node_).name;
+    msg.records.push_back(ServiceRecord{it->second.instance, 0});
+    send_unicast(*scm_, msg);
+  }
+  published_.erase(it);
+  emit(events::kStopPublish, Value{instance_name});
+  return {};
+}
+
+Status SlpAgent::update_publication(const ServiceInstance& instance) {
+  if (!initialized_) return err_state("update_publication before init");
+  auto it = published_.find(instance.instance_name);
+  if (it == published_.end()) {
+    return err_state("instance '" + instance.instance_name +
+                     "' is not published");
+  }
+  emit(events::kServiceUpd, Value{instance.instance_name});
+  ServiceInstance updated = instance;
+  if (updated.provider.is_unspecified()) {
+    updated.provider = network_.topology().node(node_).address;
+  }
+  updated.version = it->second.instance.version + 1;
+  it->second.instance = updated;
+  if (scm_.has_value()) {
+    SdMessage msg;
+    msg.kind = MessageKind::kRegister;
+    msg.txn_id = next_txn();
+    msg.service_type = updated.type;
+    msg.sender_name = network_.topology().node(node_).name;
+    msg.lease_seconds = config_.lease_seconds;
+    msg.records.push_back(ServiceRecord{updated, config_.record_ttl_seconds});
+    counters_.registers_sent++;
+    send_unicast(*scm_, msg);
+  }
+  return {};
+}
+
+std::vector<ServiceInstance> SlpAgent::discovered(
+    const ServiceType& type) const {
+  return cache_.instances(type);
+}
+
+// ---- transport ----------------------------------------------------------------
+
+void SlpAgent::send_multicast(const SdMessage& message) {
+  net::Packet packet;
+  packet.dst = slp_multicast();
+  packet.src_port = kSlpPort;
+  packet.dst_port = kSlpPort;
+  packet.ttl = config_.multicast_ttl;
+  packet.payload = encode(message);
+  Result<std::uint64_t> sent = network_.send(node_, std::move(packet));
+  if (!sent.ok()) {
+    EXC_LOG_WARN(kComponent, "multicast send failed: "
+                                 << sent.error().to_string());
+  }
+}
+
+void SlpAgent::send_unicast(net::Address to, const SdMessage& message) {
+  net::Packet packet;
+  packet.dst = to;
+  packet.src_port = kSlpPort;
+  packet.dst_port = kSlpPort;
+  packet.payload = encode(message);
+  Result<std::uint64_t> sent = network_.send(node_, std::move(packet));
+  if (!sent.ok()) {
+    EXC_LOG_WARN(kComponent,
+                 "unicast send failed: " << sent.error().to_string());
+  }
+}
+
+void SlpAgent::on_packet(const net::Packet& packet) {
+  Result<SdMessage> decoded = decode(packet.payload);
+  if (!decoded.ok()) return;
+  const SdMessage& message = decoded.value();
+  if (message.sender_name == network_.topology().node(node_).name) return;
+  switch (message.kind) {
+    case MessageKind::kScmQuery:
+      handle_scm_query(message, packet.src);
+      break;
+    case MessageKind::kScmAdvert:
+      handle_scm_advert(message, packet.src);
+      break;
+    case MessageKind::kRegister:
+      handle_register(message, packet.src);
+      break;
+    case MessageKind::kRegisterAck:
+      break;  // optimistic registration; ack is informational
+    case MessageKind::kDeregister:
+      handle_deregister(message);
+      break;
+    case MessageKind::kDirectedQuery:
+      handle_directed_query(message, packet.src);
+      break;
+    case MessageKind::kDirectedReply:
+      handle_directed_reply(message);
+      break;
+    default:
+      break;  // two-party kinds are not ours
+  }
+}
+
+}  // namespace excovery::sd

@@ -1,0 +1,160 @@
+// Three-party (centralised) SD protocol in the style of SLP with a
+// directory agent — the SCM of the paper's general SD model (§III).
+//
+// Roles:
+//  * SCM (directory agent): announces itself with multicast adverts
+//    (heartbeat) and answers multicast SCM-discovery queries with unicast
+//    adverts; holds service registrations with leases; emits
+//    scm_started / scm_registration_{add,upd,del}.
+//  * SM (service agent): discovers an SCM (active multicast query with
+//    back-off, or passively via heartbeats), emits scm_found, then
+//    registers its services unicast with a lease and renews at half-lease.
+//  * SU (user agent): discovers an SCM the same way, then performs
+//    *directed discovery* — unicast queries to the SCM, polled while a
+//    search is active; results populate the local cache which emits
+//    sd_service_add / sd_service_del.
+//
+// All timers and random delays are deterministic in the config seed.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sd/cache.hpp"
+#include "sd/message.hpp"
+#include "sd/model.hpp"
+
+namespace excovery::sd {
+
+struct SlpConfig {
+  sim::SimDuration startup_delay = sim::SimDuration::from_millis(50);
+
+  /// SCM heartbeat advert period.
+  sim::SimDuration advert_interval = sim::SimDuration::from_seconds(5);
+  /// SCM discovery query schedule (SM/SU side).
+  sim::SimDuration scm_query_interval = sim::SimDuration::from_millis(1000);
+  double scm_query_backoff = 2.0;
+  sim::SimDuration scm_query_interval_max =
+      sim::SimDuration::from_seconds(30);
+
+  /// Registration lease granted by the SCM; SMs renew at half-lease.
+  std::uint32_t lease_seconds = 60;
+  /// SU poll period while a search is active.
+  sim::SimDuration poll_interval = sim::SimDuration::from_seconds(2);
+  /// If no advert is heard for this long, the SCM is presumed gone.
+  sim::SimDuration scm_timeout = sim::SimDuration::from_seconds(12);
+
+  std::uint32_t record_ttl_seconds = 120;
+  std::uint8_t multicast_ttl = 32;
+  std::uint64_t seed = 0;
+};
+
+class SlpAgent final : public SdAgent {
+ public:
+  SlpAgent(net::Network& network, net::NodeId node,
+           const SlpConfig& config = {});
+  ~SlpAgent() override;
+
+  SlpAgent(const SlpAgent&) = delete;
+  SlpAgent& operator=(const SlpAgent&) = delete;
+
+  Status init(SdRole role, const ValueMap& params) override;
+  Status exit() override;
+  Status start_search(const ServiceType& type) override;
+  Status stop_search(const ServiceType& type) override;
+  Status start_publish(const ServiceInstance& instance) override;
+  Status stop_publish(const std::string& instance_name) override;
+  Status update_publication(const ServiceInstance& instance) override;
+
+  std::vector<ServiceInstance> discovered(
+      const ServiceType& type) const override;
+  bool initialized() const override { return initialized_; }
+  SdRole role() const override { return role_; }
+
+  /// Address of the SCM currently known to this agent (SU/SM side).
+  std::optional<net::Address> known_scm() const noexcept { return scm_; }
+
+  /// SCM side: number of live registrations.
+  std::size_t registration_count() const noexcept {
+    return registrations_.size();
+  }
+
+  struct Counters {
+    std::uint64_t scm_queries_sent = 0;
+    std::uint64_t adverts_sent = 0;
+    std::uint64_t registers_sent = 0;
+    std::uint64_t renewals_sent = 0;
+    std::uint64_t directed_queries_sent = 0;
+    std::uint64_t directed_replies_sent = 0;
+    std::uint64_t registrations_expired = 0;
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  struct Registration {       // SCM-side state per instance
+    ServiceRecord record;
+    std::string owner;        // registering SM name
+    sim::SimTime lease_expires;
+  };
+  struct Publication {        // SM-side state per instance
+    ServiceInstance instance;
+    bool registered = false;
+  };
+  struct Search {
+    ServiceType type;
+    sim::TimerHandle poll_timer;
+  };
+
+  void on_packet(const net::Packet& packet);
+  // SCM side
+  void handle_scm_query(const SdMessage& message, net::Address from);
+  void handle_register(const SdMessage& message, net::Address from);
+  void handle_deregister(const SdMessage& message);
+  void handle_directed_query(const SdMessage& message, net::Address from);
+  void advert_heartbeat();
+  void expire_registrations();
+  // SM/SU side
+  void handle_scm_advert(const SdMessage& message, net::Address from);
+  void handle_directed_reply(const SdMessage& message);
+  void send_scm_query();
+  void schedule_scm_query(sim::SimDuration delay);
+  void register_publication(const std::string& instance_name);
+  void schedule_renewal(const std::string& instance_name);
+  void poll_scm(const ServiceType& type);
+  void scm_lost();
+
+  void send_multicast(const SdMessage& message);
+  void send_unicast(net::Address to, const SdMessage& message);
+  std::uint32_t next_txn() { return next_txn_id_++; }
+
+  template <typename Fn>
+  void schedule(sim::SimDuration delay, Fn&& fn);
+
+  net::Network& network_;
+  net::NodeId node_;
+  SlpConfig config_;
+  Pcg32 rng_;
+  ServiceCache cache_;
+
+  bool initialized_ = false;
+  SdRole role_ = SdRole::kServiceUser;
+  std::uint64_t generation_ = 0;
+  std::uint32_t next_txn_id_ = 1;
+
+  // SU/SM side
+  std::optional<net::Address> scm_;
+  sim::SimTime last_advert_;
+  sim::SimDuration scm_query_interval_current_;
+  std::map<std::string, Publication> published_;
+  std::map<ServiceType, Search> searches_;
+
+  // SCM side
+  std::map<std::string, Registration> registrations_;
+
+  Counters counters_;
+};
+
+}  // namespace excovery::sd

@@ -1,0 +1,34 @@
+#include "sim/clock.hpp"
+
+#include <cmath>
+
+namespace excovery::sim {
+
+LocalClock::LocalClock(const ClockModel& model, std::uint64_t jitter_seed)
+    : model_(model), jitter_rng_(jitter_seed, jitter_seed ^ 0x9E3779B9ULL) {}
+
+SimTime LocalClock::read(SimTime global) {
+  SimTime local = local_at(global);
+  if (model_.read_jitter.nanos() > 0) {
+    std::int64_t j = jitter_rng_.uniform_int(-model_.read_jitter.nanos(),
+                                             model_.read_jitter.nanos());
+    local += SimDuration(j);
+  }
+  return local;
+}
+
+SimTime LocalClock::local_at(SimTime global) const noexcept {
+  double scale = 1.0 + model_.drift_ppm * 1e-6;
+  auto scaled = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(global.nanos()) * scale));
+  return SimTime(model_.offset.nanos() + scaled);
+}
+
+SimTime LocalClock::global_at(SimTime local) const noexcept {
+  double scale = 1.0 + model_.drift_ppm * 1e-6;
+  auto unscaled = static_cast<std::int64_t>(std::llround(
+      static_cast<double>(local.nanos() - model_.offset.nanos()) / scale));
+  return SimTime(unscaled);
+}
+
+}  // namespace excovery::sim

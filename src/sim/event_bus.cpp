@@ -1,0 +1,46 @@
+#include "sim/event_bus.hpp"
+
+#include <algorithm>
+
+namespace excovery::sim {
+
+SubscriptionHandle EventBus::subscribe(std::string name, Callback fn) {
+  std::uint64_t id = next_id_++;
+  subscribers_.push_back(Subscriber{id, std::move(name), std::move(fn), false});
+  return SubscriptionHandle(id);
+}
+
+void EventBus::unsubscribe(SubscriptionHandle handle) {
+  if (!handle.valid()) return;
+  for (Subscriber& s : subscribers_) {
+    if (s.id == handle.id_) {
+      s.removed = true;
+      needs_compaction_ = true;
+      return;
+    }
+  }
+}
+
+void EventBus::publish(const BusEvent& event) {
+  ++published_;
+  ++publish_depth_;
+  // Index-based loop: callbacks may subscribe (push_back) reentrantly; those
+  // new subscribers do not see the current event.
+  std::size_t count = subscribers_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    Subscriber& s = subscribers_[i];
+    if (s.removed) continue;
+    if (!s.name.empty() && s.name != event.name) continue;
+    s.fn(event);
+  }
+  --publish_depth_;
+  if (publish_depth_ == 0 && needs_compaction_) {
+    subscribers_.erase(
+        std::remove_if(subscribers_.begin(), subscribers_.end(),
+                       [](const Subscriber& s) { return s.removed; }),
+        subscribers_.end());
+    needs_compaction_ = false;
+  }
+}
+
+}  // namespace excovery::sim

@@ -1,0 +1,73 @@
+// Topic-based publish/subscribe bus.
+//
+// ExCovery's flow control (`wait_for_event`, §IV-C2) is built on observing
+// events by name, origin and parameters.  The bus carries *framework*
+// events: process-interpreter waits subscribe here, action implementations
+// and protocol stacks publish here.  (Network packets do NOT travel on this
+// bus; they go through the network simulator.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/value.hpp"
+#include "sim/time.hpp"
+
+namespace excovery::sim {
+
+/// An occurrence of a named event at a node.
+struct BusEvent {
+  SimTime time;            ///< global (reference) time of occurrence
+  std::string node;        ///< originating node identifier
+  std::string name;        ///< event type, e.g. "sd_service_add"
+  Value parameter;         ///< optional parameter (service id, run id, ...)
+};
+
+/// Subscription handle.
+class SubscriptionHandle {
+ public:
+  SubscriptionHandle() = default;
+  bool valid() const noexcept { return id_ != 0; }
+
+ private:
+  friend class EventBus;
+  explicit SubscriptionHandle(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Synchronous pub/sub with wildcard subscription.  Callbacks run inline at
+/// publish time (within the discrete-event step), preserving determinism.
+/// Subscribers added or removed during a publish take effect for the next
+/// publish.
+class EventBus {
+ public:
+  using Callback = std::function<void(const BusEvent&)>;
+
+  /// Subscribe to events with a given name; empty name = all events.
+  SubscriptionHandle subscribe(std::string name, Callback fn);
+  void unsubscribe(SubscriptionHandle handle);
+
+  void publish(const BusEvent& event);
+
+  /// Number of events published so far.
+  std::uint64_t published() const noexcept { return published_; }
+
+ private:
+  struct Subscriber {
+    std::uint64_t id;
+    std::string name;  // empty = wildcard
+    Callback fn;
+    bool removed = false;
+  };
+
+  std::uint64_t next_id_ = 1;
+  std::uint64_t published_ = 0;
+  std::vector<Subscriber> subscribers_;
+  int publish_depth_ = 0;
+  bool needs_compaction_ = false;
+};
+
+}  // namespace excovery::sim

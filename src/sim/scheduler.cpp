@@ -1,0 +1,69 @@
+#include "sim/scheduler.hpp"
+
+namespace excovery::sim {
+
+TimerHandle Scheduler::schedule(SimDuration delay, Callback fn) {
+  if (delay < SimDuration::zero()) delay = SimDuration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerHandle Scheduler::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  std::uint64_t id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id,
+                    std::make_shared<Callback>(std::move(fn))});
+  live_.insert(id);
+  return TimerHandle(id);
+}
+
+void Scheduler::cancel(TimerHandle handle) {
+  if (!handle.valid()) return;
+  // Erasing from the live set marks the queue entry as dead; the queue pop
+  // skips entries whose id is no longer live.
+  live_.erase(handle.id());
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    auto it = live_.find(entry.id);
+    if (it == live_.end()) continue;  // cancelled
+    live_.erase(it);
+    now_ = entry.when;
+    ++executed_;
+    (*entry.fn)();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run(std::size_t limit) {
+  std::size_t executed = 0;
+  while ((limit == 0 || executed < limit) && step()) ++executed;
+  return executed;
+}
+
+std::size_t Scheduler::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    // Skip over cancelled heads without advancing time.
+    Entry entry = queue_.top();
+    auto it = live_.find(entry.id);
+    if (it == live_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.when > deadline) break;
+    queue_.pop();
+    live_.erase(it);
+    now_ = entry.when;
+    ++executed_;
+    ++executed;
+    (*entry.fn)();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace excovery::sim

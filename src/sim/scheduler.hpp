@@ -1,0 +1,86 @@
+// Discrete-event scheduler.
+//
+// The kernel of the simulated platform: a time-ordered queue of callbacks.
+// Ties at equal timestamps break on insertion sequence number, so execution
+// order is a pure function of the schedule calls — the whole simulation is
+// deterministic and replayable (a platform property §IV-A depends on).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace excovery::sim {
+
+/// Handle for cancelling a scheduled event.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  bool valid() const noexcept { return id_ != 0; }
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  friend class Scheduler;
+  explicit TimerHandle(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` from now.  Negative delays clamp to now.
+  TimerHandle schedule(SimDuration delay, Callback fn);
+  /// Schedule at an absolute time (>= now; earlier clamps to now).
+  TimerHandle schedule_at(SimTime when, Callback fn);
+  /// Cancel a pending event; no-op if it already ran or was cancelled.
+  void cancel(TimerHandle handle);
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const noexcept { return live_.size(); }
+  bool idle() const noexcept { return pending() == 0; }
+
+  /// Run a single event; returns false when the queue is empty.
+  bool step();
+  /// Run until the queue drains or `limit` events executed (0 = unlimited).
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = 0);
+  /// Run events with timestamps <= deadline; clock ends at
+  /// max(reached, deadline).  Returns events executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Total events executed since construction (for overhead metrics).
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Callbacks live outside the priority queue entries via shared storage
+    // to keep Entry cheap to move within the heap.
+    std::shared_ptr<Callback> fn;
+
+    bool operator>(const Entry& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  /// Ids of scheduled-but-not-yet-executed (and not cancelled) events.
+  std::unordered_set<std::uint64_t> live_;
+};
+
+}  // namespace excovery::sim

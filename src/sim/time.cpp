@@ -1,0 +1,11 @@
+#include "sim/time.hpp"
+
+#include "common/strings.hpp"
+
+namespace excovery::sim {
+
+std::string SimTime::to_string() const {
+  return strings::format("%.6fs", seconds());
+}
+
+}  // namespace excovery::sim

@@ -1,0 +1,66 @@
+// Simulated time.
+//
+// All simulation timestamps are integer nanoseconds from the start of the
+// simulation ("global reference time").  Integer arithmetic keeps the
+// discrete-event kernel fully deterministic; the ExCovery measurement layer
+// converts to seconds only at reporting boundaries.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace excovery::sim {
+
+/// A point in simulated time (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t nanos) noexcept : nanos_(nanos) {}
+
+  static constexpr SimTime zero() noexcept { return SimTime(0); }
+  static constexpr SimTime max() noexcept {
+    return SimTime(INT64_MAX);
+  }
+  static constexpr SimTime from_seconds(double seconds) noexcept {
+    return SimTime(static_cast<std::int64_t>(seconds * 1e9));
+  }
+  static constexpr SimTime from_millis(std::int64_t ms) noexcept {
+    return SimTime(ms * 1'000'000);
+  }
+  static constexpr SimTime from_micros(std::int64_t us) noexcept {
+    return SimTime(us * 1'000);
+  }
+
+  constexpr std::int64_t nanos() const noexcept { return nanos_; }
+  constexpr double seconds() const noexcept {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+  constexpr double millis() const noexcept {
+    return static_cast<double>(nanos_) / 1e6;
+  }
+
+  /// "1.234567s" style rendering for logs and timelines.
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  constexpr SimTime operator+(SimTime d) const noexcept {
+    return SimTime(nanos_ + d.nanos_);
+  }
+  constexpr SimTime operator-(SimTime d) const noexcept {
+    return SimTime(nanos_ - d.nanos_);
+  }
+  constexpr SimTime& operator+=(SimTime d) noexcept {
+    nanos_ += d.nanos_;
+    return *this;
+  }
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+/// A duration alias; semantically distinct but representationally equal.
+using SimDuration = SimTime;
+
+}  // namespace excovery::sim

@@ -1,0 +1,106 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace excovery::stats {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double m = mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - m) * (v - m);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+double min_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  p = std::clamp(p, 0.0, 100.0);
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  auto lower = static_cast<std::size_t>(rank);
+  double frac = rank - static_cast<double>(lower);
+  if (lower + 1 >= values.size()) return values.back();
+  return values[lower] * (1.0 - frac) + values[lower + 1] * frac;
+}
+
+Proportion wilson(std::size_t successes, std::size_t trials) {
+  Proportion out;
+  out.successes = successes;
+  out.trials = trials;
+  if (trials == 0) return out;
+  constexpr double z = 1.959963985;  // 95%
+  double n = static_cast<double>(trials);
+  double p = static_cast<double>(successes) / n;
+  out.estimate = p;
+  double z2 = z * z;
+  double denom = 1.0 + z2 / n;
+  double centre = p + z2 / (2.0 * n);
+  double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  out.lower = std::max(0.0, (centre - margin) / denom);
+  out.upper = std::min(1.0, (centre + margin) / denom);
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((value - lo_) / width);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+  double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+std::string Histogram::format(std::size_t width) const {
+  std::size_t peak = 0;
+  for (std::size_t count : counts_) peak = std::max(peak, count);
+  std::string out;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    double lower = bin_lower(bin);
+    double upper = bin_lower(bin + 1);
+    std::size_t bar =
+        peak == 0 ? 0 : counts_[bin] * width / peak;
+    out += strings::format("%8.3f-%-8.3f | %-*s %zu\n", lower, upper,
+                           static_cast<int>(width),
+                           std::string(bar, '#').c_str(), counts_[bin]);
+  }
+  if (underflow_ > 0) out += strings::format("underflow: %zu\n", underflow_);
+  if (overflow_ > 0) out += strings::format("overflow:  %zu\n", overflow_);
+  return out;
+}
+
+}  // namespace excovery::stats

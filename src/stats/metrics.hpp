@@ -1,0 +1,56 @@
+// Descriptive statistics used by the analysis layer and the benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace excovery::stats {
+
+double mean(const std::vector<double>& values);
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double stddev(const std::vector<double>& values);
+double min_of(const std::vector<double>& values);
+double max_of(const std::vector<double>& values);
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> values, double p);
+inline double median(std::vector<double> values) {
+  return percentile(std::move(values), 50.0);
+}
+
+/// Wilson score interval for a binomial proportion (successes/trials) at
+/// ~95% confidence (z = 1.96).  The interval of choice for responsiveness
+/// estimates, which sit near 1.0 where the normal approximation fails.
+struct Proportion {
+  double estimate = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  std::size_t successes = 0;
+  std::size_t trials = 0;
+};
+Proportion wilson(std::size_t successes, std::size_t trials);
+
+/// Equal-width histogram.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  std::size_t count() const noexcept { return total_; }
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double bin_lower(std::size_t bin) const;
+
+  /// "0.00-0.10 | ####### 42" style rendering.
+  std::string format(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace excovery::stats

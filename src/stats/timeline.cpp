@@ -1,0 +1,102 @@
+#include "stats/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.hpp"
+
+namespace excovery::stats {
+
+Result<std::string> render_timeline(const storage::ExperimentPackage& package,
+                                    std::int64_t run_id,
+                                    const TimelineOptions& options) {
+  EXC_ASSIGN_OR_RETURN(std::vector<storage::EventRow> events,
+                       package.events(run_id));
+  if (events.empty()) {
+    return err_not_found("run " + std::to_string(run_id) + " has no events");
+  }
+
+  double t0 = events.front().common_time;
+  double t1 = events.back().common_time;
+  double span = std::max(t1 - t0, 1e-9);
+  std::size_t width = std::max<std::size_t>(options.width, 16);
+  auto column = [&](double time) {
+    auto c = static_cast<std::size_t>((time - t0) / span *
+                                      static_cast<double>(width - 1));
+    return std::min(c, width - 1);
+  };
+
+  // Lanes in order of first appearance.
+  std::vector<std::string> lanes;
+  for (const storage::EventRow& event : events) {
+    if (std::find(lanes.begin(), lanes.end(), event.node_id) == lanes.end()) {
+      lanes.push_back(event.node_id);
+    }
+  }
+  std::size_t lane_width = 12;
+  for (const std::string& lane : lanes) {
+    lane_width = std::max(lane_width, lane.size() + 2);
+  }
+
+  auto draw_marker = [&](const storage::EventRow& event) {
+    if (options.marker_events.empty()) return true;
+    return std::find(options.marker_events.begin(),
+                     options.marker_events.end(),
+                     event.event_type) != options.marker_events.end();
+  };
+
+  std::string out;
+  out += strings::format("run %lld timeline  [%.6fs .. %.6fs]\n",
+                         static_cast<long long>(run_id), t0, t1);
+
+  // Phase ruler: preparation ends at the first sd_start_search, clean-up
+  // begins at the first "done" (the Fig. 11 convention).
+  if (options.mark_phases) {
+    double search = -1;
+    double done = -1;
+    for (const storage::EventRow& event : events) {
+      if (event.event_type == "sd_start_search" && search < 0) {
+        search = event.common_time;
+      }
+      if (event.event_type == "done" && done < 0) done = event.common_time;
+    }
+    std::string ruler(width, ' ');
+    if (search >= 0) ruler[column(search)] = '|';
+    if (done >= 0) ruler[column(done)] = '|';
+    out += std::string(lane_width, ' ') + ruler + "\n";
+    std::string labels(width, ' ');
+    auto place = [&](double time, const std::string& text) {
+      if (time < 0) return;
+      std::size_t at = column(time);
+      for (std::size_t i = 0; i < text.size() && at + i < width; ++i) {
+        labels[at + i] = text[i];
+      }
+    };
+    place(search, "<execute");
+    place(done, "<clean-up");
+    out += std::string(lane_width, ' ') + labels + "\n";
+  }
+
+  // One lane per node: '*' marks an event occurrence.
+  for (const std::string& lane : lanes) {
+    std::string row(width, '-');
+    for (const storage::EventRow& event : events) {
+      if (event.node_id != lane || !draw_marker(event)) continue;
+      row[column(event.common_time)] = '*';
+    }
+    out += strings::format("%-*s%s\n", static_cast<int>(lane_width),
+                           lane.c_str(), row.c_str());
+  }
+
+  // Legend: the marked events in time order, with lane and column.
+  out += "\n";
+  for (const storage::EventRow& event : events) {
+    if (!draw_marker(event)) continue;
+    out += strings::format("  %10.6fs  %-12s %-24s %s\n", event.common_time,
+                           event.node_id.c_str(), event.event_type.c_str(),
+                           event.parameter.c_str());
+  }
+  return out;
+}
+
+}  // namespace excovery::stats

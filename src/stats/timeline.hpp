@@ -1,0 +1,30 @@
+// Experiment visualisation (§I: the formal description "allows for
+// automatic checking, execution and additional features, such as
+// visualisation of experiments").
+//
+// Renders a run's conditioned event record as a Fig. 11-style timeline:
+// one lane per node, actions/events placed on a common time axis, phases
+// annotated.  Output is plain text so it works in logs and terminals.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "storage/package.hpp"
+
+namespace excovery::stats {
+
+struct TimelineOptions {
+  std::size_t width = 72;       ///< characters for the time axis
+  bool mark_phases = true;      ///< annotate prepare/execute/clean-up
+  /// Events drawn as lane markers; others are listed beneath.  Empty =
+  /// every event gets a marker.
+  std::vector<std::string> marker_events;
+};
+
+/// Render one run of a package as an ASCII timeline.
+Result<std::string> render_timeline(const storage::ExperimentPackage& package,
+                                    std::int64_t run_id,
+                                    const TimelineOptions& options = {});
+
+}  // namespace excovery::stats

@@ -1,0 +1,86 @@
+#include "storage/conditioning.hpp"
+
+namespace excovery::storage {
+
+double to_common_time(std::int64_t local_time_ns, std::int64_t offset_ns) {
+  return static_cast<double>(local_time_ns - offset_ns) / 1e9;
+}
+
+Result<ExperimentPackage> condition(const Level2Store& level2,
+                                    const std::string& description_xml,
+                                    const ConditioningOptions& options) {
+  ExperimentPackage package;
+  EXC_TRY(package.set_experiment_info(description_xml, options.experiment_name,
+                                      options.comment));
+
+  auto include_run = [&](std::int64_t run_id) {
+    return !options.completed_runs_only || level2.run_complete(run_id);
+  };
+
+  // RunInfos from the master's sync measurements.
+  for (const SyncMeasurement& sync : level2.syncs()) {
+    if (!include_run(sync.run_id)) continue;
+    RunInfoRow info;
+    info.run_id = sync.run_id;
+    info.node_id = sync.node;
+    info.start_time = static_cast<double>(sync.run_start_ns) / 1e9;
+    info.time_diff = static_cast<double>(sync.offset_ns) / 1e9;
+    EXC_TRY(package.add_run_info(info));
+  }
+
+  std::int64_t measurement_id = 1;
+  for (const std::string& node_name : level2.node_names()) {
+    const NodeStore* store = level2.find_node(node_name);
+    // Logs.
+    if (!store->log().empty()) {
+      EXC_TRY(package.add_log(node_name, store->log()));
+    }
+    // Events: split into single entries on the common time base.
+    for (const RawEvent& event : store->events()) {
+      if (!include_run(event.run_id)) continue;
+      EventRow row;
+      row.run_id = event.run_id;
+      row.node_id = node_name;
+      row.common_time = to_common_time(
+          event.local_time_ns, level2.offset_ns(event.run_id, node_name));
+      row.event_type = event.type;
+      row.parameter = event.parameter.to_text();
+      EXC_TRY(package.add_event(row));
+    }
+    // Packets.
+    for (const RawPacket& packet : store->packets()) {
+      if (!include_run(packet.run_id)) continue;
+      PacketRow row;
+      row.run_id = packet.run_id;
+      row.node_id = node_name;
+      row.common_time = to_common_time(
+          packet.local_time_ns, level2.offset_ns(packet.run_id, node_name));
+      row.src_node_id = packet.src_node;
+      row.data = packet.data;
+      EXC_TRY(package.add_packet(row));
+    }
+    // Named blobs: experiment-scoped go to ExperimentMeasurements,
+    // run-scoped (and plugin data) to ExtraRunMeasurements.
+    for (const NamedBlob& blob : store->blobs()) {
+      if (blob.run_id < 0) {
+        EXC_TRY(package.add_experiment_measurement(measurement_id++, node_name,
+                                                   blob.name, blob.content));
+      } else if (include_run(blob.run_id)) {
+        EXC_TRY(package.add_extra_run_measurement(blob.run_id, node_name,
+                                                  blob.name, blob.content));
+      }
+    }
+    for (const NamedBlob& blob : store->plugin_data()) {
+      if (blob.run_id < 0) {
+        EXC_TRY(package.add_experiment_measurement(measurement_id++, node_name,
+                                                   blob.name, blob.content));
+      } else if (include_run(blob.run_id)) {
+        EXC_TRY(package.add_extra_run_measurement(blob.run_id, node_name,
+                                                  blob.name, blob.content));
+      }
+    }
+  }
+  return package;
+}
+
+}  // namespace excovery::storage

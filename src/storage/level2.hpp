@@ -1,0 +1,142 @@
+// Level-2 (intermediate) storage: raw, unconditioned measurement data.
+//
+// §IV-B5: "Each participating node has its own temporary storage for
+// recorded data, organized into data belonging to single runs and data
+// valid for the complete experiment.  Time synchronization measurements are
+// stored on the experiment master.  Plugins have a separate storage
+// location on the node where the custom measurements are done."
+//
+// Timestamps here are *local* node clock readings in integer nanoseconds;
+// conditioning (conditioning.hpp) maps them onto the common time base.
+// The store persists as a file-system hierarchy (one binary store per node
+// plus one for the master) so that collection and resume-after-abort can
+// pick it up, mirroring the prototype's "special hierarchy on a file
+// system".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/value.hpp"
+
+namespace excovery::storage {
+
+/// A raw (unconditioned) event record on a node.
+struct RawEvent {
+  std::int64_t run_id = 0;
+  std::int64_t local_time_ns = 0;
+  std::string type;
+  Value parameter;
+};
+
+/// A raw captured packet on a node.
+struct RawPacket {
+  std::int64_t run_id = 0;
+  std::int64_t local_time_ns = 0;
+  std::string src_node;
+  Bytes data;
+};
+
+/// A named blob, run-scoped or experiment-scoped.
+struct NamedBlob {
+  std::int64_t run_id = -1;  ///< -1 = experiment-scoped
+  std::string name;
+  std::string content;
+};
+
+/// Per-node temporary storage.
+class NodeStore {
+ public:
+  void record_event(RawEvent event) { events_.push_back(std::move(event)); }
+  void record_packet(RawPacket packet) {
+    packets_.push_back(std::move(packet));
+  }
+  void add_run_blob(std::int64_t run_id, std::string name,
+                    std::string content) {
+    blobs_.push_back({run_id, std::move(name), std::move(content)});
+  }
+  void add_experiment_blob(std::string name, std::string content) {
+    blobs_.push_back({-1, std::move(name), std::move(content)});
+  }
+  /// Plugin measurements live in their own location (§IV-B5).
+  void add_plugin_measurement(std::int64_t run_id, std::string plugin,
+                              std::string name, std::string content) {
+    plugin_data_.push_back(
+        {run_id, plugin + "/" + std::move(name), std::move(content)});
+  }
+  void append_log(const std::string& text) { log_ += text; }
+
+  const std::vector<RawEvent>& events() const noexcept { return events_; }
+  const std::vector<RawPacket>& packets() const noexcept { return packets_; }
+  const std::vector<NamedBlob>& blobs() const noexcept { return blobs_; }
+  const std::vector<NamedBlob>& plugin_data() const noexcept {
+    return plugin_data_;
+  }
+  const std::string& log() const noexcept { return log_; }
+
+  /// Drop data belonging to one run (used when an aborted run is re-done).
+  void discard_run(std::int64_t run_id);
+
+  void clear();
+
+  Bytes serialize() const;
+  static Result<NodeStore> deserialize(const Bytes& data);
+
+ private:
+  std::vector<RawEvent> events_;
+  std::vector<RawPacket> packets_;
+  std::vector<NamedBlob> blobs_;
+  std::vector<NamedBlob> plugin_data_;
+  std::string log_;
+};
+
+/// Time-sync estimate for one (run, node), held by the master.
+struct SyncMeasurement {
+  std::int64_t run_id = 0;
+  std::string node;
+  std::int64_t offset_ns = 0;      ///< estimated local - reference offset
+  std::int64_t run_start_ns = 0;   ///< reference-time start of the run
+};
+
+/// The complete level-2 store: per-node stores plus master-side data.
+class Level2Store {
+ public:
+  NodeStore& node(const std::string& name) { return nodes_[name]; }
+  const NodeStore* find_node(const std::string& name) const;
+  std::vector<std::string> node_names() const;
+
+  void add_sync(SyncMeasurement sync) { syncs_.push_back(std::move(sync)); }
+  const std::vector<SyncMeasurement>& syncs() const noexcept { return syncs_; }
+  /// Offset estimate for (run, node); 0 if not measured.
+  std::int64_t offset_ns(std::int64_t run_id, const std::string& node) const;
+
+  /// Runs that completed (collection only conditions complete runs; an
+  /// aborted run is resumed, §VII).
+  void mark_run_complete(std::int64_t run_id) {
+    completed_runs_.push_back(run_id);
+  }
+  const std::vector<std::int64_t>& completed_runs() const noexcept {
+    return completed_runs_;
+  }
+  bool run_complete(std::int64_t run_id) const;
+
+  /// Drop all traces of a run on every node (resume of an aborted run).
+  void discard_run(std::int64_t run_id);
+
+  void clear();
+
+  // ---- file-system hierarchy persistence -------------------------------
+  /// Writes <dir>/nodes/<name>.store and <dir>/master.store.
+  Status write_to_directory(const std::string& directory) const;
+  static Result<Level2Store> load_from_directory(const std::string& directory);
+
+ private:
+  std::map<std::string, NodeStore> nodes_;
+  std::vector<SyncMeasurement> syncs_;
+  std::vector<std::int64_t> completed_runs_;
+};
+
+}  // namespace excovery::storage

@@ -1,0 +1,283 @@
+#include "storage/package.hpp"
+
+#include <algorithm>
+
+namespace excovery::storage {
+
+namespace {
+
+TableSchema experiment_info_schema() {
+  return {"ExperimentInfo",
+          {{"ExpXML", ValueType::kString, false},
+           {"EEVersion", ValueType::kString, false},
+           {"Name", ValueType::kString, false},
+           {"Comment", ValueType::kString, true}}};
+}
+TableSchema logs_schema() {
+  return {"Logs",
+          {{"NodeID", ValueType::kString, false},
+           {"Log", ValueType::kString, false}}};
+}
+TableSchema ee_files_schema() {
+  return {"EEFiles",
+          {{"ID", ValueType::kString, false},
+           {"File", ValueType::kBytes, false}}};
+}
+TableSchema experiment_measurements_schema() {
+  return {"ExperimentMeasurements",
+          {{"ID", ValueType::kInt, false},
+           {"NodeID", ValueType::kString, false},
+           {"Name", ValueType::kString, false},
+           {"Content", ValueType::kString, true}}};
+}
+TableSchema run_infos_schema() {
+  return {"RunInfos",
+          {{"RunID", ValueType::kInt, false},
+           {"NodeID", ValueType::kString, false},
+           {"StartTime", ValueType::kDouble, false},
+           {"TimeDiff", ValueType::kDouble, false}}};
+}
+TableSchema extra_run_measurements_schema() {
+  return {"ExtraRunMeasurements",
+          {{"RunID", ValueType::kInt, false},
+           {"NodeID", ValueType::kString, false},
+           {"Name", ValueType::kString, false},
+           {"Content", ValueType::kString, true}}};
+}
+TableSchema events_schema() {
+  return {"Events",
+          {{"RunID", ValueType::kInt, false},
+           {"NodeID", ValueType::kString, false},
+           {"CommonTime", ValueType::kDouble, false},
+           {"EventType", ValueType::kString, false},
+           {"Parameter", ValueType::kString, true}}};
+}
+TableSchema packets_schema() {
+  return {"Packets",
+          {{"RunID", ValueType::kInt, false},
+           {"NodeID", ValueType::kString, false},
+           {"CommonTime", ValueType::kDouble, false},
+           {"SrcNodeID", ValueType::kString, false},
+           {"Data", ValueType::kBytes, false}}};
+}
+
+const char* kRequiredTables[] = {
+    "ExperimentInfo", "Logs",      "EEFiles",
+    "ExperimentMeasurements",      "RunInfos",
+    "ExtraRunMeasurements",        "Events",
+    "Packets"};
+
+}  // namespace
+
+ExperimentPackage::ExperimentPackage() {
+  // Creation of the canonical schema cannot fail on an empty database.
+  (void)db_.create_table(experiment_info_schema());
+  (void)db_.create_table(logs_schema());
+  (void)db_.create_table(ee_files_schema());
+  (void)db_.create_table(experiment_measurements_schema());
+  (void)db_.create_table(run_infos_schema());
+  (void)db_.create_table(extra_run_measurements_schema());
+  (void)db_.create_table(events_schema());
+  (void)db_.create_table(packets_schema());
+}
+
+Result<ExperimentPackage> ExperimentPackage::from_database(Database db) {
+  ExperimentPackage package(std::move(db));
+  EXC_TRY(package.check_schema());
+  return package;
+}
+
+Result<ExperimentPackage> ExperimentPackage::load(const std::string& path) {
+  EXC_ASSIGN_OR_RETURN(Database db, Database::load(path));
+  return from_database(std::move(db));
+}
+
+Status ExperimentPackage::check_schema() const {
+  for (const char* name : kRequiredTables) {
+    if (!db_.table(name)) {
+      return err_validation(std::string("package missing table '") + name +
+                            "'");
+    }
+  }
+  return {};
+}
+
+Status ExperimentPackage::set_experiment_info(
+    const std::string& description_xml, const std::string& name,
+    const std::string& comment) {
+  Table* info = db_.table("ExperimentInfo");
+  if (info->row_count() != 0) {
+    return err_state("ExperimentInfo already set (single-tuple table)");
+  }
+  return info->insert(
+      {Value{description_xml}, Value{kEeVersion}, Value{name}, Value{comment}});
+}
+
+Result<std::string> ExperimentPackage::description_xml() const {
+  const Table* info = db_.table("ExperimentInfo");
+  if (info->row_count() != 1) return err_state("ExperimentInfo not set");
+  return info->rows().front()[0].as_string();
+}
+
+Result<std::string> ExperimentPackage::experiment_name() const {
+  const Table* info = db_.table("ExperimentInfo");
+  if (info->row_count() != 1) return err_state("ExperimentInfo not set");
+  return info->rows().front()[2].as_string();
+}
+
+Result<std::string> ExperimentPackage::ee_version() const {
+  const Table* info = db_.table("ExperimentInfo");
+  if (info->row_count() != 1) return err_state("ExperimentInfo not set");
+  return info->rows().front()[1].as_string();
+}
+
+Status ExperimentPackage::add_log(const std::string& node_id,
+                                  const std::string& log_text) {
+  return db_.table("Logs")->insert({Value{node_id}, Value{log_text}});
+}
+
+Status ExperimentPackage::add_ee_file(const std::string& id, Bytes contents) {
+  return db_.table("EEFiles")->insert({Value{id}, Value{std::move(contents)}});
+}
+
+Status ExperimentPackage::add_experiment_measurement(std::int64_t id,
+                                                     const std::string& node_id,
+                                                     const std::string& name,
+                                                     const std::string& content) {
+  return db_.table("ExperimentMeasurements")
+      ->insert({Value{id}, Value{node_id}, Value{name}, Value{content}});
+}
+
+Status ExperimentPackage::add_run_info(const RunInfoRow& info) {
+  return db_.table("RunInfos")
+      ->insert({Value{info.run_id}, Value{info.node_id},
+                Value{info.start_time}, Value{info.time_diff}});
+}
+
+Status ExperimentPackage::add_extra_run_measurement(std::int64_t run_id,
+                                                    const std::string& node_id,
+                                                    const std::string& name,
+                                                    const std::string& content) {
+  return db_.table("ExtraRunMeasurements")
+      ->insert({Value{run_id}, Value{node_id}, Value{name}, Value{content}});
+}
+
+Status ExperimentPackage::add_event(const EventRow& event) {
+  return db_.table("Events")->insert(
+      {Value{event.run_id}, Value{event.node_id}, Value{event.common_time},
+       Value{event.event_type}, Value{event.parameter}});
+}
+
+Status ExperimentPackage::add_packet(const PacketRow& packet) {
+  return db_.table("Packets")->insert(
+      {Value{packet.run_id}, Value{packet.node_id}, Value{packet.common_time},
+       Value{packet.src_node_id}, Value{packet.data}});
+}
+
+namespace {
+EventRow event_from_row(const Row& row) {
+  EventRow event;
+  event.run_id = row[0].as_int();
+  event.node_id = row[1].as_string();
+  event.common_time = row[2].as_double();
+  event.event_type = row[3].as_string();
+  event.parameter = row[4].is_null() ? "" : row[4].as_string();
+  return event;
+}
+PacketRow packet_from_row(const Row& row) {
+  PacketRow packet;
+  packet.run_id = row[0].as_int();
+  packet.node_id = row[1].as_string();
+  packet.common_time = row[2].as_double();
+  packet.src_node_id = row[3].as_string();
+  packet.data = row[4].as_bytes();
+  return packet;
+}
+}  // namespace
+
+Result<std::vector<EventRow>> ExperimentPackage::events(
+    std::int64_t run_id) const {
+  const Table* table = db_.table("Events");
+  std::vector<const Row*> rows =
+      table->select_equals("RunID", Value{run_id});
+  std::stable_sort(rows.begin(), rows.end(), [](const Row* a, const Row* b) {
+    return (*a)[2].as_double() < (*b)[2].as_double();
+  });
+  std::vector<EventRow> out;
+  out.reserve(rows.size());
+  for (const Row* row : rows) out.push_back(event_from_row(*row));
+  return out;
+}
+
+Result<std::vector<EventRow>> ExperimentPackage::all_events() const {
+  const Table* table = db_.table("Events");
+  std::vector<const Row*> rows;
+  rows.reserve(table->row_count());
+  for (const Row& row : table->rows()) rows.push_back(&row);
+  std::stable_sort(rows.begin(), rows.end(), [](const Row* a, const Row* b) {
+    if ((*a)[0].as_int() != (*b)[0].as_int()) {
+      return (*a)[0].as_int() < (*b)[0].as_int();
+    }
+    return (*a)[2].as_double() < (*b)[2].as_double();
+  });
+  std::vector<EventRow> out;
+  out.reserve(rows.size());
+  for (const Row* row : rows) out.push_back(event_from_row(*row));
+  return out;
+}
+
+Result<std::vector<PacketRow>> ExperimentPackage::packets(
+    std::int64_t run_id) const {
+  const Table* table = db_.table("Packets");
+  std::vector<const Row*> rows =
+      table->select_equals("RunID", Value{run_id});
+  std::stable_sort(rows.begin(), rows.end(), [](const Row* a, const Row* b) {
+    return (*a)[2].as_double() < (*b)[2].as_double();
+  });
+  std::vector<PacketRow> out;
+  out.reserve(rows.size());
+  for (const Row* row : rows) out.push_back(packet_from_row(*row));
+  return out;
+}
+
+Result<std::vector<RunInfoRow>> ExperimentPackage::run_infos() const {
+  const Table* table = db_.table("RunInfos");
+  std::vector<RunInfoRow> out;
+  out.reserve(table->row_count());
+  for (const Row& row : table->rows()) {
+    RunInfoRow info;
+    info.run_id = row[0].as_int();
+    info.node_id = row[1].as_string();
+    info.start_time = row[2].as_double();
+    info.time_diff = row[3].as_double();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> ExperimentPackage::run_ids() const {
+  const Table* table = db_.table("RunInfos");
+  std::vector<std::int64_t> out;
+  for (const Row& row : table->rows()) out.push_back(row[0].as_int());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string ExperimentPackage::log_for(const std::string& node_id) const {
+  const Table* table = db_.table("Logs");
+  std::vector<const Row*> rows = table->select_equals("NodeID", Value{node_id});
+  std::string out;
+  for (const Row* row : rows) out += (*row)[1].as_string();
+  return out;
+}
+
+std::size_t ExperimentPackage::event_count() const {
+  return db_.table("Events")->row_count();
+}
+
+std::size_t ExperimentPackage::packet_count() const {
+  return db_.table("Packets")->row_count();
+}
+
+}  // namespace excovery::storage

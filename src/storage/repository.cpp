@@ -1,0 +1,110 @@
+#include "storage/repository.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace excovery::storage {
+
+namespace fs = std::filesystem;
+
+Result<Repository> Repository::open(const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return err_io("cannot create repository directory '" + directory +
+                  "': " + ec.message());
+  }
+  Repository repo(directory);
+  // Rebuild the index from the files actually present (self-healing if the
+  // index file is stale or missing).
+  std::vector<fs::path> entries;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    entries.push_back(entry.path());
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const fs::path& path : entries) {
+    if (path.extension() == ".excovery") {
+      repo.index_.emplace(path.stem().string(), path.filename().string());
+    }
+  }
+  return repo;
+}
+
+std::string Repository::path_for(const std::string& experiment_id) const {
+  return (fs::path(directory_) / (experiment_id + ".excovery")).string();
+}
+
+Status Repository::save_index() const {
+  std::ofstream out(fs::path(directory_) / "index.txt", std::ios::trunc);
+  if (!out) return err_io("cannot write repository index");
+  for (const auto& [id, file] : index_) out << id << "\t" << file << "\n";
+  return {};
+}
+
+Status Repository::store(const std::string& experiment_id,
+                         const ExperimentPackage& package) {
+  if (experiment_id.empty() ||
+      experiment_id.find('/') != std::string::npos ||
+      experiment_id.find('\\') != std::string::npos) {
+    return err_invalid("experiment id must be a non-empty plain name");
+  }
+  if (contains(experiment_id)) {
+    return err_state("experiment '" + experiment_id +
+                     "' already in repository");
+  }
+  EXC_TRY(package.save(path_for(experiment_id)));
+  index_.emplace(experiment_id, experiment_id + ".excovery");
+  return save_index();
+}
+
+Result<ExperimentPackage> Repository::fetch(
+    const std::string& experiment_id) const {
+  if (!contains(experiment_id)) {
+    return err_not_found("no experiment '" + experiment_id +
+                         "' in repository");
+  }
+  return ExperimentPackage::load(path_for(experiment_id));
+}
+
+bool Repository::contains(const std::string& experiment_id) const {
+  return index_.find(experiment_id) != index_.end();
+}
+
+std::vector<std::string> Repository::experiment_ids() const {
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [id, file] : index_) out.push_back(id);
+  return out;
+}
+
+Result<std::vector<Repository::CrossEvent>> Repository::events_of_type(
+    const std::string& event_type) const {
+  std::vector<CrossEvent> out;
+  for (const auto& [id, file] : index_) {
+    EXC_ASSIGN_OR_RETURN(ExperimentPackage package, fetch(id));
+    EXC_ASSIGN_OR_RETURN(std::vector<EventRow> events, package.all_events());
+    for (EventRow& event : events) {
+      if (event.event_type == event_type) {
+        out.push_back(CrossEvent{id, std::move(event)});
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Repository::Summary>> Repository::summaries() const {
+  std::vector<Summary> out;
+  for (const auto& [id, file] : index_) {
+    EXC_ASSIGN_OR_RETURN(ExperimentPackage package, fetch(id));
+    Summary summary;
+    summary.experiment_id = id;
+    summary.name = package.experiment_name().value_or("");
+    summary.runs = package.run_ids().size();
+    summary.events = package.event_count();
+    summary.packets = package.packet_count();
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+}  // namespace excovery::storage

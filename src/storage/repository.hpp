@@ -1,0 +1,70 @@
+// Level-4 storage: a repository of experiment packages.
+//
+// §IV-F: "The fourth level describes the integration of multiple
+// experiments into a single repository to facilitate comparison and
+// analysis covering multiple experiments.  To date, ExCovery does not
+// realize this level."  It is realised here (the paper marks it as future
+// work): a directory of level-3 packages with an index and cross-experiment
+// query helpers.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/package.hpp"
+
+namespace excovery::storage {
+
+class Repository {
+ public:
+  /// Open (or create) a repository rooted at a directory.
+  static Result<Repository> open(const std::string& directory);
+
+  const std::string& directory() const noexcept { return directory_; }
+
+  /// Store a package under a unique experiment id; persists it as
+  /// <dir>/<id>.excovery and updates the index.
+  Status store(const std::string& experiment_id,
+               const ExperimentPackage& package);
+
+  /// Load one experiment.
+  Result<ExperimentPackage> fetch(const std::string& experiment_id) const;
+
+  bool contains(const std::string& experiment_id) const;
+  /// All experiment ids, sorted.
+  std::vector<std::string> experiment_ids() const;
+  std::size_t size() const noexcept { return index_.size(); }
+
+  /// Cross-experiment query: every event of a given type across all stored
+  /// experiments, tagged with the experiment id.
+  struct CrossEvent {
+    std::string experiment_id;
+    EventRow event;
+  };
+  Result<std::vector<CrossEvent>> events_of_type(
+      const std::string& event_type) const;
+
+  /// Per-experiment summary (name, runs, events, packets) for comparison
+  /// tooling.
+  struct Summary {
+    std::string experiment_id;
+    std::string name;
+    std::size_t runs = 0;
+    std::size_t events = 0;
+    std::size_t packets = 0;
+  };
+  Result<std::vector<Summary>> summaries() const;
+
+ private:
+  explicit Repository(std::string directory)
+      : directory_(std::move(directory)) {}
+
+  std::string path_for(const std::string& experiment_id) const;
+  Status save_index() const;
+
+  std::string directory_;
+  std::map<std::string, std::string> index_;  // id -> file name
+};
+
+}  // namespace excovery::storage

@@ -1,0 +1,93 @@
+#include "storage/table.hpp"
+
+#include <algorithm>
+
+namespace excovery::storage {
+
+std::optional<std::size_t> TableSchema::column_index(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Status Table::insert(Row row) {
+  if (row.size() != schema_.columns.size()) {
+    return err_invalid("table '" + schema_.name + "': row arity " +
+                       std::to_string(row.size()) + " != " +
+                       std::to_string(schema_.columns.size()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const Column& column = schema_.columns[i];
+    if (row[i].is_null()) {
+      if (!column.nullable) {
+        return err_invalid("table '" + schema_.name + "': column '" +
+                           column.name + "' is not nullable");
+      }
+      continue;
+    }
+    // Int is acceptable where double is declared (numeric widening).
+    if (row[i].type() != column.type &&
+        !(column.type == ValueType::kDouble && row[i].is_int())) {
+      return err_invalid(
+          "table '" + schema_.name + "': column '" + column.name +
+          "' expects " + std::string(to_string(column.type)) + ", got " +
+          std::string(to_string(row[i].type())));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return {};
+}
+
+std::vector<const Row*> Table::select(const RowPredicate& predicate) const {
+  std::vector<const Row*> out;
+  for (const Row& row : rows_) {
+    if (predicate(row)) out.push_back(&row);
+  }
+  return out;
+}
+
+std::vector<const Row*> Table::select_equals(std::string_view column,
+                                             const Value& value) const {
+  std::optional<std::size_t> index = schema_.column_index(column);
+  if (!index) return {};
+  std::vector<const Row*> out;
+  for (const Row& row : rows_) {
+    if (row[*index] == value) out.push_back(&row);
+  }
+  return out;
+}
+
+Result<std::vector<const Row*>> Table::order_by(std::string_view column) const {
+  std::optional<std::size_t> index = schema_.column_index(column);
+  if (!index) {
+    return err_not_found("table '" + schema_.name + "' has no column '" +
+                         std::string(column) + "'");
+  }
+  std::vector<const Row*> out;
+  out.reserve(rows_.size());
+  for (const Row& row : rows_) out.push_back(&row);
+  std::stable_sort(out.begin(), out.end(),
+                   [i = *index](const Row* a, const Row* b) {
+                     return (*a)[i] < (*b)[i];
+                   });
+  return out;
+}
+
+std::size_t Table::count_equals(std::string_view column,
+                                const Value& value) const {
+  return select_equals(column, value).size();
+}
+
+Result<Value> Table::cell(const Row& row, std::string_view column) const {
+  std::optional<std::size_t> index = schema_.column_index(column);
+  if (!index) {
+    return err_not_found("table '" + schema_.name + "' has no column '" +
+                         std::string(column) + "'");
+  }
+  if (*index >= row.size()) return err_internal("row shorter than schema");
+  return row[*index];
+}
+
+}  // namespace excovery::storage

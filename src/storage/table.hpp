@@ -1,0 +1,72 @@
+// A typed in-memory relational table.
+//
+// Together with Database this is the stand-in for the prototype's SQLite
+// third-level store (§IV-F): typed columns, insertion, predicate scans and
+// ordered iteration, serialisable into a single binary package.  The query
+// surface is the small subset the paper's "reusable data access functions"
+// need — not a SQL engine.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/value.hpp"
+
+namespace excovery::storage {
+
+/// Column definition.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+  bool nullable = true;
+};
+
+/// Table definition.
+struct TableSchema {
+  std::string name;
+  std::vector<Column> columns;
+
+  /// Index of a column by name, or nullopt.
+  std::optional<std::size_t> column_index(std::string_view name) const;
+};
+
+using Row = ValueArray;
+using RowPredicate = std::function<bool(const Row&)>;
+
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const noexcept { return schema_; }
+  const std::string& name() const noexcept { return schema_.name; }
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  const std::vector<Row>& rows() const noexcept { return rows_; }
+
+  /// Insert a row; arity and types are checked (null allowed if nullable).
+  Status insert(Row row);
+
+  /// Rows matching a predicate.
+  std::vector<const Row*> select(const RowPredicate& predicate) const;
+  /// Rows where column == value.
+  std::vector<const Row*> select_equals(std::string_view column,
+                                        const Value& value) const;
+  /// All rows ordered ascending by a column (stable).
+  Result<std::vector<const Row*>> order_by(std::string_view column) const;
+
+  /// Count of rows matching column == value.
+  std::size_t count_equals(std::string_view column, const Value& value) const;
+
+  /// Column value of a row by name (checked).
+  Result<Value> cell(const Row& row, std::string_view column) const;
+
+  void clear() { rows_.clear(); }
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace excovery::storage

@@ -1,0 +1,168 @@
+#include "storage/warehouse.hpp"
+
+#include <map>
+
+#include "common/strings.hpp"
+
+namespace excovery::storage {
+
+Warehouse& Warehouse::ensure_schema() {
+  if (schema_ready_) return *this;
+  (void)db_.create_table(
+      {"DimExperiment",
+       {{"ExpKey", ValueType::kInt, false},
+        {"ExperimentID", ValueType::kString, false},
+        {"Name", ValueType::kString, false},
+        {"EEVersion", ValueType::kString, false}}});
+  (void)db_.create_table({"DimRun",
+                          {{"RunKey", ValueType::kInt, false},
+                           {"ExpKey", ValueType::kInt, false},
+                           {"RunID", ValueType::kInt, false},
+                           {"StartTime", ValueType::kDouble, false}}});
+  (void)db_.create_table({"DimNode",
+                          {{"NodeKey", ValueType::kInt, false},
+                           {"NodeID", ValueType::kString, false}}});
+  (void)db_.create_table({"DimEventType",
+                          {{"TypeKey", ValueType::kInt, false},
+                           {"EventType", ValueType::kString, false}}});
+  (void)db_.create_table({"FactEvent",
+                          {{"ExpKey", ValueType::kInt, false},
+                           {"RunKey", ValueType::kInt, false},
+                           {"NodeKey", ValueType::kInt, false},
+                           {"TypeKey", ValueType::kInt, false},
+                           {"CommonTime", ValueType::kDouble, false},
+                           {"Parameter", ValueType::kString, true}}});
+  schema_ready_ = true;
+  return *this;
+}
+
+std::int64_t Warehouse::node_key(const std::string& node_id) {
+  auto it = node_keys_.find(node_id);
+  if (it != node_keys_.end()) return it->second;
+  auto key = static_cast<std::int64_t>(node_keys_.size()) + 1;
+  node_keys_.emplace(node_id, key);
+  (void)db_.table("DimNode")->insert({Value{key}, Value{node_id}});
+  return key;
+}
+
+std::int64_t Warehouse::type_key(const std::string& event_type) {
+  auto it = type_keys_.find(event_type);
+  if (it != type_keys_.end()) return it->second;
+  auto key = static_cast<std::int64_t>(type_keys_.size()) + 1;
+  type_keys_.emplace(event_type, key);
+  (void)db_.table("DimEventType")->insert({Value{key}, Value{event_type}});
+  return key;
+}
+
+Status Warehouse::add(const std::string& experiment_id,
+                      const ExperimentPackage& package) {
+  ensure_schema();
+  if (exp_keys_.count(experiment_id) != 0) {
+    return err_state("experiment '" + experiment_id +
+                     "' already in the warehouse");
+  }
+  std::int64_t exp_key = next_exp_key_++;
+  exp_keys_.emplace(experiment_id, exp_key);
+  EXC_TRY(db_.table("DimExperiment")
+              ->insert({Value{exp_key}, Value{experiment_id},
+                        Value{package.experiment_name().value_or("")},
+                        Value{package.ee_version().value_or("")}}));
+
+  // Run dimension: start time from RunInfos (first per run id).
+  EXC_ASSIGN_OR_RETURN(std::vector<RunInfoRow> infos, package.run_infos());
+  std::map<std::int64_t, std::int64_t> run_keys;
+  for (const RunInfoRow& info : infos) {
+    if (run_keys.count(info.run_id) != 0) continue;
+    std::int64_t run_key = next_run_key_++;
+    run_keys.emplace(info.run_id, run_key);
+    EXC_TRY(db_.table("DimRun")->insert({Value{run_key}, Value{exp_key},
+                                         Value{info.run_id},
+                                         Value{info.start_time}}));
+  }
+
+  EXC_ASSIGN_OR_RETURN(std::vector<EventRow> events, package.all_events());
+  for (const EventRow& event : events) {
+    auto run_it = run_keys.find(event.run_id);
+    if (run_it == run_keys.end()) continue;  // event of an unknown run
+    EXC_TRY(db_.table("FactEvent")
+                ->insert({Value{exp_key}, Value{run_it->second},
+                          Value{node_key(event.node_id)},
+                          Value{type_key(event.event_type)},
+                          Value{event.common_time}, Value{event.parameter}}));
+  }
+  return {};
+}
+
+std::size_t Warehouse::fact_count() const {
+  const Table* facts = db_.table("FactEvent");
+  return facts ? facts->row_count() : 0;
+}
+
+std::size_t Warehouse::experiment_count() const { return exp_keys_.size(); }
+
+std::string Warehouse::rollup_by_type() const {
+  // (exp_key, type_key) -> count, then resolve through the dimensions.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> counts;
+  const Table* facts = db_.table("FactEvent");
+  if (!facts) return "";
+  for (const Row& row : facts->rows()) {
+    counts[{row[0].as_int(), row[3].as_int()}]++;
+  }
+  std::map<std::int64_t, std::string> experiments;
+  for (const Row& row : db_.table("DimExperiment")->rows()) {
+    experiments[row[0].as_int()] = row[1].as_string();
+  }
+  std::map<std::int64_t, std::string> types;
+  for (const Row& row : db_.table("DimEventType")->rows()) {
+    types[row[0].as_int()] = row[1].as_string();
+  }
+  std::string out;
+  for (const auto& [key, count] : counts) {
+    out += strings::format("%s %s %zu\n", experiments[key.first].c_str(),
+                           types[key.second].c_str(), count);
+  }
+  return out;
+}
+
+Result<double> Warehouse::mean_interval(const std::string& experiment_id,
+                                        const std::string& from_type,
+                                        const std::string& to_type) const {
+  auto exp_it = exp_keys_.find(experiment_id);
+  if (exp_it == exp_keys_.end()) {
+    return err_not_found("experiment '" + experiment_id +
+                         "' not in the warehouse");
+  }
+  auto from_it = type_keys_.find(from_type);
+  auto to_it = type_keys_.find(to_type);
+  if (from_it == type_keys_.end() || to_it == type_keys_.end()) {
+    return err_not_found("event type not in the warehouse");
+  }
+  // First occurrence per run of each type.
+  std::map<std::int64_t, double> from_time;
+  std::map<std::int64_t, double> to_time;
+  for (const Row& row : db_.table("FactEvent")->rows()) {
+    if (row[0].as_int() != exp_it->second) continue;
+    std::int64_t run_key = row[1].as_int();
+    std::int64_t type = row[3].as_int();
+    double time = row[4].as_double();
+    if (type == from_it->second) {
+      auto [it, inserted] = from_time.try_emplace(run_key, time);
+      if (!inserted && time < it->second) it->second = time;
+    } else if (type == to_it->second) {
+      auto [it, inserted] = to_time.try_emplace(run_key, time);
+      if (!inserted && time < it->second) it->second = time;
+    }
+  }
+  double total = 0;
+  std::size_t count = 0;
+  for (const auto& [run_key, start] : from_time) {
+    auto it = to_time.find(run_key);
+    if (it == to_time.end()) continue;
+    total += it->second - start;
+    ++count;
+  }
+  if (count == 0) return err_not_found("no run contains both event types");
+  return total / static_cast<double>(count);
+}
+
+}  // namespace excovery::storage

@@ -1,0 +1,65 @@
+// Dimensional (star-schema) export of experiment packages.
+//
+// §IV-F: "Several future improvements are possible, for example by using a
+// dimensional database model to store experiments in a data warehouse
+// structure."  Implemented here: events from one or many packages are
+// decomposed into dimension tables (experiments, runs, nodes, event types)
+// plus one fact table referencing them by surrogate keys — the layout OLAP
+// tooling expects.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/database.hpp"
+#include "storage/package.hpp"
+
+namespace excovery::storage {
+
+/// Build a star schema from packages.  Resulting tables:
+///   DimExperiment(ExpKey, ExperimentID, Name, EEVersion)
+///   DimRun(RunKey, ExpKey, RunID, StartTime)
+///   DimNode(NodeKey, NodeID)
+///   DimEventType(TypeKey, EventType)
+///   FactEvent(ExpKey, RunKey, NodeKey, TypeKey, CommonTime, Parameter)
+class Warehouse {
+ public:
+  /// Add one experiment under an id; events become facts.
+  Status add(const std::string& experiment_id,
+             const ExperimentPackage& package);
+
+  const Database& database() const noexcept { return db_; }
+
+  std::size_t fact_count() const;
+  std::size_t experiment_count() const;
+
+  /// Aggregate: number of fact events per (experiment, event type),
+  /// rendered as "experiment event_type count" lines — the kind of
+  /// cross-experiment roll-up the warehouse structure is for.
+  std::string rollup_by_type() const;
+
+  /// Mean CommonTime delta between two event types within each run of an
+  /// experiment (e.g. sd_start_search -> sd_service_add = t_R), computed
+  /// from the star schema alone.
+  Result<double> mean_interval(const std::string& experiment_id,
+                               const std::string& from_type,
+                               const std::string& to_type) const;
+
+  Status save(const std::string& path) const { return db_.save(path); }
+
+ private:
+  Warehouse& ensure_schema();
+  std::int64_t node_key(const std::string& node_id);
+  std::int64_t type_key(const std::string& event_type);
+
+  Database db_;
+  bool schema_ready_ = false;
+  std::int64_t next_exp_key_ = 1;
+  std::int64_t next_run_key_ = 1;
+  std::map<std::string, std::int64_t> node_keys_;
+  std::map<std::string, std::int64_t> type_keys_;
+  std::map<std::string, std::int64_t> exp_keys_;
+};
+
+}  // namespace excovery::storage

@@ -1,0 +1,130 @@
+#include "xml/dom.hpp"
+
+#include "common/strings.hpp"
+
+namespace excovery::xml {
+
+const std::string* Element::attr(std::string_view name) const noexcept {
+  for (const Attribute& a : attrs_) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+std::string Element::attr_or(std::string_view name,
+                             std::string_view fallback) const {
+  const std::string* v = attr(name);
+  return v ? *v : std::string(fallback);
+}
+
+Result<std::string> Element::require_attr(std::string_view name) const {
+  const std::string* v = attr(name);
+  if (!v) {
+    return err_validation("element <" + name_ + "> missing attribute '" +
+                          std::string(name) + "'");
+  }
+  return *v;
+}
+
+Element& Element::set_attr(std::string_view name, std::string_view value) {
+  for (Attribute& a : attrs_) {
+    if (a.name == name) {
+      a.value = std::string(value);
+      return *this;
+    }
+  }
+  attrs_.push_back({std::string(name), std::string(value)});
+  return *this;
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::adopt(ElementPtr child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Element* Element::child(std::string_view name) const noexcept {
+  for (const ElementPtr& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+Element* Element::child(std::string_view name) noexcept {
+  for (ElementPtr& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+Result<const Element*> Element::require_child(std::string_view name) const {
+  const Element* c = child(name);
+  if (!c) {
+    return err_validation("element <" + name_ + "> missing child <" +
+                          std::string(name) + ">");
+  }
+  return c;
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const ElementPtr& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Element::text() const {
+  std::string joined;
+  for (const std::string& seg : text_segments_) joined += seg;
+  return strings::trim(joined);
+}
+
+void Element::append_text(std::string_view text) {
+  text_segments_.emplace_back(text);
+}
+
+Element& Element::set_text(std::string_view text) {
+  text_segments_.clear();
+  if (!text.empty()) text_segments_.emplace_back(text);
+  return *this;
+}
+
+Element& Element::add_text_child(std::string name, std::string_view text) {
+  Element& c = add_child(std::move(name));
+  c.set_text(text);
+  return c;
+}
+
+ElementPtr Element::clone() const {
+  auto copy = std::make_unique<Element>(name_);
+  copy->attrs_ = attrs_;
+  copy->text_segments_ = text_segments_;
+  copy->children_.reserve(children_.size());
+  for (const ElementPtr& c : children_) copy->children_.push_back(c->clone());
+  return copy;
+}
+
+bool Element::equals(const Element& other) const {
+  if (name_ != other.name_) return false;
+  if (attrs_.size() != other.attrs_.size()) return false;
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name != other.attrs_[i].name ||
+        attrs_[i].value != other.attrs_[i].value) {
+      return false;
+    }
+  }
+  if (text() != other.text()) return false;
+  if (children_.size() != other.children_.size()) return false;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace excovery::xml

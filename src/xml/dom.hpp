@@ -1,0 +1,102 @@
+// A small XML document object model.
+//
+// ExCovery's abstract experiment description is an XML document (§IV-C of
+// the paper; Figures 4-10 show fragments).  This DOM supports everything
+// those documents need: elements with attributes, text content, comments,
+// and stable child ordering.  Namespaces and DTDs are out of scope.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace excovery::xml {
+
+class Element;
+using ElementPtr = std::unique_ptr<Element>;
+
+/// One attribute (name="value"), order-preserving within an element.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// An XML element node.  Children are owned.  Text content is modelled as
+/// interleaved text segments so mixed content round-trips, but the common
+/// access pattern is `text()` which concatenates and trims.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- attributes -------------------------------------------------------
+  const std::vector<Attribute>& attributes() const noexcept { return attrs_; }
+  /// Attribute value or nullptr.
+  const std::string* attr(std::string_view name) const noexcept;
+  /// Attribute value or a default.
+  std::string attr_or(std::string_view name, std::string_view fallback) const;
+  /// Attribute value or error (for required attributes).
+  Result<std::string> require_attr(std::string_view name) const;
+  /// Set (replace or append) an attribute.
+  Element& set_attr(std::string_view name, std::string_view value);
+  bool has_attr(std::string_view name) const noexcept {
+    return attr(name) != nullptr;
+  }
+
+  // --- children ---------------------------------------------------------
+  const std::vector<ElementPtr>& children() const noexcept { return children_; }
+  /// Append a new child element and return a reference to it.
+  Element& add_child(std::string name);
+  /// Append an existing element subtree.
+  Element& adopt(ElementPtr child);
+  /// First child with the given name, or nullptr.
+  const Element* child(std::string_view name) const noexcept;
+  Element* child(std::string_view name) noexcept;
+  /// First child with the given name, or error.
+  Result<const Element*> require_child(std::string_view name) const;
+  /// All children with the given name, in document order.
+  std::vector<const Element*> children_named(std::string_view name) const;
+  std::size_t child_count() const noexcept { return children_.size(); }
+
+  // --- text -------------------------------------------------------------
+  /// Concatenated, whitespace-trimmed character data of this element
+  /// (excluding descendants).
+  std::string text() const;
+  /// Raw character data segments in document order.
+  const std::vector<std::string>& text_segments() const noexcept {
+    return text_segments_;
+  }
+  void append_text(std::string_view text);
+  /// Replace all text content.
+  Element& set_text(std::string_view text);
+  /// Convenience: add `<name>text</name>` child.
+  Element& add_text_child(std::string name, std::string_view text);
+
+  /// Deep copy of this subtree.
+  ElementPtr clone() const;
+
+  /// Structural equality (name, attributes, trimmed text, children).
+  bool equals(const Element& other) const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attrs_;
+  std::vector<ElementPtr> children_;
+  std::vector<std::string> text_segments_;
+};
+
+/// A parsed document: the root element plus any top-level comments kept for
+/// fidelity of round-trips.
+struct Document {
+  ElementPtr root;
+};
+
+}  // namespace excovery::xml

@@ -1,0 +1,322 @@
+#include "xml/parser.hpp"
+
+#include <cctype>
+
+namespace excovery::xml {
+
+namespace {
+
+/// Cursor over the input with line/column tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) noexcept : input_(input) {}
+
+  bool eof() const noexcept { return pos_ >= input_.size(); }
+  char peek() const noexcept { return eof() ? '\0' : input_[pos_]; }
+  char peek_at(std::size_t ahead) const noexcept {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+
+  char advance() noexcept {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  bool consume(std::string_view literal) noexcept {
+    if (input_.substr(pos_).substr(0, literal.size()) != literal) return false;
+    for (std::size_t i = 0; i < literal.size(); ++i) advance();
+    return true;
+  }
+
+  void skip_whitespace() noexcept {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) {
+      advance();
+    }
+  }
+
+  Error error(std::string message) const {
+    return err_parse("line " + std::to_string(line_) + ", column " +
+                     std::to_string(column_) + ": " + std::move(message));
+  }
+
+  std::string_view rest() const noexcept { return input_.substr(pos_); }
+
+ private:
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+bool is_name_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool is_name_char(char c) noexcept {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+Result<std::string> parse_name(Cursor& cur) {
+  if (!is_name_start(cur.peek())) {
+    return cur.error("expected a name");
+  }
+  std::string name;
+  while (!cur.eof() && is_name_char(cur.peek())) name.push_back(cur.advance());
+  return name;
+}
+
+/// Decode &amp; &lt; &gt; &apos; &quot; &#NN; &#xNN;
+Result<std::string> parse_entity(Cursor& cur) {
+  // The '&' is already consumed.
+  std::string entity;
+  while (!cur.eof() && cur.peek() != ';') {
+    entity.push_back(cur.advance());
+    if (entity.size() > 8) return cur.error("unterminated entity reference");
+  }
+  if (cur.eof()) return cur.error("unterminated entity reference");
+  cur.advance();  // ';'
+  if (entity == "amp") return std::string("&");
+  if (entity == "lt") return std::string("<");
+  if (entity == "gt") return std::string(">");
+  if (entity == "apos") return std::string("'");
+  if (entity == "quot") return std::string("\"");
+  if (!entity.empty() && entity[0] == '#') {
+    int base = 10;
+    std::size_t start = 1;
+    if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+      base = 16;
+      start = 2;
+    }
+    unsigned long code = 0;
+    for (std::size_t i = start; i < entity.size(); ++i) {
+      char c = entity[i];
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (base == 16 && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else if (base == 16 && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      else return cur.error("bad character reference &" + entity + ";");
+      code = code * static_cast<unsigned long>(base) +
+             static_cast<unsigned long>(digit);
+      if (code > 0x10FFFF) {
+        return cur.error("character reference out of range");
+      }
+    }
+    // UTF-8 encode.
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+  return cur.error("unknown entity &" + entity + ";");
+}
+
+Result<Attribute> parse_attribute(Cursor& cur) {
+  EXC_ASSIGN_OR_RETURN(std::string name, parse_name(cur));
+  cur.skip_whitespace();
+  if (!cur.consume("=")) return cur.error("expected '=' after attribute name");
+  cur.skip_whitespace();
+  char quote = cur.peek();
+  if (quote != '"' && quote != '\'') {
+    return cur.error("expected quoted attribute value");
+  }
+  cur.advance();
+  std::string value;
+  while (!cur.eof() && cur.peek() != quote) {
+    char c = cur.advance();
+    if (c == '&') {
+      EXC_ASSIGN_OR_RETURN(std::string decoded, parse_entity(cur));
+      value += decoded;
+    } else {
+      value.push_back(c);
+    }
+  }
+  if (cur.eof()) return cur.error("unterminated attribute value");
+  cur.advance();  // closing quote
+  return Attribute{std::move(name), std::move(value)};
+}
+
+Status skip_comment(Cursor& cur) {
+  // "<!--" already consumed.
+  for (;;) {
+    if (cur.eof()) return cur.error("unterminated comment");
+    if (cur.consume("-->")) return {};
+    cur.advance();
+  }
+}
+
+Status skip_pi(Cursor& cur) {
+  // "<?" already consumed.
+  for (;;) {
+    if (cur.eof()) return cur.error("unterminated processing instruction");
+    if (cur.consume("?>")) return {};
+    cur.advance();
+  }
+}
+
+Result<ElementPtr> parse_element_at(Cursor& cur, int depth) {
+  constexpr int kMaxDepth = 256;
+  if (depth > kMaxDepth) return cur.error("document nested too deeply");
+
+  // '<' already consumed by caller.
+  EXC_ASSIGN_OR_RETURN(std::string name, parse_name(cur));
+  auto element = std::make_unique<Element>(std::move(name));
+
+  // Attributes.
+  for (;;) {
+    cur.skip_whitespace();
+    if (cur.consume("/>")) return element;
+    if (cur.consume(">")) break;
+    if (cur.eof()) return cur.error("unterminated start tag");
+    EXC_ASSIGN_OR_RETURN(Attribute attr, parse_attribute(cur));
+    if (element->has_attr(attr.name)) {
+      return cur.error("duplicate attribute '" + attr.name + "'");
+    }
+    element->set_attr(attr.name, attr.value);
+  }
+
+  // Content.
+  std::string text;
+  auto flush_text = [&] {
+    if (!text.empty()) {
+      element->append_text(text);
+      text.clear();
+    }
+  };
+  for (;;) {
+    if (cur.eof()) {
+      return cur.error("unterminated element <" + element->name() + ">");
+    }
+    if (cur.peek() == '<') {
+      if (cur.consume("<!--")) {
+        EXC_TRY(skip_comment(cur));
+        continue;
+      }
+      if (cur.consume("<![CDATA[")) {
+        while (!cur.consume("]]>")) {
+          if (cur.eof()) return cur.error("unterminated CDATA section");
+          text.push_back(cur.advance());
+        }
+        continue;
+      }
+      if (cur.consume("<?")) {
+        EXC_TRY(skip_pi(cur));
+        continue;
+      }
+      if (cur.peek_at(1) == '/') {
+        cur.advance();  // '<'
+        cur.advance();  // '/'
+        EXC_ASSIGN_OR_RETURN(std::string close, parse_name(cur));
+        cur.skip_whitespace();
+        if (!cur.consume(">")) return cur.error("malformed end tag");
+        if (close != element->name()) {
+          return cur.error("mismatched end tag </" + close + "> for <" +
+                           element->name() + ">");
+        }
+        flush_text();
+        return element;
+      }
+      // Child element.
+      cur.advance();  // '<'
+      flush_text();
+      EXC_ASSIGN_OR_RETURN(ElementPtr child, parse_element_at(cur, depth + 1));
+      element->adopt(std::move(child));
+      continue;
+    }
+    char c = cur.advance();
+    if (c == '&') {
+      EXC_ASSIGN_OR_RETURN(std::string decoded, parse_entity(cur));
+      text += decoded;
+    } else {
+      text.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+Result<Document> parse(std::string_view input) {
+  Cursor cur(input);
+  ElementPtr root;
+  for (;;) {
+    cur.skip_whitespace();
+    if (cur.eof()) break;
+    if (cur.consume("<!--")) {
+      EXC_TRY(skip_comment(cur));
+      continue;
+    }
+    if (cur.consume("<?")) {
+      EXC_TRY(skip_pi(cur));
+      continue;
+    }
+    if (cur.consume("<!")) {
+      // DOCTYPE etc.: skip to '>'.
+      while (!cur.eof() && cur.peek() != '>') cur.advance();
+      if (!cur.consume(">")) return cur.error("unterminated declaration");
+      continue;
+    }
+    if (!cur.consume("<")) {
+      return cur.error("unexpected character data outside root element");
+    }
+    if (root) return cur.error("multiple root elements");
+    EXC_ASSIGN_OR_RETURN(root, parse_element_at(cur, 0));
+  }
+  if (!root) return err_parse("document has no root element");
+  return Document{std::move(root)};
+}
+
+Result<ElementPtr> parse_element(std::string_view input) {
+  EXC_ASSIGN_OR_RETURN(Document doc, parse(input));
+  return std::move(doc.root);
+}
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_attr(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace excovery::xml

@@ -1,0 +1,28 @@
+// Recursive-descent XML parser producing the DOM of dom.hpp.
+//
+// Supported: elements, attributes (single or double quoted), character data
+// with the five predefined entities plus decimal/hex character references,
+// CDATA sections, comments (skipped), processing instructions and XML
+// declarations (skipped).  Errors carry line/column positions.
+#pragma once
+
+#include <string_view>
+
+#include "common/error.hpp"
+#include "xml/dom.hpp"
+
+namespace excovery::xml {
+
+/// Parse a complete document; exactly one root element is required.
+Result<Document> parse(std::string_view input);
+
+/// Parse and return the root element directly (common case).
+Result<ElementPtr> parse_element(std::string_view input);
+
+/// Escape character data for inclusion in XML text ("&", "<", ">").
+std::string escape_text(std::string_view text);
+
+/// Escape an attribute value (also quotes).
+std::string escape_attr(std::string_view text);
+
+}  // namespace excovery::xml

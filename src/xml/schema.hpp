@@ -1,0 +1,96 @@
+// Lightweight XML schema validation.
+//
+// The paper ships "an XML schema description ... with the framework code"
+// (§IV-C) used for automatic checking of experiment descriptions.  We model
+// the useful subset: per-element rules with required/optional attributes,
+// allowed children with occurrence bounds, text-content policy, and optional
+// enumerated attribute values.  Rules compose into a Schema keyed by element
+// name (within their parent context).
+#pragma once
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "xml/dom.hpp"
+
+namespace excovery::xml {
+
+/// Occurrence bounds for a child element.
+struct Occurs {
+  std::size_t min = 0;
+  std::size_t max = std::numeric_limits<std::size_t>::max();
+
+  static Occurs exactly(std::size_t n) { return {n, n}; }
+  static Occurs optional() { return {0, 1}; }
+  static Occurs required() { return {1, 1}; }
+  static Occurs at_least(std::size_t n) {
+    return {n, std::numeric_limits<std::size_t>::max()};
+  }
+  static Occurs any() { return {}; }
+};
+
+/// Attribute rule: required flag plus an optional value enumeration.
+struct AttrRule {
+  bool required = false;
+  std::vector<std::string> allowed_values;  // empty = any value
+};
+
+/// Rule for one element type.
+struct ElementRule {
+  std::map<std::string, AttrRule> attributes;
+  std::map<std::string, Occurs> children;
+  bool allow_other_children = false;  ///< tolerate unknown child names
+  bool allow_other_attrs = false;     ///< tolerate unknown attribute names
+  bool allow_text = true;             ///< character data permitted
+
+  ElementRule& attr(std::string name, bool required = false,
+                    std::vector<std::string> allowed = {}) {
+    attributes[std::move(name)] = AttrRule{required, std::move(allowed)};
+    return *this;
+  }
+  ElementRule& child(std::string name, Occurs occurs = Occurs::any()) {
+    children[std::move(name)] = occurs;
+    return *this;
+  }
+  ElementRule& open_children() {
+    allow_other_children = true;
+    return *this;
+  }
+  ElementRule& open_attrs() {
+    allow_other_attrs = true;
+    return *this;
+  }
+  ElementRule& no_text() {
+    allow_text = false;
+    return *this;
+  }
+};
+
+/// A schema: rules per element name.  Elements without a rule are accepted
+/// as-is (open content model) unless `strict` is set at validation time.
+class Schema {
+ public:
+  ElementRule& element(std::string name) { return rules_[std::move(name)]; }
+
+  const ElementRule* find(const std::string& name) const {
+    auto it = rules_.find(name);
+    return it == rules_.end() ? nullptr : &it->second;
+  }
+
+  /// Validate a subtree.  Collects all violations rather than stopping at
+  /// the first; the returned error message lists every problem found.
+  Status validate(const Element& root, bool strict = false) const;
+
+ private:
+  void validate_element(const Element& element, bool strict,
+                        const std::string& path,
+                        std::vector<std::string>& problems) const;
+
+  std::map<std::string, ElementRule> rules_;
+};
+
+}  // namespace excovery::xml

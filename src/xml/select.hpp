@@ -1,0 +1,38 @@
+// XPath-lite selection over the DOM.
+//
+// Grammar (a practical subset sufficient for experiment tooling):
+//   path      := step ('/' step)*
+//   step      := name | '*' | name predicate | '..'
+//   predicate := '[' '@' attr '=' value ']' | '[' index ']'
+// Paths are relative to the element passed in.  "//name" descendant search
+// is supported as a leading "**/" style via select_all_recursive.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "xml/dom.hpp"
+
+namespace excovery::xml {
+
+/// All elements matching the path, document order.
+std::vector<const Element*> select_all(const Element& root,
+                                       std::string_view path);
+
+/// First element matching the path, or nullptr.
+const Element* select_first(const Element& root, std::string_view path);
+
+/// First element matching the path, or a kNotFound error.
+Result<const Element*> select_required(const Element& root,
+                                       std::string_view path);
+
+/// All descendants (any depth) with the given element name.
+std::vector<const Element*> select_all_recursive(const Element& root,
+                                                 std::string_view name);
+
+/// Text of the first match, or a default.
+std::string select_text_or(const Element& root, std::string_view path,
+                           std::string_view fallback);
+
+}  // namespace excovery::xml

@@ -1,0 +1,74 @@
+#include "xml/writer.hpp"
+
+#include "xml/parser.hpp"
+
+namespace excovery::xml {
+
+namespace {
+
+void write_element(const Element& element, const WriteOptions& options,
+                   int depth, std::string& out) {
+  auto indent = [&](int level) {
+    if (!options.pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(level * options.indent_width), ' ');
+  };
+
+  if (depth > 0 || options.declaration) indent(depth);
+  out.push_back('<');
+  out += element.name();
+  for (const Attribute& a : element.attributes()) {
+    out.push_back(' ');
+    out += a.name;
+    out += "=\"";
+    out += escape_attr(a.value);
+    out.push_back('"');
+  }
+
+  std::string text = element.text();
+  if (element.children().empty() && text.empty()) {
+    out += " />";
+    return;
+  }
+  out.push_back('>');
+
+  if (element.children().empty()) {
+    // Text-only element: keep text inline for readability.
+    out += escape_text(text);
+    out += "</";
+    out += element.name();
+    out.push_back('>');
+    return;
+  }
+
+  if (!text.empty()) {
+    indent(depth + 1);
+    out += escape_text(text);
+  }
+  for (const ElementPtr& child : element.children()) {
+    write_element(*child, options, depth + 1, out);
+  }
+  indent(depth);
+  out += "</";
+  out += element.name();
+  out.push_back('>');
+}
+
+}  // namespace
+
+std::string write(const Element& root, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  }
+  WriteOptions inner = options;
+  write_element(root, inner, 0, out);
+  if (options.pretty) out.push_back('\n');
+  return out;
+}
+
+std::string write(const Document& doc, const WriteOptions& options) {
+  return write(*doc.root, options);
+}
+
+}  // namespace excovery::xml

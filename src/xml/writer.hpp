@@ -1,0 +1,22 @@
+// Serialise DOM trees back to XML text.
+#pragma once
+
+#include <string>
+
+#include "xml/dom.hpp"
+
+namespace excovery::xml {
+
+struct WriteOptions {
+  bool pretty = true;       ///< newline + indentation per nesting level
+  int indent_width = 2;     ///< spaces per level when pretty
+  bool declaration = true;  ///< emit <?xml version="1.0" encoding="UTF-8"?>
+};
+
+/// Serialise an element subtree.
+std::string write(const Element& root, const WriteOptions& options = {});
+
+/// Serialise a document.
+std::string write(const Document& doc, const WriteOptions& options = {});
+
+}  // namespace excovery::xml

@@ -1,0 +1,332 @@
+// Unit tests for the experiment description: parsing the paper's XML
+// dialect (Figures 4-10), serialisation round trips, validation and the
+// shipped schema.
+#include <gtest/gtest.h>
+
+#include "core/description.hpp"
+#include "core/scenario.hpp"
+#include "xml/parser.hpp"
+
+namespace excovery::core {
+namespace {
+
+/// A complete description in the dialect of the paper's figures.
+const char* kFullDocument = R"(
+<experiment name="sd-experiment" seed="1234">
+  <parameterlist>
+    <parameter key="sd_architecture">two-party</parameter>
+    <parameter key="sd_protocol">mdns</parameter>
+    <parameter key="sd_comm">active</parameter>
+  </parameterlist>
+  <nodelist>
+    <node id="A" />
+    <node id="B" />
+  </nodelist>
+  <factorlist>
+    <factor id="fact_nodes" type="actor_node_map" usage="blocking">
+      <levels><level>
+        <actor id="actor0"><instance id="0">A</instance></actor>
+        <actor id="actor1"><instance id="0">B</instance></actor>
+      </level></levels>
+    </factor>
+    <factor usage="random" type="int" id="fact_pairs">
+      <levels>
+        <level>5</level><level>20</level>
+      </levels>
+    </factor>
+    <factor usage="constant" id="fact_bw" type="int">
+      <levels>
+        <level>10</level><level>50</level><level>100</level>
+      </levels>
+    </factor>
+    <replicationfactor usage="replication" type="int"
+        id="fact_replication_id">1000</replicationfactor>
+  </factorlist>
+  <processes>
+    <node_process>
+      <actor id="actor0" name="SM">
+        <sd_actions>
+          <sd_init role="SM" />
+          <sd_start_publish />
+          <wait_for_event>
+            <event_dependency>"done"</event_dependency>
+          </wait_for_event>
+          <sd_stop_publish />
+          <sd_exit />
+        </sd_actions>
+      </actor>
+      <actor id="actor1" name="SU">
+        <sd_actions>
+          <wait_for_event>
+            <from_dependency>
+              <node actor="actor0" instance="all"/>
+            </from_dependency>
+            <event_dependency>"sd_start_publish"</event_dependency>
+          </wait_for_event>
+          <sd_init />
+          <wait_marker />
+          <sd_start_search />
+          <wait_for_event>
+            <from_dependency><node actor="actor1" instance="all"/>
+            </from_dependency>
+            <event_dependency>"sd_service_add"</event_dependency>
+            <param_dependency><node actor="actor0" instance="all"/>
+            </param_dependency>
+            <timeout>"30"</timeout>
+          </wait_for_event>
+          <event_flag><value>"done"</value></event_flag>
+          <sd_stop_search />
+          <sd_exit />
+        </sd_actions>
+      </actor>
+    </node_process>
+    <manipulation_process node="B">
+      <actions>
+        <fault_message_loss_start>
+          <probability>0.2</probability>
+          <direction>both</direction>
+        </fault_message_loss_start>
+        <wait_for_event>
+          <event_dependency>"done"</event_dependency>
+        </wait_for_event>
+        <fault_message_loss_stop />
+      </actions>
+    </manipulation_process>
+    <env_process>
+      <env_actions>
+        <event_flag><value>"ready_to_init"</value></event_flag>
+        <env_traffic_start>
+          <bw><factorref id="fact_bw" /></bw>
+          <choice>0</choice>
+          <random_switch_amount>"1"</random_switch_amount>
+          <random_switch_seed>
+            <factorref id="fact_replication_id" />
+          </random_switch_seed>
+          <random_pairs><factorref id="fact_pairs" /></random_pairs>
+          <random_seed><factorref id="fact_pairs" /></random_seed>
+        </env_traffic_start>
+        <wait_for_event>
+          <event_dependency>"done"</event_dependency>
+        </wait_for_event>
+        <env_traffic_stop />
+      </env_actions>
+    </env_process>
+  </processes>
+  <platform>
+    <actor_nodes>
+      <node id="A" abstract="A" address="10.0.0.1" />
+      <node id="B" abstract="B" address="10.0.0.2" />
+    </actor_nodes>
+    <environment_nodes>
+      <node id="E1" address="10.0.0.3" />
+      <node id="E2" address="10.0.0.4" />
+    </environment_nodes>
+  </platform>
+</experiment>
+)";
+
+TEST(Description, ParsesFullDocument) {
+  Result<ExperimentDescription> parsed =
+      ExperimentDescription::parse(kFullDocument);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const ExperimentDescription& description = parsed.value();
+
+  EXPECT_EQ(description.name, "sd-experiment");
+  EXPECT_EQ(description.seed, 1234u);
+  EXPECT_EQ(description.info("sd_architecture"), "two-party");
+  EXPECT_EQ(description.info("sd_protocol"), "mdns");
+  EXPECT_EQ(description.info("missing"), "");
+  EXPECT_EQ(description.abstract_nodes,
+            (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(description.replications, 1000);
+  EXPECT_EQ(description.replication_factor_id, "fact_replication_id");
+  EXPECT_EQ(description.node_factor_id, "fact_nodes");
+  ASSERT_EQ(description.factors.size(), 3u);
+  EXPECT_EQ(description.factors[1].usage, FactorUsage::kRandom);
+  ASSERT_EQ(description.factors[2].levels.size(), 3u);
+  EXPECT_EQ(description.factors[2].levels[1].to_int().value(), 50);
+
+  ASSERT_EQ(description.actor_processes.size(), 2u);
+  const ActorProcess& su = description.actor_processes[1];
+  EXPECT_EQ(su.name, "SU");
+  ASSERT_EQ(su.actions.size(), 8u);
+  EXPECT_EQ(su.actions[0].name, "wait_for_event");
+  const ParamValue* from = su.actions[0].param("from_dependency");
+  ASSERT_NE(from, nullptr);
+  EXPECT_EQ(from->kind, ParamValue::Kind::kNodeSet);
+  EXPECT_EQ(from->node_set.actor, "actor0");
+  EXPECT_EQ(from->node_set.instance, "all");
+  const ParamValue* timeout = su.actions[4].param("timeout");
+  ASSERT_NE(timeout, nullptr);
+  EXPECT_EQ(timeout->literal.to_double().value(), 30.0);
+
+  ASSERT_EQ(description.manipulation_processes.size(), 1u);
+  EXPECT_EQ(description.manipulation_processes[0].node_id, "B");
+  ASSERT_EQ(description.env_processes.size(), 1u);
+  const ProcessAction& traffic = description.env_processes[0].actions[1];
+  EXPECT_EQ(traffic.name, "env_traffic_start");
+  const ParamValue* bw = traffic.param("bw");
+  ASSERT_NE(bw, nullptr);
+  EXPECT_EQ(bw->kind, ParamValue::Kind::kFactorRef);
+  EXPECT_EQ(bw->factor_id, "fact_bw");
+
+  ASSERT_EQ(description.platform.actor_nodes.size(), 2u);
+  EXPECT_EQ(description.platform.actor_nodes[0].address, "10.0.0.1");
+  ASSERT_EQ(description.platform.environment_nodes.size(), 2u);
+
+}
+
+TEST(Description, RoundTripThroughXml) {
+  Result<ExperimentDescription> parsed =
+      ExperimentDescription::parse(kFullDocument);
+  ASSERT_TRUE(parsed.ok());
+  std::string text = parsed.value().to_xml_text();
+  Result<ExperimentDescription> reparsed =
+      ExperimentDescription::parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+
+  EXPECT_EQ(reparsed.value().name, parsed.value().name);
+  EXPECT_EQ(reparsed.value().seed, parsed.value().seed);
+  EXPECT_EQ(reparsed.value().replications, parsed.value().replications);
+  EXPECT_EQ(reparsed.value().abstract_nodes, parsed.value().abstract_nodes);
+  EXPECT_EQ(reparsed.value().factors.size(), parsed.value().factors.size());
+  ASSERT_EQ(reparsed.value().actor_processes.size(),
+            parsed.value().actor_processes.size());
+  for (std::size_t i = 0; i < parsed.value().actor_processes.size(); ++i) {
+    EXPECT_EQ(reparsed.value().actor_processes[i].actions.size(),
+              parsed.value().actor_processes[i].actions.size());
+  }
+  EXPECT_EQ(reparsed.value().env_processes.size(), 1u);
+  // Second round trip is a fixed point.
+  EXPECT_EQ(reparsed.value().to_xml_text(), text);
+}
+
+TEST(Description, SchemaAcceptsGeneratedDocuments) {
+  Result<ExperimentDescription> parsed =
+      ExperimentDescription::parse(kFullDocument);
+  ASSERT_TRUE(parsed.ok());
+  xml::ElementPtr root = parsed.value().to_xml();
+  Status status = description_schema().validate(*root);
+  EXPECT_TRUE(status.ok()) << (status.ok() ? "" : status.error().to_string());
+}
+
+TEST(Description, ValidationCatchesDanglingReferences) {
+  scenario::TwoPartyOptions options;
+  Result<ExperimentDescription> base = scenario::two_party_sd(options);
+  ASSERT_TRUE(base.ok());
+
+  {
+    ExperimentDescription broken = base.value();
+    ProcessAction action;
+    action.name = "env_traffic_start";
+    action.params.emplace_back("bw", ParamValue::factor("no_such_factor"));
+    broken.env_processes.push_back(EnvProcess{{action}});
+    Status status = broken.validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.error().message().find("no_such_factor"),
+              std::string::npos);
+  }
+  {
+    ExperimentDescription broken = base.value();
+    broken.manipulation_processes.push_back(
+        ManipulationProcess{"GHOST", {}});
+    EXPECT_FALSE(broken.validate().ok());
+  }
+  {
+    ExperimentDescription broken = base.value();
+    broken.abstract_nodes.clear();
+    EXPECT_FALSE(broken.validate().ok());
+  }
+  {
+    ExperimentDescription broken = base.value();
+    broken.replications = 0;
+    EXPECT_FALSE(broken.validate().ok());
+  }
+  {
+    // Actor map referencing an undefined actor.
+    ExperimentDescription broken = base.value();
+    for (Factor& factor : broken.factors) {
+      if (factor.id != broken.node_factor_id) continue;
+      ValueMap map = factor.levels[0].as_map();
+      map.emplace("actor9", Value{ValueArray{Value{"SM0"}}});
+      factor.levels[0] = Value{std::move(map)};
+    }
+    Status status = broken.validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.error().message().find("actor9"), std::string::npos);
+  }
+}
+
+TEST(Description, ValidationRequiresPlatformMapping) {
+  scenario::TwoPartyOptions options;
+  Result<ExperimentDescription> base = scenario::two_party_sd(options);
+  ASSERT_TRUE(base.ok());
+  ExperimentDescription broken = base.value();
+  broken.platform.actor_nodes.pop_back();  // drop one mapping
+  EXPECT_FALSE(broken.validate().ok());
+}
+
+TEST(Description, FactorUsageParsing) {
+  EXPECT_EQ(parse_factor_usage("blocking").value(), FactorUsage::kBlocking);
+  EXPECT_EQ(parse_factor_usage("CONSTANT").value(), FactorUsage::kConstant);
+  EXPECT_EQ(parse_factor_usage("random").value(), FactorUsage::kRandom);
+  EXPECT_EQ(parse_factor_usage("replication").value(),
+            FactorUsage::kReplication);
+  EXPECT_FALSE(parse_factor_usage("sometimes").ok());
+}
+
+TEST(Description, FactorsNeedLevels) {
+  const char* doc = R"(
+    <experiment name="x">
+      <nodelist><node id="A"/></nodelist>
+      <factorlist>
+        <factor id="f" type="int"><levels></levels></factor>
+      </factorlist>
+      <processes/>
+    </experiment>)";
+  EXPECT_FALSE(ExperimentDescription::parse(doc).ok());
+}
+
+TEST(Description, MinimalDocumentParses) {
+  const char* doc = R"(
+    <experiment name="tiny" seed="7">
+      <nodelist><node id="A"/></nodelist>
+      <factorlist>
+        <replicationfactor usage="replication" type="int" id="r">3
+        </replicationfactor>
+      </factorlist>
+      <processes/>
+    </experiment>)";
+  Result<ExperimentDescription> parsed = ExperimentDescription::parse(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().replications, 3);
+  EXPECT_TRUE(parsed.value().actor_processes.empty());
+}
+
+TEST(Description, ScenarioBuilderMatchesPaperShape) {
+  scenario::TwoPartyOptions options;
+  options.sm_count = 2;
+  options.su_count = 1;
+  options.pairs_levels = {5, 20};
+  options.bw_levels = {10, 50, 100};
+  options.loss_levels = {0.0, 0.2};
+  Result<ExperimentDescription> description =
+      scenario::two_party_sd(options);
+  ASSERT_TRUE(description.ok());
+  EXPECT_EQ(description.value().factors.size(), 4u);  // nodes, pairs, bw, loss
+  EXPECT_EQ(description.value().actor_processes.size(), 2u);
+  EXPECT_EQ(description.value().manipulation_processes.size(), 1u);
+  EXPECT_EQ(description.value().env_processes.size(), 1u);
+  // The generated description itself validates and round-trips.
+  std::string text = description.value().to_xml_text();
+  EXPECT_TRUE(ExperimentDescription::parse(text).ok());
+}
+
+TEST(Description, ScenarioRejectsEmptyRoles) {
+  scenario::TwoPartyOptions options;
+  options.sm_count = 0;
+  EXPECT_FALSE(scenario::two_party_sd(options).ok());
+}
+
+}  // namespace
+}  // namespace excovery::core

@@ -1,0 +1,437 @@
+// ExperiMaster end-to-end tests: lifecycle ordering, treatment application,
+// fault recovery (abort + retry), resume of interrupted experiments, the
+// three SD architectures, environment traffic, and conditioning output.
+#include <gtest/gtest.h>
+
+#include "core/master.hpp"
+#include "core/scenario.hpp"
+#include "stats/analysis.hpp"
+
+namespace excovery::core {
+namespace {
+
+using scenario::TopologyKind;
+using scenario::TopologyOptions;
+using scenario::TwoPartyOptions;
+
+struct TestRig {
+  ExperimentDescription description;
+  std::unique_ptr<SimPlatform> platform;
+};
+
+Result<TestRig> make_setup(const TwoPartyOptions& options,
+                         const TopologyOptions& topology_options = {},
+                         std::uint64_t platform_seed = 42) {
+  EXC_ASSIGN_OR_RETURN(ExperimentDescription description,
+                       scenario::two_party_sd(options));
+  EXC_ASSIGN_OR_RETURN(net::Topology topology,
+                       scenario::topology_for(description, topology_options));
+  SimPlatformConfig config;
+  config.topology = std::move(topology);
+  config.seed = platform_seed;
+  EXC_ASSIGN_OR_RETURN(std::unique_ptr<SimPlatform> platform,
+                       SimPlatform::create(description, std::move(config)));
+  return TestRig{std::move(description), std::move(platform)};
+}
+
+TEST(Master, LifecycleEventsOrderedPerRun) {
+  TwoPartyOptions options;
+  options.replications = 2;
+  options.environment_count = 1;
+  Result<TestRig> rig = make_setup(options);
+  ASSERT_TRUE(rig.ok()) << rig.error().to_string();
+  ExperiMaster master(rig.value().description, *rig.value().platform);
+  Result<storage::ExperimentPackage> package = master.execute();
+  ASSERT_TRUE(package.ok()) << package.error().to_string();
+
+  for (std::int64_t run_id : package.value().run_ids()) {
+    Result<std::vector<storage::EventRow>> events =
+        package.value().events(run_id);
+    ASSERT_TRUE(events.ok());
+    // Per node: run_init precedes everything else, run_exit ends it.
+    std::map<std::string, double> init_time;
+    std::map<std::string, double> exit_time;
+    for (const storage::EventRow& event : events.value()) {
+      if (event.event_type == "run_init") {
+        init_time[event.node_id] = event.common_time;
+      }
+      if (event.event_type == "run_exit") {
+        exit_time[event.node_id] = event.common_time;
+      }
+    }
+    EXPECT_EQ(init_time.size(), 3u);  // SM0, SU0, ENV0
+    for (const storage::EventRow& event : events.value()) {
+      if (event.node_id == kEnvironmentNode) continue;
+      if (event.event_type == "run_init") continue;
+      EXPECT_GE(event.common_time, init_time[event.node_id] - 1e-3)
+          << event.event_type << " on " << event.node_id;
+      if (event.event_type != "run_exit") {
+        EXPECT_LE(event.common_time, exit_time[event.node_id] + 1e-3);
+      }
+    }
+  }
+}
+
+TEST(Master, ExperimentInfoAndArtifactsStored) {
+  TwoPartyOptions options;
+  options.replications = 1;
+  Result<TestRig> rig = make_setup(options);
+  ASSERT_TRUE(rig.ok());
+  MasterOptions master_options;
+  master_options.comment = "unit test";
+  ExperiMaster master(rig.value().description, *rig.value().platform,
+                      std::move(master_options));
+  Result<storage::ExperimentPackage> package = master.execute();
+  ASSERT_TRUE(package.ok());
+
+  // ExperimentInfo holds the description XML, re-parsable.
+  Result<std::string> xml = package.value().description_xml();
+  ASSERT_TRUE(xml.ok());
+  EXPECT_TRUE(ExperimentDescription::parse(xml.value()).ok());
+  EXPECT_EQ(package.value().ee_version().value(), storage::kEeVersion);
+
+  // Topology measured before and after (§IV-B4).
+  const storage::Table* measurements =
+      package.value().database().table("ExperimentMeasurements");
+  bool before = false;
+  bool after = false;
+  bool detail = false;
+  for (const storage::Row& row : measurements->rows()) {
+    if (row[2].as_string() == "topology_before") before = true;
+    if (row[2].as_string() == "topology_after") after = true;
+    if (row[2].as_string() == "topology_detail") {
+      detail = true;
+      // Advanced recording carries adjacency with link quality (§IV-B4).
+      EXPECT_NE(row[3].as_string().find("links:"), std::string::npos);
+      EXPECT_NE(row[3].as_string().find("loss="), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(before);
+  EXPECT_TRUE(after);
+  EXPECT_TRUE(detail);
+
+  // RunInfos carries a time sync estimate per (run, node).
+  Result<std::vector<storage::RunInfoRow>> infos =
+      package.value().run_infos();
+  ASSERT_TRUE(infos.ok());
+  EXPECT_EQ(infos.value().size(),
+            rig.value().platform->node_names().size());
+
+  // Logs captured per node.
+  EXPECT_NE(package.value().log_for("SU0").find("run_init"),
+            std::string::npos);
+}
+
+TEST(Master, TimeSyncEstimatesTrackTrueOffsets) {
+  TwoPartyOptions options;
+  options.replications = 1;
+  Result<TestRig> rig = make_setup(options);
+  ASSERT_TRUE(rig.ok());
+  SimPlatform& platform = *rig.value().platform;
+  ExperiMaster master(rig.value().description, platform);
+  Result<storage::ExperimentPackage> package = master.execute();
+  ASSERT_TRUE(package.ok());
+
+  Result<std::vector<storage::RunInfoRow>> infos =
+      package.value().run_infos();
+  ASSERT_TRUE(infos.ok());
+  for (const storage::RunInfoRow& info : infos.value()) {
+    Result<net::NodeId> id = platform.node_id(info.node_id);
+    ASSERT_TRUE(id.ok());
+    double true_offset =
+        static_cast<double>(platform.network()
+                                .clock(id.value())
+                                .true_offset_at(sim::SimTime::from_seconds(
+                                    info.start_time))
+                                .nanos()) /
+        1e9;
+    // Estimation error bounded by control-channel asymmetry (< 1 ms).
+    EXPECT_NEAR(info.time_diff, true_offset, 1e-3) << info.node_id;
+    // Offsets themselves are up to 50 ms, so the estimate is meaningful.
+  }
+}
+
+TEST(Master, FactorsAppliedPerTreatment) {
+  // Loss factor with two levels x 2 replications = 4 runs; the loss fault
+  // must start in every run (events recorded), with the factor's level.
+  TwoPartyOptions options;
+  options.replications = 2;
+  options.loss_levels = {0.0, 0.3};
+  Result<TestRig> rig = make_setup(options);
+  ASSERT_TRUE(rig.ok());
+  ExperiMaster master(rig.value().description, *rig.value().platform);
+  EXPECT_EQ(master.plan().run_count(), 4u);
+  Result<storage::ExperimentPackage> package = master.execute();
+  ASSERT_TRUE(package.ok()) << package.error().to_string();
+  for (std::int64_t run_id : package.value().run_ids()) {
+    Result<std::vector<storage::EventRow>> events =
+        package.value().events(run_id);
+    ASSERT_TRUE(events.ok());
+    int starts = 0;
+    int stops = 0;
+    for (const storage::EventRow& event : events.value()) {
+      if (event.event_type == "fault_message_loss_start") ++starts;
+      if (event.event_type == "fault_message_loss_stop") ++stops;
+    }
+    EXPECT_EQ(starts, 1) << "run " << run_id;
+    EXPECT_EQ(stops, 1) << "run " << run_id;
+  }
+}
+
+TEST(Master, RecoveryRetriesAbortedRuns) {
+  TwoPartyOptions options;
+  options.replications = 3;
+  Result<TestRig> rig = make_setup(options);
+  ASSERT_TRUE(rig.ok());
+  MasterOptions master_options;
+  // Run 2 fails on its first attempt, then succeeds.
+  master_options.abort_hook = [](std::int64_t run_id, int attempt) {
+    return run_id == 2 && attempt == 1;
+  };
+  int progress_calls = 0;
+  int failures = 0;
+  master_options.progress = [&](const RunSpec&, int, bool ok) {
+    ++progress_calls;
+    if (!ok) ++failures;
+  };
+  ExperiMaster master(rig.value().description, *rig.value().platform,
+                      std::move(master_options));
+  Result<storage::ExperimentPackage> package = master.execute();
+  ASSERT_TRUE(package.ok()) << package.error().to_string();
+  EXPECT_EQ(master.aborted_attempts(), 1);
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(progress_calls, 4);  // 3 runs + 1 retry
+  // All three runs present exactly once; the aborted attempt left no data.
+  EXPECT_EQ(package.value().run_ids(),
+            (std::vector<std::int64_t>{1, 2, 3}));
+  Result<std::vector<storage::EventRow>> run2 = package.value().events(2);
+  ASSERT_TRUE(run2.ok());
+  int run_inits = 0;
+  for (const storage::EventRow& event : run2.value()) {
+    if (event.event_type == "run_init" && event.node_id == "SU0") {
+      ++run_inits;
+    }
+  }
+  EXPECT_EQ(run_inits, 1);
+}
+
+TEST(Master, PersistentFailureGivesUpAfterMaxAttempts) {
+  TwoPartyOptions options;
+  options.replications = 2;
+  Result<TestRig> rig = make_setup(options);
+  ASSERT_TRUE(rig.ok());
+  MasterOptions master_options;
+  master_options.max_attempts_per_run = 2;
+  master_options.abort_hook = [](std::int64_t run_id, int) {
+    return run_id == 1;  // always fails
+  };
+  ExperiMaster master(rig.value().description, *rig.value().platform,
+                      std::move(master_options));
+  Result<storage::ExperimentPackage> package = master.execute();
+  ASSERT_FALSE(package.ok());
+  EXPECT_EQ(master.aborted_attempts(), 2);
+}
+
+TEST(Master, ResumeSkipsCompletedRuns) {
+  // First master completes runs 1-2 then "crashes" (we stop it by running
+  // a truncated plan); a second master over the same platform resumes and
+  // only executes run 3.
+  TwoPartyOptions options;
+  options.replications = 3;
+  Result<TestRig> rig = make_setup(options);
+  ASSERT_TRUE(rig.ok());
+  SimPlatform& platform = *rig.value().platform;
+
+  {
+    ExperiMaster first(rig.value().description, platform);
+    // Execute only the first two runs manually.
+    ASSERT_TRUE(first.execute_run(first.plan().runs()[0]).ok());
+    ASSERT_TRUE(first.execute_run(first.plan().runs()[1]).ok());
+    EXPECT_EQ(platform.level2().completed_runs().size(), 2u);
+  }
+
+  int executed = 0;
+  MasterOptions master_options;
+  master_options.progress = [&](const RunSpec&, int, bool) { ++executed; };
+  ExperiMaster resumed(rig.value().description, platform,
+                       std::move(master_options));
+  Result<storage::ExperimentPackage> package = resumed.execute();
+  ASSERT_TRUE(package.ok()) << package.error().to_string();
+  EXPECT_EQ(executed, 1);  // only run 3 was re-executed
+  EXPECT_EQ(package.value().run_ids(),
+            (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(Master, ThreePartyArchitectureDiscoversViaScm) {
+  TwoPartyOptions options;
+  options.protocol = "slp";
+  options.architecture = "three-party";
+  options.scm_count = 1;
+  options.replications = 2;
+  options.environment_count = 1;
+  Result<TestRig> rig = make_setup(options);
+  ASSERT_TRUE(rig.ok()) << rig.error().to_string();
+  ExperiMaster master(rig.value().description, *rig.value().platform);
+  Result<storage::ExperimentPackage> package = master.execute();
+  ASSERT_TRUE(package.ok()) << package.error().to_string();
+
+  Result<stats::Proportion> responsiveness =
+      stats::responsiveness(package.value(), 10.0, 1);
+  ASSERT_TRUE(responsiveness.ok());
+  EXPECT_DOUBLE_EQ(responsiveness.value().estimate, 1.0);
+
+  // SCM machinery visible in the event record.
+  Result<std::vector<storage::EventRow>> events =
+      package.value().events(1);
+  ASSERT_TRUE(events.ok());
+  int scm_started = 0;
+  int scm_found = 0;
+  int registrations = 0;
+  for (const storage::EventRow& event : events.value()) {
+    if (event.event_type == "scm_started") ++scm_started;
+    if (event.event_type == "scm_found") ++scm_found;
+    if (event.event_type == "scm_registration_add") ++registrations;
+  }
+  EXPECT_EQ(scm_started, 1);
+  EXPECT_GE(scm_found, 2);  // SM and SU both find the SCM
+  EXPECT_GE(registrations, 1);
+}
+
+TEST(Master, HybridArchitectureWorks) {
+  TwoPartyOptions options;
+  options.protocol = "hybrid";
+  options.architecture = "hybrid";
+  options.scm_count = 1;
+  options.replications = 1;
+  options.deadline_s = 20.0;
+  Result<TestRig> rig = make_setup(options);
+  ASSERT_TRUE(rig.ok()) << rig.error().to_string();
+  ExperiMaster master(rig.value().description, *rig.value().platform);
+  Result<storage::ExperimentPackage> package = master.execute();
+  ASSERT_TRUE(package.ok()) << package.error().to_string();
+  Result<stats::Proportion> responsiveness =
+      stats::responsiveness(package.value(), 20.0, 1);
+  ASSERT_TRUE(responsiveness.ok());
+  EXPECT_DOUBLE_EQ(responsiveness.value().estimate, 1.0);
+}
+
+TEST(Master, MultipleProvidersAllDiscovered) {
+  TwoPartyOptions options;
+  options.sm_count = 3;
+  options.replications = 2;
+  options.deadline_s = 30.0;
+  Result<TestRig> rig = make_setup(options);
+  ASSERT_TRUE(rig.ok());
+  ExperiMaster master(rig.value().description, *rig.value().platform);
+  Result<storage::ExperimentPackage> package = master.execute();
+  ASSERT_TRUE(package.ok()) << package.error().to_string();
+
+  Result<std::vector<stats::RunDiscovery>> discoveries =
+      stats::discoveries(package.value());
+  ASSERT_TRUE(discoveries.ok());
+  ASSERT_EQ(discoveries.value().size(), 2u);  // one SU x two runs
+  for (const stats::RunDiscovery& run : discoveries.value()) {
+    EXPECT_EQ(run.latencies.size(), 3u);
+    EXPECT_TRUE(run.latencies.count("SM0") == 1);
+    EXPECT_TRUE(run.latencies.count("SM1") == 1);
+    EXPECT_TRUE(run.latencies.count("SM2") == 1);
+  }
+}
+
+TEST(Master, EnvironmentTrafficRunsDuringExperiment) {
+  TwoPartyOptions options;
+  options.replications = 2;
+  options.environment_count = 4;
+  options.pairs_levels = {2};
+  options.bw_levels = {50};
+  Result<TestRig> rig = make_setup(options);
+  ASSERT_TRUE(rig.ok()) << rig.error().to_string();
+  ExperiMaster master(rig.value().description, *rig.value().platform);
+  Result<storage::ExperimentPackage> package = master.execute();
+  ASSERT_TRUE(package.ok()) << package.error().to_string();
+
+  for (std::int64_t run_id : package.value().run_ids()) {
+    Result<std::vector<storage::EventRow>> events =
+        package.value().events(run_id);
+    ASSERT_TRUE(events.ok());
+    double ready = -1;
+    double start = -1;
+    double stop = -1;
+    for (const storage::EventRow& event : events.value()) {
+      if (event.node_id != kEnvironmentNode) continue;
+      if (event.event_type == "ready_to_init") ready = event.common_time;
+      if (event.event_type == "env_traffic_start") start = event.common_time;
+      if (event.event_type == "env_traffic_stop") stop = event.common_time;
+    }
+    EXPECT_GE(ready, 0.0) << "run " << run_id;
+    EXPECT_GE(start, ready) << "run " << run_id;
+    EXPECT_GT(stop, start) << "run " << run_id;
+  }
+}
+
+TEST(Master, DeterministicAcrossIdenticalSetups) {
+  TwoPartyOptions options;
+  options.replications = 2;
+  options.loss_levels = {0.2};
+  auto run_once = [&]() -> std::vector<std::string> {
+    Result<TestRig> rig = make_setup(options);
+    EXPECT_TRUE(rig.ok());
+    ExperiMaster master(rig.value().description, *rig.value().platform);
+    Result<storage::ExperimentPackage> package = master.execute();
+    EXPECT_TRUE(package.ok());
+    std::vector<std::string> trace;
+    Result<std::vector<storage::EventRow>> events =
+        package.value().all_events();
+    EXPECT_TRUE(events.ok());
+    for (const storage::EventRow& event : events.value()) {
+      trace.push_back(std::to_string(event.run_id) + "|" + event.node_id +
+                      "|" + std::to_string(event.common_time) + "|" +
+                      event.event_type + "|" + event.parameter);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Master, ChainTopologyMultiHopDiscovery) {
+  TwoPartyOptions options;
+  options.replications = 1;
+  options.environment_count = 0;
+  options.deadline_s = 30.0;
+  TopologyOptions topology;
+  topology.kind = TopologyKind::kChain;
+  topology.chain_spacing = 3;  // 2 relays between SM0 and SU0
+  Result<TestRig> rig = make_setup(options, topology);
+  ASSERT_TRUE(rig.ok()) << rig.error().to_string();
+  ExperiMaster master(rig.value().description, *rig.value().platform);
+  Result<storage::ExperimentPackage> package = master.execute();
+  ASSERT_TRUE(package.ok()) << package.error().to_string();
+  Result<stats::Proportion> responsiveness =
+      stats::responsiveness(package.value(), 30.0, 1);
+  ASSERT_TRUE(responsiveness.ok());
+  EXPECT_DOUBLE_EQ(responsiveness.value().estimate, 1.0);
+}
+
+TEST(Master, PacketsRecordedWithSourceTracking) {
+  TwoPartyOptions options;
+  options.replications = 1;
+  Result<TestRig> rig = make_setup(options);
+  ASSERT_TRUE(rig.ok());
+  ExperiMaster master(rig.value().description, *rig.value().platform);
+  Result<storage::ExperimentPackage> package = master.execute();
+  ASSERT_TRUE(package.ok());
+  Result<std::vector<storage::PacketRow>> packets =
+      package.value().packets(1);
+  ASSERT_TRUE(packets.ok());
+  ASSERT_GT(packets.value().size(), 0u);
+  for (const storage::PacketRow& row : packets.value()) {
+    EXPECT_FALSE(row.src_node_id.empty());
+    // Payload decodes back to a wire image with route tracking.
+    Result<net::WireImage> image = net::capture_from_wire(row.data);
+    ASSERT_TRUE(image.ok());
+    EXPECT_FALSE(image.value().packet.route.empty());
+  }
+}
+
+}  // namespace
+}  // namespace excovery::core

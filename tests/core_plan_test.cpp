@@ -1,0 +1,223 @@
+// Unit tests for treatment plan generation (§IV-C1).
+#include <gtest/gtest.h>
+
+#include "core/plan.hpp"
+
+namespace excovery::core {
+namespace {
+
+Factor int_factor(std::string id, std::vector<std::int64_t> levels,
+                  FactorUsage usage = FactorUsage::kConstant) {
+  Factor factor;
+  factor.id = std::move(id);
+  factor.type = "int";
+  factor.usage = usage;
+  for (std::int64_t level : levels) factor.levels.emplace_back(level);
+  return factor;
+}
+
+ExperimentDescription base_description() {
+  ExperimentDescription description;
+  description.name = "plan-test";
+  description.seed = 11;
+  description.abstract_nodes = {"A"};
+  description.replications = 2;
+  description.replication_factor_id = "rep";
+  return description;
+}
+
+TEST(Plan, CartesianProductTimesReplications) {
+  ExperimentDescription description = base_description();
+  description.factors.push_back(int_factor("f1", {1, 2}));
+  description.factors.push_back(int_factor("f2", {10, 20, 30}));
+
+  Result<TreatmentPlan> plan = TreatmentPlan::generate(description);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().treatment_count(), 6u);
+  EXPECT_EQ(plan.value().run_count(), 12u);
+  EXPECT_EQ(plan.value().replications(), 2);
+}
+
+TEST(Plan, OfatOrderFirstFactorVariesLeast) {
+  ExperimentDescription description = base_description();
+  description.replications = 1;
+  description.factors.push_back(int_factor("first", {1, 2}));
+  description.factors.push_back(int_factor("last", {10, 20}));
+
+  Result<TreatmentPlan> plan = TreatmentPlan::generate(description);
+  ASSERT_TRUE(plan.ok());
+  const auto& runs = plan.value().runs();
+  ASSERT_EQ(runs.size(), 4u);
+  // "the first factor varies least often during execution while the last
+  // factor changes every run" (§IV-C).
+  EXPECT_EQ(runs[0].treatment.level_int("first").value(), 1);
+  EXPECT_EQ(runs[0].treatment.level_int("last").value(), 10);
+  EXPECT_EQ(runs[1].treatment.level_int("first").value(), 1);
+  EXPECT_EQ(runs[1].treatment.level_int("last").value(), 20);
+  EXPECT_EQ(runs[2].treatment.level_int("first").value(), 2);
+  EXPECT_EQ(runs[2].treatment.level_int("last").value(), 10);
+  EXPECT_EQ(runs[3].treatment.level_int("first").value(), 2);
+}
+
+TEST(Plan, ReplicationsAreInnermost) {
+  ExperimentDescription description = base_description();
+  description.replications = 3;
+  description.factors.push_back(int_factor("f", {1, 2}));
+
+  Result<TreatmentPlan> plan = TreatmentPlan::generate(description);
+  ASSERT_TRUE(plan.ok());
+  const auto& runs = plan.value().runs();
+  ASSERT_EQ(runs.size(), 6u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(runs[static_cast<std::size_t>(i)].replication, i);
+    EXPECT_EQ(runs[static_cast<std::size_t>(i)].treatment_index, 0);
+  }
+  EXPECT_EQ(runs[3].treatment_index, 1);
+  // Run ids are sequential from 1 (execution order).
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].run_id, static_cast<std::int64_t>(i + 1));
+  }
+}
+
+TEST(Plan, ReplicationIndexExposedAsFactorLevel) {
+  ExperimentDescription description = base_description();
+  description.replications = 2;
+  Result<TreatmentPlan> plan = TreatmentPlan::generate(description);
+  ASSERT_TRUE(plan.ok());
+  // Fig. 7 uses factorref to the replication id for traffic seeds.
+  EXPECT_EQ(plan.value().runs()[0].treatment.level_int("rep").value(), 0);
+  EXPECT_EQ(plan.value().runs()[1].treatment.level_int("rep").value(), 1);
+}
+
+TEST(Plan, BlockingFactorsHoistedOutermost) {
+  ExperimentDescription description = base_description();
+  description.replications = 1;
+  description.factors.push_back(int_factor("varied", {1, 2}));
+  description.factors.push_back(
+      int_factor("block", {100, 200}, FactorUsage::kBlocking));
+
+  Result<TreatmentPlan> plan = TreatmentPlan::generate(description);
+  ASSERT_TRUE(plan.ok());
+  const auto& runs = plan.value().runs();
+  ASSERT_EQ(runs.size(), 4u);
+  // Despite being listed last, the blocking factor varies slowest.
+  EXPECT_EQ(runs[0].treatment.level_int("block").value(), 100);
+  EXPECT_EQ(runs[1].treatment.level_int("block").value(), 100);
+  EXPECT_EQ(runs[2].treatment.level_int("block").value(), 200);
+  EXPECT_EQ(runs[0].treatment.level_int("varied").value(), 1);
+  EXPECT_EQ(runs[1].treatment.level_int("varied").value(), 2);
+}
+
+TEST(Plan, RandomFactorLevelsShuffledDeterministically) {
+  ExperimentDescription description = base_description();
+  description.replications = 1;
+  description.factors.push_back(
+      int_factor("r", {1, 2, 3, 4, 5, 6, 7, 8}, FactorUsage::kRandom));
+
+  Result<TreatmentPlan> a = TreatmentPlan::generate(description);
+  Result<TreatmentPlan> b = TreatmentPlan::generate(description);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<std::int64_t> order_a;
+  std::vector<std::int64_t> order_b;
+  for (const RunSpec& run : a.value().runs()) {
+    order_a.push_back(run.treatment.level_int("r").value());
+  }
+  for (const RunSpec& run : b.value().runs()) {
+    order_b.push_back(run.treatment.level_int("r").value());
+  }
+  // Same seed: identical ("perfect repeatability", §IV-C1).
+  EXPECT_EQ(order_a, order_b);
+  // All levels appear exactly once.
+  std::vector<std::int64_t> sorted = order_a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::int64_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+  // Different seed: different order (with overwhelming probability).
+  description.seed = 12;
+  Result<TreatmentPlan> c = TreatmentPlan::generate(description);
+  ASSERT_TRUE(c.ok());
+  std::vector<std::int64_t> order_c;
+  for (const RunSpec& run : c.value().runs()) {
+    order_c.push_back(run.treatment.level_int("r").value());
+  }
+  EXPECT_NE(order_a, order_c);
+}
+
+TEST(Plan, ActorMapResolvedPerRun) {
+  ExperimentDescription description = base_description();
+  description.abstract_nodes = {"A", "B", "C"};
+  description.node_factor_id = "fact_nodes";
+  Factor nodes;
+  nodes.id = "fact_nodes";
+  nodes.type = "actor_node_map";
+  nodes.usage = FactorUsage::kBlocking;
+  ValueMap level1;
+  level1.emplace("actor0", Value{ValueArray{Value{"A"}, Value{"B"}}});
+  level1.emplace("actor1", Value{ValueArray{Value{"C"}}});
+  ValueMap level2;
+  level2.emplace("actor0", Value{ValueArray{Value{"A"}}});
+  level2.emplace("actor1", Value{ValueArray{Value{"B"}}});
+  nodes.levels.push_back(Value{level1});
+  nodes.levels.push_back(Value{level2});
+  description.factors.push_back(std::move(nodes));
+  description.replications = 1;
+
+  Result<TreatmentPlan> plan = TreatmentPlan::generate(description);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().run_count(), 2u);
+  const RunSpec& first = plan.value().runs()[0];
+  EXPECT_EQ(first.actor_map.at("actor0"),
+            (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(first.acting_nodes(),
+            (std::vector<std::string>{"A", "B", "C"}));
+  const RunSpec& second = plan.value().runs()[1];
+  EXPECT_EQ(second.acting_nodes(), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(Plan, NoFactorsStillReplicates) {
+  ExperimentDescription description = base_description();
+  description.replications = 5;
+  Result<TreatmentPlan> plan = TreatmentPlan::generate(description);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().run_count(), 5u);
+  EXPECT_EQ(plan.value().treatment_count(), 1u);
+}
+
+TEST(Plan, RemainingSupportsResume) {
+  ExperimentDescription description = base_description();
+  description.replications = 4;
+  Result<TreatmentPlan> plan = TreatmentPlan::generate(description);
+  ASSERT_TRUE(plan.ok());
+  std::vector<const RunSpec*> remaining =
+      plan.value().remaining({1, 3});
+  ASSERT_EQ(remaining.size(), 2u);
+  EXPECT_EQ(remaining[0]->run_id, 2);
+  EXPECT_EQ(remaining[1]->run_id, 4);
+  EXPECT_EQ(plan.value().remaining({}).size(), 4u);
+  EXPECT_TRUE(plan.value().remaining({1, 2, 3, 4}).empty());
+}
+
+TEST(Plan, TreatmentLevelAccessors) {
+  Treatment treatment;
+  treatment.levels["i"] = Value{"42"};
+  treatment.levels["d"] = Value{"0.5"};
+  treatment.levels["s"] = Value{"text"};
+  EXPECT_EQ(treatment.level_int("i").value(), 42);
+  EXPECT_DOUBLE_EQ(treatment.level_double("d").value(), 0.5);
+  EXPECT_EQ(treatment.level_text("s").value(), "text");
+  EXPECT_FALSE(treatment.level("missing").ok());
+  EXPECT_FALSE(treatment.level_int("s").ok());
+}
+
+TEST(Plan, FormatShowsHead) {
+  ExperimentDescription description = base_description();
+  description.replications = 20;
+  Result<TreatmentPlan> plan = TreatmentPlan::generate(description);
+  ASSERT_TRUE(plan.ok());
+  std::string text = plan.value().format(3);
+  EXPECT_NE(text.find("20 runs"), std::string::npos);
+  EXPECT_NE(text.find("more runs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace excovery::core

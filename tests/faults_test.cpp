@@ -1,0 +1,453 @@
+// Unit tests for fault injection and environment manipulation (§IV-D).
+#include <gtest/gtest.h>
+
+#include "faults/injector.hpp"
+#include "faults/traffic.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace excovery::faults {
+namespace {
+
+constexpr net::Port kPort = net::kSdPort;
+
+struct Fixture {
+  sim::Scheduler scheduler;
+  net::Network network;
+  FaultInjector injector;
+  int received = 0;
+
+  explicit Fixture(net::Topology topology = net::Topology::chain(3))
+      : network(scheduler, std::move(topology), 1),
+        injector(network, kPort) {}
+
+  void bind_counter(net::NodeId node) {
+    network.bind(node, kPort, [this](net::NodeId, const net::Packet&) {
+      ++received;
+    });
+  }
+
+  void send_sd(net::NodeId from, net::NodeId to) {
+    net::Packet packet;
+    packet.dst = network.topology().node(to).address;
+    packet.src_port = kPort;
+    packet.dst_port = kPort;
+    packet.payload.assign(8, 0x01);
+    (void)network.send(from, std::move(packet));
+  }
+
+  void send_other(net::NodeId from, net::NodeId to) {
+    net::Packet packet;
+    packet.dst = network.topology().node(to).address;
+    packet.src_port = 7777;
+    packet.dst_port = 7777;
+    packet.payload.assign(8, 0x02);
+    (void)network.send(from, std::move(packet));
+  }
+};
+
+// ---- direction parsing -----------------------------------------------------
+
+TEST(FaultDirection, Parsing) {
+  EXPECT_EQ(parse_fault_direction("receive").value(), FaultDirection::kReceive);
+  EXPECT_EQ(parse_fault_direction("rx").value(), FaultDirection::kReceive);
+  EXPECT_EQ(parse_fault_direction("TRANSMIT").value(),
+            FaultDirection::kTransmit);
+  EXPECT_EQ(parse_fault_direction("both").value(), FaultDirection::kBoth);
+  EXPECT_EQ(parse_fault_direction("\"random\"").value(),
+            FaultDirection::kRandom);
+  EXPECT_FALSE(parse_fault_direction("sideways").ok());
+}
+
+// ---- interface fault ---------------------------------------------------------
+
+TEST(FaultInjection, InterfaceFaultBlocksUntilStopped) {
+  Fixture fx;
+  fx.bind_counter(2);
+  Result<FaultHandle> fault =
+      fx.injector.interface_fault(0, FaultDirection::kTransmit);
+  ASSERT_TRUE(fault.ok());
+  EXPECT_TRUE(fault.value()->active());
+
+  fx.send_sd(0, 2);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 0);
+
+  fault.value()->stop();
+  EXPECT_FALSE(fault.value()->active());
+  fx.send_sd(0, 2);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 1);
+}
+
+TEST(FaultInjection, InterfaceFaultBothDirections) {
+  Fixture fx;
+  fx.bind_counter(0);
+  Result<FaultHandle> fault =
+      fx.injector.interface_fault(0, FaultDirection::kBoth);
+  ASSERT_TRUE(fault.ok());
+  fx.send_sd(2, 0);  // toward the faulted node: rx blocked
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 0);
+}
+
+TEST(FaultInjection, RandomDirectionIsDeterministicInSeed) {
+  Fixture fx1;
+  Fixture fx2;
+  TemporalSpec temporal;
+  temporal.randomseed = 77;
+  Result<FaultHandle> f1 =
+      fx1.injector.interface_fault(0, FaultDirection::kRandom, temporal);
+  Result<FaultHandle> f2 =
+      fx2.injector.interface_fault(0, FaultDirection::kRandom, temporal);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(fx1.network.interface_up(0, net::Direction::kTransmit),
+            fx2.network.interface_up(0, net::Direction::kTransmit));
+  EXPECT_EQ(fx1.network.interface_up(0, net::Direction::kReceive),
+            fx2.network.interface_up(0, net::Direction::kReceive));
+}
+
+TEST(FaultInjection, UnknownNodeRejected) {
+  Fixture fx;
+  EXPECT_FALSE(fx.injector.interface_fault(99, FaultDirection::kBoth).ok());
+  EXPECT_FALSE(fx.injector.message_loss(99, 0.5, FaultDirection::kBoth).ok());
+}
+
+// ---- message loss ---------------------------------------------------------------
+
+TEST(FaultInjection, MessageLossDropsFraction) {
+  Fixture fx(net::Topology::chain(2));
+  fx.bind_counter(1);
+  Result<FaultHandle> fault =
+      fx.injector.message_loss(0, 0.5, FaultDirection::kTransmit);
+  ASSERT_TRUE(fault.ok());
+  for (int i = 0; i < 400; ++i) fx.send_sd(0, 1);
+  fx.scheduler.run();
+  EXPECT_GT(fx.received, 120);
+  EXPECT_LT(fx.received, 280);
+}
+
+TEST(FaultInjection, MessageLossFullProbabilityDropsEverything) {
+  Fixture fx(net::Topology::chain(2));
+  fx.bind_counter(1);
+  Result<FaultHandle> fault =
+      fx.injector.message_loss(0, 1.0, FaultDirection::kBoth);
+  ASSERT_TRUE(fault.ok());
+  for (int i = 0; i < 20; ++i) fx.send_sd(0, 1);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 0);
+}
+
+TEST(FaultInjection, MessageLossSparesNonExperimentTraffic) {
+  Fixture fx(net::Topology::chain(2));
+  int other_received = 0;
+  fx.network.bind(1, 7777, [&](net::NodeId, const net::Packet&) {
+    ++other_received;
+  });
+  Result<FaultHandle> fault =
+      fx.injector.message_loss(0, 1.0, FaultDirection::kBoth);
+  ASSERT_TRUE(fault.ok());
+  for (int i = 0; i < 10; ++i) fx.send_other(0, 1);
+  fx.scheduler.run();
+  // "Whenever the term packet is used, it refers to packets belonging to
+  // the experiment process" (§IV-D1).
+  EXPECT_EQ(other_received, 10);
+}
+
+TEST(FaultInjection, ProbabilityRangeValidated) {
+  Fixture fx;
+  EXPECT_FALSE(fx.injector.message_loss(0, -0.1, FaultDirection::kBoth).ok());
+  EXPECT_FALSE(fx.injector.message_loss(0, 1.1, FaultDirection::kBoth).ok());
+  EXPECT_FALSE(fx.injector.path_loss(0, 1, 2.0).ok());
+}
+
+// ---- message delay -----------------------------------------------------------------
+
+TEST(FaultInjection, MessageDelayAddsConstantDelay) {
+  Fixture fx(net::Topology::chain(2));
+  sim::SimTime arrival;
+  fx.network.bind(1, kPort, [&](net::NodeId, const net::Packet&) {
+    arrival = fx.scheduler.now();
+  });
+  // Baseline.
+  fx.send_sd(0, 1);
+  fx.scheduler.run();
+  sim::SimTime baseline = arrival;
+
+  Result<FaultHandle> fault = fx.injector.message_delay(
+      1, sim::SimDuration::from_millis(250));
+  ASSERT_TRUE(fault.ok());
+  sim::SimTime send_time = fx.scheduler.now();
+  fx.send_sd(0, 1);
+  fx.scheduler.run();
+  EXPECT_GE((arrival - send_time).nanos(),
+            sim::SimDuration::from_millis(250).nanos());
+  (void)baseline;
+}
+
+// ---- path faults ----------------------------------------------------------------------
+
+TEST(FaultInjection, PathLossAffectsOnlyGivenPeer) {
+  Fixture fx(net::Topology::full_mesh(3));
+  fx.bind_counter(0);
+  // Node 0 loses everything from/to node 1 but keeps node 2 traffic.
+  Result<FaultHandle> fault = fx.injector.path_loss(0, 1, 1.0);
+  ASSERT_TRUE(fault.ok());
+  fx.send_sd(1, 0);
+  fx.send_sd(2, 0);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 1);
+}
+
+TEST(FaultInjection, PathDelayAffectsOnlyGivenPeer) {
+  Fixture fx(net::Topology::full_mesh(3));
+  std::map<std::string, sim::SimTime> arrivals;
+  fx.network.bind(0, kPort, [&](net::NodeId, const net::Packet& p) {
+    arrivals[p.src.to_string()] = fx.scheduler.now();
+  });
+  Result<FaultHandle> fault =
+      fx.injector.path_delay(0, 1, sim::SimDuration::from_millis(500));
+  ASSERT_TRUE(fault.ok());
+  sim::SimTime start = fx.scheduler.now();
+  fx.send_sd(1, 0);
+  fx.send_sd(2, 0);
+  fx.scheduler.run();
+  std::string peer1 = fx.network.topology().node(1).address.to_string();
+  std::string peer2 = fx.network.topology().node(2).address.to_string();
+  ASSERT_TRUE(arrivals.count(peer1) == 1 && arrivals.count(peer2) == 1);
+  EXPECT_GE((arrivals[peer1] - start).nanos(), 500'000'000);
+  EXPECT_LT((arrivals[peer2] - start).nanos(), 100'000'000);
+}
+
+// ---- drop all --------------------------------------------------------------------------
+
+TEST(FaultInjection, DropAllBlocksExperimentTrafficEverywhere) {
+  Fixture fx(net::Topology::chain(3));
+  fx.bind_counter(2);
+  int other_received = 0;
+  fx.network.bind(2, 7777, [&](net::NodeId, const net::Packet&) {
+    ++other_received;
+  });
+  Result<FaultHandle> fault = fx.injector.drop_all_packets();
+  ASSERT_TRUE(fault.ok());
+  fx.send_sd(0, 2);
+  fx.send_other(0, 2);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 0);
+  EXPECT_EQ(other_received, 1);
+
+  fault.value()->stop();
+  fx.send_sd(0, 2);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 1);
+}
+
+// ---- temporal behaviour (duration/rate/randomseed) --------------------------------------
+
+TEST(FaultTemporal, WindowedFaultActivatesWithinDuration) {
+  Fixture fx(net::Topology::chain(2));
+  TemporalSpec temporal;
+  temporal.duration = sim::SimDuration::from_seconds(10);
+  temporal.rate = 0.3;
+  temporal.randomseed = 5;
+  Result<FaultHandle> fault =
+      fx.injector.interface_fault(0, FaultDirection::kTransmit, temporal);
+  ASSERT_TRUE(fault.ok());
+  // Not yet active (activation is scheduled).
+  EXPECT_FALSE(fault.value()->active());
+
+  // Sample interface state over the window: must be down ~30% of it.
+  int down_samples = 0;
+  int total_samples = 0;
+  for (double t = 0.05; t < 10.0; t += 0.1) {
+    fx.scheduler.run_until(sim::SimTime::from_seconds(t));
+    ++total_samples;
+    if (!fx.network.interface_up(0, net::Direction::kTransmit)) {
+      ++down_samples;
+    }
+  }
+  fx.scheduler.run();
+  double fraction =
+      static_cast<double>(down_samples) / static_cast<double>(total_samples);
+  EXPECT_NEAR(fraction, 0.3, 0.05);
+  // Auto-stopped at window end.
+  EXPECT_FALSE(fault.value()->active());
+  EXPECT_TRUE(fx.network.interface_up(0, net::Direction::kTransmit));
+}
+
+TEST(FaultTemporal, ActiveBlockIsContinuous) {
+  Fixture fx(net::Topology::chain(2));
+  TemporalSpec temporal;
+  temporal.duration = sim::SimDuration::from_seconds(4);
+  temporal.rate = 0.5;
+  temporal.randomseed = 11;
+  Result<FaultHandle> fault =
+      fx.injector.interface_fault(0, FaultDirection::kTransmit, temporal);
+  ASSERT_TRUE(fault.ok());
+  // The fault must transition up->down->up exactly once ("active in one
+  // continuous block", §IV-D).
+  int transitions = 0;
+  bool last_up = true;
+  for (double t = 0.01; t < 4.2; t += 0.01) {
+    fx.scheduler.run_until(sim::SimTime::from_seconds(t));
+    bool up = fx.network.interface_up(0, net::Direction::kTransmit);
+    if (up != last_up) ++transitions;
+    last_up = up;
+  }
+  EXPECT_EQ(transitions, 2);
+}
+
+TEST(FaultTemporal, SeedPlacesWindowDeterministically) {
+  auto window_start = [](std::uint64_t seed) {
+    Fixture fx(net::Topology::chain(2));
+    TemporalSpec temporal;
+    temporal.duration = sim::SimDuration::from_seconds(10);
+    temporal.rate = 0.2;
+    temporal.randomseed = seed;
+    Result<FaultHandle> fault =
+        fx.injector.interface_fault(0, FaultDirection::kTransmit, temporal);
+    EXPECT_TRUE(fault.ok());
+    for (double t = 0.01; t < 10.0; t += 0.01) {
+      fx.scheduler.run_until(sim::SimTime::from_seconds(t));
+      if (!fx.network.interface_up(0, net::Direction::kTransmit)) return t;
+    }
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(window_start(3), window_start(3));
+  EXPECT_NE(window_start(3), window_start(4));
+}
+
+TEST(FaultInjection, EventsEmittedOnStartAndStop) {
+  Fixture fx(net::Topology::chain(2));
+  std::vector<std::string> events;
+  fx.injector.set_event_sink([&](const std::string& node,
+                                 const std::string& event, const Value&) {
+    events.push_back(node + ":" + event);
+  });
+  Result<FaultHandle> fault =
+      fx.injector.interface_fault(0, FaultDirection::kBoth);
+  ASSERT_TRUE(fault.ok());
+  fault.value()->stop();
+  fault.value()->stop();  // idempotent
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "n0:fault_interface_start");
+  EXPECT_EQ(events[1], "n0:fault_interface_stop");
+}
+
+TEST(FaultInjection, ResetStopsEverything) {
+  Fixture fx(net::Topology::full_mesh(3));
+  (void)fx.injector.interface_fault(0, FaultDirection::kBoth);
+  (void)fx.injector.message_loss(1, 0.5, FaultDirection::kBoth);
+  (void)fx.injector.drop_all_packets();
+  EXPECT_EQ(fx.injector.active_count(), 3u);
+  fx.injector.reset();
+  EXPECT_EQ(fx.injector.active_count(), 0u);
+  EXPECT_TRUE(fx.network.interface_up(0, net::Direction::kReceive));
+  EXPECT_EQ(fx.network.filter_count(), 0u);
+}
+
+// ---- traffic generation (§IV-D2) ----------------------------------------------------------
+
+TEST(TrafficPairs, SelectionIsDeterministicAndDistinct) {
+  std::vector<net::NodeId> candidates{0, 1, 2, 3, 4, 5};
+  Result<std::vector<NodePair>> a = select_pairs(candidates, 4, 9);
+  Result<std::vector<NodePair>> b = select_pairs(candidates, 4, 9);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  // All pairs distinct.
+  for (std::size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_LT(a.value()[i].a, a.value()[i].b);
+    for (std::size_t j = i + 1; j < a.value().size(); ++j) {
+      EXPECT_FALSE(a.value()[i] == a.value()[j]);
+    }
+  }
+}
+
+TEST(TrafficPairs, OverflowRejected) {
+  std::vector<net::NodeId> candidates{0, 1, 2};
+  EXPECT_TRUE(select_pairs(candidates, 3, 1).ok());   // C(3,2) = 3
+  EXPECT_FALSE(select_pairs(candidates, 4, 1).ok());
+  EXPECT_FALSE(select_pairs(candidates, -1, 1).ok());
+  EXPECT_TRUE(select_pairs(candidates, 0, 1).value().empty());
+}
+
+TEST(TrafficPairs, SwitchingReplacesExactlyRequestedAmount) {
+  std::vector<net::NodeId> candidates{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<NodePair> base = select_pairs(candidates, 3, 1).value();
+  std::vector<NodePair> switched = switch_pairs(base, candidates, 1, 2, 0);
+  int differing = 0;
+  for (const NodePair& pair : switched) {
+    bool in_base = false;
+    for (const NodePair& original : base) {
+      if (pair == original) in_base = true;
+    }
+    if (!in_base) ++differing;
+  }
+  EXPECT_EQ(differing, 1);
+  // Same seeds and run -> same switch.
+  EXPECT_EQ(switch_pairs(base, candidates, 1, 2, 0), switched);
+  // Different run index -> (almost surely) different selection.
+  EXPECT_NE(switch_pairs(base, candidates, 1, 2, 1), switched);
+}
+
+TEST(TrafficGenerator, GeneratesBidirectionalLoad) {
+  Fixture fx(net::Topology::full_mesh(4));
+  TrafficGenerator traffic(fx.network);
+  TrafficConfig config;
+  config.rate_kbps = 100.0;
+  config.pairs = 1;
+  config.choice = PairChoice::kAll;
+  ASSERT_TRUE(traffic.start(config, {0, 1}, {2, 3}, 0).ok());
+  EXPECT_TRUE(traffic.running());
+  ASSERT_EQ(traffic.active_pairs().size(), 1u);
+
+  fx.scheduler.run_until(sim::SimTime::from_seconds(2));
+  traffic.stop();
+  EXPECT_FALSE(traffic.running());
+  // 100 kbit/s / (512*8 bit) ~ 24.4 pkt/s per direction, 2 s, 2 directions.
+  EXPECT_NEAR(static_cast<double>(traffic.packets_offered()), 97.0, 10.0);
+  EXPECT_GT(traffic.packets_delivered(), 0u);
+  EXPECT_LE(traffic.packets_delivered(), traffic.packets_offered());
+
+  // After stop, no further packets.
+  std::uint64_t offered = traffic.packets_offered();
+  fx.scheduler.run_until(sim::SimTime::from_seconds(3));
+  EXPECT_EQ(traffic.packets_offered(), offered);
+}
+
+TEST(TrafficGenerator, ChoiceSelectsCandidateSet) {
+  Fixture fx(net::Topology::full_mesh(6));
+  TrafficGenerator traffic(fx.network);
+  TrafficConfig config;
+  config.pairs = 1;
+  config.choice = PairChoice::kNonActing;
+  ASSERT_TRUE(traffic.start(config, {0, 1}, {2, 3, 4, 5}, 0).ok());
+  for (const NodePair& pair : traffic.active_pairs()) {
+    EXPECT_GE(pair.a, 2u);
+    EXPECT_GE(pair.b, 2u);
+  }
+  traffic.stop();
+}
+
+TEST(TrafficGenerator, DoubleStartRejected) {
+  Fixture fx(net::Topology::full_mesh(4));
+  TrafficGenerator traffic(fx.network);
+  TrafficConfig config;
+  config.pairs = 1;
+  config.choice = PairChoice::kAll;
+  ASSERT_TRUE(traffic.start(config, {0, 1}, {2, 3}, 0).ok());
+  EXPECT_FALSE(traffic.start(config, {0, 1}, {2, 3}, 0).ok());
+  traffic.stop();
+}
+
+TEST(TrafficGenerator, PairChoiceParsing) {
+  EXPECT_EQ(parse_pair_choice("0").value(), PairChoice::kActing);
+  EXPECT_EQ(parse_pair_choice("\"1\"").value(), PairChoice::kNonActing);
+  EXPECT_EQ(parse_pair_choice("all").value(), PairChoice::kAll);
+  EXPECT_FALSE(parse_pair_choice("7").ok());
+}
+
+}  // namespace
+}  // namespace excovery::faults

@@ -1,0 +1,487 @@
+// Property-based suites (parameterised gtest): invariants swept across
+// randomised inputs and parameter grids.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/strings.hpp"
+#include "common/rng.hpp"
+#include "core/master.hpp"
+#include "core/scenario.hpp"
+#include "net/routing.hpp"
+#include "rpc/codec.hpp"
+#include "sd/message.hpp"
+#include "stats/analysis.hpp"
+#include "storage/conditioning.hpp"
+#include "storage/level2.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace excovery {
+namespace {
+
+// ---- random Value generation shared by several properties ---------------------
+
+Value random_value(Pcg32& rng, int depth) {
+  switch (depth <= 0 ? rng.bounded(6) : rng.bounded(8)) {
+    case 0: return Value{};
+    case 1: return Value{rng.bernoulli(0.5)};
+    case 2: return Value{static_cast<std::int64_t>(rng()) - INT32_MAX};
+    case 3: return Value{rng.uniform(-1e6, 1e6)};
+    case 4: {
+      std::string s;
+      std::uint32_t len = rng.bounded(12);
+      for (std::uint32_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.bounded(26)));
+      }
+      return Value{std::move(s)};
+    }
+    case 5: {
+      Bytes b;
+      std::uint32_t len = rng.bounded(16);
+      for (std::uint32_t i = 0; i < len; ++i) {
+        b.push_back(static_cast<std::uint8_t>(rng.bounded(256)));
+      }
+      return Value{std::move(b)};
+    }
+    case 6: {
+      ValueArray array;
+      std::uint32_t len = rng.bounded(4);
+      for (std::uint32_t i = 0; i < len; ++i) {
+        array.push_back(random_value(rng, depth - 1));
+      }
+      return Value{std::move(array)};
+    }
+    default: {
+      ValueMap map;
+      std::uint32_t len = rng.bounded(4);
+      for (std::uint32_t i = 0; i < len; ++i) {
+        map.emplace("k" + std::to_string(i), random_value(rng, depth - 1));
+      }
+      return Value{std::move(map)};
+    }
+  }
+}
+
+// ---- Value <-> bytes codec -----------------------------------------------------
+
+class ValueCodecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValueCodecProperty, BinaryRoundTripIsIdentity) {
+  Pcg32 rng(GetParam(), GetParam() ^ 0xABCD);
+  for (int i = 0; i < 50; ++i) {
+    Value original = random_value(rng, 3);
+    ByteWriter w;
+    w.value(original);
+    ByteReader r(w.bytes());
+    Result<Value> back = r.value();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), original);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST_P(ValueCodecProperty, XmlRpcRoundTripIsIdentity) {
+  Pcg32 rng(GetParam(), GetParam() ^ 0x1234);
+  for (int i = 0; i < 30; ++i) {
+    Value original = random_value(rng, 2);
+    xml::Element holder("h");
+    rpc::encode_value(original, holder);
+    Result<Value> back = rpc::decode_value(*holder.child("value"));
+    ASSERT_TRUE(back.ok());
+    // Doubles survive because format_double round-trips exactly.
+    EXPECT_EQ(back.value(), original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueCodecProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---- XML escaping --------------------------------------------------------------
+
+class XmlEscapingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlEscapingProperty, ArbitraryTextSurvivesElementRoundTrip) {
+  Pcg32 rng(GetParam(), 99);
+  const std::string alphabet = "ab<>&\"' \t\n;=[]{}";
+  for (int i = 0; i < 40; ++i) {
+    std::string text;
+    std::uint32_t len = rng.bounded(40);
+    for (std::uint32_t c = 0; c < len; ++c) {
+      text.push_back(alphabet[rng.bounded(
+          static_cast<std::uint32_t>(alphabet.size()))]);
+    }
+    xml::Element root("t");
+    root.set_text(text);
+    root.set_attr("a", text);
+    Result<xml::ElementPtr> back = xml::parse_element(
+        xml::write(root, {.pretty = false, .declaration = false}));
+    ASSERT_TRUE(back.ok());
+    // Text content is whitespace-trimmed by the DOM accessor; compare
+    // trimmed forms.  Attributes must match exactly.
+    EXPECT_EQ(back.value()->text(), strings::trim(text));
+    EXPECT_EQ(*back.value()->attr("a"), text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlEscapingProperty,
+                         ::testing::Values(7, 11, 19, 23));
+
+// ---- SD message codec -------------------------------------------------------------
+
+class SdCodecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SdCodecProperty, RandomMessagesRoundTrip) {
+  Pcg32 rng(GetParam(), 0x5D);
+  const sd::MessageKind kinds[] = {
+      sd::MessageKind::kQuery,        sd::MessageKind::kResponse,
+      sd::MessageKind::kAnnounce,     sd::MessageKind::kGoodbye,
+      sd::MessageKind::kProbe,        sd::MessageKind::kScmQuery,
+      sd::MessageKind::kScmAdvert,    sd::MessageKind::kRegister,
+      sd::MessageKind::kRegisterAck,  sd::MessageKind::kDeregister,
+      sd::MessageKind::kDirectedQuery, sd::MessageKind::kDirectedReply};
+  for (int i = 0; i < 60; ++i) {
+    sd::SdMessage message;
+    message.kind = kinds[rng.bounded(12)];
+    message.txn_id = rng();
+    message.service_type = "_t" + std::to_string(rng.bounded(100));
+    message.sender_name = "n" + std::to_string(rng.bounded(100));
+    message.lease_seconds = rng.bounded(1000);
+    std::uint32_t records = rng.bounded(4);
+    for (std::uint32_t r = 0; r < records; ++r) {
+      sd::ServiceRecord record;
+      record.instance.instance_name = "i" + std::to_string(rng());
+      record.instance.type = message.service_type;
+      record.instance.provider = net::Address(rng());
+      record.instance.port = static_cast<net::Port>(rng.bounded(65536));
+      record.instance.version = rng.bounded(10);
+      std::uint32_t attrs = rng.bounded(3);
+      for (std::uint32_t a = 0; a < attrs; ++a) {
+        record.instance.attributes["k" + std::to_string(a)] =
+            "v" + std::to_string(rng.bounded(10));
+      }
+      record.ttl_seconds = rng.bounded(300);
+      message.records.push_back(std::move(record));
+    }
+    std::uint32_t known = rng.bounded(3);
+    for (std::uint32_t k = 0; k < known; ++k) {
+      message.known_answers.push_back(
+          {"ka" + std::to_string(k), rng.bounded(120)});
+    }
+    Result<sd::SdMessage> back = sd::decode(sd::encode(message));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), message);
+  }
+}
+
+TEST_P(SdCodecProperty, TruncationNeverCrashesDecoder) {
+  Pcg32 rng(GetParam(), 0xDEAD);
+  sd::SdMessage message;
+  message.kind = sd::MessageKind::kResponse;
+  message.service_type = "_t._udp";
+  message.sender_name = "node";
+  sd::ServiceRecord record;
+  record.instance.instance_name = "instance";
+  record.instance.type = "_t._udp";
+  record.instance.attributes["key"] = "value";
+  message.records.push_back(record);
+  Bytes wire = sd::encode(message);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes truncated(wire.begin(),
+                    wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(sd::decode(truncated).ok());
+  }
+  // Random corruption: decode either fails or returns *something*; it must
+  // never crash, hang or read out of bounds.
+  for (int i = 0; i < 100; ++i) {
+    Bytes corrupted = wire;
+    corrupted[rng.bounded(static_cast<std::uint32_t>(corrupted.size()))] =
+        static_cast<std::uint8_t>(rng.bounded(256));
+    (void)sd::decode(corrupted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SdCodecProperty,
+                         ::testing::Values(101, 202, 303));
+
+// ---- routing invariants ----------------------------------------------------------
+
+class RoutingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingProperty, PathsAreConsistentOnRandomGraphs) {
+  Result<net::Topology> topology =
+      net::Topology::random_geometric(18, 0.4, GetParam());
+  ASSERT_TRUE(topology.ok());
+  net::RoutingTable routing(topology.value());
+  std::size_t n = topology.value().node_count();
+  for (net::NodeId a = 0; a < n; ++a) {
+    for (net::NodeId b = 0; b < n; ++b) {
+      int hops = routing.hop_count(a, b);
+      // Connected graph: everything reachable; distance symmetric.
+      ASSERT_GE(hops, 0);
+      EXPECT_EQ(hops, routing.hop_count(b, a));
+      std::vector<net::NodeId> path = routing.path(a, b);
+      ASSERT_EQ(path.size(), static_cast<std::size_t>(hops) + 1);
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      // Every consecutive pair is adjacent; the path is loop-free.
+      std::set<net::NodeId> seen;
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        EXPECT_TRUE(seen.insert(path[i]).second);
+        if (i + 1 < path.size()) {
+          EXPECT_NE(topology.value().link_between(path[i], path[i + 1]),
+                    nullptr);
+        }
+      }
+      // Triangle inequality over hop metric.
+      for (net::NodeId c = 0; c < n; c += 5) {
+        EXPECT_LE(hops,
+                  routing.hop_count(a, c) + routing.hop_count(c, b));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ---- conditioning invariant ---------------------------------------------------------
+
+class ConditioningProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ConditioningProperty, OffsetCorrectionInvertsClockShift) {
+  std::int64_t offset = GetParam();
+  Pcg32 rng(static_cast<std::uint64_t>(offset) ^ 42, 7);
+  for (int i = 0; i < 100; ++i) {
+    auto common_ns = static_cast<std::int64_t>(rng.bounded(1'000'000'000));
+    std::int64_t local_ns = common_ns + offset;
+    EXPECT_NEAR(storage::to_common_time(local_ns, offset),
+                static_cast<double>(common_ns) / 1e9, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, ConditioningProperty,
+                         ::testing::Values(-50'000'000, -1'000, 0, 1'000,
+                                           50'000'000, 2'000'000'000));
+
+// ---- deterministic replay across seeds -----------------------------------------------
+
+struct SweepParam {
+  std::uint64_t seed;
+  int sm_count;
+};
+
+class ExperimentSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ExperimentSweep, EveryConfigurationCompletesAndIsCoherent) {
+  core::scenario::TwoPartyOptions options;
+  options.sm_count = GetParam().sm_count;
+  options.replications = 2;
+  options.environment_count = 1;
+  Result<core::ExperimentDescription> description =
+      core::scenario::two_party_sd(options);
+  ASSERT_TRUE(description.ok());
+  Result<net::Topology> topology =
+      core::scenario::topology_for(description.value(), {});
+  ASSERT_TRUE(topology.ok());
+  core::SimPlatformConfig config;
+  config.topology = std::move(topology).value();
+  config.seed = GetParam().seed;
+  Result<std::unique_ptr<core::SimPlatform>> platform =
+      core::SimPlatform::create(description.value(), std::move(config));
+  ASSERT_TRUE(platform.ok());
+  core::ExperiMaster master(description.value(), *platform.value());
+  Result<storage::ExperimentPackage> package = master.execute();
+  ASSERT_TRUE(package.ok()) << package.error().to_string();
+
+  // Invariants that must hold for every configuration:
+  // (1) all runs completed,
+  EXPECT_EQ(package.value().run_ids().size(), 2u);
+  // (2) every provider discovered in every run (clean network),
+  Result<std::vector<stats::RunDiscovery>> discoveries =
+      stats::discoveries(package.value());
+  ASSERT_TRUE(discoveries.ok());
+  for (const stats::RunDiscovery& run : discoveries.value()) {
+    EXPECT_EQ(run.latencies.size(),
+              static_cast<std::size_t>(GetParam().sm_count));
+  }
+  // (3) causally coherent packet pairing,
+  Result<std::size_t> violations =
+      stats::causal_violations(package.value());
+  ASSERT_TRUE(violations.ok());
+  EXPECT_EQ(violations.value(), 0u);
+  // (4) per-run event lists non-decreasing in time.
+  for (std::int64_t run_id : package.value().run_ids()) {
+    Result<std::vector<storage::EventRow>> events =
+        package.value().events(run_id);
+    ASSERT_TRUE(events.ok());
+    for (std::size_t i = 1; i < events.value().size(); ++i) {
+      EXPECT_LE(events.value()[i - 1].common_time,
+                events.value()[i].common_time);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExperimentSweep,
+    ::testing::Values(SweepParam{1, 1}, SweepParam{1, 2}, SweepParam{1, 3},
+                      SweepParam{2, 1}, SweepParam{2, 2}, SweepParam{3, 1},
+                      SweepParam{3, 3}, SweepParam{4, 2}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "sm" +
+             std::to_string(info.param.sm_count);
+    });
+
+// ---- scheduler determinism under random workloads ---------------------------------------
+
+class SchedulerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerProperty, ExecutionOrderIndependentOfHeapInternals) {
+  auto trace = [](std::uint64_t seed) {
+    sim::Scheduler scheduler;
+    Pcg32 rng(seed, 1);
+    std::vector<int> order;
+    std::function<void(int)> spawn = [&](int id) {
+      order.push_back(id);
+      if (order.size() < 200) {
+        scheduler.schedule(
+            sim::SimDuration(rng.bounded(1000)),
+            [&spawn, next = static_cast<int>(order.size() * 1000)] {
+              spawn(next);
+            });
+      }
+    };
+    for (int i = 0; i < 10; ++i) {
+      scheduler.schedule(sim::SimDuration(rng.bounded(1000)),
+                         [&spawn, i] { spawn(i); });
+    }
+    scheduler.run();
+    return order;
+  };
+  EXPECT_EQ(trace(GetParam()), trace(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+
+// ---- level-2 store serialisation -----------------------------------------------
+
+class Level2Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Level2Property, NodeStoreRoundTripsRandomContent) {
+  Pcg32 rng(GetParam(), 0x4C32);
+  storage::NodeStore store;
+  std::uint32_t events = rng.bounded(60);
+  for (std::uint32_t i = 0; i < events; ++i) {
+    storage::RawEvent event;
+    event.run_id = rng.bounded(10);
+    event.local_time_ns = static_cast<std::int64_t>(rng()) - INT32_MAX;
+    event.type = "type" + std::to_string(rng.bounded(8));
+    event.parameter = random_value(rng, 2);
+    store.record_event(std::move(event));
+  }
+  std::uint32_t packets = rng.bounded(30);
+  for (std::uint32_t i = 0; i < packets; ++i) {
+    storage::RawPacket packet;
+    packet.run_id = rng.bounded(10);
+    packet.local_time_ns = rng();
+    packet.src_node = "n" + std::to_string(rng.bounded(5));
+    std::uint32_t len = rng.bounded(64);
+    for (std::uint32_t b = 0; b < len; ++b) {
+      packet.data.push_back(static_cast<std::uint8_t>(rng.bounded(256)));
+    }
+    store.record_packet(std::move(packet));
+  }
+  store.append_log("log " + std::to_string(GetParam()));
+  store.add_run_blob(1, "blob", "content");
+  store.add_plugin_measurement(2, "plug", "metric", "v");
+
+  Result<storage::NodeStore> back =
+      storage::NodeStore::deserialize(store.serialize());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().events().size(), store.events().size());
+  for (std::size_t i = 0; i < store.events().size(); ++i) {
+    EXPECT_EQ(back.value().events()[i].run_id, store.events()[i].run_id);
+    EXPECT_EQ(back.value().events()[i].local_time_ns,
+              store.events()[i].local_time_ns);
+    EXPECT_EQ(back.value().events()[i].type, store.events()[i].type);
+    EXPECT_EQ(back.value().events()[i].parameter,
+              store.events()[i].parameter);
+  }
+  ASSERT_EQ(back.value().packets().size(), store.packets().size());
+  for (std::size_t i = 0; i < store.packets().size(); ++i) {
+    EXPECT_EQ(back.value().packets()[i].data, store.packets()[i].data);
+  }
+  EXPECT_EQ(back.value().log(), store.log());
+  EXPECT_EQ(back.value().blobs().size(), 1u);
+  EXPECT_EQ(back.value().plugin_data().size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Level2Property,
+                         ::testing::Values(41, 42, 43, 44));
+
+// ---- treatment plan completeness ------------------------------------------------
+
+class PlanProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanProperty, PlanIsAPermutationOfTheFullFactorial) {
+  // Whatever mixture of usages the factors carry, the generated plan must
+  // contain every level combination exactly `replications` times.
+  Pcg32 rng(GetParam(), 0x9A);
+  core::ExperimentDescription description;
+  description.name = "plan-prop";
+  description.seed = GetParam();
+  description.abstract_nodes = {"A"};
+  description.replications = static_cast<int>(1 + rng.bounded(4));
+  description.replication_factor_id = "rep";
+  const core::FactorUsage usages[] = {core::FactorUsage::kBlocking,
+                                      core::FactorUsage::kConstant,
+                                      core::FactorUsage::kRandom};
+  std::uint32_t factor_count = 1 + rng.bounded(3);
+  std::size_t combinations = 1;
+  for (std::uint32_t f = 0; f < factor_count; ++f) {
+    core::Factor factor;
+    factor.id = "f" + std::to_string(f);
+    factor.type = "int";
+    factor.usage = usages[rng.bounded(3)];
+    std::uint32_t levels = 1 + rng.bounded(4);
+    combinations *= levels;
+    for (std::uint32_t l = 0; l < levels; ++l) {
+      factor.levels.emplace_back(static_cast<std::int64_t>(l));
+    }
+    description.factors.push_back(std::move(factor));
+  }
+
+  Result<core::TreatmentPlan> plan =
+      core::TreatmentPlan::generate(description);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().treatment_count(), combinations);
+  EXPECT_EQ(plan.value().run_count(),
+            combinations * static_cast<std::size_t>(description.replications));
+
+  // Count distinct full assignments.
+  std::map<std::string, int> counts;
+  for (const core::RunSpec& run : plan.value().runs()) {
+    std::string key;
+    for (const core::Factor& factor : description.factors) {
+      key += factor.id + "=" +
+             std::to_string(run.treatment.level_int(factor.id).value()) + ";";
+    }
+    counts[key]++;
+  }
+  EXPECT_EQ(counts.size(), combinations);
+  for (const auto& [key, count] : counts) {
+    EXPECT_EQ(count, description.replications) << key;
+  }
+  // Run ids are 1..N in order.
+  for (std::size_t i = 0; i < plan.value().runs().size(); ++i) {
+    EXPECT_EQ(plan.value().runs()[i].run_id,
+              static_cast<std::int64_t>(i + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanProperty,
+                         ::testing::Values(1, 7, 13, 29, 57, 99));
+
+}  // namespace
+}  // namespace excovery

@@ -1,0 +1,239 @@
+// Unit tests for the XML-RPC control channel: codec, server dispatch,
+// transport, client faults.
+#include <gtest/gtest.h>
+
+#include "rpc/codec.hpp"
+#include "rpc/endpoint.hpp"
+#include "xml/parser.hpp"
+
+namespace excovery::rpc {
+namespace {
+
+// ---- codec: values ------------------------------------------------------------
+
+Value round_trip(const Value& value) {
+  xml::Element holder("holder");
+  encode_value(value, holder);
+  Result<Value> back = decode_value(*holder.child("value"));
+  EXPECT_TRUE(back.ok()) << (back.ok() ? "" : back.error().to_string());
+  return back.ok() ? back.value() : Value{};
+}
+
+TEST(RpcCodec, ScalarRoundTrips) {
+  EXPECT_EQ(round_trip(Value{}), Value{});
+  EXPECT_EQ(round_trip(Value{true}), Value{true});
+  EXPECT_EQ(round_trip(Value{false}), Value{false});
+  EXPECT_EQ(round_trip(Value{42}), Value{42});
+  EXPECT_EQ(round_trip(Value{-1}), Value{-1});
+  EXPECT_EQ(round_trip(Value{2.5}), Value{2.5});
+  EXPECT_EQ(round_trip(Value{"text with <markup> & stuff"}),
+            Value{"text with <markup> & stuff"});
+}
+
+TEST(RpcCodec, WideIntegersUseI8Extension) {
+  std::int64_t wide = 5'000'000'000LL;
+  EXPECT_EQ(round_trip(Value{wide}), Value{wide});
+  xml::Element holder("holder");
+  encode_value(Value{wide}, holder);
+  EXPECT_NE(holder.child("value")->child("i8"), nullptr);
+}
+
+TEST(RpcCodec, Base64RoundTripsAllLengths) {
+  for (std::size_t len : {0u, 1u, 2u, 3u, 4u, 17u, 255u}) {
+    Bytes data;
+    for (std::size_t i = 0; i < len; ++i) {
+      data.push_back(static_cast<std::uint8_t>(i * 7 + 3));
+    }
+    EXPECT_EQ(round_trip(Value{data}), Value{data}) << len;
+  }
+}
+
+TEST(RpcCodec, ArraysAndStructsNest) {
+  ValueMap inner;
+  inner.emplace("k", Value{1});
+  ValueArray array{Value{"a"}, Value{inner}, Value{ValueArray{Value{2}}}};
+  EXPECT_EQ(round_trip(Value{array}), Value{array});
+}
+
+TEST(RpcCodec, BareValueTextIsString) {
+  Result<xml::ElementPtr> holder =
+      xml::parse_element("<value>plain</value>");
+  ASSERT_TRUE(holder.ok());
+  Result<Value> value = decode_value(*holder.value());
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), Value{"plain"});
+}
+
+TEST(RpcCodec, I4AliasAccepted) {
+  Result<xml::ElementPtr> holder =
+      xml::parse_element("<value><i4>7</i4></value>");
+  ASSERT_TRUE(holder.ok());
+  EXPECT_EQ(decode_value(*holder.value()).value(), Value{7});
+}
+
+TEST(RpcCodec, UnknownScalarRejected) {
+  Result<xml::ElementPtr> holder =
+      xml::parse_element("<value><dateTime.iso8601>x</dateTime.iso8601></value>");
+  ASSERT_TRUE(holder.ok());
+  EXPECT_FALSE(decode_value(*holder.value()).ok());
+}
+
+// ---- codec: messages ------------------------------------------------------------
+
+TEST(RpcCodec, CallRoundTrip) {
+  MethodCall call{"sd_init", {Value{"SM"}, Value{42}}};
+  Result<MethodCall> back = decode_call(encode(call));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().method, "sd_init");
+  ASSERT_EQ(back.value().params.size(), 2u);
+  EXPECT_EQ(back.value().params[0], Value{"SM"});
+  EXPECT_EQ(back.value().params[1], Value{42});
+}
+
+TEST(RpcCodec, EmptyParamsAllowed) {
+  MethodCall call{"run_exit", {}};
+  Result<MethodCall> back = decode_call(encode(call));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().params.empty());
+}
+
+TEST(RpcCodec, ResponseRoundTrip) {
+  Result<MethodResponse> ok =
+      decode_response(encode(MethodResponse::success(Value{"done"})));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(ok.value().is_fault);
+  EXPECT_EQ(ok.value().result, Value{"done"});
+}
+
+TEST(RpcCodec, FaultRoundTrip) {
+  Result<MethodResponse> fault =
+      decode_response(encode(MethodResponse::fault(-32601, "no such method")));
+  ASSERT_TRUE(fault.ok());
+  EXPECT_TRUE(fault.value().is_fault);
+  EXPECT_EQ(fault.value().fault_code, -32601);
+  EXPECT_EQ(fault.value().fault_string, "no such method");
+}
+
+TEST(RpcCodec, WrongRootRejected) {
+  EXPECT_FALSE(decode_call("<methodResponse/>").ok());
+  EXPECT_FALSE(decode_response("<methodCall/>").ok());
+  EXPECT_FALSE(decode_call("garbage").ok());
+}
+
+TEST(RpcCodec, SpecExampleDecodes) {
+  // Shape from Winer's spec [23].
+  const char* wire =
+      "<?xml version=\"1.0\"?><methodCall>"
+      "<methodName>examples.getStateName</methodName>"
+      "<params><param><value><i4>41</i4></value></param></params>"
+      "</methodCall>";
+  Result<MethodCall> call = decode_call(wire);
+  ASSERT_TRUE(call.ok());
+  EXPECT_EQ(call.value().method, "examples.getStateName");
+  EXPECT_EQ(call.value().params[0], Value{41});
+}
+
+// ---- server / transport / client ---------------------------------------------------
+
+TEST(RpcServer, DispatchesRegisteredMethod) {
+  RpcServer server;
+  server.register_method("add", [](const ValueArray& params) -> Result<Value> {
+    return Value{params[0].as_int() + params[1].as_int()};
+  });
+  EXPECT_TRUE(server.has_method("add"));
+  EXPECT_EQ(server.method_count(), 1u);
+  MethodResponse response = server.dispatch({"add", {Value{2}, Value{3}}});
+  EXPECT_FALSE(response.is_fault);
+  EXPECT_EQ(response.result, Value{5});
+}
+
+TEST(RpcServer, UnknownMethodIsFault) {
+  RpcServer server;
+  MethodResponse response = server.dispatch({"nope", {}});
+  EXPECT_TRUE(response.is_fault);
+  EXPECT_EQ(response.fault_code, -32601);
+}
+
+TEST(RpcServer, HandlerErrorsBecomeFaults) {
+  RpcServer server;
+  server.register_method("fail", [](const ValueArray&) -> Result<Value> {
+    return err_state("not ready");
+  });
+  MethodResponse response = server.dispatch({"fail", {}});
+  EXPECT_TRUE(response.is_fault);
+  EXPECT_NE(response.fault_string.find("not ready"), std::string::npos);
+}
+
+TEST(RpcServer, HandleRoundTripsThroughXml) {
+  RpcServer server;
+  server.register_method("echo", [](const ValueArray& params) -> Result<Value> {
+    return params.empty() ? Value{} : params[0];
+  });
+  Result<std::string> response_xml =
+      server.handle(encode(MethodCall{"echo", {Value{"ping"}}}));
+  ASSERT_TRUE(response_xml.ok());
+  Result<MethodResponse> response = decode_response(response_xml.value());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().result, Value{"ping"});
+}
+
+TEST(RpcServer, MalformedRequestIsTransportError) {
+  RpcServer server;
+  EXPECT_FALSE(server.handle("not xml at all <<<").ok());
+}
+
+TEST(RpcTransport, RoutesToAttachedEndpoints) {
+  RpcServer node_a;
+  node_a.register_method("who", [](const ValueArray&) -> Result<Value> {
+    return Value{"A"};
+  });
+  RpcServer node_b;
+  node_b.register_method("who", [](const ValueArray&) -> Result<Value> {
+    return Value{"B"};
+  });
+  InProcessTransport transport;
+  transport.attach("A", &node_a);
+  transport.attach("B", &node_b);
+  EXPECT_EQ(transport.endpoint_count(), 2u);
+
+  RpcClient client_a(transport, "A");
+  RpcClient client_b(transport, "B");
+  EXPECT_EQ(client_a.call("who").value(), Value{"A"});
+  EXPECT_EQ(client_b.call("who").value(), Value{"B"});
+
+  transport.detach("B");
+  EXPECT_FALSE(client_b.call("who").ok());
+}
+
+TEST(RpcClient, FaultSurfacesAsRpcError) {
+  RpcServer server;
+  InProcessTransport transport;
+  transport.attach("node", &server);
+  RpcClient client(transport, "node");
+  Result<Value> outcome = client.call("missing");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code(), ErrorCode::kRpc);
+  EXPECT_NE(outcome.error().message().find("missing"), std::string::npos);
+}
+
+TEST(RpcClient, StructParameterConvention) {
+  RpcServer server;
+  server.register_method("inspect", [](const ValueArray& params) -> Result<Value> {
+    if (params.size() != 1 || !params[0].is_map()) {
+      return err_invalid("expected one struct");
+    }
+    const Value* run = params[0].find("run_id");
+    return run ? *run : Value{};
+  });
+  InProcessTransport transport;
+  transport.attach("node", &server);
+  RpcClient client(transport, "node");
+  ValueMap args;
+  args["run_id"] = Value{7};
+  Result<Value> outcome = client.call("inspect", {Value{args}});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), Value{7});
+}
+
+}  // namespace
+}  // namespace excovery::rpc

@@ -1,0 +1,186 @@
+// Unit tests for the hybrid (adaptive) SD architecture.
+#include <gtest/gtest.h>
+
+#include "sd/hybrid.hpp"
+
+namespace excovery::sd {
+namespace {
+
+struct Fixture {
+  sim::Scheduler scheduler;
+  net::Network network;
+  std::vector<std::unique_ptr<HybridAgent>> agents;
+  std::vector<std::pair<std::string, std::string>> events;
+
+  explicit Fixture(std::size_t nodes, const HybridConfig& config = {})
+      : network(scheduler, net::Topology::full_mesh(nodes), 1) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      agents.push_back(std::make_unique<HybridAgent>(
+          network, static_cast<net::NodeId>(i), config));
+      std::string name =
+          network.topology().node(static_cast<net::NodeId>(i)).name;
+      agents.back()->set_event_sink(
+          [this, name](std::string_view event, const Value& param) {
+            events.emplace_back(name,
+                                std::string(event) + ":" + param.to_text());
+          });
+    }
+  }
+
+  ServiceInstance instance(const std::string& name) {
+    ServiceInstance out;
+    out.instance_name = name;
+    out.type = "_t._udp";
+    out.port = 80;
+    return out;
+  }
+
+  int count_event(const std::string& node, const std::string& tagged) {
+    int n = 0;
+    for (const auto& [en, ev] : events) {
+      if (en == node && ev == tagged) ++n;
+    }
+    return n;
+  }
+
+  void run_for(double seconds) {
+    scheduler.run_until(scheduler.now() +
+                        sim::SimDuration::from_seconds(seconds));
+  }
+};
+
+TEST(HybridAgent, SingleInitDoneFromTwoStacks) {
+  Fixture fx(1);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.5);
+  EXPECT_EQ(fx.count_event("n0", "sd_init_done:SU"), 1);
+}
+
+TEST(HybridAgent, TwoPartyOperationWithoutScm) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.3);
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  fx.run_for(3.0);
+  // Discovered via mDNS; exactly one add despite two stacks.
+  EXPECT_EQ(fx.count_event("n1", "sd_service_add:svc"), 1);
+  EXPECT_FALSE(fx.agents[1]->directed_mode());
+}
+
+TEST(HybridAgent, SwitchesToDirectedModeWhenScmAppears) {
+  Fixture fx(3);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.3);
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  fx.run_for(2.0);
+  EXPECT_FALSE(fx.agents[1]->directed_mode());
+
+  // SCM joins: agents emit scm_found and switch to directed discovery.
+  ASSERT_TRUE(fx.agents[2]->init(SdRole::kServiceCacheManager, {}).ok());
+  fx.run_for(8.0);
+  EXPECT_GE(fx.count_event("n1", "scm_found:n2"), 1);
+  EXPECT_TRUE(fx.agents[1]->directed_mode());
+  ASSERT_TRUE(fx.agents[1]->known_scm().has_value());
+  // The SM registered with the SCM once it appeared.
+  EXPECT_GE(fx.count_event("n2", "scm_registration_add:n0"), 1);
+  // Still exactly one sd_service_add for the instance (dedup across
+  // stacks).
+  EXPECT_EQ(fx.count_event("n1", "sd_service_add:svc"), 1);
+}
+
+TEST(HybridAgent, FallsBackToTwoPartyOnScmLoss) {
+  HybridConfig config;
+  config.slp.scm_timeout = sim::SimDuration::from_seconds(8);
+  Fixture fx(4, config);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  ASSERT_TRUE(fx.agents[2]->init(SdRole::kServiceCacheManager, {}).ok());
+  fx.run_for(3.0);
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  fx.run_for(3.0);
+  ASSERT_TRUE(fx.agents[1]->directed_mode());
+
+  // SCM dies silently; the watchdog must re-enable mDNS search.
+  fx.agents[2].reset();
+  fx.run_for(25.0);
+  EXPECT_FALSE(fx.agents[1]->directed_mode());
+
+  // Two-party discovery still works: a late publisher is found via mDNS.
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("late")).ok());
+  fx.run_for(5.0);
+  EXPECT_EQ(fx.count_event("n1", "sd_service_add:late"), 1);
+}
+
+TEST(HybridAgent, ScmRoleDelegatesToSlpOnly) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  fx.run_for(0.5);
+  EXPECT_EQ(fx.count_event("n0", "scm_started:n0"), 1);
+  EXPECT_EQ(fx.count_event("n0", "sd_init_done:SCM"), 1);
+  EXPECT_EQ(fx.agents[0]->mdns(), nullptr);
+  EXPECT_FALSE(fx.agents[0]->start_search("_t._udp").ok());
+}
+
+TEST(HybridAgent, DiscoveredMergesBothCaches) {
+  Fixture fx(3);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  ASSERT_TRUE(fx.agents[2]->init(SdRole::kServiceCacheManager, {}).ok());
+  fx.run_for(3.0);
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  fx.run_for(5.0);
+  std::vector<ServiceInstance> found = fx.agents[1]->discovered("_t._udp");
+  ASSERT_EQ(found.size(), 1u);  // merged, not duplicated
+  EXPECT_EQ(found[0].instance_name, "svc");
+}
+
+TEST(HybridAgent, StopSearchAndExitCleanUpBothStacks) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.3);
+  ASSERT_TRUE(fx.agents[0]->start_search("_t._udp").ok());
+  EXPECT_FALSE(fx.agents[0]->start_search("_t._udp").ok());  // duplicate
+  ASSERT_TRUE(fx.agents[0]->stop_search("_t._udp").ok());
+  EXPECT_FALSE(fx.agents[0]->stop_search("_t._udp").ok());
+  ASSERT_TRUE(fx.agents[0]->exit().ok());
+  EXPECT_EQ(fx.count_event("n0", "sd_exit_done:"), 1);
+  EXPECT_FALSE(fx.agents[0]->initialized());
+}
+
+TEST(HybridAgent, PublishLifecycleEventsOnceEach) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  fx.run_for(0.3);
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  EXPECT_EQ(fx.count_event("n0", "sd_start_publish:svc"), 1);
+  fx.run_for(2.0);
+  ASSERT_TRUE(fx.agents[0]->stop_publish("svc").ok());
+  EXPECT_EQ(fx.count_event("n0", "sd_stop_publish:svc"), 1);
+  EXPECT_FALSE(fx.agents[0]->stop_publish("svc").ok());
+}
+
+TEST(HybridAgent, UpdatePublicationPropagates) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.3);
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  fx.run_for(3.0);
+  ServiceInstance updated = fx.instance("svc");
+  updated.attributes["rev"] = "b";
+  ASSERT_TRUE(fx.agents[0]->update_publication(updated).ok());
+  EXPECT_GE(fx.count_event("n0", "sd_service_upd:svc"), 1);
+  fx.run_for(3.0);
+  std::vector<ServiceInstance> found = fx.agents[1]->discovered("_t._udp");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].attributes.at("rev"), "b");
+}
+
+}  // namespace
+}  // namespace excovery::sd

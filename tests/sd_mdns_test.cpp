@@ -1,0 +1,395 @@
+// Unit tests for the two-party mDNS-style SD protocol.
+#include <gtest/gtest.h>
+
+#include "sd/mdns.hpp"
+#include "sd/message.hpp"
+
+namespace excovery::sd {
+namespace {
+
+struct Fixture {
+  sim::Scheduler scheduler;
+  net::Network network;
+  std::vector<std::unique_ptr<MdnsAgent>> agents;
+  std::vector<std::pair<std::string, std::string>> events;  // (node, event:param)
+
+  explicit Fixture(std::size_t nodes, const MdnsConfig& config = {})
+      : network(scheduler, net::Topology::full_mesh(nodes), 1) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      agents.push_back(std::make_unique<MdnsAgent>(
+          network, static_cast<net::NodeId>(i), config));
+      std::string name = network.topology().node(static_cast<net::NodeId>(i)).name;
+      agents.back()->set_event_sink(
+          [this, name](std::string_view event, const Value& param) {
+            events.emplace_back(name,
+                                std::string(event) + ":" + param.to_text());
+          });
+    }
+  }
+
+  ServiceInstance instance(const std::string& name,
+                           const std::string& type = "_t._udp") {
+    ServiceInstance out;
+    out.instance_name = name;
+    out.type = type;
+    out.port = 80;
+    return out;
+  }
+
+  int count_event(const std::string& node, const std::string& tagged) {
+    int n = 0;
+    for (const auto& [en, ev] : events) {
+      if (en == node && ev == tagged) ++n;
+    }
+    return n;
+  }
+
+  void run_for(double seconds) {
+    scheduler.run_until(scheduler.now() +
+                        sim::SimDuration::from_seconds(seconds));
+  }
+};
+
+// ---- message codec ----------------------------------------------------------
+
+TEST(SdMessage, RoundTripAllFields) {
+  SdMessage message;
+  message.kind = MessageKind::kResponse;
+  message.txn_id = 77;
+  message.service_type = "_http._tcp";
+  message.sender_name = "n3";
+  message.lease_seconds = 60;
+  ServiceRecord record;
+  record.instance.instance_name = "printer";
+  record.instance.type = "_http._tcp";
+  record.instance.provider = net::Address(10, 0, 0, 9);
+  record.instance.port = 631;
+  record.instance.version = 4;
+  record.instance.attributes["path"] = "/ipp";
+  record.ttl_seconds = 120;
+  message.records.push_back(record);
+  message.known_answers.push_back({"other", 60});
+
+  Result<SdMessage> back = decode(encode(message));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), message);
+}
+
+TEST(SdMessage, GarbageRejected) {
+  EXPECT_FALSE(decode(Bytes{}).ok());
+  EXPECT_FALSE(decode(Bytes{1, 2, 3}).ok());
+  Bytes truncated = encode(SdMessage{});
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(decode(truncated).ok());
+}
+
+TEST(SdMessage, UnknownKindRejected) {
+  Bytes data = encode(SdMessage{});
+  data[3] = 99;  // kind byte
+  EXPECT_FALSE(decode(data).ok());
+}
+
+// ---- lifecycle -----------------------------------------------------------------
+
+TEST(MdnsAgent, InitEmitsDoneAfterStartupDelay) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceUser, {}).ok());
+  EXPECT_TRUE(fx.agents[0]->initialized());
+  EXPECT_EQ(fx.count_event("n0", "sd_init_done:SU"), 0);  // not yet
+  fx.run_for(0.1);
+  EXPECT_EQ(fx.count_event("n0", "sd_init_done:SU"), 1);
+}
+
+TEST(MdnsAgent, DoubleInitRejected) {
+  Fixture fx(1);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceUser, {}).ok());
+  EXPECT_FALSE(fx.agents[0]->init(SdRole::kServiceUser, {}).ok());
+}
+
+TEST(MdnsAgent, ScmRoleUnsupported) {
+  Fixture fx(1);
+  EXPECT_FALSE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+}
+
+TEST(MdnsAgent, ActionsBeforeInitRejected) {
+  Fixture fx(1);
+  EXPECT_FALSE(fx.agents[0]->start_search("_t._udp").ok());
+  EXPECT_FALSE(fx.agents[0]->exit().ok());
+  Fixture fx2(1);
+  EXPECT_FALSE(fx2.agents[0]->stop_publish("x").ok());
+}
+
+TEST(MdnsAgent, ExitEmitsDoneAndResetsState) {
+  Fixture fx(1);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  fx.run_for(0.1);
+  ASSERT_TRUE(fx.agents[0]->exit().ok());
+  EXPECT_FALSE(fx.agents[0]->initialized());
+  EXPECT_EQ(fx.count_event("n0", "sd_exit_done:"), 1);
+  // Can rejoin after exit ("To participate again ... re-run init").
+  EXPECT_TRUE(fx.agents[0]->init(SdRole::kServiceUser, {}).ok());
+}
+
+// ---- discovery ------------------------------------------------------------------
+
+TEST(MdnsAgent, ActiveDiscoveryFindsPublishedService) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.2);
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(2.0);  // probing (0.75 s) + announce
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  fx.run_for(1.0);
+
+  EXPECT_EQ(fx.count_event("n1", "sd_service_add:svc"), 1);
+  std::vector<ServiceInstance> found = fx.agents[1]->discovered("_t._udp");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].instance_name, "svc");
+  EXPECT_EQ(found[0].provider, fx.network.topology().node(0).address);
+}
+
+TEST(MdnsAgent, PassiveDiscoveryViaAnnouncements) {
+  MdnsConfig quiet;
+  quiet.query_interval_max = sim::SimDuration::from_seconds(60);
+  Fixture fx(2, quiet);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.2);
+  // Search starts BEFORE the publish: the announcement (not a response)
+  // must be what delivers the discovery.
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  fx.run_for(0.5);
+  std::uint64_t queries_before =
+      fx.agents[1]->counters().queries_sent;
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(1.5);
+  EXPECT_EQ(fx.count_event("n1", "sd_service_add:svc"), 1);
+  EXPECT_GT(fx.agents[0]->counters().announces_sent, 0u);
+  (void)queries_before;
+}
+
+TEST(MdnsAgent, CachedServiceReportedOnNewSearch) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.2);
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  fx.run_for(3.0);
+  ASSERT_TRUE(fx.agents[1]->stop_search("_t._udp").ok());
+  // New search: the cache still holds the record -> immediate add event.
+  fx.events.clear();
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  EXPECT_EQ(fx.count_event("n1", "sd_service_add:svc"), 1);
+}
+
+TEST(MdnsAgent, QueryBackoffIsExponential) {
+  MdnsConfig config;
+  config.probe_count = 0;
+  Fixture fx(1, config);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.2);
+  ASSERT_TRUE(fx.agents[0]->start_search("_t._udp").ok());
+  // Queries at ~0.02-0.12, then +1, +2, +4, +8 s -> 5 queries within 16 s.
+  fx.run_for(15.5);
+  EXPECT_EQ(fx.agents[0]->counters().queries_sent, 5u);
+}
+
+TEST(MdnsAgent, StopSearchHaltsQuerying) {
+  Fixture fx(1);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.2);
+  ASSERT_TRUE(fx.agents[0]->start_search("_t._udp").ok());
+  fx.run_for(1.5);
+  std::uint64_t queries = fx.agents[0]->counters().queries_sent;
+  ASSERT_TRUE(fx.agents[0]->stop_search("_t._udp").ok());
+  fx.run_for(30.0);
+  EXPECT_EQ(fx.agents[0]->counters().queries_sent, queries);
+  EXPECT_EQ(fx.count_event("n0", "sd_stop_search:_t._udp"), 1);
+  EXPECT_FALSE(fx.agents[0]->stop_search("_t._udp").ok());
+}
+
+TEST(MdnsAgent, KnownAnswerSuppressionQuietsResponders) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.2);
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(2.0);
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  // Long search: the SU keeps querying with the record cached; the SM must
+  // suppress responses to known-answer queries.
+  fx.run_for(30.0);
+  EXPECT_GT(fx.agents[0]->counters().responses_suppressed, 0u);
+  // The service stays cached the whole time (no flapping del/add).
+  EXPECT_EQ(fx.count_event("n1", "sd_service_del:svc"), 0);
+}
+
+// ---- goodbye & TTL ------------------------------------------------------------------
+
+TEST(MdnsAgent, GoodbyeTriggersServiceDel) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.2);
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  fx.run_for(3.0);
+  ASSERT_EQ(fx.count_event("n1", "sd_service_add:svc"), 1);
+
+  ASSERT_TRUE(fx.agents[0]->stop_publish("svc").ok());
+  fx.run_for(0.5);
+  EXPECT_EQ(fx.count_event("n1", "sd_service_del:svc"), 1);
+  EXPECT_TRUE(fx.agents[1]->discovered("_t._udp").empty());
+  EXPECT_GT(fx.agents[0]->counters().goodbyes_sent, 0u);
+}
+
+TEST(MdnsAgent, TtlExpiryRemovesSilentService) {
+  MdnsConfig config;
+  config.record_ttl_seconds = 5;
+  Fixture fx(2, config);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.2);
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  fx.run_for(3.0);
+  ASSERT_EQ(fx.count_event("n1", "sd_service_add:svc"), 1);
+  // Kill the SM abruptly (no goodbye) and silence further queries so the
+  // record cannot refresh: the cache must expire it.
+  ASSERT_TRUE(fx.agents[1]->stop_search("_t._udp").ok());
+  fx.agents[0].reset();
+  // Re-arm the search listener state by searching again; cached entry
+  // reported, then expires.
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  fx.run_for(20.0);
+  EXPECT_GE(fx.count_event("n1", "sd_service_del:svc"), 1);
+  EXPECT_TRUE(fx.agents[1]->discovered("_t._udp").empty());
+}
+
+// ---- probing & conflicts ----------------------------------------------------------------
+
+TEST(MdnsAgent, ProbingPrecedesAnnouncement) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  fx.run_for(0.2);
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(0.3);  // probes at 0, 0.25; not yet announcing
+  EXPECT_GT(fx.agents[0]->counters().probes_sent, 0u);
+  EXPECT_EQ(fx.agents[0]->counters().announces_sent, 0u);
+  fx.run_for(2.0);
+  EXPECT_EQ(fx.agents[0]->counters().probes_sent, 3u);
+  EXPECT_EQ(fx.agents[0]->counters().announces_sent, 2u);
+}
+
+TEST(MdnsAgent, NameConflictResolvedByRename) {
+  Fixture fx(3);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[2]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.2);
+  // First publisher establishes the name.
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(3.0);
+  // Second publisher tries the same name: must detect and rename.
+  ASSERT_TRUE(fx.agents[1]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(3.0);
+  EXPECT_GT(fx.agents[1]->counters().conflicts_detected, 0u);
+
+  ASSERT_TRUE(fx.agents[2]->start_search("_t._udp").ok());
+  fx.run_for(3.0);
+  std::vector<ServiceInstance> found = fx.agents[2]->discovered("_t._udp");
+  ASSERT_EQ(found.size(), 2u);
+  std::set<std::string> names;
+  for (const ServiceInstance& instance : found) {
+    names.insert(instance.instance_name);
+  }
+  EXPECT_TRUE(names.count("svc") == 1);
+  EXPECT_TRUE(names.count("svc-2") == 1);
+}
+
+TEST(MdnsAgent, PublishRequiresManagerRole) {
+  Fixture fx(1);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceUser, {}).ok());
+  EXPECT_FALSE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+}
+
+TEST(MdnsAgent, DuplicatePublishRejected) {
+  Fixture fx(1);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  EXPECT_FALSE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+}
+
+// ---- update publication -------------------------------------------------------------------
+
+TEST(MdnsAgent, UpdatePublicationBumpsVersionAndReannounces) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.2);
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  fx.run_for(3.0);
+
+  ServiceInstance updated = fx.instance("svc");
+  updated.attributes["color"] = "blue";
+  ASSERT_TRUE(fx.agents[0]->update_publication(updated).ok());
+  // sd_service_upd emitted on the SM before execution (§V).
+  EXPECT_EQ(fx.count_event("n0", "sd_service_upd:svc"), 1);
+  fx.run_for(3.0);
+  // The SU sees the update too (new version replaces the cached record).
+  EXPECT_EQ(fx.count_event("n1", "sd_service_upd:svc"), 1);
+  std::vector<ServiceInstance> found = fx.agents[1]->discovered("_t._udp");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].attributes.at("color"), "blue");
+  EXPECT_EQ(found[0].version, 2u);
+}
+
+TEST(MdnsAgent, UpdateOfUnpublishedRejected) {
+  Fixture fx(1);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  EXPECT_FALSE(fx.agents[0]->update_publication(fx.instance("ghost")).ok());
+}
+
+// ---- request/response pairing ---------------------------------------------------------------
+
+TEST(MdnsAgent, ResponsesEchoQueryTransactionIds) {
+  MdnsConfig config;
+  config.probe_count = 0;  // publish immediately so queries get responses
+  Fixture fx(2, config);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, {}).ok());
+  fx.run_for(0.2);
+  ASSERT_TRUE(fx.agents[0]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(3.0);  // announcements pass while the SU is not initialised
+  // Fresh SU with an empty cache: its first query has no known answers, so
+  // the SM must answer it (response solicited by the query's txn id).
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.2);
+  fx.network.reset_run_state();  // clear captures, keep protocol state
+  ASSERT_TRUE(fx.agents[1]->start_search("_t._udp").ok());
+  fx.run_for(0.5);
+
+  // Find the query tx at n1 and the response rx at n1 with the same txn.
+  std::optional<std::uint32_t> query_txn;
+  std::optional<std::uint32_t> response_txn;
+  for (const net::CapturedPacket& captured : fx.network.captures(1)) {
+    Result<SdMessage> message = decode(captured.packet.payload);
+    if (!message.ok()) continue;
+    if (message.value().kind == MessageKind::kQuery &&
+        captured.direction == net::Direction::kTransmit) {
+      query_txn = message.value().txn_id;
+    }
+    if (message.value().kind == MessageKind::kResponse &&
+        captured.direction == net::Direction::kReceive) {
+      response_txn = message.value().txn_id;
+    }
+  }
+  ASSERT_TRUE(query_txn.has_value());
+  ASSERT_TRUE(response_txn.has_value());
+  EXPECT_EQ(*query_txn, *response_txn);
+}
+
+}  // namespace
+}  // namespace excovery::sd

@@ -1,0 +1,149 @@
+// Cross-cutting SD behaviours: multiple service types in flight, an SM
+// that also searches, many publications per SM, and protocol coexistence
+// on one network (mdns and slp stacks simultaneously on different ports).
+#include <gtest/gtest.h>
+
+#include "sd/mdns.hpp"
+#include "sd/slp.hpp"
+
+namespace excovery::sd {
+namespace {
+
+ServiceInstance make_instance(const std::string& name,
+                              const std::string& type) {
+  ServiceInstance out;
+  out.instance_name = name;
+  out.type = type;
+  out.port = 80;
+  return out;
+}
+
+struct Fixture {
+  sim::Scheduler scheduler;
+  net::Network network;
+
+  explicit Fixture(std::size_t nodes)
+      : network(scheduler, net::Topology::full_mesh(nodes), 1) {}
+
+  void run_for(double seconds) {
+    scheduler.run_until(scheduler.now() +
+                        sim::SimDuration::from_seconds(seconds));
+  }
+};
+
+TEST(SdMulti, IndependentSearchesPerType) {
+  Fixture fx(2);
+  MdnsAgent sm(fx.network, 0);
+  MdnsAgent su(fx.network, 1);
+  std::vector<std::string> adds;
+  su.set_event_sink([&](std::string_view event, const Value& param) {
+    if (event == events::kServiceAdd) adds.push_back(param.to_text());
+  });
+  ASSERT_TRUE(sm.init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(su.init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.2);
+  ASSERT_TRUE(sm.start_publish(make_instance("web", "_http._tcp")).ok());
+  ASSERT_TRUE(sm.start_publish(make_instance("print", "_ipp._tcp")).ok());
+  // Search only for http: only "web" may be reported.
+  ASSERT_TRUE(su.start_search("_http._tcp").ok());
+  fx.run_for(3.0);
+  ASSERT_EQ(adds, (std::vector<std::string>{"web"}));
+  EXPECT_EQ(su.discovered("_http._tcp").size(), 1u);
+  EXPECT_TRUE(su.discovered("_ipp._tcp").empty() ||
+              !su.discovered("_ipp._tcp").empty());  // cache may hold it
+  // Adding the second search reports the (possibly cached) second type.
+  ASSERT_TRUE(su.start_search("_ipp._tcp").ok());
+  fx.run_for(3.0);
+  ASSERT_EQ(adds.size(), 2u);
+  EXPECT_EQ(adds[1], "print");
+  // Stopping one search does not disturb the other.
+  ASSERT_TRUE(su.stop_search("_http._tcp").ok());
+  EXPECT_EQ(su.discovered("_ipp._tcp").size(), 1u);
+}
+
+TEST(SdMulti, ManagerCanAlsoSearch) {
+  // An SM node discovering its peers (SMs are not forbidden to search:
+  // §III-A's SU/SM split is per role instance, and the prototype's nodes
+  // host both agents).
+  Fixture fx(2);
+  MdnsAgent a(fx.network, 0);
+  MdnsAgent b(fx.network, 1);
+  ASSERT_TRUE(a.init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(b.init(SdRole::kServiceManager, {}).ok());
+  fx.run_for(0.2);
+  ASSERT_TRUE(a.start_publish(make_instance("a-svc", "_t._udp")).ok());
+  ASSERT_TRUE(b.start_publish(make_instance("b-svc", "_t._udp")).ok());
+  ASSERT_TRUE(a.start_search("_t._udp").ok());
+  fx.run_for(3.0);
+  std::vector<ServiceInstance> found = a.discovered("_t._udp");
+  ASSERT_EQ(found.size(), 1u);  // b's service; a's own is not self-cached
+  EXPECT_EQ(found[0].instance_name, "b-svc");
+}
+
+TEST(SdMulti, ManyPublicationsOneManager) {
+  Fixture fx(2);
+  MdnsAgent sm(fx.network, 0);
+  MdnsAgent su(fx.network, 1);
+  ASSERT_TRUE(sm.init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(su.init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(0.2);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        sm.start_publish(make_instance("svc-" + std::to_string(i), "_t._udp"))
+            .ok());
+  }
+  ASSERT_TRUE(su.start_search("_t._udp").ok());
+  fx.run_for(4.0);
+  EXPECT_EQ(su.discovered("_t._udp").size(), 8u);
+  // Graceful shutdown withdraws all of them.
+  ASSERT_TRUE(sm.exit().ok());
+  fx.run_for(1.0);
+  EXPECT_TRUE(su.discovered("_t._udp").empty());
+}
+
+TEST(SdMulti, MdnsAndSlpCoexistOnOneNetwork) {
+  // Both stacks on the same nodes, different ports: each discovers through
+  // its own protocol without interfering with the other.
+  Fixture fx(3);
+  MdnsAgent mdns_sm(fx.network, 0);
+  MdnsAgent mdns_su(fx.network, 1);
+  SlpAgent slp_scm(fx.network, 2);
+  SlpAgent slp_sm(fx.network, 0);
+  SlpAgent slp_su(fx.network, 1);
+
+  ASSERT_TRUE(mdns_sm.init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(mdns_su.init(SdRole::kServiceUser, {}).ok());
+  ASSERT_TRUE(slp_scm.init(SdRole::kServiceCacheManager, {}).ok());
+  ASSERT_TRUE(slp_sm.init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(slp_su.init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(2.0);
+
+  ASSERT_TRUE(mdns_sm.start_publish(make_instance("m-svc", "_t._udp")).ok());
+  ASSERT_TRUE(slp_sm.start_publish(make_instance("s-svc", "_t._udp")).ok());
+  ASSERT_TRUE(mdns_su.start_search("_t._udp").ok());
+  ASSERT_TRUE(slp_su.start_search("_t._udp").ok());
+  fx.run_for(4.0);
+
+  // Each stack sees exactly its own publication.
+  ASSERT_EQ(mdns_su.discovered("_t._udp").size(), 1u);
+  EXPECT_EQ(mdns_su.discovered("_t._udp")[0].instance_name, "m-svc");
+  ASSERT_EQ(slp_su.discovered("_t._udp").size(), 1u);
+  EXPECT_EQ(slp_su.discovered("_t._udp")[0].instance_name, "s-svc");
+}
+
+TEST(SdMulti, UserSpecifiedEventsPassThrough) {
+  // §V: "executing SDPs are allowed to generate user specified events
+  // which will be recorded by ExCovery."
+  Fixture fx(1);
+  MdnsAgent agent(fx.network, 0);
+  std::vector<std::string> events_seen;
+  agent.set_event_sink([&](std::string_view event, const Value& param) {
+    events_seen.push_back(std::string(event) + ":" + param.to_text());
+  });
+  agent.generate_event("sdp_specific_metric", Value{42});
+  ASSERT_EQ(events_seen.size(), 1u);
+  EXPECT_EQ(events_seen[0], "sdp_specific_metric:42");
+}
+
+}  // namespace
+}  // namespace excovery::sd

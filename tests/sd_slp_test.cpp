@@ -1,0 +1,251 @@
+// Unit tests for the three-party SLP-style SD protocol (SCM/directory).
+#include <gtest/gtest.h>
+
+#include "sd/slp.hpp"
+
+namespace excovery::sd {
+namespace {
+
+struct Fixture {
+  sim::Scheduler scheduler;
+  net::Network network;
+  std::vector<std::unique_ptr<SlpAgent>> agents;
+  std::vector<std::pair<std::string, std::string>> events;
+
+  explicit Fixture(std::size_t nodes, const SlpConfig& config = {})
+      : network(scheduler, net::Topology::full_mesh(nodes), 1) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      agents.push_back(std::make_unique<SlpAgent>(
+          network, static_cast<net::NodeId>(i), config));
+      std::string name =
+          network.topology().node(static_cast<net::NodeId>(i)).name;
+      agents.back()->set_event_sink(
+          [this, name](std::string_view event, const Value& param) {
+            events.emplace_back(name,
+                                std::string(event) + ":" + param.to_text());
+          });
+    }
+  }
+
+  ServiceInstance instance(const std::string& name) {
+    ServiceInstance out;
+    out.instance_name = name;
+    out.type = "_t._udp";
+    out.port = 80;
+    return out;
+  }
+
+  int count_event(const std::string& node, const std::string& tagged) {
+    int n = 0;
+    for (const auto& [en, ev] : events) {
+      if (en == node && ev == tagged) ++n;
+    }
+    return n;
+  }
+
+  void run_for(double seconds) {
+    scheduler.run_until(scheduler.now() +
+                        sim::SimDuration::from_seconds(seconds));
+  }
+};
+
+TEST(SlpAgent, ScmEmitsStartedEvent) {
+  Fixture fx(1);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  fx.run_for(0.2);
+  EXPECT_EQ(fx.count_event("n0", "scm_started:n0"), 1);
+  EXPECT_EQ(fx.count_event("n0", "sd_init_done:SCM"), 1);
+}
+
+TEST(SlpAgent, AgentsDiscoverScmAndEmitScmFound) {
+  Fixture fx(3);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[2]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(2.0);
+  EXPECT_EQ(fx.count_event("n1", "scm_found:n0"), 1);
+  EXPECT_EQ(fx.count_event("n2", "scm_found:n0"), 1);
+  EXPECT_EQ(fx.agents[1]->known_scm(),
+            fx.network.topology().node(0).address);
+}
+
+TEST(SlpAgent, RegistrationEmitsScmEvent) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceManager, {}).ok());
+  fx.run_for(2.0);
+  ASSERT_TRUE(fx.agents[1]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(0.5);
+  // "scm_registration_add ... with the registering node's identification
+  // as parameter" (§V).
+  EXPECT_EQ(fx.count_event("n0", "scm_registration_add:n1"), 1);
+  EXPECT_EQ(fx.agents[0]->registration_count(), 1u);
+}
+
+TEST(SlpAgent, PublishBeforeScmFoundRegistersOnDiscovery) {
+  Fixture fx(2);
+  // SM comes up first, publishes into the void, SCM appears later.
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceManager, {}).ok());
+  fx.run_for(0.2);
+  ASSERT_TRUE(fx.agents[1]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(1.0);
+  EXPECT_EQ(fx.agents[0]->registration_count(), 0u);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  fx.run_for(6.0);  // SCM heartbeat or backoff query finds it
+  EXPECT_EQ(fx.agents[0]->registration_count(), 1u);
+}
+
+TEST(SlpAgent, DirectedDiscoveryFindsRegisteredService) {
+  Fixture fx(3);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[2]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(2.0);
+  ASSERT_TRUE(fx.agents[1]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(1.0);
+  ASSERT_TRUE(fx.agents[2]->start_search("_t._udp").ok());
+  fx.run_for(1.0);
+  EXPECT_EQ(fx.count_event("n2", "sd_service_add:svc"), 1);
+  ASSERT_EQ(fx.agents[2]->discovered("_t._udp").size(), 1u);
+  EXPECT_GT(fx.agents[2]->counters().directed_queries_sent, 0u);
+  EXPECT_GT(fx.agents[0]->counters().directed_replies_sent, 0u);
+}
+
+TEST(SlpAgent, PollingPicksUpLateRegistrations) {
+  Fixture fx(3);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[2]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(2.0);
+  // Search first, publish later: the poll loop must pick it up.
+  ASSERT_TRUE(fx.agents[2]->start_search("_t._udp").ok());
+  fx.run_for(1.0);
+  EXPECT_TRUE(fx.agents[2]->discovered("_t._udp").empty());
+  ASSERT_TRUE(fx.agents[1]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(4.0);
+  EXPECT_EQ(fx.count_event("n2", "sd_service_add:svc"), 1);
+}
+
+TEST(SlpAgent, DeregistrationRemovesService) {
+  Fixture fx(3);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[2]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(2.0);
+  ASSERT_TRUE(fx.agents[1]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(1.0);
+  ASSERT_TRUE(fx.agents[1]->stop_publish("svc").ok());
+  fx.run_for(1.0);
+  EXPECT_EQ(fx.count_event("n0", "scm_registration_del:n1"), 1);
+  EXPECT_EQ(fx.agents[0]->registration_count(), 0u);
+}
+
+TEST(SlpAgent, LeaseExpiresWithoutRenewal) {
+  SlpConfig config;
+  config.lease_seconds = 4;
+  Fixture fx(2, config);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceManager, {}).ok());
+  fx.run_for(2.0);
+  ASSERT_TRUE(fx.agents[1]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(0.5);
+  ASSERT_EQ(fx.agents[0]->registration_count(), 1u);
+  // Kill the SM abruptly: cut its transmit path first so the destructor's
+  // graceful deregistration cannot reach the SCM, then destroy it.  No
+  // dereg, no renewals -> the lease must expire.
+  fx.network.set_interface_up(1, net::Direction::kTransmit, false);
+  fx.agents[1].reset();
+  fx.run_for(10.0);
+  EXPECT_EQ(fx.agents[0]->registration_count(), 0u);
+  EXPECT_GT(fx.agents[0]->counters().registrations_expired, 0u);
+  EXPECT_GE(fx.count_event("n0", "scm_registration_del:n1"), 1);
+}
+
+TEST(SlpAgent, RenewalKeepsRegistrationAlive) {
+  SlpConfig config;
+  config.lease_seconds = 4;
+  Fixture fx(2, config);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceManager, {}).ok());
+  fx.run_for(2.0);
+  ASSERT_TRUE(fx.agents[1]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(20.0);  // several lease periods
+  EXPECT_EQ(fx.agents[0]->registration_count(), 1u);
+  EXPECT_GT(fx.agents[1]->counters().renewals_sent, 3u);
+  EXPECT_EQ(fx.agents[0]->counters().registrations_expired, 0u);
+}
+
+TEST(SlpAgent, ScmLossDetectedAndRediscovered) {
+  SlpConfig config;
+  config.scm_timeout = sim::SimDuration::from_seconds(8);
+  Fixture fx(3, config);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(2.0);
+  ASSERT_TRUE(fx.agents[1]->known_scm().has_value());
+  // SCM dies silently.
+  fx.agents[0].reset();
+  fx.run_for(20.0);
+  EXPECT_FALSE(fx.agents[1]->known_scm().has_value());
+  // A new SCM on another node is found again.
+  ASSERT_TRUE(fx.agents[2]->init(SdRole::kServiceCacheManager, {}).ok());
+  fx.run_for(10.0);
+  ASSERT_TRUE(fx.agents[1]->known_scm().has_value());
+  EXPECT_EQ(*fx.agents[1]->known_scm(),
+            fx.network.topology().node(2).address);
+}
+
+TEST(SlpAgent, UpdatePublicationReRegistersNewVersion) {
+  Fixture fx(3);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceManager, {}).ok());
+  ASSERT_TRUE(fx.agents[2]->init(SdRole::kServiceUser, {}).ok());
+  fx.run_for(2.0);
+  ASSERT_TRUE(fx.agents[1]->start_publish(fx.instance("svc")).ok());
+  ASSERT_TRUE(fx.agents[2]->start_search("_t._udp").ok());
+  fx.run_for(3.0);
+
+  ServiceInstance updated = fx.instance("svc");
+  updated.attributes["v"] = "2";
+  ASSERT_TRUE(fx.agents[1]->update_publication(updated).ok());
+  fx.run_for(4.0);
+  EXPECT_EQ(fx.count_event("n0", "scm_registration_upd:n1"), 1);
+  std::vector<ServiceInstance> found = fx.agents[2]->discovered("_t._udp");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].attributes.at("v"), "2");
+}
+
+TEST(SlpAgent, ScmDoesNotSearch) {
+  Fixture fx(1);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  fx.run_for(0.2);
+  EXPECT_FALSE(fx.agents[0]->start_search("_t._udp").ok());
+}
+
+TEST(SlpAgent, ExitDeregistersGracefully) {
+  Fixture fx(2);
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceCacheManager, {}).ok());
+  ASSERT_TRUE(fx.agents[1]->init(SdRole::kServiceManager, {}).ok());
+  fx.run_for(2.0);
+  ASSERT_TRUE(fx.agents[1]->start_publish(fx.instance("svc")).ok());
+  fx.run_for(0.5);
+  ASSERT_EQ(fx.agents[0]->registration_count(), 1u);
+  ASSERT_TRUE(fx.agents[1]->exit().ok());
+  fx.run_for(0.5);
+  EXPECT_EQ(fx.agents[0]->registration_count(), 0u);
+  EXPECT_EQ(fx.count_event("n1", "sd_exit_done:"), 1);
+}
+
+TEST(SlpAgent, LeaseParameterFromInitParams) {
+  Fixture fx(1);
+  ValueMap params;
+  params["lease_seconds"] = Value{120};
+  ASSERT_TRUE(fx.agents[0]->init(SdRole::kServiceManager, params).ok());
+  ValueMap bad;
+  bad["lease_seconds"] = Value{-5};
+  Fixture fx2(1);
+  EXPECT_FALSE(fx2.agents[0]->init(SdRole::kServiceManager, bad).ok());
+}
+
+}  // namespace
+}  // namespace excovery::sd

@@ -1,0 +1,243 @@
+// Unit tests for the discrete-event kernel: scheduler, clocks, event bus.
+#include <gtest/gtest.h>
+
+#include "sim/clock.hpp"
+#include "sim/event_bus.hpp"
+#include "sim/scheduler.hpp"
+
+namespace excovery::sim {
+namespace {
+
+// ---- SimTime -----------------------------------------------------------------
+
+TEST(SimTime, ConversionsAndArithmetic) {
+  EXPECT_EQ(SimTime::from_seconds(1.5).nanos(), 1'500'000'000);
+  EXPECT_EQ(SimTime::from_millis(3).nanos(), 3'000'000);
+  EXPECT_EQ(SimTime::from_micros(5).nanos(), 5'000);
+  EXPECT_DOUBLE_EQ(SimTime(2'000'000'000).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(SimTime(1'500'000).millis(), 1.5);
+  EXPECT_EQ(SimTime(5) + SimTime(3), SimTime(8));
+  EXPECT_EQ(SimTime(5) - SimTime(3), SimTime(2));
+  EXPECT_LT(SimTime(1), SimTime(2));
+}
+
+// ---- Scheduler ------------------------------------------------------------------
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.schedule(SimDuration::from_millis(30), [&] { order.push_back(3); });
+  scheduler.schedule(SimDuration::from_millis(10), [&] { order.push_back(1); });
+  scheduler.schedule(SimDuration::from_millis(20), [&] { order.push_back(2); });
+  scheduler.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(scheduler.now(), SimTime::from_millis(30));
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    scheduler.schedule(SimDuration::from_millis(5),
+                       [&order, i] { order.push_back(i); });
+  }
+  scheduler.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler scheduler;
+  bool ran = false;
+  TimerHandle handle =
+      scheduler.schedule(SimDuration::from_millis(1), [&] { ran = true; });
+  scheduler.cancel(handle);
+  scheduler.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(scheduler.pending(), 0u);
+}
+
+TEST(Scheduler, CancelAfterRunIsNoop) {
+  Scheduler scheduler;
+  TimerHandle handle = scheduler.schedule(SimDuration::zero(), [] {});
+  scheduler.run();
+  scheduler.cancel(handle);  // must not crash or corrupt
+  EXPECT_TRUE(scheduler.idle());
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler scheduler;
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) {
+    scheduler.schedule(SimDuration::from_millis(i * 10), [&] { ++count; });
+  }
+  std::size_t executed = scheduler.run_until(SimTime::from_millis(25));
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(scheduler.now(), SimTime::from_millis(25));
+  scheduler.run();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWhenIdle) {
+  Scheduler scheduler;
+  scheduler.run_until(SimTime::from_seconds(2));
+  EXPECT_EQ(scheduler.now(), SimTime::from_seconds(2));
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler scheduler;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(scheduler.now().seconds());
+    if (times.size() < 4) {
+      scheduler.schedule(SimDuration::from_seconds(1), chain);
+    }
+  };
+  scheduler.schedule(SimDuration::zero(), chain);
+  scheduler.run();
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[3], 3.0);
+}
+
+TEST(Scheduler, NegativeDelayClampsToNow) {
+  Scheduler scheduler;
+  bool ran = false;
+  scheduler.schedule(SimDuration(-100), [&] { ran = true; });
+  scheduler.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(scheduler.now(), SimTime::zero());
+}
+
+TEST(Scheduler, RunWithLimit) {
+  Scheduler scheduler;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    scheduler.schedule(SimDuration::from_millis(i), [&] { ++count; });
+  }
+  EXPECT_EQ(scheduler.run(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(scheduler.pending(), 7u);
+}
+
+// ---- LocalClock ---------------------------------------------------------------------
+
+TEST(LocalClock, IdealClockTracksReference) {
+  LocalClock clock;
+  EXPECT_EQ(clock.read(SimTime::from_seconds(5)), SimTime::from_seconds(5));
+  EXPECT_EQ(clock.true_offset_at(SimTime::from_seconds(5)), SimDuration(0));
+}
+
+TEST(LocalClock, OffsetShiftsReadings) {
+  ClockModel model;
+  model.offset = SimDuration::from_millis(25);
+  LocalClock clock(model, 1);
+  EXPECT_EQ(clock.read(SimTime::zero()), SimTime::from_millis(25));
+}
+
+TEST(LocalClock, DriftAccumulates) {
+  ClockModel model;
+  model.drift_ppm = 100.0;  // 100 us per second
+  LocalClock clock(model, 1);
+  SimTime at_100s = clock.local_at(SimTime::from_seconds(100));
+  EXPECT_NEAR(static_cast<double>((at_100s - SimTime::from_seconds(100)).nanos()),
+              100.0 * 100.0 * 1000.0, 1000.0);
+}
+
+TEST(LocalClock, GlobalAtInvertsLocalAt) {
+  ClockModel model;
+  model.offset = SimDuration::from_millis(-40);
+  model.drift_ppm = -75.0;
+  LocalClock clock(model, 1);
+  SimTime global = SimTime::from_seconds(123.456);
+  SimTime local = clock.local_at(global);
+  SimTime back = clock.global_at(local);
+  EXPECT_NEAR(static_cast<double>((back - global).nanos()), 0.0, 5.0);
+}
+
+TEST(LocalClock, JitterIsBoundedAndDeterministic) {
+  ClockModel model;
+  model.read_jitter = SimDuration::from_micros(50);
+  LocalClock a(model, 99);
+  LocalClock b(model, 99);
+  for (int i = 0; i < 100; ++i) {
+    SimTime t = SimTime::from_millis(i);
+    SimTime ra = a.read(t);
+    EXPECT_LE(std::abs((ra - t).nanos()), 50'000);
+    EXPECT_EQ(ra, b.read(t));  // same seed -> same jitter sequence
+  }
+}
+
+// ---- EventBus --------------------------------------------------------------------------
+
+TEST(EventBus, DeliversToNameSubscribers) {
+  EventBus bus;
+  int hits = 0;
+  bus.subscribe("boom", [&](const BusEvent&) { ++hits; });
+  bus.publish({SimTime::zero(), "n", "boom", Value{}});
+  bus.publish({SimTime::zero(), "n", "other", Value{}});
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(bus.published(), 2u);
+}
+
+TEST(EventBus, WildcardSeesEverything) {
+  EventBus bus;
+  std::vector<std::string> seen;
+  bus.subscribe("", [&](const BusEvent& e) { seen.push_back(e.name); });
+  bus.publish({SimTime::zero(), "n", "a", Value{}});
+  bus.publish({SimTime::zero(), "n", "b", Value{}});
+  EXPECT_EQ(seen, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(EventBus, UnsubscribeStopsDelivery) {
+  EventBus bus;
+  int hits = 0;
+  SubscriptionHandle handle =
+      bus.subscribe("x", [&](const BusEvent&) { ++hits; });
+  bus.publish({SimTime::zero(), "n", "x", Value{}});
+  bus.unsubscribe(handle);
+  bus.publish({SimTime::zero(), "n", "x", Value{}});
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventBus, ReentrantSubscribeDoesNotSeeCurrentEvent) {
+  EventBus bus;
+  int inner_hits = 0;
+  bus.subscribe("x", [&](const BusEvent&) {
+    bus.subscribe("x", [&](const BusEvent&) { ++inner_hits; });
+  });
+  bus.publish({SimTime::zero(), "n", "x", Value{}});
+  EXPECT_EQ(inner_hits, 0);
+  bus.publish({SimTime::zero(), "n", "x", Value{}});
+  EXPECT_EQ(inner_hits, 1);
+}
+
+TEST(EventBus, UnsubscribeDuringPublishIsSafe) {
+  EventBus bus;
+  int hits_a = 0;
+  int hits_b = 0;
+  SubscriptionHandle b_handle;
+  bus.subscribe("x", [&](const BusEvent&) {
+    ++hits_a;
+    bus.unsubscribe(b_handle);
+  });
+  b_handle = bus.subscribe("x", [&](const BusEvent&) { ++hits_b; });
+  bus.publish({SimTime::zero(), "n", "x", Value{}});
+  bus.publish({SimTime::zero(), "n", "x", Value{}});
+  EXPECT_EQ(hits_a, 2);
+  EXPECT_EQ(hits_b, 0);  // removed before its first delivery
+}
+
+TEST(EventBus, EventCarriesPayload) {
+  EventBus bus;
+  BusEvent captured;
+  bus.subscribe("sd_service_add",
+                [&](const BusEvent& e) { captured = e; });
+  bus.publish({SimTime::from_seconds(1), "SU0", "sd_service_add",
+               Value{"SM0"}});
+  EXPECT_EQ(captured.node, "SU0");
+  EXPECT_EQ(captured.parameter.as_string(), "SM0");
+  EXPECT_EQ(captured.time, SimTime::from_seconds(1));
+}
+
+}  // namespace
+}  // namespace excovery::sim

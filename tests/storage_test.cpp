@@ -1,0 +1,432 @@
+// Unit tests for the storage module: tables, database files, the Table I
+// package, level-2 stores, conditioning and the level-4 repository.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/conditioning.hpp"
+#include "storage/database.hpp"
+#include "storage/level2.hpp"
+#include "storage/package.hpp"
+#include "storage/repository.hpp"
+
+namespace excovery::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique scratch directory per test, removed on destruction.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("excovery-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static inline int counter = 0;
+};
+
+// ---- Table ---------------------------------------------------------------------
+
+TableSchema point_schema() {
+  return {"Points",
+          {{"Id", ValueType::kInt, false},
+           {"Label", ValueType::kString, true},
+           {"X", ValueType::kDouble, false}}};
+}
+
+TEST(Table, InsertEnforcesArityAndTypes) {
+  Table table(point_schema());
+  EXPECT_TRUE(table.insert({Value{1}, Value{"a"}, Value{0.5}}).ok());
+  EXPECT_TRUE(table.insert({Value{2}, Value{}, Value{1.5}}).ok());  // null ok
+  EXPECT_FALSE(table.insert({Value{3}, Value{"b"}}).ok());          // arity
+  EXPECT_FALSE(table.insert({Value{"x"}, Value{"b"}, Value{0.1}}).ok());
+  EXPECT_FALSE(table.insert({Value{}, Value{"b"}, Value{0.1}}).ok());  // null id
+  // Int widens into double columns.
+  EXPECT_TRUE(table.insert({Value{4}, Value{"c"}, Value{2}}).ok());
+  EXPECT_EQ(table.row_count(), 3u);
+}
+
+TEST(Table, SelectAndCount) {
+  Table table(point_schema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table
+                    .insert({Value{i}, Value{i % 2 ? "odd" : "even"},
+                             Value{i * 0.5}})
+                    .ok());
+  }
+  EXPECT_EQ(table.select_equals("Label", Value{"odd"}).size(), 5u);
+  EXPECT_EQ(table.count_equals("Label", Value{"even"}), 5u);
+  EXPECT_EQ(table.select([](const Row& row) { return row[0].as_int() > 6; })
+                .size(),
+            3u);
+  EXPECT_TRUE(table.select_equals("Missing", Value{1}).empty());
+}
+
+TEST(Table, OrderByIsStableAndChecked) {
+  Table table(point_schema());
+  ASSERT_TRUE(table.insert({Value{3}, Value{"c"}, Value{1.0}}).ok());
+  ASSERT_TRUE(table.insert({Value{1}, Value{"a"}, Value{2.0}}).ok());
+  ASSERT_TRUE(table.insert({Value{2}, Value{"b"}, Value{3.0}}).ok());
+  Result<std::vector<const Row*>> ordered = table.order_by("Id");
+  ASSERT_TRUE(ordered.ok());
+  EXPECT_EQ((*ordered.value()[0])[0].as_int(), 1);
+  EXPECT_EQ((*ordered.value()[2])[0].as_int(), 3);
+  EXPECT_FALSE(table.order_by("Nope").ok());
+}
+
+TEST(Table, CellAccessByName) {
+  Table table(point_schema());
+  ASSERT_TRUE(table.insert({Value{1}, Value{"a"}, Value{0.5}}).ok());
+  Result<Value> cell = table.cell(table.rows()[0], "X");
+  ASSERT_TRUE(cell.ok());
+  EXPECT_DOUBLE_EQ(cell.value().as_double(), 0.5);
+  EXPECT_FALSE(table.cell(table.rows()[0], "Nope").ok());
+}
+
+// ---- Database ------------------------------------------------------------------
+
+TEST(Database, CreateAndLookup) {
+  Database db;
+  ASSERT_TRUE(db.create_table(point_schema()).ok());
+  EXPECT_FALSE(db.create_table(point_schema()).ok());  // duplicate
+  EXPECT_FALSE(db.create_table({"Empty", {}}).ok());   // no columns
+  EXPECT_NE(db.table("Points"), nullptr);
+  EXPECT_EQ(db.table("Nope"), nullptr);
+  EXPECT_TRUE(db.require_table("Points").ok());
+  EXPECT_FALSE(db.require_table("Nope").ok());
+}
+
+TEST(Database, SerializeRoundTrip) {
+  Database db;
+  Table* table = db.create_table(point_schema()).value();
+  ASSERT_TRUE(table->insert({Value{1}, Value{"x"}, Value{2.5}}).ok());
+  ASSERT_TRUE(table->insert({Value{2}, Value{}, Value{-1.0}}).ok());
+
+  Result<Database> back = Database::deserialize(db.serialize());
+  ASSERT_TRUE(back.ok());
+  const Table* restored = back.value().table("Points");
+  ASSERT_NE(restored, nullptr);
+  ASSERT_EQ(restored->row_count(), 2u);
+  EXPECT_EQ(restored->rows()[0], table->rows()[0]);
+  EXPECT_EQ(restored->rows()[1], table->rows()[1]);
+  EXPECT_EQ(restored->schema().columns.size(), 3u);
+}
+
+TEST(Database, SaveLoadFile) {
+  TempDir dir;
+  std::string path = (dir.path / "test.excovery").string();
+  Database db;
+  Table* table = db.create_table(point_schema()).value();
+  ASSERT_TRUE(table->insert({Value{7}, Value{"seven"}, Value{7.7}}).ok());
+  ASSERT_TRUE(db.save(path).ok());
+
+  Result<Database> loaded = Database::load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().table("Points")->row_count(), 1u);
+
+  EXPECT_FALSE(Database::load((dir.path / "missing").string()).ok());
+}
+
+TEST(Database, CorruptFileRejected) {
+  Bytes garbage{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_FALSE(Database::deserialize(garbage).ok());
+  Bytes truncated = [] {
+    Database db;
+    (void)db.create_table(point_schema());
+    return db.serialize();
+  }();
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(Database::deserialize(truncated).ok());
+}
+
+// ---- ExperimentPackage (Table I) ----------------------------------------------------
+
+TEST(Package, SchemaMatchesTableI) {
+  ExperimentPackage package;
+  // Exactly the eight tables of the paper's Table I, in order.
+  EXPECT_EQ(package.database().table_names(),
+            (std::vector<std::string>{
+                "ExperimentInfo", "Logs", "EEFiles", "ExperimentMeasurements",
+                "RunInfos", "ExtraRunMeasurements", "Events", "Packets"}));
+  std::string schema = package.database().schema_description();
+  EXPECT_NE(schema.find("ExperimentInfo | ExpXML, EEVersion, Name, Comment"),
+            std::string::npos);
+  EXPECT_NE(schema.find(
+                "Events | RunID, NodeID, CommonTime, EventType, Parameter"),
+            std::string::npos);
+  EXPECT_NE(
+      schema.find("Packets | RunID, NodeID, CommonTime, SrcNodeID, Data"),
+      std::string::npos);
+  EXPECT_NE(schema.find("RunInfos | RunID, NodeID, StartTime, TimeDiff"),
+            std::string::npos);
+}
+
+TEST(Package, ExperimentInfoIsSingleTuple) {
+  ExperimentPackage package;
+  EXPECT_FALSE(package.description_xml().ok());  // not set yet
+  ASSERT_TRUE(package.set_experiment_info("<experiment/>", "exp", "c").ok());
+  EXPECT_FALSE(package.set_experiment_info("<x/>", "again", "").ok());
+  EXPECT_EQ(package.description_xml().value(), "<experiment/>");
+  EXPECT_EQ(package.experiment_name().value(), "exp");
+  EXPECT_EQ(package.ee_version().value(), kEeVersion);
+}
+
+TEST(Package, EventAndPacketReadersSortByTime) {
+  ExperimentPackage package;
+  ASSERT_TRUE(package.add_event({1, "B", 2.0, "late", ""}).ok());
+  ASSERT_TRUE(package.add_event({1, "A", 1.0, "early", ""}).ok());
+  ASSERT_TRUE(package.add_event({2, "A", 0.5, "other_run", ""}).ok());
+  ASSERT_TRUE(package.add_run_info({1, "A", 0.0, 0.001}).ok());
+  ASSERT_TRUE(package.add_run_info({2, "A", 5.0, 0.002}).ok());
+
+  Result<std::vector<EventRow>> run1 = package.events(1);
+  ASSERT_TRUE(run1.ok());
+  ASSERT_EQ(run1.value().size(), 2u);
+  EXPECT_EQ(run1.value()[0].event_type, "early");
+  EXPECT_EQ(run1.value()[1].event_type, "late");
+
+  Result<std::vector<EventRow>> all = package.all_events();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 3u);
+  EXPECT_EQ(all.value()[2].event_type, "other_run");
+
+  EXPECT_EQ(package.run_ids(), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Package, SaveLoadPreservesEverything) {
+  TempDir dir;
+  std::string path = (dir.path / "exp.excovery").string();
+  ExperimentPackage package;
+  ASSERT_TRUE(package.set_experiment_info("<e/>", "n", "c").ok());
+  ASSERT_TRUE(package.add_log("SU0", "log text").ok());
+  ASSERT_TRUE(package.add_ee_file("master.bin", Bytes{1, 2, 3}).ok());
+  ASSERT_TRUE(package.add_experiment_measurement(1, "env", "topo", "a b 1").ok());
+  ASSERT_TRUE(package.add_run_info({1, "SU0", 0.0, -0.004}).ok());
+  ASSERT_TRUE(package.add_extra_run_measurement(1, "SU0", "plugin/x", "7").ok());
+  ASSERT_TRUE(package.add_event({1, "SU0", 0.5, "sd_start_search", "_t"}).ok());
+  ASSERT_TRUE(package.add_packet({1, "SU0", 0.6, "SM0", Bytes{9, 9}}).ok());
+  ASSERT_TRUE(package.save(path).ok());
+
+  Result<ExperimentPackage> loaded = ExperimentPackage::load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().experiment_name().value(), "n");
+  EXPECT_EQ(loaded.value().log_for("SU0"), "log text");
+  EXPECT_EQ(loaded.value().event_count(), 1u);
+  EXPECT_EQ(loaded.value().packet_count(), 1u);
+  Result<std::vector<PacketRow>> packets = loaded.value().packets(1);
+  ASSERT_TRUE(packets.ok());
+  ASSERT_EQ(packets.value().size(), 1u);
+  EXPECT_EQ(packets.value()[0].src_node_id, "SM0");
+  EXPECT_EQ(packets.value()[0].data, (Bytes{9, 9}));
+}
+
+TEST(Package, FromDatabaseValidatesSchema) {
+  Database empty;
+  EXPECT_FALSE(ExperimentPackage::from_database(std::move(empty)).ok());
+}
+
+// ---- Level2Store -------------------------------------------------------------------
+
+TEST(Level2, RecordsPerNodeAndScopes) {
+  Level2Store store;
+  store.node("A").record_event({1, 100, "x", Value{}});
+  store.node("A").record_event({2, 200, "y", Value{}});
+  store.node("B").record_packet({1, 150, "A", Bytes{1}});
+  store.node("A").add_run_blob(1, "m", "v");
+  store.node("A").add_experiment_blob("topo", "t");
+  store.node("A").add_plugin_measurement(1, "plug", "metric", "42");
+
+  EXPECT_EQ(store.node_names(), (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(store.node("A").events().size(), 2u);
+  EXPECT_EQ(store.node("B").packets().size(), 1u);
+  EXPECT_EQ(store.node("A").plugin_data()[0].name, "plug/metric");
+}
+
+TEST(Level2, DiscardRunRemovesOnlyThatRun) {
+  Level2Store store;
+  store.node("A").record_event({1, 100, "x", Value{}});
+  store.node("A").record_event({2, 200, "y", Value{}});
+  store.add_sync({1, "A", 50, 0});
+  store.add_sync({2, "A", 60, 1000});
+  store.mark_run_complete(1);
+  store.mark_run_complete(2);
+
+  store.discard_run(1);
+  EXPECT_EQ(store.node("A").events().size(), 1u);
+  EXPECT_EQ(store.node("A").events()[0].run_id, 2);
+  EXPECT_EQ(store.syncs().size(), 1u);
+  EXPECT_FALSE(store.run_complete(1));
+  EXPECT_TRUE(store.run_complete(2));
+  EXPECT_EQ(store.offset_ns(2, "A"), 60);
+  EXPECT_EQ(store.offset_ns(1, "A"), 0);  // gone
+}
+
+TEST(Level2, DirectoryRoundTrip) {
+  TempDir dir;
+  Level2Store store;
+  store.node("SU0").record_event({1, 123, "e", Value{"p"}});
+  store.node("SU0").append_log("hello\n");
+  store.node("SM0").record_packet({1, 456, "SU0", Bytes{7, 8}});
+  store.add_sync({1, "SU0", -5000, 0});
+  store.mark_run_complete(1);
+  ASSERT_TRUE(store.write_to_directory(dir.path.string()).ok());
+
+  Result<Level2Store> loaded =
+      Level2Store::load_from_directory(dir.path.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().node_names(),
+            (std::vector<std::string>{"SM0", "SU0"}));
+  ASSERT_EQ(loaded.value().node("SU0").events().size(), 1u);
+  EXPECT_EQ(loaded.value().node("SU0").events()[0].parameter, Value{"p"});
+  EXPECT_EQ(loaded.value().node("SU0").log(), "hello\n");
+  EXPECT_EQ(loaded.value().node("SM0").packets()[0].data, (Bytes{7, 8}));
+  EXPECT_EQ(loaded.value().offset_ns(1, "SU0"), -5000);
+  EXPECT_TRUE(loaded.value().run_complete(1));
+}
+
+TEST(Level2, LoadFromEmptyDirectoryYieldsEmptyStore) {
+  TempDir dir;
+  Result<Level2Store> loaded =
+      Level2Store::load_from_directory(dir.path.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().node_names().empty());
+}
+
+// ---- conditioning ---------------------------------------------------------------------
+
+TEST(Conditioning, CommonTimeSubtractsOffset) {
+  // local = common + offset  =>  common = local - offset.
+  EXPECT_DOUBLE_EQ(to_common_time(1'500'000'000, 500'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(to_common_time(1'000'000'000, -250'000'000), 1.25);
+}
+
+TEST(Conditioning, UnifiesTimeBaseAcrossNodes) {
+  Level2Store level2;
+  // Two nodes observing the same instant: A's clock is +100ms, B's -50ms.
+  level2.node("A").record_event({1, 1'100'000'000, "tick", Value{}});
+  level2.node("B").record_event({1, 950'000'000, "tick", Value{}});
+  level2.add_sync({1, "A", 100'000'000, 0});
+  level2.add_sync({1, "B", -50'000'000, 0});
+  level2.mark_run_complete(1);
+
+  Result<ExperimentPackage> package = condition(level2, "<e/>", {});
+  ASSERT_TRUE(package.ok());
+  Result<std::vector<EventRow>> events = package.value().events(1);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events.value().size(), 2u);
+  EXPECT_NEAR(events.value()[0].common_time, 1.0, 1e-9);
+  EXPECT_NEAR(events.value()[1].common_time, 1.0, 1e-9);
+}
+
+TEST(Conditioning, IncompleteRunsExcludedByDefault) {
+  Level2Store level2;
+  level2.node("A").record_event({1, 100, "done", Value{}});
+  level2.node("A").record_event({2, 200, "aborted", Value{}});
+  level2.add_sync({1, "A", 0, 0});
+  level2.add_sync({2, "A", 0, 0});
+  level2.mark_run_complete(1);  // run 2 aborted
+
+  Result<ExperimentPackage> package = condition(level2, "<e/>", {});
+  ASSERT_TRUE(package.ok());
+  EXPECT_EQ(package.value().event_count(), 1u);
+  EXPECT_EQ(package.value().run_ids(), (std::vector<std::int64_t>{1}));
+
+  ConditioningOptions keep_all;
+  keep_all.completed_runs_only = false;
+  Result<ExperimentPackage> full = condition(level2, "<e/>", keep_all);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().event_count(), 2u);
+}
+
+TEST(Conditioning, BlobsRouteToCorrectTables) {
+  Level2Store level2;
+  level2.node("A").add_experiment_blob("topology_before", "x y 2");
+  level2.node("A").add_run_blob(1, "hops", "1");
+  level2.node("A").add_plugin_measurement(1, "plug", "m", "v");
+  level2.node("A").append_log("LOG LINE");
+  level2.mark_run_complete(1);
+
+  Result<ExperimentPackage> package = condition(level2, "<e/>", {});
+  ASSERT_TRUE(package.ok());
+  EXPECT_EQ(package.value().database().table("ExperimentMeasurements")
+                ->row_count(),
+            1u);
+  EXPECT_EQ(
+      package.value().database().table("ExtraRunMeasurements")->row_count(),
+      2u);
+  EXPECT_EQ(package.value().log_for("A"), "LOG LINE");
+}
+
+// ---- repository (level 4) ------------------------------------------------------------------
+
+ExperimentPackage tiny_package(const std::string& name, int runs) {
+  ExperimentPackage package;
+  (void)package.set_experiment_info("<e/>", name, "");
+  for (int run = 1; run <= runs; ++run) {
+    (void)package.add_run_info({run, "A", 0.0, 0.0});
+    (void)package.add_event({run, "A", 0.1, "sd_service_add", "SM0"});
+  }
+  return package;
+}
+
+TEST(Repository, StoreFetchAndIndex) {
+  TempDir dir;
+  Result<Repository> repo = Repository::open(dir.path.string());
+  ASSERT_TRUE(repo.ok());
+  EXPECT_EQ(repo.value().size(), 0u);
+
+  ASSERT_TRUE(repo.value().store("exp-a", tiny_package("A", 2)).ok());
+  ASSERT_TRUE(repo.value().store("exp-b", tiny_package("B", 3)).ok());
+  EXPECT_FALSE(repo.value().store("exp-a", tiny_package("A", 1)).ok());
+  EXPECT_FALSE(repo.value().store("../evil", tiny_package("E", 1)).ok());
+
+  EXPECT_TRUE(repo.value().contains("exp-a"));
+  EXPECT_EQ(repo.value().experiment_ids(),
+            (std::vector<std::string>{"exp-a", "exp-b"}));
+  Result<ExperimentPackage> fetched = repo.value().fetch("exp-b");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value().experiment_name().value(), "B");
+  EXPECT_FALSE(repo.value().fetch("nope").ok());
+}
+
+TEST(Repository, ReopenRebuildsIndexFromFiles) {
+  TempDir dir;
+  {
+    Result<Repository> repo = Repository::open(dir.path.string());
+    ASSERT_TRUE(repo.ok());
+    ASSERT_TRUE(repo.value().store("exp-a", tiny_package("A", 1)).ok());
+  }
+  Result<Repository> reopened = Repository::open(dir.path.string());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened.value().contains("exp-a"));
+}
+
+TEST(Repository, CrossExperimentQueries) {
+  TempDir dir;
+  Result<Repository> repo = Repository::open(dir.path.string());
+  ASSERT_TRUE(repo.ok());
+  ASSERT_TRUE(repo.value().store("exp-a", tiny_package("A", 2)).ok());
+  ASSERT_TRUE(repo.value().store("exp-b", tiny_package("B", 3)).ok());
+
+  Result<std::vector<Repository::CrossEvent>> adds =
+      repo.value().events_of_type("sd_service_add");
+  ASSERT_TRUE(adds.ok());
+  EXPECT_EQ(adds.value().size(), 5u);
+
+  Result<std::vector<Repository::Summary>> summaries =
+      repo.value().summaries();
+  ASSERT_TRUE(summaries.ok());
+  ASSERT_EQ(summaries.value().size(), 2u);
+  EXPECT_EQ(summaries.value()[0].runs, 2u);
+  EXPECT_EQ(summaries.value()[1].events, 3u);
+}
+
+}  // namespace
+}  // namespace excovery::storage

@@ -1,0 +1,291 @@
+// Unit tests for the XML module: DOM, parser, writer, selection, schema.
+#include <gtest/gtest.h>
+
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/schema.hpp"
+#include "xml/select.hpp"
+#include "xml/writer.hpp"
+
+namespace excovery::xml {
+namespace {
+
+// ---- parser ------------------------------------------------------------------
+
+TEST(XmlParser, SimpleElement) {
+  Result<ElementPtr> root = parse_element("<a/>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value()->name(), "a");
+  EXPECT_TRUE(root.value()->children().empty());
+}
+
+TEST(XmlParser, AttributesBothQuoteStyles) {
+  Result<ElementPtr> root =
+      parse_element(R"(<node id="A" kind='actor'/>)");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root.value()->attr("id"), "A");
+  EXPECT_EQ(*root.value()->attr("kind"), "actor");
+  EXPECT_EQ(root.value()->attr("missing"), nullptr);
+}
+
+TEST(XmlParser, NestedChildrenAndText) {
+  Result<ElementPtr> root = parse_element(
+      "<factor id=\"f\"><levels><level>5</level><level>20</level>"
+      "</levels></factor>");
+  ASSERT_TRUE(root.ok());
+  const Element* levels = root.value()->child("levels");
+  ASSERT_NE(levels, nullptr);
+  std::vector<const Element*> level_nodes = levels->children_named("level");
+  ASSERT_EQ(level_nodes.size(), 2u);
+  EXPECT_EQ(level_nodes[0]->text(), "5");
+  EXPECT_EQ(level_nodes[1]->text(), "20");
+}
+
+TEST(XmlParser, EntityDecoding) {
+  Result<ElementPtr> root =
+      parse_element("<t a=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;&#x42;</t>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root.value()->attr("a"), "<&>");
+  EXPECT_EQ(root.value()->text(), "\"x' AB");
+}
+
+TEST(XmlParser, CdataPreserved) {
+  Result<ElementPtr> root =
+      parse_element("<t><![CDATA[a < b && c > d]]></t>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value()->text(), "a < b && c > d");
+}
+
+TEST(XmlParser, CommentsAndPisSkipped) {
+  Result<ElementPtr> root = parse_element(
+      "<?xml version=\"1.0\"?><!-- hello --><t><!-- inner -->x<?pi y?></t>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value()->text(), "x");
+}
+
+TEST(XmlParser, MismatchedTagIsError) {
+  Result<ElementPtr> root = parse_element("<a><b></a></b>");
+  ASSERT_FALSE(root.ok());
+  EXPECT_EQ(root.error().code(), ErrorCode::kParse);
+}
+
+TEST(XmlParser, ErrorsCarryPosition) {
+  Result<ElementPtr> root = parse_element("<a>\n<b attr></b></a>");
+  ASSERT_FALSE(root.ok());
+  EXPECT_NE(root.error().message().find("line 2"), std::string::npos);
+}
+
+TEST(XmlParser, DuplicateAttributeRejected) {
+  EXPECT_FALSE(parse_element("<a x=\"1\" x=\"2\"/>").ok());
+}
+
+TEST(XmlParser, MultipleRootsRejected) {
+  EXPECT_FALSE(parse("<a/><b/>").ok());
+}
+
+TEST(XmlParser, EmptyDocumentRejected) {
+  EXPECT_FALSE(parse("   ").ok());
+  EXPECT_FALSE(parse("<!-- only a comment -->").ok());
+}
+
+TEST(XmlParser, UnterminatedElementRejected) {
+  EXPECT_FALSE(parse_element("<a><b>").ok());
+}
+
+TEST(XmlParser, DeepNestingBounded) {
+  std::string deep;
+  for (int i = 0; i < 400; ++i) deep += "<d>";
+  for (int i = 0; i < 400; ++i) deep += "</d>";
+  EXPECT_FALSE(parse_element(deep).ok());
+}
+
+TEST(XmlParser, Utf8CharacterReferences) {
+  Result<ElementPtr> root = parse_element("<t>&#xE9;&#x4E16;</t>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value()->text(), "\xC3\xA9\xE4\xB8\x96");
+}
+
+// ---- writer ----------------------------------------------------------------------
+
+TEST(XmlWriter, RoundTripPreservesStructure) {
+  const char* source =
+      "<experiment name=\"x\"><nodelist><node id=\"A\" /><node id=\"B\" />"
+      "</nodelist><note>with &lt;escapes&gt; &amp; entities</note>"
+      "</experiment>";
+  Result<ElementPtr> first = parse_element(source);
+  ASSERT_TRUE(first.ok());
+  std::string text = write(*first.value());
+  Result<ElementPtr> second = parse_element(text);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(first.value()->equals(*second.value()));
+}
+
+TEST(XmlWriter, CompactModeHasNoNewlines) {
+  Element root("a");
+  root.add_child("b").set_text("t");
+  std::string text = write(root, {.pretty = false, .declaration = false});
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+  EXPECT_EQ(text, "<a><b>t</b></a>");
+}
+
+TEST(XmlWriter, AttributeEscaping) {
+  Element root("a");
+  root.set_attr("v", "x\"<&>'");
+  std::string text = write(root, {.pretty = false, .declaration = false});
+  Result<ElementPtr> back = parse_element(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back.value()->attr("v"), "x\"<&>'");
+}
+
+// ---- DOM helpers --------------------------------------------------------------------
+
+TEST(XmlDom, RequireHelpers) {
+  Element root("r");
+  root.add_child("c").set_attr("id", "1");
+  EXPECT_TRUE(root.require_child("c").ok());
+  EXPECT_FALSE(root.require_child("missing").ok());
+  EXPECT_TRUE(root.child("c")->require_attr("id").ok());
+  EXPECT_FALSE(root.child("c")->require_attr("nope").ok());
+}
+
+TEST(XmlDom, CloneIsDeepAndEqual) {
+  Result<ElementPtr> root =
+      parse_element("<a x=\"1\"><b>t</b><b>u</b></a>");
+  ASSERT_TRUE(root.ok());
+  ElementPtr copy = root.value()->clone();
+  EXPECT_TRUE(root.value()->equals(*copy));
+  copy->child("b")->set_text("changed");
+  EXPECT_FALSE(root.value()->equals(*copy));
+}
+
+TEST(XmlDom, AddTextChildConvenience) {
+  Element root("r");
+  root.add_text_child("k", "v");
+  EXPECT_EQ(root.child("k")->text(), "v");
+}
+
+// ---- selection -----------------------------------------------------------------------
+
+TEST(XmlSelect, PathNavigation) {
+  Result<ElementPtr> root = parse_element(
+      "<r><a><b id=\"1\">x</b><b id=\"2\">y</b></a><a><b id=\"3\">z</b></a>"
+      "</r>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(select_all(*root.value(), "a/b").size(), 3u);
+  EXPECT_EQ(select_first(*root.value(), "a/b")->text(), "x");
+  EXPECT_EQ(select_first(*root.value(), "a/b[@id=2]")->text(), "y");
+  EXPECT_EQ(select_first(*root.value(), "a/b[2]")->text(), "y");
+  EXPECT_EQ(select_all(*root.value(), "a/*").size(), 3u);
+  EXPECT_EQ(select_first(*root.value(), "a/c"), nullptr);
+  EXPECT_TRUE(select_required(*root.value(), "a/b").ok());
+  EXPECT_FALSE(select_required(*root.value(), "q").ok());
+}
+
+TEST(XmlSelect, RecursiveDescent) {
+  Result<ElementPtr> root = parse_element(
+      "<r><x><y><leaf/></y></x><leaf/><z><leaf/></z></r>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(select_all_recursive(*root.value(), "leaf").size(), 3u);
+}
+
+TEST(XmlSelect, TextOrDefault) {
+  Result<ElementPtr> root = parse_element("<r><k>v</k></r>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(select_text_or(*root.value(), "k", "d"), "v");
+  EXPECT_EQ(select_text_or(*root.value(), "missing", "d"), "d");
+}
+
+// ---- schema ----------------------------------------------------------------------------
+
+Schema make_schema() {
+  Schema schema;
+  schema.element("library")
+      .child("book", Occurs::at_least(1))
+      .no_text();
+  schema.element("book")
+      .attr("isbn", /*required=*/true)
+      .attr("lang", false, {"en", "de"})
+      .child("title", Occurs::required())
+      .child("author", Occurs::any());
+  schema.element("title");
+  schema.element("author");
+  return schema;
+}
+
+TEST(XmlSchema, AcceptsValidDocument) {
+  Result<ElementPtr> doc = parse_element(
+      "<library><book isbn=\"1\" lang=\"en\"><title>t</title>"
+      "<author>a</author><author>b</author></book></library>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(make_schema().validate(*doc.value()).ok());
+}
+
+TEST(XmlSchema, MissingRequiredAttribute) {
+  Result<ElementPtr> doc =
+      parse_element("<library><book><title>t</title></book></library>");
+  ASSERT_TRUE(doc.ok());
+  Status status = make_schema().validate(*doc.value());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("isbn"), std::string::npos);
+}
+
+TEST(XmlSchema, EnumeratedAttributeValue) {
+  Result<ElementPtr> doc = parse_element(
+      "<library><book isbn=\"1\" lang=\"fr\"><title>t</title></book>"
+      "</library>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(make_schema().validate(*doc.value()).ok());
+}
+
+TEST(XmlSchema, OccurrenceBounds) {
+  Result<ElementPtr> no_books = parse_element("<library></library>");
+  ASSERT_TRUE(no_books.ok());
+  EXPECT_FALSE(make_schema().validate(*no_books.value()).ok());
+
+  Result<ElementPtr> two_titles = parse_element(
+      "<library><book isbn=\"1\"><title>a</title><title>b</title></book>"
+      "</library>");
+  ASSERT_TRUE(two_titles.ok());
+  EXPECT_FALSE(make_schema().validate(*two_titles.value()).ok());
+}
+
+TEST(XmlSchema, UnexpectedChildRejectedUnlessOpen) {
+  Result<ElementPtr> doc = parse_element(
+      "<library><book isbn=\"1\"><title>t</title><extra/></book></library>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(make_schema().validate(*doc.value()).ok());
+
+  Schema open = make_schema();
+  open.element("book").open_children();
+  EXPECT_TRUE(open.validate(*doc.value()).ok());
+}
+
+TEST(XmlSchema, TextPolicyEnforced) {
+  Result<ElementPtr> doc = parse_element(
+      "<library>oops<book isbn=\"1\"><title>t</title></book></library>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(make_schema().validate(*doc.value()).ok());
+}
+
+TEST(XmlSchema, StrictModeFlagsUnknownElements) {
+  Schema schema = make_schema();
+  Result<ElementPtr> doc = parse_element("<unknown/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(schema.validate(*doc.value()).ok());
+  EXPECT_FALSE(schema.validate(*doc.value(), /*strict=*/true).ok());
+}
+
+TEST(XmlSchema, CollectsAllProblems) {
+  Result<ElementPtr> doc = parse_element(
+      "<library><book lang=\"fr\"></book></library>");
+  ASSERT_TRUE(doc.ok());
+  Status status = make_schema().validate(*doc.value());
+  ASSERT_FALSE(status.ok());
+  // Three problems: missing isbn, bad lang, missing title.
+  EXPECT_NE(status.error().message().find("isbn"), std::string::npos);
+  EXPECT_NE(status.error().message().find("lang"), std::string::npos);
+  EXPECT_NE(status.error().message().find("title"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace excovery::xml
