@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_mesh.dir/bench_case_mesh.cpp.o"
+  "CMakeFiles/bench_case_mesh.dir/bench_case_mesh.cpp.o.d"
+  "bench_case_mesh"
+  "bench_case_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

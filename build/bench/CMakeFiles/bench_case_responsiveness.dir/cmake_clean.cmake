@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_responsiveness.dir/bench_case_responsiveness.cpp.o"
+  "CMakeFiles/bench_case_responsiveness.dir/bench_case_responsiveness.cpp.o.d"
+  "bench_case_responsiveness"
+  "bench_case_responsiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_description.dir/bench_fig04_description.cpp.o"
+  "CMakeFiles/bench_fig04_description.dir/bench_fig04_description.cpp.o.d"
+  "bench_fig04_description"
+  "bench_fig04_description.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_description.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_factors.dir/bench_fig05_factors.cpp.o"
+  "CMakeFiles/bench_fig05_factors.dir/bench_fig05_factors.cpp.o.d"
+  "bench_fig05_factors"
+  "bench_fig05_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

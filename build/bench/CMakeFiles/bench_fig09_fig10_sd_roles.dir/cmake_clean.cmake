@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_fig10_sd_roles.dir/bench_fig09_fig10_sd_roles.cpp.o"
+  "CMakeFiles/bench_fig09_fig10_sd_roles.dir/bench_fig09_fig10_sd_roles.cpp.o.d"
+  "bench_fig09_fig10_sd_roles"
+  "bench_fig09_fig10_sd_roles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_fig10_sd_roles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_export.dir/analysis_export.cpp.o"
+  "CMakeFiles/analysis_export.dir/analysis_export.cpp.o.d"
+  "analysis_export"
+  "analysis_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/responsiveness_study.dir/responsiveness_study.cpp.o"
+  "CMakeFiles/responsiveness_study.dir/responsiveness_study.cpp.o.d"
+  "responsiveness_study"
+  "responsiveness_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/responsiveness_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

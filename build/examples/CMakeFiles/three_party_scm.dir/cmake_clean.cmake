@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_party_scm.dir/three_party_scm.cpp.o"
+  "CMakeFiles/three_party_scm.dir/three_party_scm.cpp.o.d"
+  "three_party_scm"
+  "three_party_scm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_party_scm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_workflow.dir/xml_workflow.cpp.o"
+  "CMakeFiles/xml_workflow.dir/xml_workflow.cpp.o.d"
+  "xml_workflow"
+  "xml_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excovery_common.dir/bytes.cpp.o"
+  "CMakeFiles/excovery_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/excovery_common.dir/error.cpp.o"
+  "CMakeFiles/excovery_common.dir/error.cpp.o.d"
+  "CMakeFiles/excovery_common.dir/log.cpp.o"
+  "CMakeFiles/excovery_common.dir/log.cpp.o.d"
+  "CMakeFiles/excovery_common.dir/rng.cpp.o"
+  "CMakeFiles/excovery_common.dir/rng.cpp.o.d"
+  "CMakeFiles/excovery_common.dir/strings.cpp.o"
+  "CMakeFiles/excovery_common.dir/strings.cpp.o.d"
+  "CMakeFiles/excovery_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/excovery_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/excovery_common.dir/value.cpp.o"
+  "CMakeFiles/excovery_common.dir/value.cpp.o.d"
+  "libexcovery_common.a"
+  "libexcovery_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excovery_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

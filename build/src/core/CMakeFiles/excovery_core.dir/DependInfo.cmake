@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/excovery_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/excovery_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/description.cpp" "src/core/CMakeFiles/excovery_core.dir/description.cpp.o" "gcc" "src/core/CMakeFiles/excovery_core.dir/description.cpp.o.d"
+  "/root/repo/src/core/interpreter.cpp" "src/core/CMakeFiles/excovery_core.dir/interpreter.cpp.o" "gcc" "src/core/CMakeFiles/excovery_core.dir/interpreter.cpp.o.d"
+  "/root/repo/src/core/master.cpp" "src/core/CMakeFiles/excovery_core.dir/master.cpp.o" "gcc" "src/core/CMakeFiles/excovery_core.dir/master.cpp.o.d"
+  "/root/repo/src/core/node_manager.cpp" "src/core/CMakeFiles/excovery_core.dir/node_manager.cpp.o" "gcc" "src/core/CMakeFiles/excovery_core.dir/node_manager.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/excovery_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/excovery_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/core/CMakeFiles/excovery_core.dir/platform.cpp.o" "gcc" "src/core/CMakeFiles/excovery_core.dir/platform.cpp.o.d"
+  "/root/repo/src/core/recorder.cpp" "src/core/CMakeFiles/excovery_core.dir/recorder.cpp.o" "gcc" "src/core/CMakeFiles/excovery_core.dir/recorder.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/excovery_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/excovery_core.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/excovery_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/excovery_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/excovery_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/excovery_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/excovery_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/excovery_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/sd/CMakeFiles/excovery_sd.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/excovery_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excovery_core.dir/campaign.cpp.o"
+  "CMakeFiles/excovery_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/excovery_core.dir/description.cpp.o"
+  "CMakeFiles/excovery_core.dir/description.cpp.o.d"
+  "CMakeFiles/excovery_core.dir/interpreter.cpp.o"
+  "CMakeFiles/excovery_core.dir/interpreter.cpp.o.d"
+  "CMakeFiles/excovery_core.dir/master.cpp.o"
+  "CMakeFiles/excovery_core.dir/master.cpp.o.d"
+  "CMakeFiles/excovery_core.dir/node_manager.cpp.o"
+  "CMakeFiles/excovery_core.dir/node_manager.cpp.o.d"
+  "CMakeFiles/excovery_core.dir/plan.cpp.o"
+  "CMakeFiles/excovery_core.dir/plan.cpp.o.d"
+  "CMakeFiles/excovery_core.dir/platform.cpp.o"
+  "CMakeFiles/excovery_core.dir/platform.cpp.o.d"
+  "CMakeFiles/excovery_core.dir/recorder.cpp.o"
+  "CMakeFiles/excovery_core.dir/recorder.cpp.o.d"
+  "CMakeFiles/excovery_core.dir/scenario.cpp.o"
+  "CMakeFiles/excovery_core.dir/scenario.cpp.o.d"
+  "libexcovery_core.a"
+  "libexcovery_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excovery_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

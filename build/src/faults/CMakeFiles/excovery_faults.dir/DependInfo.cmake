@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/injector.cpp" "src/faults/CMakeFiles/excovery_faults.dir/injector.cpp.o" "gcc" "src/faults/CMakeFiles/excovery_faults.dir/injector.cpp.o.d"
+  "/root/repo/src/faults/traffic.cpp" "src/faults/CMakeFiles/excovery_faults.dir/traffic.cpp.o" "gcc" "src/faults/CMakeFiles/excovery_faults.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/excovery_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/excovery_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/excovery_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

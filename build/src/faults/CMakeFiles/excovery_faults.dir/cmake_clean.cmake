@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excovery_faults.dir/injector.cpp.o"
+  "CMakeFiles/excovery_faults.dir/injector.cpp.o.d"
+  "CMakeFiles/excovery_faults.dir/traffic.cpp.o"
+  "CMakeFiles/excovery_faults.dir/traffic.cpp.o.d"
+  "libexcovery_faults.a"
+  "libexcovery_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excovery_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

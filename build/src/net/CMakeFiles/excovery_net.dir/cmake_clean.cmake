@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excovery_net.dir/address.cpp.o"
+  "CMakeFiles/excovery_net.dir/address.cpp.o.d"
+  "CMakeFiles/excovery_net.dir/network.cpp.o"
+  "CMakeFiles/excovery_net.dir/network.cpp.o.d"
+  "CMakeFiles/excovery_net.dir/packet.cpp.o"
+  "CMakeFiles/excovery_net.dir/packet.cpp.o.d"
+  "CMakeFiles/excovery_net.dir/routing.cpp.o"
+  "CMakeFiles/excovery_net.dir/routing.cpp.o.d"
+  "CMakeFiles/excovery_net.dir/topology.cpp.o"
+  "CMakeFiles/excovery_net.dir/topology.cpp.o.d"
+  "libexcovery_net.a"
+  "libexcovery_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excovery_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

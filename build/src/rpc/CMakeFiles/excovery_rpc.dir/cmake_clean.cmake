@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excovery_rpc.dir/codec.cpp.o"
+  "CMakeFiles/excovery_rpc.dir/codec.cpp.o.d"
+  "CMakeFiles/excovery_rpc.dir/endpoint.cpp.o"
+  "CMakeFiles/excovery_rpc.dir/endpoint.cpp.o.d"
+  "libexcovery_rpc.a"
+  "libexcovery_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excovery_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sd/cache.cpp" "src/sd/CMakeFiles/excovery_sd.dir/cache.cpp.o" "gcc" "src/sd/CMakeFiles/excovery_sd.dir/cache.cpp.o.d"
+  "/root/repo/src/sd/hybrid.cpp" "src/sd/CMakeFiles/excovery_sd.dir/hybrid.cpp.o" "gcc" "src/sd/CMakeFiles/excovery_sd.dir/hybrid.cpp.o.d"
+  "/root/repo/src/sd/mdns.cpp" "src/sd/CMakeFiles/excovery_sd.dir/mdns.cpp.o" "gcc" "src/sd/CMakeFiles/excovery_sd.dir/mdns.cpp.o.d"
+  "/root/repo/src/sd/message.cpp" "src/sd/CMakeFiles/excovery_sd.dir/message.cpp.o" "gcc" "src/sd/CMakeFiles/excovery_sd.dir/message.cpp.o.d"
+  "/root/repo/src/sd/model.cpp" "src/sd/CMakeFiles/excovery_sd.dir/model.cpp.o" "gcc" "src/sd/CMakeFiles/excovery_sd.dir/model.cpp.o.d"
+  "/root/repo/src/sd/slp.cpp" "src/sd/CMakeFiles/excovery_sd.dir/slp.cpp.o" "gcc" "src/sd/CMakeFiles/excovery_sd.dir/slp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/excovery_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/excovery_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/excovery_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

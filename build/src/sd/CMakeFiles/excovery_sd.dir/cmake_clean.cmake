@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excovery_sd.dir/cache.cpp.o"
+  "CMakeFiles/excovery_sd.dir/cache.cpp.o.d"
+  "CMakeFiles/excovery_sd.dir/hybrid.cpp.o"
+  "CMakeFiles/excovery_sd.dir/hybrid.cpp.o.d"
+  "CMakeFiles/excovery_sd.dir/mdns.cpp.o"
+  "CMakeFiles/excovery_sd.dir/mdns.cpp.o.d"
+  "CMakeFiles/excovery_sd.dir/message.cpp.o"
+  "CMakeFiles/excovery_sd.dir/message.cpp.o.d"
+  "CMakeFiles/excovery_sd.dir/model.cpp.o"
+  "CMakeFiles/excovery_sd.dir/model.cpp.o.d"
+  "CMakeFiles/excovery_sd.dir/slp.cpp.o"
+  "CMakeFiles/excovery_sd.dir/slp.cpp.o.d"
+  "libexcovery_sd.a"
+  "libexcovery_sd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excovery_sd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excovery_sim.dir/clock.cpp.o"
+  "CMakeFiles/excovery_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/excovery_sim.dir/event_bus.cpp.o"
+  "CMakeFiles/excovery_sim.dir/event_bus.cpp.o.d"
+  "CMakeFiles/excovery_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/excovery_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/excovery_sim.dir/time.cpp.o"
+  "CMakeFiles/excovery_sim.dir/time.cpp.o.d"
+  "libexcovery_sim.a"
+  "libexcovery_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excovery_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/analysis.cpp" "src/stats/CMakeFiles/excovery_stats.dir/analysis.cpp.o" "gcc" "src/stats/CMakeFiles/excovery_stats.dir/analysis.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/stats/CMakeFiles/excovery_stats.dir/metrics.cpp.o" "gcc" "src/stats/CMakeFiles/excovery_stats.dir/metrics.cpp.o.d"
+  "/root/repo/src/stats/timeline.cpp" "src/stats/CMakeFiles/excovery_stats.dir/timeline.cpp.o" "gcc" "src/stats/CMakeFiles/excovery_stats.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/excovery_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/excovery_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/excovery_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sd/CMakeFiles/excovery_sd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/excovery_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

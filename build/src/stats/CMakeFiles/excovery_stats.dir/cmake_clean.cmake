@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excovery_stats.dir/analysis.cpp.o"
+  "CMakeFiles/excovery_stats.dir/analysis.cpp.o.d"
+  "CMakeFiles/excovery_stats.dir/metrics.cpp.o"
+  "CMakeFiles/excovery_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/excovery_stats.dir/timeline.cpp.o"
+  "CMakeFiles/excovery_stats.dir/timeline.cpp.o.d"
+  "libexcovery_stats.a"
+  "libexcovery_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excovery_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

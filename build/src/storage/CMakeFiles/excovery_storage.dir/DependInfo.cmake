@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/conditioning.cpp" "src/storage/CMakeFiles/excovery_storage.dir/conditioning.cpp.o" "gcc" "src/storage/CMakeFiles/excovery_storage.dir/conditioning.cpp.o.d"
+  "/root/repo/src/storage/database.cpp" "src/storage/CMakeFiles/excovery_storage.dir/database.cpp.o" "gcc" "src/storage/CMakeFiles/excovery_storage.dir/database.cpp.o.d"
+  "/root/repo/src/storage/level2.cpp" "src/storage/CMakeFiles/excovery_storage.dir/level2.cpp.o" "gcc" "src/storage/CMakeFiles/excovery_storage.dir/level2.cpp.o.d"
+  "/root/repo/src/storage/package.cpp" "src/storage/CMakeFiles/excovery_storage.dir/package.cpp.o" "gcc" "src/storage/CMakeFiles/excovery_storage.dir/package.cpp.o.d"
+  "/root/repo/src/storage/repository.cpp" "src/storage/CMakeFiles/excovery_storage.dir/repository.cpp.o" "gcc" "src/storage/CMakeFiles/excovery_storage.dir/repository.cpp.o.d"
+  "/root/repo/src/storage/table.cpp" "src/storage/CMakeFiles/excovery_storage.dir/table.cpp.o" "gcc" "src/storage/CMakeFiles/excovery_storage.dir/table.cpp.o.d"
+  "/root/repo/src/storage/warehouse.cpp" "src/storage/CMakeFiles/excovery_storage.dir/warehouse.cpp.o" "gcc" "src/storage/CMakeFiles/excovery_storage.dir/warehouse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/excovery_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/excovery_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

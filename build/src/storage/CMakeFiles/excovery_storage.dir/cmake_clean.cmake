@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excovery_storage.dir/conditioning.cpp.o"
+  "CMakeFiles/excovery_storage.dir/conditioning.cpp.o.d"
+  "CMakeFiles/excovery_storage.dir/database.cpp.o"
+  "CMakeFiles/excovery_storage.dir/database.cpp.o.d"
+  "CMakeFiles/excovery_storage.dir/level2.cpp.o"
+  "CMakeFiles/excovery_storage.dir/level2.cpp.o.d"
+  "CMakeFiles/excovery_storage.dir/package.cpp.o"
+  "CMakeFiles/excovery_storage.dir/package.cpp.o.d"
+  "CMakeFiles/excovery_storage.dir/repository.cpp.o"
+  "CMakeFiles/excovery_storage.dir/repository.cpp.o.d"
+  "CMakeFiles/excovery_storage.dir/table.cpp.o"
+  "CMakeFiles/excovery_storage.dir/table.cpp.o.d"
+  "CMakeFiles/excovery_storage.dir/warehouse.cpp.o"
+  "CMakeFiles/excovery_storage.dir/warehouse.cpp.o.d"
+  "libexcovery_storage.a"
+  "libexcovery_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excovery_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excovery_xml.dir/dom.cpp.o"
+  "CMakeFiles/excovery_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/excovery_xml.dir/parser.cpp.o"
+  "CMakeFiles/excovery_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/excovery_xml.dir/schema.cpp.o"
+  "CMakeFiles/excovery_xml.dir/schema.cpp.o.d"
+  "CMakeFiles/excovery_xml.dir/select.cpp.o"
+  "CMakeFiles/excovery_xml.dir/select.cpp.o.d"
+  "CMakeFiles/excovery_xml.dir/writer.cpp.o"
+  "CMakeFiles/excovery_xml.dir/writer.cpp.o.d"
+  "libexcovery_xml.a"
+  "libexcovery_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excovery_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

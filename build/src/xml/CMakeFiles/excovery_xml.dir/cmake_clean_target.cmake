@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexcovery_xml.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_description.dir/core_description_test.cpp.o"
+  "CMakeFiles/test_core_description.dir/core_description_test.cpp.o.d"
+  "test_core_description"
+  "test_core_description.pdb"
+  "test_core_description[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_description.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_interpreter.dir/core_interpreter_test.cpp.o"
+  "CMakeFiles/test_core_interpreter.dir/core_interpreter_test.cpp.o.d"
+  "test_core_interpreter"
+  "test_core_interpreter.pdb"
+  "test_core_interpreter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

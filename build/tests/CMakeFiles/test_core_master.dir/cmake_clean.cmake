@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_master.dir/core_master_test.cpp.o"
+  "CMakeFiles/test_core_master.dir/core_master_test.cpp.o.d"
+  "test_core_master"
+  "test_core_master.pdb"
+  "test_core_master[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

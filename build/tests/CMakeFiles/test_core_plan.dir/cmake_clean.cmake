@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_plan.dir/core_plan_test.cpp.o"
+  "CMakeFiles/test_core_plan.dir/core_plan_test.cpp.o.d"
+  "test_core_plan"
+  "test_core_plan.pdb"
+  "test_core_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

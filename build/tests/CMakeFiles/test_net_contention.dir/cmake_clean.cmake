@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_contention.dir/net_contention_test.cpp.o"
+  "CMakeFiles/test_net_contention.dir/net_contention_test.cpp.o.d"
+  "test_net_contention"
+  "test_net_contention.pdb"
+  "test_net_contention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

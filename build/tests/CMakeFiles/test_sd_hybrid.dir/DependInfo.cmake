@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sd_hybrid_test.cpp" "tests/CMakeFiles/test_sd_hybrid.dir/sd_hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/test_sd_hybrid.dir/sd_hybrid_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/excovery_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/excovery_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/excovery_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sd/CMakeFiles/excovery_sd.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/excovery_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/excovery_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/excovery_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/excovery_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/excovery_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/excovery_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sd_hybrid.dir/sd_hybrid_test.cpp.o"
+  "CMakeFiles/test_sd_hybrid.dir/sd_hybrid_test.cpp.o.d"
+  "test_sd_hybrid"
+  "test_sd_hybrid.pdb"
+  "test_sd_hybrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sd_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sd_mdns.dir/sd_mdns_test.cpp.o"
+  "CMakeFiles/test_sd_mdns.dir/sd_mdns_test.cpp.o.d"
+  "test_sd_mdns"
+  "test_sd_mdns.pdb"
+  "test_sd_mdns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sd_mdns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

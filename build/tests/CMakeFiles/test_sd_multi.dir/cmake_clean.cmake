@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sd_multi.dir/sd_multi_test.cpp.o"
+  "CMakeFiles/test_sd_multi.dir/sd_multi_test.cpp.o.d"
+  "test_sd_multi"
+  "test_sd_multi.pdb"
+  "test_sd_multi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sd_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sd_slp.dir/sd_slp_test.cpp.o"
+  "CMakeFiles/test_sd_slp.dir/sd_slp_test.cpp.o.d"
+  "test_sd_slp"
+  "test_sd_slp.pdb"
+  "test_sd_slp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sd_slp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
