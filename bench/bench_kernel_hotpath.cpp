@@ -1,0 +1,365 @@
+// Kernel hot-path microbenchmarks (google-benchmark).
+//
+// Covers the three paths every experiment run hammers millions of times:
+// scheduler schedule/cancel/run churn, unicast hop chains, multicast flood
+// fan-out, and event-bus publish.  The EE's own overhead must stay
+// negligible against measured SD behaviour (§VI ablation), so this binary
+// is the perf trajectory tracker for the kernel: it writes machine-readable
+// results to BENCH_kernel.json (override with --benchmark_out=...).
+//
+// Every benchmark also reports `allocs_per_op`: heap allocations per
+// outer iteration, counted by a global operator-new override.  The
+// scheduler churn loop must report 0 steady-state allocations for
+// SBO-sized callbacks.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+// The replacement operator new/delete below intentionally pair ::new with
+// std::malloc/std::free; GCC's heuristic cannot see that they match.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/event_bus.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+// ---- allocation counting ---------------------------------------------------
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) -
+                                    1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+namespace excovery {
+namespace {
+
+using net::Address;
+using net::NodeId;
+using net::Packet;
+using sim::SimDuration;
+using sim::SimTime;
+
+class AllocCounter {
+ public:
+  AllocCounter() : start_(g_allocs.load(std::memory_order_relaxed)) {}
+  std::uint64_t delta() const {
+    return g_allocs.load(std::memory_order_relaxed) - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+void report_allocs(benchmark::State& state, const AllocCounter& counter) {
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(counter.delta()) /
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kAvgThreads);
+}
+
+// ---- scheduler --------------------------------------------------------------
+
+/// Steady-state schedule -> execute churn: per outer iteration, schedule a
+/// batch of SBO-sized callbacks at staggered delays and drain the queue.
+/// This is the loop `run_campaign` spends its life in.
+void BM_SchedulerChurn(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler scheduler;
+  std::uint64_t sink = 0;
+  // Warm up internal pools so the measurement sees steady state.
+  for (std::size_t i = 0; i < batch; ++i) {
+    scheduler.schedule(SimDuration(static_cast<std::int64_t>(i)),
+                       [&sink, i] { sink += i; });
+  }
+  scheduler.run();
+  AllocCounter allocs;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      scheduler.schedule(SimDuration(static_cast<std::int64_t>(i % 64)),
+                         [&sink, i] { sink += i; });
+    }
+    scheduler.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  report_allocs(state, allocs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_SchedulerChurn)->Arg(64)->Arg(1024);
+
+/// schedule + cancel churn: timers that never fire (retries, timeouts).
+void BM_SchedulerScheduleCancel(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler scheduler;
+  std::uint64_t sink = 0;
+  std::vector<sim::TimerHandle> handles(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    handles[i] = scheduler.schedule(SimDuration::from_millis(10),
+                                    [&sink] { ++sink; });
+  }
+  for (auto& h : handles) scheduler.cancel(h);
+  scheduler.run();
+  AllocCounter allocs;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      handles[i] = scheduler.schedule(SimDuration::from_millis(10),
+                                      [&sink] { ++sink; });
+    }
+    for (auto& h : handles) scheduler.cancel(h);
+    scheduler.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  report_allocs(state, allocs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_SchedulerScheduleCancel)->Arg(1024);
+
+/// Interleaved schedule/cancel/reschedule with events in flight, as the SD
+/// stacks do with retry timers.
+void BM_SchedulerRescheduleMix(benchmark::State& state) {
+  sim::Scheduler scheduler;
+  std::uint64_t sink = 0;
+  constexpr std::size_t kTimers = 256;
+  std::vector<sim::TimerHandle> handles(kTimers);
+  for (std::size_t i = 0; i < kTimers; ++i) {
+    handles[i] = scheduler.schedule(SimDuration(static_cast<std::int64_t>(i)),
+                                    [&sink] { ++sink; });
+  }
+  scheduler.run();
+  AllocCounter allocs;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kTimers; ++i) {
+      handles[i] = scheduler.schedule(
+          SimDuration(static_cast<std::int64_t>(i % 16)), [&sink] { ++sink; });
+    }
+    for (std::size_t i = 0; i < kTimers; i += 2) {
+      scheduler.cancel(handles[i]);
+      handles[i] = scheduler.schedule(
+          SimDuration(static_cast<std::int64_t>(i % 8)), [&sink] { ++sink; });
+    }
+    scheduler.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  report_allocs(state, allocs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTimers + kTimers / 2));
+}
+BENCHMARK(BM_SchedulerRescheduleMix);
+
+// ---- network data plane -----------------------------------------------------
+
+net::LinkModel lossless_link() {
+  net::LinkModel model = net::LinkModel::ideal();
+  model.loss = 0.0;
+  model.jitter_frac = 0.0;
+  return model;
+}
+
+/// Unicast over a chain: every packet crosses `length - 1` hops; each hop
+/// moves the packet through filters, capture, and the scheduler.
+void BM_UnicastChain(benchmark::State& state) {
+  const std::size_t length = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler scheduler;
+  net::Network network(scheduler, net::Topology::chain(length,
+                                                       lossless_link()),
+                       /*seed=*/7);
+  network.set_capture_enabled(false);
+  const NodeId last = static_cast<NodeId>(length - 1);
+  std::uint64_t delivered = 0;
+  network.bind(last, 4000,
+               [&delivered](NodeId, const Packet&) { ++delivered; });
+  auto send_one = [&] {
+    Packet packet;
+    packet.dst = Address::for_node(static_cast<std::uint32_t>(last));
+    packet.dst_port = 4000;
+    packet.payload.assign(256, 0x5A);
+    (void)network.send(0, std::move(packet));
+  };
+  send_one();
+  scheduler.run();
+  AllocCounter allocs;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) send_one();
+    scheduler.run();
+  }
+  benchmark::DoNotOptimize(delivered);
+  report_allocs(state, allocs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16 *
+                          static_cast<std::int64_t>(length - 1));
+}
+BENCHMARK(BM_UnicastChain)->Arg(8);
+
+/// Multicast flood over an n x n grid: one send duplicates across every
+/// link with dedup at each node — the paper's Zeroconf traffic pattern and
+/// the dominant packet-copy path in mesh campaigns.
+void BM_FloodGrid(benchmark::State& state) {
+  const std::size_t side = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler scheduler;
+  net::Network network(scheduler,
+                       net::Topology::grid(side, side, lossless_link()),
+                       /*seed=*/7);
+  network.set_capture_enabled(false);
+  const Address group = Address::sd_multicast();
+  std::uint64_t delivered = 0;
+  for (NodeId n = 0; n < network.node_count(); ++n) {
+    network.join_group(n, group);
+    network.bind(n, net::kSdPort,
+                 [&delivered](NodeId, const Packet&) { ++delivered; });
+  }
+  auto send_flood = [&] {
+    Packet packet;
+    packet.dst = group;
+    packet.dst_port = net::kSdPort;
+    packet.ttl = 32;
+    packet.payload.assign(512, 0x6B);
+    (void)network.send(0, std::move(packet));
+  };
+  send_flood();
+  scheduler.run();
+  network.reset_run_state();
+  AllocCounter allocs;
+  for (auto _ : state) {
+    send_flood();
+    scheduler.run();
+    state.PauseTiming();
+    network.reset_run_state();  // clear dedup sets between floods
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(delivered);
+  report_allocs(state, allocs);
+  // One flood delivers to every node in the grid.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(side * side));
+}
+BENCHMARK(BM_FloodGrid)->Arg(4)->Arg(8);
+
+/// Flood with capture enabled: every rx/tx records the packet, so payload
+/// copies dominate unless the buffer is shared.
+void BM_FloodGridCaptured(benchmark::State& state) {
+  const std::size_t side = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler scheduler;
+  net::Network network(scheduler,
+                       net::Topology::grid(side, side, lossless_link()),
+                       /*seed=*/7);
+  network.set_capture_enabled(true);
+  const Address group = Address::sd_multicast();
+  std::uint64_t delivered = 0;
+  for (NodeId n = 0; n < network.node_count(); ++n) {
+    network.join_group(n, group);
+    network.bind(n, net::kSdPort,
+                 [&delivered](NodeId, const Packet&) { ++delivered; });
+  }
+  auto send_flood = [&] {
+    Packet packet;
+    packet.dst = group;
+    packet.dst_port = net::kSdPort;
+    packet.ttl = 32;
+    packet.payload.assign(512, 0x6B);
+    (void)network.send(0, std::move(packet));
+  };
+  send_flood();
+  scheduler.run();
+  network.reset_run_state();
+  AllocCounter allocs;
+  for (auto _ : state) {
+    send_flood();
+    scheduler.run();
+    state.PauseTiming();
+    network.reset_run_state();  // also drops captures between floods
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(delivered);
+  report_allocs(state, allocs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(side * side));
+}
+BENCHMARK(BM_FloodGridCaptured)->Arg(6);
+
+// ---- event bus --------------------------------------------------------------
+
+/// Publish with `range(0)` distinctly-named subscribers plus one wildcard;
+/// only one named subscriber matches.  Linear string-scan dispatch degrades
+/// with subscriber count; indexed dispatch should not.
+void BM_BusPublish(benchmark::State& state) {
+  const int subscribers = static_cast<int>(state.range(0));
+  sim::EventBus bus;
+  std::uint64_t hits = 0;
+  for (int i = 0; i < subscribers; ++i) {
+    bus.subscribe("event_" + std::to_string(i),
+                  [&hits](const sim::BusEvent&) { ++hits; });
+  }
+  bus.subscribe("", [&hits](const sim::BusEvent&) { ++hits; });
+  sim::BusEvent event{SimTime::zero(), "node0", "event_0", Value{}};
+  bus.publish(event);
+  AllocCounter allocs;
+  for (auto _ : state) {
+    bus.publish(event);
+  }
+  benchmark::DoNotOptimize(hits);
+  report_allocs(state, allocs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BusPublish)->Arg(1)->Arg(100);
+
+}  // namespace
+}  // namespace excovery
+
+// Custom main: default the JSON output to BENCH_kernel.json so the perf
+// trajectory is tracked without remembering reporter flags.
+int main(int argc, char** argv) {
+  std::vector<std::string> args_storage(argv, argv + argc);
+  bool has_out = false;
+  for (const std::string& arg : args_storage) {
+    if (arg.rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args_storage.push_back("--benchmark_out=BENCH_kernel.json");
+    args_storage.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(args_storage.size());
+  for (std::string& arg : args_storage) args.push_back(arg.data());
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

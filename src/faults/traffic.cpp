@@ -115,7 +115,7 @@ Status TrafficGenerator::start(const TrafficConfig& config,
                         config.switch_seed, run_index);
   config_ = config;
   running_ = true;
-  ++generation_;
+  generation_.bump();
 
   // Bind receive handlers that count deliveries (idempotent per node).
   auto bind_counter = [this](net::NodeId node) {
@@ -146,9 +146,13 @@ Status TrafficGenerator::start(const TrafficConfig& config,
 
 void TrafficGenerator::schedule_next(std::size_t flow_index) {
   const Flow& flow = flows_[flow_index];
-  std::uint64_t generation = generation_;
-  network_.scheduler().schedule(flow.interval, [this, flow_index, generation] {
-    if (!running_ || generation != generation_) return;
+  std::uint64_t generation = generation_.value();
+  network_.scheduler().schedule(
+      flow.interval,
+      [this, alive = generation_.token(), flow_index, generation] {
+    // Gate first: `running_` may only be read once the generator is known
+    // alive (stop() and the destructor bump the gate before teardown).
+    if (*alive != generation || !running_) return;
     const Flow& f = flows_[flow_index];
     net::Packet packet;
     packet.dst = network_.topology().node(f.to).address;
@@ -164,7 +168,7 @@ void TrafficGenerator::schedule_next(std::size_t flow_index) {
 void TrafficGenerator::stop() {
   if (!running_) return;
   running_ = false;
-  ++generation_;
+  generation_.bump();
   for (net::NodeId node : bound_) network_.unbind(node, net::kTrafficPort);
   bound_.clear();
   flows_.clear();

@@ -17,6 +17,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "net/network.hpp"
+#include "sim/lifetime.hpp"
 #include "sim/scheduler.hpp"
 
 namespace excovery::faults {
@@ -102,7 +103,7 @@ class TrafficGenerator {
   std::vector<net::NodeId> bound_;
   TrafficConfig config_;
   bool running_ = false;
-  std::uint64_t generation_ = 0;  ///< invalidates scheduled sends on stop
+  sim::GenerationGate generation_;  ///< invalidates scheduled sends on stop
   std::uint64_t offered_ = 0;
   std::uint64_t delivered_ = 0;
 };

@@ -14,6 +14,18 @@ Network::Network(sim::Scheduler& scheduler, Topology topology,
       loss_rng_(RngFactory(seed).stream("net-loss")),
       jitter_rng_(RngFactory(seed).stream("net-jitter")) {
   nodes_.resize(topology_.node_count());
+  adjacency_.resize(topology_.node_count());
+  for (const Link& link : topology_.links()) {
+    adjacency_[link.a].emplace_back(link.b, &link.model);
+    adjacency_[link.b].emplace_back(link.a, &link.model);
+  }
+}
+
+const LinkModel* Network::find_link(NodeId from, NodeId to) const noexcept {
+  for (const auto& [neighbour, model] : adjacency_[from]) {
+    if (neighbour == to) return model;
+  }
+  return nullptr;
 }
 
 void Network::bind(NodeId node, Port port, PacketHandler handler) {
@@ -213,7 +225,7 @@ sim::SimDuration Network::hop_delay(const LinkModel& model,
 
 void Network::transfer(NodeId from, NodeId to, Packet packet,
                        std::function<void(Packet)> on_arrival) {
-  const LinkModel* link = topology_.link_between(from, to);
+  const LinkModel* link = find_link(from, to);
   if (!link) {
     stats_.dropped_no_route++;
     return;
@@ -321,38 +333,41 @@ void Network::flood(NodeId origin_hop, Packet packet) {
     stats_.dropped_ttl++;
     return;
   }
-  Packet relayed = packet;
-  relayed.ttl--;
-  for (const auto& [neighbour, link] : topology_.neighbours(origin_hop)) {
-    (void)link;
-    Packet copy = relayed;
-    transfer(origin_hop, neighbour, std::move(copy),
-             [this](Packet arrived) {
-               NodeId here = arrived.route.back();
-               NodeState& state = nodes_[here];
-               // Duplicate suppression: first arrival wins.
-               if (!state.seen_uids.insert(arrived.uid).second) return;
-               bool member = arrived.dst.is_broadcast() ||
-                             state.groups.count(arrived.dst) != 0;
-               if (member) {
-                 Packet local = arrived;
-                 deliver_local(here, std::move(local));
-               }
-               // Relay onward if the node can transmit.
-               if (!state.tx_up) {
-                 stats_.dropped_interface++;
-                 return;
-               }
-               Packet onward = std::move(arrived);
-               std::optional<sim::SimDuration> fwd =
-                   apply_filters(here, Direction::kTransmit, onward);
-               if (!fwd) {
-                 stats_.dropped_filter++;
-                 return;
-               }
-               stats_.forwarded++;
-               flood(here, std::move(onward));
-             });
+  packet.ttl--;
+  // Fan out to every neighbour.  Duplicates share the payload bytes
+  // (copy-on-write); only the header and route trace diverge per branch.
+  // The last branch moves the packet instead of copying it.
+  const auto& neighbours = adjacency_[origin_hop];
+  auto arrival = [this](Packet arrived) {
+    NodeId here = arrived.route.back();
+    NodeState& state = nodes_[here];
+    // Duplicate suppression: first arrival wins.
+    if (!state.seen_uids.insert(arrived.uid)) return;
+    bool member = arrived.dst.is_broadcast() ||
+                  state.groups.count(arrived.dst) != 0;
+    if (member) {
+      Packet local = arrived;
+      deliver_local(here, std::move(local));
+    }
+    // Relay onward if the node can transmit.
+    if (!state.tx_up) {
+      stats_.dropped_interface++;
+      return;
+    }
+    Packet onward = std::move(arrived);
+    std::optional<sim::SimDuration> fwd =
+        apply_filters(here, Direction::kTransmit, onward);
+    if (!fwd) {
+      stats_.dropped_filter++;
+      return;
+    }
+    stats_.forwarded++;
+    flood(here, std::move(onward));
+  };
+  for (std::size_t i = 0; i < neighbours.size(); ++i) {
+    Packet copy =
+        i + 1 == neighbours.size() ? std::move(packet) : packet;
+    transfer(origin_hop, neighbours[i].first, std::move(copy), arrival);
   }
 }
 

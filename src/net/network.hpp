@@ -21,7 +21,7 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -29,6 +29,7 @@
 #include "net/packet.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
+#include "net/uid_set.hpp"
 #include "sim/clock.hpp"
 #include "sim/scheduler.hpp"
 
@@ -162,7 +163,7 @@ class Network {
     sim::SimTime tx_free_at;  ///< radio busy until (egress serialisation)
     std::uint16_t next_tag = 1;
     std::set<Address> groups;
-    std::unordered_set<std::uint64_t> seen_uids;  // multicast dedup
+    UidSet seen_uids;  // multicast dedup (flat set: no per-insert alloc)
     std::map<Port, PacketHandler> handlers;
     std::vector<CapturedPacket> captures;
     sim::LocalClock clock;
@@ -196,9 +197,18 @@ class Network {
   void forward_unicast(NodeId current, Packet packet);
   void flood(NodeId origin_hop, Packet packet);
 
+  /// Link model toward an adjacent node, nullptr if not adjacent.  O(degree)
+  /// over the cached adjacency instead of a scan of every link.
+  const LinkModel* find_link(NodeId from, NodeId to) const noexcept;
+
   sim::Scheduler& scheduler_;
   Topology topology_;
   RoutingTable routing_;
+  /// Per-node neighbour cache in link-declaration order (the same order
+  /// Topology::neighbours yields).  Built once: flooding must not allocate
+  /// a neighbour vector per relay.  Link-model pointers stay valid because
+  /// the owned topology is never structurally modified after construction.
+  std::vector<std::vector<std::pair<NodeId, const LinkModel*>>> adjacency_;
   std::vector<NodeState> nodes_;
   std::vector<InstalledFilter> filters_;
   NetworkStats stats_;

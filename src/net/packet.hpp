@@ -14,6 +14,7 @@
 
 #include "common/value.hpp"
 #include "net/address.hpp"
+#include "net/payload.hpp"
 #include "sim/time.hpp"
 
 namespace excovery::net {
@@ -30,7 +31,7 @@ struct Packet {
   std::uint8_t ttl = 32;       ///< hop limit for multicast flooding
   std::uint16_t tag = 0;       ///< packet tagger id (set by the sender node)
   std::uint64_t uid = 0;       ///< globally unique id (set by the network)
-  Bytes payload;
+  PayloadBuffer payload;       ///< copy-on-write: duplicates share bytes
   std::vector<NodeId> route;   ///< nodes traversed, in order (tracking)
 
   std::size_t wire_size() const noexcept {

@@ -1,0 +1,10 @@
+#include "net/payload.hpp"
+
+namespace excovery::net {
+
+const Bytes& PayloadBuffer::empty_bytes() noexcept {
+  static const Bytes empty;
+  return empty;
+}
+
+}  // namespace excovery::net

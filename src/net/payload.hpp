@@ -1,0 +1,91 @@
+// Copy-on-write packet payload.
+//
+// Multicast flooding and per-node capture duplicate packets at every hop;
+// with a plain byte vector each duplicate deep-copies the payload even
+// though only the header/route diverge.  PayloadBuffer shares one immutable
+// byte buffer across all duplicates and detaches only when someone (a
+// content-modifying filter, §IV-A2) actually mutates the bytes.  Read
+// access converts implicitly to `const Bytes&`, so codecs and serialisers
+// observe identical bytes to the seed's `Bytes payload`.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <utility>
+
+#include "common/value.hpp"
+
+namespace excovery::net {
+
+class PayloadBuffer {
+ public:
+  PayloadBuffer() = default;
+  PayloadBuffer(Bytes bytes)  // NOLINT: implicit, replaces a plain Bytes field
+      : data_(bytes.empty() ? nullptr
+                            : std::make_shared<Bytes>(std::move(bytes))) {}
+
+  PayloadBuffer& operator=(std::initializer_list<std::uint8_t> bytes) {
+    return *this = Bytes(bytes);
+  }
+
+  PayloadBuffer& operator=(Bytes bytes) {
+    if (bytes.empty()) {
+      data_.reset();
+    } else if (data_ && data_.use_count() == 1) {
+      *data_ = std::move(bytes);  // reuse the sole-owner cell
+    } else {
+      data_ = std::make_shared<Bytes>(std::move(bytes));
+    }
+    return *this;
+  }
+
+  /// Read view; shared duplicates all alias the same storage.
+  const Bytes& bytes() const noexcept { return data_ ? *data_ : empty_bytes(); }
+  operator const Bytes&() const noexcept { return bytes(); }  // NOLINT
+
+  std::size_t size() const noexcept { return data_ ? data_->size() : 0; }
+  bool empty() const noexcept { return size() == 0; }
+  const std::uint8_t* data() const noexcept {
+    return data_ ? data_->data() : nullptr;
+  }
+  std::uint8_t operator[](std::size_t i) const { return (*data_)[i]; }
+
+  /// Mutable access detaches from any sharers first (copy-on-write).
+  std::uint8_t& operator[](std::size_t i) { return mutate()[i]; }
+  Bytes& mutate() {
+    if (!data_) {
+      data_ = std::make_shared<Bytes>();
+    } else if (data_.use_count() > 1) {
+      data_ = std::make_shared<Bytes>(*data_);
+    }
+    return *data_;
+  }
+
+  void assign(std::size_t count, std::uint8_t value) {
+    if (data_ && data_.use_count() == 1) {
+      data_->assign(count, value);
+    } else {
+      data_ = std::make_shared<Bytes>(count, value);
+    }
+  }
+  void clear() noexcept { data_.reset(); }
+
+  friend bool operator==(const PayloadBuffer& a, const PayloadBuffer& b) {
+    return a.data_ == b.data_ || a.bytes() == b.bytes();
+  }
+  friend bool operator==(const PayloadBuffer& a, const Bytes& b) {
+    return a.bytes() == b;
+  }
+
+  /// Number of packets currently sharing this buffer (observability for
+  /// tests and benches; 0 when empty).
+  long use_count() const noexcept { return data_.use_count(); }
+
+ private:
+  static const Bytes& empty_bytes() noexcept;
+
+  std::shared_ptr<Bytes> data_;  ///< null = empty payload
+};
+
+}  // namespace excovery::net

@@ -1,7 +1,6 @@
 #include "net/routing.hpp"
 
 #include <algorithm>
-#include <queue>
 
 namespace excovery::net {
 
@@ -12,38 +11,45 @@ void RoutingTable::rebuild(const Topology& topology) {
   next_hop_.assign(size_ * size_, kInvalidNode);
   hops_.assign(size_ * size_, -1);
 
-  // Adjacency lists, sorted for deterministic BFS order.
-  std::vector<std::vector<NodeId>> adjacency(size_);
+  // Adjacency lists, sorted for deterministic BFS order.  The lists (and
+  // the per-source scratch below) live on the table and keep their
+  // capacity between rebuilds.
+  if (scratch_adjacency_.size() < size_) scratch_adjacency_.resize(size_);
+  for (std::size_t i = 0; i < size_; ++i) scratch_adjacency_[i].clear();
   for (const Link& link : topology.links()) {
-    adjacency[link.a].push_back(link.b);
-    adjacency[link.b].push_back(link.a);
+    scratch_adjacency_[link.a].push_back(link.b);
+    scratch_adjacency_[link.b].push_back(link.a);
   }
-  for (auto& list : adjacency) std::sort(list.begin(), list.end());
+  for (std::size_t i = 0; i < size_; ++i) {
+    std::sort(scratch_adjacency_[i].begin(), scratch_adjacency_[i].end());
+  }
+
+  scratch_frontier_.reserve(size_);
 
   // BFS from every source.
   for (NodeId source = 0; source < size_; ++source) {
-    std::vector<NodeId> parent(size_, kInvalidNode);
-    std::vector<std::int16_t> dist(size_, -1);
-    std::queue<NodeId> frontier;
-    frontier.push(source);
-    dist[source] = 0;
-    while (!frontier.empty()) {
-      NodeId current = frontier.front();
-      frontier.pop();
-      for (NodeId next : adjacency[current]) {
-        if (dist[next] < 0) {
-          dist[next] = static_cast<std::int16_t>(dist[current] + 1);
-          parent[next] = current;
-          frontier.push(next);
+    scratch_parent_.assign(size_, kInvalidNode);
+    scratch_dist_.assign(size_, -1);
+    scratch_frontier_.clear();
+    scratch_frontier_.push_back(source);
+    scratch_dist_[source] = 0;
+    for (std::size_t head = 0; head < scratch_frontier_.size(); ++head) {
+      NodeId current = scratch_frontier_[head];
+      for (NodeId next : scratch_adjacency_[current]) {
+        if (scratch_dist_[next] < 0) {
+          scratch_dist_[next] =
+              static_cast<std::int16_t>(scratch_dist_[current] + 1);
+          scratch_parent_[next] = current;
+          scratch_frontier_.push_back(next);
         }
       }
     }
     for (NodeId target = 0; target < size_; ++target) {
-      hops_[index(source, target)] = dist[target];
-      if (target == source || dist[target] < 0) continue;
+      hops_[index(source, target)] = scratch_dist_[target];
+      if (target == source || scratch_dist_[target] < 0) continue;
       // Walk back from target to the neighbour of source.
       NodeId walk = target;
-      while (parent[walk] != source) walk = parent[walk];
+      while (scratch_parent_[walk] != source) walk = scratch_parent_[walk];
       next_hop_[index(source, target)] = walk;
     }
   }

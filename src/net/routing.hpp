@@ -41,6 +41,14 @@ class RoutingTable {
   std::size_t size_ = 0;
   std::vector<NodeId> next_hop_;  ///< size_ x size_ matrix
   std::vector<std::int16_t> hops_;
+
+  // BFS scratch, reused across sources and across rebuilds: `rebuild` runs
+  // on every set_link_model during environment manipulations, so it must
+  // not reallocate its working set each time.
+  std::vector<std::vector<NodeId>> scratch_adjacency_;
+  std::vector<NodeId> scratch_parent_;
+  std::vector<std::int16_t> scratch_dist_;
+  std::vector<NodeId> scratch_frontier_;  ///< flat FIFO (head index scans)
 };
 
 }  // namespace excovery::net

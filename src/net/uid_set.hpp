@@ -1,0 +1,75 @@
+// Open-addressing set of packet uids for multicast duplicate suppression.
+//
+// `std::unordered_set` allocates a node per insert, which puts one heap
+// allocation on every flood arrival.  This flat set probes linearly over a
+// power-of-two table, never allocates in steady state (clear() keeps the
+// table), and exploits that packet uids start at 1 so 0 can be the empty
+// sentinel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace excovery::net {
+
+class UidSet {
+ public:
+  /// Insert `uid` (must be non-zero); returns true if it was not present.
+  bool insert(std::uint64_t uid) {
+    if (table_.empty() || (count_ + 1) * 4 > table_.size() * 3) grow();
+    std::size_t mask = table_.size() - 1;
+    std::size_t i = hash(uid) & mask;
+    while (table_[i] != 0) {
+      if (table_[i] == uid) return false;
+      i = (i + 1) & mask;
+    }
+    table_[i] = uid;
+    ++count_;
+    return true;
+  }
+
+  bool contains(std::uint64_t uid) const {
+    if (table_.empty()) return false;
+    std::size_t mask = table_.size() - 1;
+    std::size_t i = hash(uid) & mask;
+    while (table_[i] != 0) {
+      if (table_[i] == uid) return true;
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+
+  std::size_t size() const noexcept { return count_; }
+
+  /// Empty the set but keep the table, so per-run resets stay allocation
+  /// free once the table has grown to the campaign's working size.
+  void clear() {
+    std::fill(table_.begin(), table_.end(), 0);
+    count_ = 0;
+  }
+
+ private:
+  static std::size_t hash(std::uint64_t uid) noexcept {
+    // Fibonacci hashing spreads the sequential uids across the table.
+    return static_cast<std::size_t>(uid * 0x9E3779B97F4A7C15ull >> 32);
+  }
+
+  void grow() {
+    std::size_t next = table_.empty() ? 64 : table_.size() * 2;
+    std::vector<std::uint64_t> old = std::move(table_);
+    table_.assign(next, 0);
+    std::size_t mask = table_.size() - 1;
+    for (std::uint64_t uid : old) {
+      if (uid == 0) continue;
+      std::size_t i = hash(uid) & mask;
+      while (table_[i] != 0) i = (i + 1) & mask;
+      table_[i] = uid;
+    }
+  }
+
+  std::vector<std::uint64_t> table_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace excovery::net

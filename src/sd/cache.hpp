@@ -25,6 +25,8 @@ using CacheListener =
 class ServiceCache {
  public:
   explicit ServiceCache(sim::Scheduler& scheduler) : scheduler_(scheduler) {}
+  /// Expiry callbacks capture `this`; cancel them before the map goes away.
+  ~ServiceCache() { clear(); }
 
   void set_listener(CacheListener listener) {
     listener_ = std::move(listener);

@@ -39,12 +39,13 @@ Status HybridAgent::init(SdRole role, const ValueMap& params) {
   EXC_TRY(slp_->init(role, params));
 
   // Start the SCM liveness watchdog.
-  std::uint64_t generation = generation_;
-  network_.scheduler().schedule(config_.watchdog_interval,
-                                [this, generation] {
-                                  if (generation != generation_) return;
-                                  watchdog();
-                                });
+  std::uint64_t generation = generation_.value();
+  network_.scheduler().schedule(
+      config_.watchdog_interval,
+      [this, alive = generation_.token(), generation] {
+        if (*alive != generation) return;
+        watchdog();
+      });
   return {};
 }
 
@@ -149,12 +150,13 @@ void HybridAgent::watchdog() {
   if (directed_mode_ && slp_ && !slp_->known_scm().has_value()) {
     leave_directed_mode();
   }
-  std::uint64_t generation = generation_;
-  network_.scheduler().schedule(config_.watchdog_interval,
-                                [this, generation] {
-                                  if (generation != generation_) return;
-                                  watchdog();
-                                });
+  std::uint64_t generation = generation_.value();
+  network_.scheduler().schedule(
+      config_.watchdog_interval,
+      [this, alive = generation_.token(), generation] {
+        if (*alive != generation) return;
+        watchdog();
+      });
 }
 
 Status HybridAgent::exit() {
@@ -167,7 +169,7 @@ Status HybridAgent::exit() {
   reported_.clear();
   published_.clear();
   directed_mode_ = false;
-  ++generation_;
+  generation_.bump();
   initialized_ = false;
   emit(events::kExitDone);
   return {};

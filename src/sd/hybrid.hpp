@@ -22,6 +22,7 @@
 
 #include "sd/mdns.hpp"
 #include "sd/slp.hpp"
+#include "sim/lifetime.hpp"
 
 namespace excovery::sd {
 
@@ -77,7 +78,7 @@ class HybridAgent final : public SdAgent {
   SdRole role_ = SdRole::kServiceUser;
   bool directed_mode_ = false;
   int pending_inits_ = 0;
-  std::uint64_t generation_ = 0;
+  sim::GenerationGate generation_;
 
   std::set<ServiceType> active_searches_;
   /// Names for which sd_service_add has been emitted, per type.

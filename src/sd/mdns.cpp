@@ -47,10 +47,11 @@ MdnsAgent::~MdnsAgent() {
 
 template <typename Fn>
 void MdnsAgent::schedule(sim::SimDuration delay, Fn&& fn) {
-  std::uint64_t generation = generation_;
+  std::uint64_t generation = generation_.value();
   network_.scheduler().schedule(
-      delay, [this, generation, fn = std::forward<Fn>(fn)]() mutable {
-        if (generation != generation_) return;  // agent exited meanwhile
+      delay, [this, alive = generation_.token(), generation,
+              fn = std::forward<Fn>(fn)]() mutable {
+        if (*alive != generation) return;  // agent exited or was destroyed
         fn();
       });
 }
@@ -111,7 +112,7 @@ Status MdnsAgent::exit() {
   cache_.clear();
   network_.unbind(node_, net::kSdPort);
   network_.leave_group(node_, net::Address::sd_multicast());
-  ++generation_;  // cancels all outstanding scheduled work
+  generation_.bump();  // cancels all outstanding scheduled work
   initialized_ = false;
   emit(events::kExitDone);
   return {};
@@ -145,9 +146,10 @@ Status MdnsAgent::start_search(const ServiceType& type) {
 
 void MdnsAgent::schedule_query(const ServiceType& type,
                                sim::SimDuration delay) {
-  std::uint64_t generation = generation_;
-  auto handle = network_.scheduler().schedule(delay, [this, generation, type] {
-    if (generation != generation_) return;
+  std::uint64_t generation = generation_.value();
+  auto handle = network_.scheduler().schedule(
+      delay, [this, alive = generation_.token(), generation, type] {
+    if (*alive != generation) return;
     auto it = searches_.find(type);
     if (it == searches_.end()) return;  // search stopped
     send_query(type);

@@ -24,6 +24,7 @@
 
 #include "common/rng.hpp"
 #include "net/network.hpp"
+#include "sim/lifetime.hpp"
 #include "sd/cache.hpp"
 #include "sd/message.hpp"
 #include "sd/model.hpp"
@@ -129,7 +130,7 @@ class MdnsAgent final : public SdAgent {
 
   bool initialized_ = false;
   SdRole role_ = SdRole::kServiceUser;
-  std::uint64_t generation_ = 0;
+  sim::GenerationGate generation_;
   std::uint32_t next_txn_id_ = 1;
 
   std::map<std::string, Publication> published_;

@@ -43,10 +43,11 @@ SlpAgent::~SlpAgent() {
 
 template <typename Fn>
 void SlpAgent::schedule(sim::SimDuration delay, Fn&& fn) {
-  std::uint64_t generation = generation_;
+  std::uint64_t generation = generation_.value();
   network_.scheduler().schedule(
-      delay, [this, generation, fn = std::forward<Fn>(fn)]() mutable {
-        if (generation != generation_) return;
+      delay, [this, alive = generation_.token(), generation,
+              fn = std::forward<Fn>(fn)]() mutable {
+        if (*alive != generation) return;  // agent exited or was destroyed
         fn();
       });
 }
@@ -110,7 +111,7 @@ Status SlpAgent::exit() {
   scm_.reset();
   network_.unbind(node_, kSlpPort);
   network_.leave_group(node_, slp_multicast());
-  ++generation_;
+  generation_.bump();
   initialized_ = false;
   emit(events::kExitDone);
   return {};
@@ -337,10 +338,11 @@ void SlpAgent::poll_scm(const ServiceType& type) {
   counters_.directed_queries_sent++;
   send_unicast(*scm_, query);
 
-  std::uint64_t generation = generation_;
+  std::uint64_t generation = generation_.value();
   it->second.poll_timer = network_.scheduler().schedule(
-      config_.poll_interval, [this, generation, type] {
-        if (generation != generation_) return;
+      config_.poll_interval,
+      [this, alive = generation_.token(), generation, type] {
+        if (*alive != generation) return;
         poll_scm(type);
       });
 }

@@ -5,12 +5,20 @@
 // events: process-interpreter waits subscribe here, action implementations
 // and protocol stacks publish here.  (Network packets do NOT travel on this
 // bus; they go through the network simulator.)
+//
+// Dispatch is indexed: subscriber names are interned to dense ids and each
+// name owns its own subscriber list (wildcards live in a separate list), so
+// `publish` costs one name lookup plus the matching subscribers — not a
+// string compare against every subscriber on the bus.  Matching named and
+// wildcard subscribers are merged by subscription id, which reproduces the
+// seed's subscription-order invocation exactly.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/value.hpp"
@@ -40,8 +48,9 @@ class SubscriptionHandle {
 
 /// Synchronous pub/sub with wildcard subscription.  Callbacks run inline at
 /// publish time (within the discrete-event step), preserving determinism.
-/// Subscribers added or removed during a publish take effect for the next
-/// publish.
+/// Subscribers added during a publish take effect for the next publish; a
+/// subscriber removed during a publish (at any nesting depth) is never
+/// invoked again once the unsubscribe call returns.
 class EventBus {
  public:
   using Callback = std::function<void(const BusEvent&)>;
@@ -58,14 +67,29 @@ class EventBus {
  private:
   struct Subscriber {
     std::uint64_t id;
-    std::string name;  // empty = wildcard
     Callback fn;
     bool removed = false;
   };
 
+  /// Per-name subscriber lists are deques: reentrant subscription appends
+  /// must not relocate subscribers mid-invocation.
+  using SubscriberList = std::deque<Subscriber>;
+
+  /// Sentinel name index meaning "the wildcard list".
+  static constexpr std::uint32_t kWildcardIndex = 0xFFFFFFFFu;
+
+  SubscriberList& list_for(std::uint32_t name_index) noexcept {
+    return name_index == kWildcardIndex ? wildcard_ : by_name_[name_index];
+  }
+  void compact();
+
   std::uint64_t next_id_ = 1;
   std::uint64_t published_ = 0;
-  std::vector<Subscriber> subscribers_;
+  std::unordered_map<std::string, std::uint32_t> name_index_;
+  std::vector<SubscriberList> by_name_;  ///< indexed by interned name id
+  SubscriberList wildcard_;
+  /// Subscription id -> owning list (interned name or wildcard sentinel).
+  std::unordered_map<std::uint64_t, std::uint32_t> id_to_list_;
   int publish_depth_ = 0;
   bool needs_compaction_ = false;
 };

@@ -1,5 +1,7 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
+
 namespace excovery::sim {
 
 TimerHandle Scheduler::schedule(SimDuration delay, Callback fn) {
@@ -7,32 +9,59 @@ TimerHandle Scheduler::schedule(SimDuration delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+std::uint32_t Scheduler::acquire_slot() {
+  if (!free_slots_.empty()) {
+    std::uint32_t index = free_slots_.back();
+    free_slots_.pop_back();
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn.reset();
+  slot.armed = false;
+  if (++slot.generation == 0) ++slot.generation;  // 0 marks invalid handles
+  free_slots_.push_back(index);
+  --live_count_;
+}
+
 TimerHandle Scheduler::schedule_at(SimTime when, Callback fn) {
   if (when < now_) when = now_;
-  std::uint64_t id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id,
-                    std::make_shared<Callback>(std::move(fn))});
-  live_.insert(id);
-  return TimerHandle(id);
+  std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.armed = true;
+  slot.fn = std::move(fn);
+  heap_push(HeapEntry{when, next_seq_++, index, slot.generation});
+  ++live_count_;
+  return TimerHandle(index, slot.generation);
 }
 
 void Scheduler::cancel(TimerHandle handle) {
-  if (!handle.valid()) return;
-  // Erasing from the live set marks the queue entry as dead; the queue pop
-  // skips entries whose id is no longer live.
-  live_.erase(handle.id());
+  if (!handle.valid() || handle.slot_ >= slots_.size()) return;
+  const Slot& slot = slots_[handle.slot_];
+  // Generation mismatch = the handle's timer already ran or was cancelled
+  // (possibly with the slot since reused); never touch the new occupant.
+  if (!slot.armed || slot.generation != handle.generation_) return;
+  release_slot(handle.slot_);
+  // The heap entry stays behind and is skipped lazily on pop: its recorded
+  // generation no longer matches the slot.
 }
 
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    Entry entry = queue_.top();
-    queue_.pop();
-    auto it = live_.find(entry.id);
-    if (it == live_.end()) continue;  // cancelled
-    live_.erase(it);
+  while (!heap_.empty()) {
+    HeapEntry entry = heap_.front();
+    heap_pop_root();
+    if (!entry_live(entry)) continue;  // cancelled (single indexed check)
+    Callback fn = std::move(slots_[entry.slot].fn);
+    // Release before invoking: the callback may reschedule into this very
+    // slot, and cancelling the executing handle must be a no-op.
+    release_slot(entry.slot);
     now_ = entry.when;
     ++executed_;
-    (*entry.fn)();
+    fn();
     return true;
   }
   return false;
@@ -46,24 +75,54 @@ std::size_t Scheduler::run(std::size_t limit) {
 
 std::size_t Scheduler::run_until(SimTime deadline) {
   std::size_t executed = 0;
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Skip over cancelled heads without advancing time.
-    Entry entry = queue_.top();
-    auto it = live_.find(entry.id);
-    if (it == live_.end()) {
-      queue_.pop();
+    HeapEntry entry = heap_.front();
+    if (!entry_live(entry)) {
+      heap_pop_root();
       continue;
     }
     if (entry.when > deadline) break;
-    queue_.pop();
-    live_.erase(it);
+    heap_pop_root();
+    Callback fn = std::move(slots_[entry.slot].fn);
+    release_slot(entry.slot);
     now_ = entry.when;
     ++executed_;
     ++executed;
-    (*entry.fn)();
+    fn();
   }
   if (now_ < deadline) now_ = deadline;
   return executed;
+}
+
+void Scheduler::heap_push(const HeapEntry& entry) {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 4;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Scheduler::heap_pop_root() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    std::size_t first = i * 4 + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!earlier(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
 }
 
 }  // namespace excovery::sim

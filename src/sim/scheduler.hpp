@@ -4,35 +4,152 @@
 // Ties at equal timestamps break on insertion sequence number, so execution
 // order is a pure function of the schedule calls — the whole simulation is
 // deterministic and replayable (a platform property §IV-A depends on).
+//
+// Hot-path layout (see DESIGN.md "Kernel performance model"): callbacks
+// live in a slab arena of recycled slots addressed by {slot, generation}
+// handles (O(1) cancel, no hashing), the ready queue is a 4-ary min-heap
+// over small POD entries, and callbacks are stored in an inline
+// small-buffer type so the steady-state schedule→execute loop performs no
+// heap allocation for typical lambdas.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_set>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace excovery::sim {
 
-/// Handle for cancelling a scheduled event.
+/// Move-only callable with inline small-buffer storage.  Callables up to
+/// `kInlineSize` bytes (and nothrow-movable) are stored in place; larger
+/// ones fall back to a single heap cell.  The buffer is sized so the
+/// network data plane's per-hop continuations (which carry a whole Packet)
+/// stay inline.
+class InlineCallback {
+ public:
+  static constexpr std::size_t kInlineSize = 128;
+
+  InlineCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& fn) {  // NOLINT: implicit wrap, like std::function
+    emplace(std::forward<F>(fn));
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct into `to` from `from`, destroying the source.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static const Ops* inline_ops() noexcept {
+    static constexpr Ops ops = {
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* from, void* to) noexcept {
+          Fn* f = static_cast<Fn*>(from);
+          ::new (to) Fn(std::move(*f));
+          f->~Fn();
+        },
+        [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+    };
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() noexcept {
+    static constexpr Ops ops = {
+        [](void* p) { (**static_cast<Fn**>(p))(); },
+        [](void* from, void* to) noexcept {
+          std::memcpy(to, from, sizeof(Fn*));
+        },
+        [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+    };
+    return &ops;
+  }
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = inline_ops<Fn>();
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  void move_from(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+/// Handle for cancelling a scheduled event.  Addresses a slot in the
+/// scheduler's timer arena; the generation detects (and rejects) slot
+/// reuse, so a stale handle can never cancel a newer timer.
 class TimerHandle {
  public:
   TimerHandle() = default;
-  bool valid() const noexcept { return id_ != 0; }
-  std::uint64_t id() const noexcept { return id_; }
+  bool valid() const noexcept { return generation_ != 0; }
 
  private:
   friend class Scheduler;
-  explicit TimerHandle(std::uint64_t id) noexcept : id_(id) {}
-  std::uint64_t id_ = 0;
+  TimerHandle(std::uint32_t slot, std::uint32_t generation) noexcept
+      : slot_(slot), generation_(generation) {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;  ///< 0 = invalid (generations start at 1)
 };
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   SimTime now() const noexcept { return now_; }
 
@@ -44,7 +161,7 @@ class Scheduler {
   void cancel(TimerHandle handle);
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pending() const noexcept { return live_.size(); }
+  std::size_t pending() const noexcept { return live_count_; }
   bool idle() const noexcept { return pending() == 0; }
 
   /// Run a single event; returns false when the queue is empty.
@@ -59,28 +176,55 @@ class Scheduler {
   /// Total events executed since construction (for overhead metrics).
   std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Arena capacity (slots ever allocated); observability for tests.
+  std::size_t arena_size() const noexcept { return slots_.size(); }
+
  private:
-  struct Entry {
+  /// One timer cell in the slab arena.  Recycled through a free list; the
+  /// generation is bumped on every release so stale handles and stale heap
+  /// entries are detected with a single indexed load.
+  struct Slot {
+    std::uint32_t generation = 1;
+    bool armed = false;
+    Callback fn;
+  };
+
+  /// Heap entries are small PODs; the callback stays in the arena so heap
+  /// sift operations move 24 bytes, never the callable.
+  struct HeapEntry {
     SimTime when;
     std::uint64_t seq;
-    std::uint64_t id;
-    // Callbacks live outside the priority queue entries via shared storage
-    // to keep Entry cheap to move within the heap.
-    std::shared_ptr<Callback> fn;
-
-    bool operator>(const Entry& other) const noexcept {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) noexcept {
+    // Exact (when, seq) tie-break: identical to the seed kernel's ordering.
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  bool entry_live(const HeapEntry& entry) const noexcept {
+    const Slot& slot = slots_[entry.slot];
+    return slot.armed && slot.generation == entry.generation;
+  }
+
+  std::uint32_t acquire_slot();
+  /// Disarm + free a slot: destroys its callback, bumps the generation and
+  /// returns it to the free list.  Decrements the live count.
+  void release_slot(std::uint32_t index);
+
+  void heap_push(const HeapEntry& entry);
+  /// Remove the root entry, restoring the heap property.
+  void heap_pop_root();
 
   SimTime now_;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  /// Ids of scheduled-but-not-yet-executed (and not cancelled) events.
-  std::unordered_set<std::uint64_t> live_;
+  std::size_t live_count_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;  ///< 4-ary min-heap ordered by (when, seq)
 };
 
 }  // namespace excovery::sim

@@ -10,8 +10,9 @@ namespace {
 struct Fixture {
   sim::Scheduler scheduler;
   net::Network network;
-  std::vector<std::unique_ptr<MdnsAgent>> agents;
+  // Declared before `agents`: destructors emit exit events into `events`.
   std::vector<std::pair<std::string, std::string>> events;  // (node, event:param)
+  std::vector<std::unique_ptr<MdnsAgent>> agents;
 
   explicit Fixture(std::size_t nodes, const MdnsConfig& config = {})
       : network(scheduler, net::Topology::full_mesh(nodes), 1) {

@@ -9,8 +9,9 @@ namespace {
 struct Fixture {
   sim::Scheduler scheduler;
   net::Network network;
-  std::vector<std::unique_ptr<SlpAgent>> agents;
+  // Declared before `agents`: destructors emit exit events into `events`.
   std::vector<std::pair<std::string, std::string>> events;
+  std::vector<std::unique_ptr<SlpAgent>> agents;
 
   explicit Fixture(std::size_t nodes, const SlpConfig& config = {})
       : network(scheduler, net::Topology::full_mesh(nodes), 1) {
