@@ -30,14 +30,18 @@ Result<std::string> Treatment::level_text(const std::string& factor_id) const {
   return value.to_text();
 }
 
-std::vector<std::string> RunSpec::acting_nodes() const {
-  std::vector<std::string> out;
-  for (const auto& [actor, nodes] : actor_map) {
-    out.insert(out.end(), nodes.begin(), nodes.end());
+const std::vector<std::string>& RunSpec::acting_nodes() const {
+  if (!acting_nodes_cached_) {
+    std::vector<std::string> out;
+    for (const auto& [actor, nodes] : actor_map) {
+      out.insert(out.end(), nodes.begin(), nodes.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    acting_nodes_cache_ = std::move(out);
+    acting_nodes_cached_ = true;
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  return acting_nodes_cache_;
 }
 
 namespace {
@@ -148,6 +152,10 @@ Result<TreatmentPlan> TreatmentPlan::generate(
     }
     plan.treatment_count_ = 1;
   }
+
+  // Warm the per-run acting-node caches so later callers (possibly on
+  // several campaign threads) only ever read them.
+  for (const RunSpec& run : plan.runs_) (void)run.acting_nodes();
 
   return plan;
 }

@@ -48,8 +48,16 @@ struct RunSpec {
   Treatment treatment;
   ActorMap actor_map;
 
-  /// All abstract nodes acting in this run (union over actors).
-  std::vector<std::string> acting_nodes() const;
+  /// All abstract nodes acting in this run (union over actors), sorted and
+  /// deduplicated.  Computed once and cached; TreatmentPlan::generate warms
+  /// the cache so concurrent readers never race on the first call.  Mutating
+  /// `actor_map` afterwards requires `invalidate_acting_nodes()`.
+  const std::vector<std::string>& acting_nodes() const;
+  void invalidate_acting_nodes() { acting_nodes_cached_ = false; }
+
+ private:
+  mutable std::vector<std::string> acting_nodes_cache_;
+  mutable bool acting_nodes_cached_ = false;
 };
 
 class TreatmentPlan {

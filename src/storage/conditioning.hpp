@@ -9,8 +9,15 @@
 // The time-base transformation per (run, node):
 //     common_time = local_time - estimated_offset(run, node)
 // with the offset estimates produced by the pre-run time-sync measurement.
+//
+// Conditioning is parallel across nodes: each NodeStore builds its rows
+// into a private shard (offset estimates are hoisted into a per-(run, node)
+// cache first), and shards are merged into the package sequentially in
+// node-name order — so the output is bit-identical to a sequential pass
+// regardless of worker count.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "storage/level2.hpp"
@@ -24,6 +31,10 @@ struct ConditioningOptions {
   /// Only condition runs marked complete in the level-2 store (incomplete
   /// runs will be resumed, not stored).
   bool completed_runs_only = true;
+  /// Worker threads for the per-node shard build: 0 = hardware
+  /// concurrency, 1 = fully sequential.  The conditioned package is
+  /// identical for every value.
+  std::size_t workers = 0;
 };
 
 /// Map a local timestamp to the common time base given the node's estimated

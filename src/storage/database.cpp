@@ -9,7 +9,10 @@ namespace excovery::storage {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x45584342;  // "EXCB"
-constexpr std::uint16_t kFormatVersion = 1;
+// Version 1: cell-by-cell tagged Values, row major (read-only legacy).
+// Version 2: columnar blocks with a per-table interned-string dictionary.
+constexpr std::uint16_t kLegacyFormatVersion = 1;
+constexpr std::uint16_t kFormatVersion = 2;
 }  // namespace
 
 Result<Table*> Database::create_table(TableSchema schema) {
@@ -77,48 +80,67 @@ Bytes Database::serialize() const {
       w.u8(column.nullable ? 1 : 0);
     }
     w.u64(t->row_count());
-    for (const Row& row : t->rows()) {
-      for (const Value& cell : row) w.value(cell);
-    }
+    t->serialize_columns(w);
   }
   return w.take();
 }
+
+namespace {
+
+Result<TableSchema> read_schema(ByteReader& r) {
+  TableSchema schema;
+  EXC_ASSIGN_OR_RETURN(schema.name, r.string());
+  EXC_ASSIGN_OR_RETURN(std::uint16_t column_count, r.u16());
+  for (std::uint16_t c = 0; c < column_count; ++c) {
+    Column column;
+    EXC_ASSIGN_OR_RETURN(column.name, r.string());
+    EXC_ASSIGN_OR_RETURN(std::uint8_t type, r.u8());
+    column.type = static_cast<ValueType>(type);
+    EXC_ASSIGN_OR_RETURN(std::uint8_t nullable, r.u8());
+    column.nullable = nullable != 0;
+    schema.columns.push_back(std::move(column));
+  }
+  return schema;
+}
+
+/// Version-1 packages store every cell as a tagged Value, row by row; read
+/// them through the checked insert path.
+Status read_legacy_rows(ByteReader& r, Table* t, std::uint64_t row_count,
+                        std::size_t arity) {
+  for (std::uint64_t row_i = 0; row_i < row_count; ++row_i) {
+    Row row;
+    row.reserve(arity);
+    for (std::size_t c = 0; c < arity; ++c) {
+      EXC_ASSIGN_OR_RETURN(Value cell, r.value());
+      row.push_back(std::move(cell));
+    }
+    EXC_TRY(t->insert(std::move(row)));
+  }
+  return {};
+}
+
+}  // namespace
 
 Result<Database> Database::deserialize(const Bytes& data) {
   ByteReader r(data);
   EXC_ASSIGN_OR_RETURN(std::uint32_t magic, r.u32());
   if (magic != kMagic) return err_io("not an ExCovery database file");
   EXC_ASSIGN_OR_RETURN(std::uint16_t version, r.u16());
-  if (version != kFormatVersion) {
+  if (version != kFormatVersion && version != kLegacyFormatVersion) {
     return err_io("unsupported database format version " +
                   std::to_string(version));
   }
   Database db;
   EXC_ASSIGN_OR_RETURN(std::uint32_t table_count, r.u32());
   for (std::uint32_t i = 0; i < table_count; ++i) {
-    TableSchema schema;
-    EXC_ASSIGN_OR_RETURN(schema.name, r.string());
-    EXC_ASSIGN_OR_RETURN(std::uint16_t column_count, r.u16());
-    for (std::uint16_t c = 0; c < column_count; ++c) {
-      Column column;
-      EXC_ASSIGN_OR_RETURN(column.name, r.string());
-      EXC_ASSIGN_OR_RETURN(std::uint8_t type, r.u8());
-      column.type = static_cast<ValueType>(type);
-      EXC_ASSIGN_OR_RETURN(std::uint8_t nullable, r.u8());
-      column.nullable = nullable != 0;
-      schema.columns.push_back(std::move(column));
-    }
+    EXC_ASSIGN_OR_RETURN(TableSchema schema, read_schema(r));
     std::size_t arity = schema.columns.size();
     EXC_ASSIGN_OR_RETURN(Table * t, db.create_table(std::move(schema)));
     EXC_ASSIGN_OR_RETURN(std::uint64_t row_count, r.u64());
-    for (std::uint64_t row_i = 0; row_i < row_count; ++row_i) {
-      Row row;
-      row.reserve(arity);
-      for (std::size_t c = 0; c < arity; ++c) {
-        EXC_ASSIGN_OR_RETURN(Value cell, r.value());
-        row.push_back(std::move(cell));
-      }
-      EXC_TRY(t->insert(std::move(row)));
+    if (version == kLegacyFormatVersion) {
+      EXC_TRY(read_legacy_rows(r, t, row_count, arity));
+    } else {
+      EXC_TRY(t->deserialize_columns(r, row_count));
     }
   }
   return db;

@@ -4,7 +4,10 @@
 // as a database to unify and accelerate data access and extraction methods.
 // Facilitating exchange of experiments, ExCovery currently stores the third
 // level in a file based relational SQLite database" (§IV-F).  We store a
-// single binary file with a magic header, a schema section and row data.
+// single binary file with a magic header, a schema section and column
+// blocks (format v2: per-table interned-string dictionary plus one
+// length-prefixed typed block per column; the cell-by-cell v1 format is
+// still readable for old packages).
 #pragma once
 
 #include <map>

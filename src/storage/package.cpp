@@ -116,19 +116,19 @@ Status ExperimentPackage::set_experiment_info(
 Result<std::string> ExperimentPackage::description_xml() const {
   const Table* info = db_.table("ExperimentInfo");
   if (info->row_count() != 1) return err_state("ExperimentInfo not set");
-  return info->rows().front()[0].as_string();
+  return std::string(info->row(0).as_string(0));
 }
 
 Result<std::string> ExperimentPackage::experiment_name() const {
   const Table* info = db_.table("ExperimentInfo");
   if (info->row_count() != 1) return err_state("ExperimentInfo not set");
-  return info->rows().front()[2].as_string();
+  return std::string(info->row(0).as_string(2));
 }
 
 Result<std::string> ExperimentPackage::ee_version() const {
   const Table* info = db_.table("ExperimentInfo");
   if (info->row_count() != 1) return err_state("ExperimentInfo not set");
-  return info->rows().front()[1].as_string();
+  return std::string(info->row(0).as_string(1));
 }
 
 Status ExperimentPackage::add_log(const std::string& node_id,
@@ -175,22 +175,22 @@ Status ExperimentPackage::add_packet(const PacketRow& packet) {
 }
 
 namespace {
-EventRow event_from_row(const Row& row) {
+EventRow event_from_row(const RowView& row) {
   EventRow event;
-  event.run_id = row[0].as_int();
-  event.node_id = row[1].as_string();
-  event.common_time = row[2].as_double();
-  event.event_type = row[3].as_string();
-  event.parameter = row[4].is_null() ? "" : row[4].as_string();
+  event.run_id = row.as_int(0);
+  event.node_id = std::string(row.as_string(1));
+  event.common_time = row.as_double(2);
+  event.event_type = std::string(row.as_string(3));
+  event.parameter = row.is_null(4) ? "" : std::string(row.as_string(4));
   return event;
 }
-PacketRow packet_from_row(const Row& row) {
+PacketRow packet_from_row(const RowView& row) {
   PacketRow packet;
-  packet.run_id = row[0].as_int();
-  packet.node_id = row[1].as_string();
-  packet.common_time = row[2].as_double();
-  packet.src_node_id = row[3].as_string();
-  packet.data = row[4].as_bytes();
+  packet.run_id = row.as_int(0);
+  packet.node_id = std::string(row.as_string(1));
+  packet.common_time = row.as_double(2);
+  packet.src_node_id = std::string(row.as_string(3));
+  packet.data = row.as_bytes(4);
   return packet;
 }
 }  // namespace
@@ -198,45 +198,48 @@ PacketRow packet_from_row(const Row& row) {
 Result<std::vector<EventRow>> ExperimentPackage::events(
     std::int64_t run_id) const {
   const Table* table = db_.table("Events");
-  std::vector<const Row*> rows =
-      table->select_equals("RunID", Value{run_id});
-  std::stable_sort(rows.begin(), rows.end(), [](const Row* a, const Row* b) {
-    return (*a)[2].as_double() < (*b)[2].as_double();
-  });
+  std::vector<RowView> rows = table->select_equals("RunID", Value{run_id});
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const RowView& a, const RowView& b) {
+                     return a.as_double(2) < b.as_double(2);
+                   });
   std::vector<EventRow> out;
   out.reserve(rows.size());
-  for (const Row* row : rows) out.push_back(event_from_row(*row));
+  for (const RowView& row : rows) out.push_back(event_from_row(row));
   return out;
 }
 
 Result<std::vector<EventRow>> ExperimentPackage::all_events() const {
   const Table* table = db_.table("Events");
-  std::vector<const Row*> rows;
+  std::vector<RowView> rows;
   rows.reserve(table->row_count());
-  for (const Row& row : table->rows()) rows.push_back(&row);
-  std::stable_sort(rows.begin(), rows.end(), [](const Row* a, const Row* b) {
-    if ((*a)[0].as_int() != (*b)[0].as_int()) {
-      return (*a)[0].as_int() < (*b)[0].as_int();
-    }
-    return (*a)[2].as_double() < (*b)[2].as_double();
-  });
+  for (std::size_t r = 0; r < table->row_count(); ++r) {
+    rows.push_back(table->row(r));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const RowView& a, const RowView& b) {
+                     if (a.as_int(0) != b.as_int(0)) {
+                       return a.as_int(0) < b.as_int(0);
+                     }
+                     return a.as_double(2) < b.as_double(2);
+                   });
   std::vector<EventRow> out;
   out.reserve(rows.size());
-  for (const Row* row : rows) out.push_back(event_from_row(*row));
+  for (const RowView& row : rows) out.push_back(event_from_row(row));
   return out;
 }
 
 Result<std::vector<PacketRow>> ExperimentPackage::packets(
     std::int64_t run_id) const {
   const Table* table = db_.table("Packets");
-  std::vector<const Row*> rows =
-      table->select_equals("RunID", Value{run_id});
-  std::stable_sort(rows.begin(), rows.end(), [](const Row* a, const Row* b) {
-    return (*a)[2].as_double() < (*b)[2].as_double();
-  });
+  std::vector<RowView> rows = table->select_equals("RunID", Value{run_id});
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const RowView& a, const RowView& b) {
+                     return a.as_double(2) < b.as_double(2);
+                   });
   std::vector<PacketRow> out;
   out.reserve(rows.size());
-  for (const Row* row : rows) out.push_back(packet_from_row(*row));
+  for (const RowView& row : rows) out.push_back(packet_from_row(row));
   return out;
 }
 
@@ -244,12 +247,13 @@ Result<std::vector<RunInfoRow>> ExperimentPackage::run_infos() const {
   const Table* table = db_.table("RunInfos");
   std::vector<RunInfoRow> out;
   out.reserve(table->row_count());
-  for (const Row& row : table->rows()) {
+  for (std::size_t r = 0; r < table->row_count(); ++r) {
+    RowView row = table->row(r);
     RunInfoRow info;
-    info.run_id = row[0].as_int();
-    info.node_id = row[1].as_string();
-    info.start_time = row[2].as_double();
-    info.time_diff = row[3].as_double();
+    info.run_id = row.as_int(0);
+    info.node_id = std::string(row.as_string(1));
+    info.start_time = row.as_double(2);
+    info.time_diff = row.as_double(3);
     out.push_back(std::move(info));
   }
   return out;
@@ -258,7 +262,10 @@ Result<std::vector<RunInfoRow>> ExperimentPackage::run_infos() const {
 std::vector<std::int64_t> ExperimentPackage::run_ids() const {
   const Table* table = db_.table("RunInfos");
   std::vector<std::int64_t> out;
-  for (const Row& row : table->rows()) out.push_back(row[0].as_int());
+  out.reserve(table->row_count());
+  for (std::size_t r = 0; r < table->row_count(); ++r) {
+    out.push_back(table->row(r).as_int(0));
+  }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
@@ -266,9 +273,9 @@ std::vector<std::int64_t> ExperimentPackage::run_ids() const {
 
 std::string ExperimentPackage::log_for(const std::string& node_id) const {
   const Table* table = db_.table("Logs");
-  std::vector<const Row*> rows = table->select_equals("NodeID", Value{node_id});
+  std::vector<RowView> rows = table->select_equals("NodeID", Value{node_id});
   std::string out;
-  for (const Row* row : rows) out += (*row)[1].as_string();
+  for (const RowView& row : rows) out += row.as_string(1);
   return out;
 }
 

@@ -105,16 +105,21 @@ std::string Warehouse::rollup_by_type() const {
   std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> counts;
   const Table* facts = db_.table("FactEvent");
   if (!facts) return "";
-  for (const Row& row : facts->rows()) {
-    counts[{row[0].as_int(), row[3].as_int()}]++;
+  for (std::size_t r = 0; r < facts->row_count(); ++r) {
+    RowView row = facts->row(r);
+    counts[{row.as_int(0), row.as_int(3)}]++;
   }
   std::map<std::int64_t, std::string> experiments;
-  for (const Row& row : db_.table("DimExperiment")->rows()) {
-    experiments[row[0].as_int()] = row[1].as_string();
+  const Table* dim_exp = db_.table("DimExperiment");
+  for (std::size_t r = 0; r < dim_exp->row_count(); ++r) {
+    RowView row = dim_exp->row(r);
+    experiments[row.as_int(0)] = std::string(row.as_string(1));
   }
   std::map<std::int64_t, std::string> types;
-  for (const Row& row : db_.table("DimEventType")->rows()) {
-    types[row[0].as_int()] = row[1].as_string();
+  const Table* dim_type = db_.table("DimEventType");
+  for (std::size_t r = 0; r < dim_type->row_count(); ++r) {
+    RowView row = dim_type->row(r);
+    types[row.as_int(0)] = std::string(row.as_string(1));
   }
   std::string out;
   for (const auto& [key, count] : counts) {
@@ -140,11 +145,13 @@ Result<double> Warehouse::mean_interval(const std::string& experiment_id,
   // First occurrence per run of each type.
   std::map<std::int64_t, double> from_time;
   std::map<std::int64_t, double> to_time;
-  for (const Row& row : db_.table("FactEvent")->rows()) {
-    if (row[0].as_int() != exp_it->second) continue;
-    std::int64_t run_key = row[1].as_int();
-    std::int64_t type = row[3].as_int();
-    double time = row[4].as_double();
+  const Table* facts = db_.table("FactEvent");
+  // Hash-indexed: only this experiment's facts are touched.
+  for (const RowView& row : facts->select_equals("ExpKey",
+                                                 Value{exp_it->second})) {
+    std::int64_t run_key = row.as_int(1);
+    std::int64_t type = row.as_int(3);
+    double time = row.as_double(4);
     if (type == from_it->second) {
       auto [it, inserted] = from_time.try_emplace(run_key, time);
       if (!inserted && time < it->second) it->second = time;

@@ -96,14 +96,15 @@ TEST(Master, ExperimentInfoAndArtifactsStored) {
   bool before = false;
   bool after = false;
   bool detail = false;
-  for (const storage::Row& row : measurements->rows()) {
-    if (row[2].as_string() == "topology_before") before = true;
-    if (row[2].as_string() == "topology_after") after = true;
-    if (row[2].as_string() == "topology_detail") {
+  for (std::size_t r = 0; r < measurements->row_count(); ++r) {
+    storage::RowView row = measurements->row(r);
+    if (row.as_string(2) == "topology_before") before = true;
+    if (row.as_string(2) == "topology_after") after = true;
+    if (row.as_string(2) == "topology_detail") {
       detail = true;
       // Advanced recording carries adjacency with link quality (§IV-B4).
-      EXPECT_NE(row[3].as_string().find("links:"), std::string::npos);
-      EXPECT_NE(row[3].as_string().find("loss="), std::string::npos);
+      EXPECT_NE(row.as_string(3).find("links:"), std::string::npos);
+      EXPECT_NE(row.as_string(3).find("loss="), std::string::npos);
     }
   }
   EXPECT_TRUE(before);

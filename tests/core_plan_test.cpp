@@ -174,6 +174,24 @@ TEST(Plan, ActorMapResolvedPerRun) {
   EXPECT_EQ(second.acting_nodes(), (std::vector<std::string>{"A", "B"}));
 }
 
+TEST(Plan, ActingNodesCachedSortedAndDeduped) {
+  RunSpec run;
+  // Duplicates across actors and unsorted instance lists.
+  run.actor_map.emplace("actor0", std::vector<std::string>{"C", "A", "B"});
+  run.actor_map.emplace("actor1", std::vector<std::string>{"B", "A"});
+  const std::vector<std::string>& nodes = run.acting_nodes();
+  EXPECT_EQ(nodes, (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+  // Repeated calls reuse the cached vector (same storage, same contents).
+  EXPECT_EQ(&run.acting_nodes(), &nodes);
+  // Mutation requires explicit invalidation.
+  run.actor_map.emplace("actor2", std::vector<std::string>{"D"});
+  EXPECT_EQ(run.acting_nodes(), (std::vector<std::string>{"A", "B", "C"}));
+  run.invalidate_acting_nodes();
+  EXPECT_EQ(run.acting_nodes(),
+            (std::vector<std::string>{"A", "B", "C", "D"}));
+}
+
 TEST(Plan, NoFactorsStillReplicates) {
   ExperimentDescription description = base_description();
   description.replications = 5;

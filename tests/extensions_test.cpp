@@ -313,10 +313,11 @@ TEST(Plugins, MeasurementsLandInExtraRunMeasurements) {
   const storage::Table* extra =
       package.value().database().table("ExtraRunMeasurements");
   ASSERT_EQ(extra->row_count(), 2u);  // one per run
-  for (const storage::Row& row : extra->rows()) {
-    EXPECT_EQ(row[1].as_string(), "SU0");
-    EXPECT_EQ(row[2].as_string(), "netstats/delivered");
-    EXPECT_FALSE(row[3].as_string().empty());
+  for (std::size_t r = 0; r < extra->row_count(); ++r) {
+    storage::RowView row = extra->row(r);
+    EXPECT_EQ(row.as_string(1), "SU0");
+    EXPECT_EQ(row.as_string(2), "netstats/delivered");
+    EXPECT_FALSE(row.as_string(3).empty());
   }
 }
 

@@ -2,9 +2,12 @@
 // package, level-2 stores, conditioning and the level-4 repository.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <numeric>
 
+#include "stats/analysis.hpp"
 #include "storage/conditioning.hpp"
 #include "storage/database.hpp"
 #include "storage/level2.hpp"
@@ -63,9 +66,10 @@ TEST(Table, SelectAndCount) {
   }
   EXPECT_EQ(table.select_equals("Label", Value{"odd"}).size(), 5u);
   EXPECT_EQ(table.count_equals("Label", Value{"even"}), 5u);
-  EXPECT_EQ(table.select([](const Row& row) { return row[0].as_int() > 6; })
-                .size(),
-            3u);
+  EXPECT_EQ(
+      table.select([](const RowView& row) { return row.as_int(0) > 6; })
+          .size(),
+      3u);
   EXPECT_TRUE(table.select_equals("Missing", Value{1}).empty());
 }
 
@@ -74,20 +78,104 @@ TEST(Table, OrderByIsStableAndChecked) {
   ASSERT_TRUE(table.insert({Value{3}, Value{"c"}, Value{1.0}}).ok());
   ASSERT_TRUE(table.insert({Value{1}, Value{"a"}, Value{2.0}}).ok());
   ASSERT_TRUE(table.insert({Value{2}, Value{"b"}, Value{3.0}}).ok());
-  Result<std::vector<const Row*>> ordered = table.order_by("Id");
+  Result<std::vector<RowView>> ordered = table.order_by("Id");
   ASSERT_TRUE(ordered.ok());
-  EXPECT_EQ((*ordered.value()[0])[0].as_int(), 1);
-  EXPECT_EQ((*ordered.value()[2])[0].as_int(), 3);
+  EXPECT_EQ(ordered.value()[0].as_int(0), 1);
+  EXPECT_EQ(ordered.value()[2].as_int(0), 3);
   EXPECT_FALSE(table.order_by("Nope").ok());
 }
 
 TEST(Table, CellAccessByName) {
   Table table(point_schema());
   ASSERT_TRUE(table.insert({Value{1}, Value{"a"}, Value{0.5}}).ok());
-  Result<Value> cell = table.cell(table.rows()[0], "X");
+  Result<Value> cell = table.cell(table.row(0), "X");
   ASSERT_TRUE(cell.ok());
   EXPECT_DOUBLE_EQ(cell.value().as_double(), 0.5);
-  EXPECT_FALSE(table.cell(table.rows()[0], "Nope").ok());
+  EXPECT_FALSE(table.cell(table.row(0), "Nope").ok());
+}
+
+TEST(Table, IndexedQueriesMatchPredicateScanAfterInterleavedInserts) {
+  Table table(point_schema());
+  // Reference implementations through the plain predicate scan.
+  auto scan_equals = [&](std::string_view column, const Value& value) {
+    std::size_t col = *table.schema().column_index(column);
+    std::vector<std::size_t> out;
+    for (const RowView& view : table.select(
+             [&](const RowView& row) { return row[col] == value; })) {
+      out.push_back(view.index());
+    }
+    return out;
+  };
+  auto indexed_equals = [&](std::string_view column, const Value& value) {
+    std::vector<std::size_t> out;
+    for (const RowView& view : table.select_equals(column, value)) {
+      out.push_back(view.index());
+    }
+    return out;
+  };
+  // Interleave inserts with queries so the lazily built index goes through
+  // incremental maintenance, not one bulk build at the end.
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(table
+                    .insert({Value{i % 7}, Value{i % 3 ? "a" : "b"},
+                             Value{static_cast<double>((i * 13) % 60)}})
+                    .ok());
+    if (i % 12 == 5) {
+      for (int probe = 0; probe < 8; ++probe) {
+        EXPECT_EQ(indexed_equals("Id", Value{probe}),
+                  scan_equals("Id", Value{probe}));
+      }
+      EXPECT_EQ(indexed_equals("Label", Value{"a"}),
+                scan_equals("Label", Value{"a"}));
+      EXPECT_EQ(table.count_equals("Label", Value{"b"}),
+                scan_equals("Label", Value{"b"}).size());
+      // Probes that can never match: wrong type, unknown string.
+      EXPECT_TRUE(table.select_equals("Id", Value{"a"}).empty());
+      EXPECT_TRUE(table.select_equals("Label", Value{"nope"}).empty());
+    }
+  }
+  // order_by equals a manual stable sort through Value comparison, also
+  // after an insert invalidated a previously cached permutation.
+  for (int round = 0; round < 2; ++round) {
+    Result<std::vector<RowView>> ordered = table.order_by("X");
+    ASSERT_TRUE(ordered.ok());
+    std::vector<std::size_t> expected(table.row_count());
+    std::iota(expected.begin(), expected.end(), 0u);
+    std::stable_sort(expected.begin(), expected.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return table.row(a)[2] < table.row(b)[2];
+                     });
+    ASSERT_EQ(ordered.value().size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(ordered.value()[i].index(), expected[i]);
+    }
+    ASSERT_TRUE(table.insert({Value{99}, Value{"z"}, Value{-1.0}}).ok());
+  }
+}
+
+TEST(Table, DoubleColumnPreservesIntCells) {
+  // The insert type check accepts ints in double columns without
+  // converting the stored Value; equality and ordering stay type-exact.
+  Table table(point_schema());
+  ASSERT_TRUE(table.insert({Value{1}, Value{}, Value{2}}).ok());
+  ASSERT_TRUE(table.insert({Value{2}, Value{}, Value{2.0}}).ok());
+  EXPECT_TRUE(table.row(0)[2].is_int());
+  EXPECT_TRUE(table.row(1)[2].is_double());
+  EXPECT_DOUBLE_EQ(table.row(0).as_double(2), 2.0);  // typed read widens
+  // Indexed lookups distinguish Value{2} from Value{2.0}, like Value==.
+  ASSERT_EQ(table.select_equals("X", Value{2}).size(), 1u);
+  EXPECT_EQ(table.select_equals("X", Value{2})[0].index(), 0u);
+  ASSERT_EQ(table.select_equals("X", Value{2.0}).size(), 1u);
+  EXPECT_EQ(table.select_equals("X", Value{2.0})[0].index(), 1u);
+}
+
+TEST(Table, NegativeZeroMatchesPositiveZero) {
+  Table table(point_schema());
+  ASSERT_TRUE(table.insert({Value{1}, Value{}, Value{-0.0}}).ok());
+  ASSERT_TRUE(table.insert({Value{2}, Value{}, Value{0.0}}).ok());
+  // IEEE: -0.0 == 0.0, so both probes hit both rows.
+  EXPECT_EQ(table.select_equals("X", Value{0.0}).size(), 2u);
+  EXPECT_EQ(table.count_equals("X", Value{-0.0}), 2u);
 }
 
 // ---- Database ------------------------------------------------------------------
@@ -114,8 +202,8 @@ TEST(Database, SerializeRoundTrip) {
   const Table* restored = back.value().table("Points");
   ASSERT_NE(restored, nullptr);
   ASSERT_EQ(restored->row_count(), 2u);
-  EXPECT_EQ(restored->rows()[0], table->rows()[0]);
-  EXPECT_EQ(restored->rows()[1], table->rows()[1]);
+  EXPECT_EQ(restored->row(0).materialize(), table->row(0).materialize());
+  EXPECT_EQ(restored->row(1).materialize(), table->row(1).materialize());
   EXPECT_EQ(restored->schema().columns.size(), 3u);
 }
 
@@ -144,6 +232,124 @@ TEST(Database, CorruptFileRejected) {
   }();
   truncated.resize(truncated.size() - 3);
   EXPECT_FALSE(Database::deserialize(truncated).ok());
+}
+
+TEST(Database, RoundTripEveryValueType) {
+  Database db;
+  Table* t = db.create_table({"Everything",
+                              {{"I", ValueType::kInt, true},
+                               {"D", ValueType::kDouble, true},
+                               {"B", ValueType::kBool, true},
+                               {"S", ValueType::kString, true},
+                               {"Y", ValueType::kBytes, true},
+                               {"A", ValueType::kArray, true},
+                               {"M", ValueType::kMap, true}}})
+                 .value();
+  ValueArray array{Value{1}, Value{"two"}, Value{}};
+  ValueMap map;
+  map.emplace("k", Value{3.5});
+  ASSERT_TRUE(t->insert({Value{-42}, Value{2.5}, Value{true}, Value{"text"},
+                         Value{Bytes{0, 255, 7}}, Value{array}, Value{map}})
+                  .ok());
+  // A row of nothing but nulls.
+  ASSERT_TRUE(t->insert({Value{}, Value{}, Value{}, Value{}, Value{},
+                         Value{}, Value{}})
+                  .ok());
+  // Edge cells: int stored in a double column, empty string/bytes/array/map.
+  ASSERT_TRUE(t->insert({Value{1}, Value{3}, Value{false}, Value{""},
+                         Value{Bytes{}}, Value{ValueArray{}},
+                         Value{ValueMap{}}})
+                  .ok());
+  ASSERT_TRUE(db.create_table({"Empty", {{"Only", ValueType::kString, true}}})
+                  .ok());
+
+  Result<Database> back = Database::deserialize(db.serialize());
+  ASSERT_TRUE(back.ok());
+  const Table* restored = back.value().table("Everything");
+  ASSERT_NE(restored, nullptr);
+  ASSERT_EQ(restored->row_count(), 3u);
+  for (std::size_t r = 0; r < restored->row_count(); ++r) {
+    EXPECT_EQ(restored->row(r).materialize(), t->row(r).materialize());
+  }
+  // The int-in-double cell survives as a typed int Value.
+  EXPECT_TRUE(restored->row(2)[1].is_int());
+  ASSERT_NE(back.value().table("Empty"), nullptr);
+  EXPECT_EQ(back.value().table("Empty")->row_count(), 0u);
+}
+
+TEST(Database, SerializationIsDeterministic) {
+  Database db;
+  Table* t = db.create_table(point_schema()).value();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        t->insert({Value{i}, Value{i % 2 ? "x" : "y"}, Value{i * 0.25}}).ok());
+  }
+  Bytes first = db.serialize();
+  // Building query indexes must not change the serialised image.
+  (void)t->select_equals("Label", Value{"x"});
+  (void)t->order_by("X");
+  EXPECT_EQ(db.serialize(), first);
+}
+
+TEST(Database, LegacyV1FormatStillReadable) {
+  // Hand-written version-1 image: cell-by-cell tagged Values, row major.
+  ByteWriter w;
+  w.u32(0x45584342);  // magic
+  w.u16(1);           // legacy version
+  w.u32(1);           // one table
+  w.string("Points");
+  w.u16(3);
+  w.string("Id");
+  w.u8(static_cast<std::uint8_t>(ValueType::kInt));
+  w.u8(0);
+  w.string("Label");
+  w.u8(static_cast<std::uint8_t>(ValueType::kString));
+  w.u8(1);
+  w.string("X");
+  w.u8(static_cast<std::uint8_t>(ValueType::kDouble));
+  w.u8(0);
+  w.u64(2);
+  w.value(Value{1});
+  w.value(Value{"a"});
+  w.value(Value{0.5});
+  w.value(Value{2});
+  w.value(Value{});
+  w.value(Value{1.5});
+
+  Result<Database> db = Database::deserialize(w.take());
+  ASSERT_TRUE(db.ok());
+  const Table* t = db.value().table("Points");
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->row_count(), 2u);
+  EXPECT_EQ(t->row(0).materialize(), (Row{Value{1}, Value{"a"}, Value{0.5}}));
+  EXPECT_TRUE(t->row(1).is_null(1));
+}
+
+TEST(Database, CorruptV2ImagesRejected) {
+  // Unsupported version.
+  ByteWriter w;
+  w.u32(0x45584342);
+  w.u16(9);
+  w.u32(0);
+  EXPECT_FALSE(Database::deserialize(w.take()).ok());
+
+  Database db;
+  Table* t = db.create_table(point_schema()).value();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(t->insert({Value{i}, Value{"s"}, Value{1.0 * i}}).ok());
+  }
+  Bytes good = db.serialize();
+  ASSERT_TRUE(Database::deserialize(good).ok());
+  // Truncation anywhere — header, schema, or inside the column blocks.
+  for (std::size_t cut :
+       {good.size() - 1, good.size() - 9, good.size() / 2, std::size_t{5}}) {
+    Bytes bad(good.begin(), good.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(Database::deserialize(bad).ok()) << "cut at " << cut;
+  }
+  // Flipped magic.
+  Bytes flipped = good;
+  flipped[0] ^= 0xFF;
+  EXPECT_FALSE(Database::deserialize(flipped).ok());
 }
 
 // ---- ExperimentPackage (Table I) ----------------------------------------------------
@@ -362,6 +568,94 @@ TEST(Conditioning, BlobsRouteToCorrectTables) {
       package.value().database().table("ExtraRunMeasurements")->row_count(),
       2u);
   EXPECT_EQ(package.value().log_for("A"), "LOG LINE");
+}
+
+/// A level-2 store with several nodes, runs, logs, blobs and plugin data —
+/// enough surface to exercise every merge path of condition().
+Level2Store busy_level2() {
+  Level2Store level2;
+  for (int n = 0; n < 5; ++n) {
+    std::string node = "N" + std::to_string(n);
+    for (int run = 1; run <= 4; ++run) {
+      for (int e = 0; e < 20; ++e) {
+        level2.node(node).record_event(
+            {run, run * 1'000'000'000LL + e * 1000 + n,
+             "ev" + std::to_string(e % 3), Value{e}});
+      }
+      for (int p = 0; p < 10; ++p) {
+        level2.node(node).record_packet(
+            {run, run * 1'000'000'000LL + p * 500, "N0",
+             Bytes{static_cast<std::uint8_t>(p),
+                   static_cast<std::uint8_t>(n)}});
+      }
+      level2.node(node).add_run_blob(run, "hops", std::to_string(run));
+      level2.node(node).add_plugin_measurement(run, "plug", "m",
+                                               std::to_string(n));
+      level2.add_sync({run, node, n * 1000LL, run * 1'000'000'000LL});
+    }
+    level2.node(node).add_experiment_blob("topo", node);
+    level2.node(node).append_log("log of " + node + "\n");
+  }
+  level2.mark_run_complete(1);
+  level2.mark_run_complete(2);
+  level2.mark_run_complete(3);  // run 4 stays incomplete
+  return level2;
+}
+
+TEST(Conditioning, ParallelShardsBitIdenticalAcrossWorkerCounts) {
+  Level2Store level2 = busy_level2();
+  auto image_for = [&](std::size_t workers) {
+    ConditioningOptions options;
+    options.workers = workers;
+    Result<ExperimentPackage> package = condition(level2, "<e/>", options);
+    EXPECT_TRUE(package.ok());
+    return package.value().database().serialize();
+  };
+  Bytes sequential = image_for(1);
+  EXPECT_EQ(image_for(4), sequential);
+  EXPECT_EQ(image_for(0), sequential);  // hardware concurrency
+}
+
+TEST(Conditioning, AnalysisOutputsIdenticalAcrossWorkerCounts) {
+  // Discovery-shaped data: the stats pipeline must see identical packages
+  // whether conditioning ran sequentially or on the pool.
+  Level2Store level2;
+  for (int run = 1; run <= 6; ++run) {
+    level2.node("SU0").record_event(
+        {run, run * 1'000'000'000LL, "sd_start_search", Value{}});
+    level2.node("SU0").record_event(
+        {run, run * 1'000'000'000LL + 40'000'000LL * run, "sd_service_add",
+         Value{"SM0"}});
+    level2.add_sync({run, "SU0", 123'000LL, run * 1'000'000'000LL});
+    level2.add_sync({run, "SM0", -77'000LL, run * 1'000'000'000LL});
+    level2.mark_run_complete(run);
+  }
+  level2.node("SM0").append_log("provider\n");
+
+  ConditioningOptions sequential;
+  sequential.workers = 1;
+  ConditioningOptions pooled;
+  pooled.workers = 4;
+  Result<ExperimentPackage> a = condition(level2, "<e/>", sequential);
+  Result<ExperimentPackage> b = condition(level2, "<e/>", pooled);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  Result<std::vector<double>> lat_a = stats::first_latencies(a.value());
+  Result<std::vector<double>> lat_b = stats::first_latencies(b.value());
+  ASSERT_TRUE(lat_a.ok());
+  ASSERT_TRUE(lat_b.ok());
+  EXPECT_EQ(lat_a.value(), lat_b.value());
+  ASSERT_EQ(lat_a.value().size(), 6u);
+
+  Result<stats::Proportion> resp_a =
+      stats::responsiveness(a.value(), 0.15, 1);
+  Result<stats::Proportion> resp_b =
+      stats::responsiveness(b.value(), 0.15, 1);
+  ASSERT_TRUE(resp_a.ok());
+  ASSERT_TRUE(resp_b.ok());
+  EXPECT_EQ(resp_a.value().successes, resp_b.value().successes);
+  EXPECT_EQ(resp_a.value().trials, resp_b.value().trials);
 }
 
 // ---- repository (level 4) ------------------------------------------------------------------
