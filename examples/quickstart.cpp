@@ -2,7 +2,11 @@
 // experiment — one publisher (SM), one requester (SU), two bystander nodes,
 // five replications on a simulated wireless mesh.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--run-workers N]
+//
+// --run-workers N executes the treatment plan's runs on N parallel platform
+// replicas (0 = hardware concurrency); the conditioned package is
+// bit-identical to the sequential default (DESIGN.md §10).
 //
 // The program walks the full ExCovery workflow (Fig. 3 of the paper):
 //   1. build the abstract experiment description (Fig. 9/10 processes),
@@ -11,6 +15,8 @@
 //   4. collect + condition measurements into a level-3 package,
 //   5. query the package: responsiveness and the run-1 event timeline.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/master.hpp"
 #include "core/scenario.hpp"
@@ -18,7 +24,17 @@
 
 using namespace excovery;
 
-int main() {
+int main(int argc, char** argv) {
+  core::MasterOptions master_options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--run-workers") == 0 && i + 1 < argc) {
+      master_options.run_workers =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--run-workers N]\n", argv[0]);
+      return 2;
+    }
+  }
   // 1. The experiment description.  scenario::two_party_sd builds exactly
   //    the SM/SU processes of the paper's Figures 9 and 10.
   core::scenario::TwoPartyOptions options;
@@ -58,8 +74,11 @@ int main() {
     return 1;
   }
 
-  // 3 + 4. Execute all runs and condition the results.
-  core::ExperiMaster master(description.value(), *platform.value());
+  // 3 + 4. Execute all runs and condition the results.  With
+  //    --run-workers > 1 the runs execute in parallel on platform replicas;
+  //    the package bytes do not change.
+  core::ExperiMaster master(description.value(), *platform.value(),
+                            std::move(master_options));
   std::printf("=== treatment plan ===\n%s\n",
               master.plan().format().c_str());
   Result<storage::ExperimentPackage> package = master.execute();

@@ -1,6 +1,7 @@
 #include "common/log.hpp"
 
 #include <cstdio>
+#include <utility>
 
 namespace excovery {
 
@@ -61,6 +62,11 @@ void CapturingLog::log(LogLevel level, std::string_view message) {
 std::string CapturingLog::text() const {
   std::lock_guard lock(mutex_);
   return captured_;
+}
+
+std::string CapturingLog::take() {
+  std::lock_guard lock(mutex_);
+  return std::exchange(captured_, {});
 }
 
 void CapturingLog::clear() {

@@ -59,6 +59,8 @@ class CapturingLog {
 
   /// Entire captured text ("LEVEL component: message\n" lines).
   std::string text() const;
+  /// Move the captured text out, leaving the buffer empty.
+  std::string take();
   void clear();
 
   const std::string& component() const noexcept { return component_; }

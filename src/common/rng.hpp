@@ -89,6 +89,17 @@ class RngFactory {
   std::uint64_t derive_seed(std::string_view name,
                             std::uint64_t index = 0) const noexcept;
 
+  /// Derived sub-factory rooted at (name, index).  The run-parallel
+  /// executor uses this to give every (run, attempt) its own substream
+  /// tree — `factory.sub("run", run_id).sub("attempt", attempt)` — so a
+  /// run's randomness is a pure function of the experiment seed and the
+  /// run id, never of which runs executed before it or on which worker
+  /// replica it landed (DESIGN.md §10).
+  RngFactory sub(std::string_view name,
+                 std::uint64_t index = 0) const noexcept {
+    return RngFactory(derive_seed(name, index));
+  }
+
  private:
   std::uint64_t master_seed_;
 };

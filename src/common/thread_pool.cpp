@@ -35,6 +35,14 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   std::vector<std::future<void>> futures;

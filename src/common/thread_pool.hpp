@@ -39,6 +39,13 @@ class ThreadPool {
     return future;
   }
 
+  /// Enqueue a fire-and-forget task (no future).  Used for cooperative
+  /// nesting: a pool task that needs helpers posts them and participates in
+  /// the work itself, waiting only on a completion count — never on the
+  /// helpers being scheduled — so sharing one pool between campaign- and
+  /// run-level parallelism cannot deadlock.
+  void post(std::function<void()> task);
+
   /// Run `fn(i)` for i in [0, count) across the pool and wait for all.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 

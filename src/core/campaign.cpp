@@ -1,16 +1,23 @@
 #include "core/campaign.hpp"
 
+#include <mutex>
 #include <optional>
 
 namespace excovery::core {
 
 namespace {
 
-Result<storage::ExperimentPackage> run_entry(CampaignEntry& entry) {
+Result<storage::ExperimentPackage> run_entry(CampaignEntry& entry,
+                                             ThreadPool& pool) {
   EXC_TRY(entry.description.validate());
   EXC_ASSIGN_OR_RETURN(
       std::unique_ptr<SimPlatform> platform,
       SimPlatform::create(entry.description, std::move(entry.platform)));
+  // Nesting rule: run-level workers ride the campaign pool, so total
+  // threads stay bounded by the campaign worker count no matter how many
+  // entries request run parallelism.  An entry that brings its own pool
+  // keeps it.
+  if (entry.master.run_pool == nullptr) entry.master.run_pool = &pool;
   ExperiMaster master(entry.description, *platform,
                       std::move(entry.master));
   return master.execute();
@@ -23,10 +30,16 @@ std::vector<CampaignOutcome> run_campaign(std::vector<CampaignEntry> entries,
   std::vector<std::optional<CampaignOutcome>> slots(entries.size());
   {
     ThreadPool pool(options.workers);
+    // Entries finish on worker threads; a user callback must not be asked
+    // to cope with concurrent invocations, so serialize it here.
+    std::mutex progress_mutex;
     pool.parallel_for(entries.size(), [&](std::size_t index) {
       CampaignEntry& entry = entries[index];
-      Result<storage::ExperimentPackage> package = run_entry(entry);
-      if (options.progress) options.progress(entry.id, package.ok());
+      Result<storage::ExperimentPackage> package = run_entry(entry, pool);
+      if (options.progress) {
+        std::lock_guard lock(progress_mutex);
+        options.progress(entry.id, package.ok());
+      }
       slots[index].emplace(entry.id, std::move(package));
     });
   }

@@ -1,11 +1,17 @@
 // Campaign runner: execute many independent experiments in parallel.
 //
-// Replications within one experiment are sequenced by the master (state is
-// shared through the platform), but *experiments* — different descriptions,
-// seeds, topologies — are pure functions of their inputs (DESIGN.md §6).
-// The campaign runner fans a list of experiment configurations out over a
-// thread pool and collects the conditioned packages in input order,
-// bit-identical to sequential execution.
+// *Experiments* — different descriptions, seeds, topologies — are pure
+// functions of their inputs (DESIGN.md §6).  The campaign runner fans a
+// list of experiment configurations out over a thread pool and collects
+// the conditioned packages in input order, bit-identical to sequential
+// execution.  Runs *within* one experiment can additionally execute in
+// parallel (MasterOptions::run_workers, DESIGN.md §10); the campaign
+// points every entry's master at the campaign pool, so the two levels of
+// parallelism share one set of threads instead of multiplying: a master's
+// extra run workers are pool tasks, its own (pool) thread always
+// participates in the run work, and it never blocks waiting for helpers to
+// be scheduled — which is what makes the nesting deadlock-free even when
+// every entry requests run workers on a saturated pool.
 #pragma once
 
 #include <functional>
@@ -41,7 +47,9 @@ struct CampaignOptions {
   std::size_t workers = 0;  ///< 0 = hardware concurrency
   /// When set, every successful package is stored under its entry id.
   storage::Repository* archive = nullptr;
-  /// Progress callback, invoked from worker threads as entries finish.
+  /// Progress callback, invoked as entries finish (completion order).
+  /// Invocations are serialized by the campaign runner, so stateful
+  /// callbacks need no locking of their own.
   std::function<void(const std::string& id, bool ok)> progress;
 };
 

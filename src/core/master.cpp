@@ -1,6 +1,11 @@
 #include "core/master.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
@@ -8,8 +13,42 @@
 namespace excovery::core {
 
 namespace {
+
 constexpr const char* kComponent = "core.master";
-}
+
+/// Outcome slot for one sharded run, filled by whichever worker claims it.
+struct RunSlot {
+  bool executed = false;  ///< claimed and run (not skipped after a failure)
+  std::optional<Error> error;
+  storage::RunData data;
+  int aborted = 0;
+};
+
+/// State shared between the sharding caller and its helper workers.  Held
+/// by shared_ptr so a helper task that a saturated pool only gets around to
+/// after the experiment finished finds `next` exhausted and exits without
+/// touching anything else.
+struct ShardContext {
+  std::vector<const RunSpec*> todo;
+  std::vector<RunSlot> slots;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t finished = 0;
+
+  void note_finished() {
+    std::lock_guard lock(done_mutex);
+    if (++finished == slots.size()) done_cv.notify_all();
+  }
+  void wait_all() {
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [this] { return finished == slots.size(); });
+  }
+};
+
+}  // namespace
 
 ExperiMaster::ExperiMaster(const ExperimentDescription& description,
                            SimPlatform& platform, MasterOptions options)
@@ -23,68 +62,88 @@ ExperiMaster::ExperiMaster(const ExperimentDescription& description,
   if (plan.ok()) {
     plan_ = std::make_unique<TreatmentPlan>(std::move(plan).value());
   }
+  executor_ = std::make_unique<RunExecutor>(description_, platform_,
+                                            executor_options());
+}
+
+RunExecutorOptions ExperiMaster::executor_options() const {
+  RunExecutorOptions options;
+  options.max_attempts_per_run = options_.max_attempts_per_run;
+  options.run_watchdog = options_.run_watchdog;
+  options.settle = options_.settle;
+  options.abort_hook = options_.abort_hook;
+  return options;
 }
 
 Result<storage::ExperimentPackage> ExperiMaster::execute() {
   if (!plan_) return err_validation("treatment plan generation failed");
 
-  // experiment_init on every participant, once.
+  // experiment_init on every participant, once per experiment.  A resumed
+  // experiment (completed runs already in the store) skips it: the nodes
+  // were initialized by the interrupted execution and the recorded init
+  // events are already in the loaded level-2 store.
+  const bool resuming = !platform_.level2().completed_runs().empty();
   if (!experiment_initialized_) {
-    for (const std::string& node : platform_.node_names()) {
-      ValueMap args;
-      EXC_TRY(node_action(node, "experiment_init", args));
+    if (!resuming) {
+      for (const std::string& node : platform_.node_names()) {
+        EXC_TRY(node_rpc(node, "experiment_init"));
+      }
     }
     experiment_initialized_ = true;
   }
 
   // Topology before the experiment (§IV-B4: "before and after"), plus the
   // advanced recording (adjacency + link quality) the paper anticipates.
+  // Replace-by-name keeps a resumed experiment's blob list identical to an
+  // uninterrupted one.
   std::vector<std::string> all_nodes = platform_.node_names();
   platform_.level2()
       .node(kEnvironmentNode)
-      .add_experiment_blob("topology_before",
+      .set_experiment_blob("topology_before",
                            platform_.measure_topology(all_nodes));
   platform_.level2()
       .node(kEnvironmentNode)
-      .add_experiment_blob("topology_detail",
+      .set_experiment_blob("topology_detail",
                            platform_.measure_topology_detailed());
 
   // Resume: skip runs already completed in the level-2 store (§VII:
   // "recovers from failures by resuming aborted runs").
   std::vector<const RunSpec*> todo =
       plan_->remaining(platform_.level2().completed_runs());
-  for (const RunSpec* run : todo) {
-    Status status = err_aborted("not attempted");
-    int attempt = 1;
-    for (; attempt <= options_.max_attempts_per_run; ++attempt) {
-      status = execute_run(*run, attempt);
-      if (options_.progress) options_.progress(*run, attempt, status.ok());
-      if (status.ok()) break;
-      ++aborted_attempts_;
-      EXC_LOG_WARN(kComponent,
-                   "run " << run->run_id << " attempt " << attempt
-                          << " aborted: " << status.error().to_string());
-      // Discard the aborted run's partial data before retrying.
-      platform_.level2().discard_run(run->run_id);
-      platform_.reset_run_state();
-    }
-    if (!status.ok()) {
-      return std::move(status)
-          .context(strings::format("run %lld failed after %d attempts",
-                                   static_cast<long long>(run->run_id),
-                                   options_.max_attempts_per_run))
-          .error();
-    }
+  std::size_t workers = options_.run_workers != 0
+                            ? options_.run_workers
+                            : std::max<std::size_t>(
+                                  1, std::thread::hardware_concurrency());
+  workers = std::min(workers, todo.size());
+  // Resume with a gap: a run with a smaller id than an already-completed one
+  // must execute at its canonical epoch, but this platform's clock is
+  // already past it (an interrupted sharded execution completed later runs
+  // first).  A fresh replica starts at simulated time zero, so the sharded
+  // path — which also splices the run back into run-id order — reproduces
+  // the uninterrupted store exactly; the in-place sequential path cannot.
+  std::int64_t max_completed = 0;
+  for (std::int64_t run : platform_.level2().completed_runs()) {
+    max_completed = std::max(max_completed, run);
+  }
+  const bool gap_resume =
+      !todo.empty() && todo.front()->run_id < max_completed;
+  if (workers <= 1 && !gap_resume) {
+    EXC_TRY(run_all_sequential(todo));
+  } else if (!todo.empty()) {
+    EXC_TRY(run_all_sharded(todo, std::max<std::size_t>(workers, 1)));
   }
 
   platform_.level2()
       .node(kEnvironmentNode)
-      .add_experiment_blob("topology_after",
+      .set_experiment_blob("topology_after",
                            platform_.measure_topology(all_nodes));
 
+  // Experiment-scope exit events must not attach to whichever run happened
+  // to execute last on this platform instance (run 0 is never completed, so
+  // they stay out of the conditioned package in every execution layout).
+  platform_.recorder().begin_run(0);
   for (const std::string& node : platform_.node_names()) {
-    ValueMap args;
-    EXC_TRY(node_action(node, "experiment_exit", args));
+    EXC_TRY(node_rpc(node, "experiment_exit"));
   }
   experiment_initialized_ = false;
 
@@ -97,233 +156,134 @@ Result<storage::ExperimentPackage> ExperiMaster::execute() {
 }
 
 Status ExperiMaster::execute_run(const RunSpec& run, int attempt) {
-  current_run_ = &run;
-  Status status = prepare_run(run);
-  if (status.ok()) status = run_processes(run, attempt);
-  // Clean-up happens even after a failed execution phase.
-  Status cleanup = cleanup_run(run);
-  current_run_ = nullptr;
-  if (!status.ok()) return status;
-  if (!cleanup.ok()) return cleanup;
-  platform_.level2().mark_run_complete(run.run_id);
-  return {};
+  return executor_->execute_run(run, attempt);
 }
 
-Status ExperiMaster::prepare_run(const RunSpec& run) {
-  // "During preparation, the whole environment of the experiment process
-  // must be reset to a defined initial working condition ... network
-  // packets generated in previous runs must be dropped on all
-  // participants."
-  platform_.reset_run_state();
-  platform_.recorder().begin_run(run.run_id);
-
-  sim::SimTime run_start = platform_.scheduler().now();
-  for (const std::string& node : platform_.node_names()) {
-    ValueMap args;
-    args["run_id"] = Value{run.run_id};
-    EXC_TRY(node_action(node, "run_init", args));
-
-    // "Preliminary measurements ... such as clock offsets for all
-    // participants" (§IV-C1); stored on the master (§IV-B5).
-    storage::SyncMeasurement sync;
-    sync.run_id = run.run_id;
-    sync.node = node;
-    sync.offset_ns = platform_.measure_offset(node);
-    sync.run_start_ns = run_start.nanos();
-    platform_.level2().add_sync(sync);
-  }
-  return {};
-}
-
-Status ExperiMaster::run_processes(const RunSpec& run, int attempt) {
-  // Build interpreters: one per (actor process, mapped node), one per
-  // manipulation process, one per environment process.
-  std::vector<std::unique_ptr<ProcessInterpreter>> interpreters;
-
-  for (const ActorProcess& process : description_.actor_processes) {
-    auto it = run.actor_map.find(process.actor_id);
-    if (it == run.actor_map.end()) continue;  // actor unmapped in this run
-    for (const std::string& abstract : it->second) {
-      EXC_ASSIGN_OR_RETURN(std::string concrete,
-                           platform_.concrete_name(abstract));
-      interpreters.push_back(std::make_unique<ProcessInterpreter>(
-          platform_, description_, run, *this, ProcessInterpreter::Kind::kActor,
-          concrete, process.actions,
-          process.name + "@" + concrete));
+Status ExperiMaster::execute_with_retries(RunExecutor& executor,
+                                          SimPlatform& platform,
+                                          const RunSpec& run, int& aborted) {
+  Status status = err_aborted("not attempted");
+  for (int attempt = 1; attempt <= options_.max_attempts_per_run; ++attempt) {
+    status = executor.execute_run(run, attempt);
+    if (options_.progress) {
+      std::lock_guard lock(progress_mutex_);
+      options_.progress(run, attempt, status.ok());
     }
+    if (status.ok()) return {};
+    ++aborted;
+    EXC_LOG_WARN(kComponent,
+                 "run " << run.run_id << " attempt " << attempt
+                        << " aborted: " << status.error().to_string());
+    // Discard the aborted run's partial data before retrying.
+    platform.level2().discard_run(run.run_id);
+    platform.reset_run_state();
   }
-  for (const ManipulationProcess& process :
-       description_.manipulation_processes) {
-    EXC_ASSIGN_OR_RETURN(std::string concrete,
-                         platform_.concrete_name(process.node_id));
-    interpreters.push_back(std::make_unique<ProcessInterpreter>(
-        platform_, description_, run, *this,
-        ProcessInterpreter::Kind::kManipulation, concrete, process.actions,
-        "manipulation@" + concrete));
-  }
-  for (const EnvProcess& process : description_.env_processes) {
-    interpreters.push_back(std::make_unique<ProcessInterpreter>(
-        platform_, description_, run, *this,
-        ProcessInterpreter::Kind::kEnvironment, "", process.actions, "env"));
-  }
+  return std::move(status).context(
+      strings::format("run %lld failed after %d attempts",
+                      static_cast<long long>(run.run_id),
+                      options_.max_attempts_per_run));
+}
 
-  std::size_t open = interpreters.size();
-  std::optional<Error> first_error;
-  for (auto& interpreter : interpreters) {
-    interpreter->start([&open, &first_error](const ProcessInterpreter& done) {
-      --open;
-      if (done.state() == ProcessInterpreter::State::kFailed &&
-          !first_error) {
-        first_error = done.error();
+Status ExperiMaster::run_all_sequential(
+    const std::vector<const RunSpec*>& todo) {
+  for (const RunSpec* run : todo) {
+    EXC_TRY(execute_with_retries(*executor_, platform_, *run,
+                                 aborted_attempts_));
+  }
+  return {};
+}
+
+Status ExperiMaster::run_all_sharded(const std::vector<const RunSpec*>& todo,
+                                     std::size_t workers) {
+  auto ctx = std::make_shared<ShardContext>();
+  ctx->todo = todo;
+  ctx->slots.resize(todo.size());
+
+  // Work claiming: each participating thread lazily builds its own platform
+  // replica, then pulls run indexes off the shared counter until the plan
+  // is exhausted.  A failure poisons the remaining (unclaimed) runs so the
+  // experiment stops quickly; already-claimed runs still finish and are
+  // merged, matching sequential resume semantics.
+  auto work = [this, ctx] {
+    std::unique_ptr<SimPlatform> replica;
+    std::unique_ptr<RunExecutor> executor;
+    for (;;) {
+      std::size_t i = ctx->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= ctx->todo.size()) return;
+      RunSlot& slot = ctx->slots[i];
+      if (ctx->failed.load(std::memory_order_relaxed)) {
+        ctx->note_finished();
+        continue;
       }
-    });
-  }
-
-  // Test hook: simulate a mid-run platform failure.
-  bool forced_abort = false;
-  if (options_.abort_hook && options_.abort_hook(run.run_id, attempt)) {
-    platform_.scheduler().schedule(
-        sim::SimDuration::from_millis(10),
-        [&forced_abort] { forced_abort = true; });
-  }
-
-  // Drive the simulation until all processes finish or the watchdog fires.
-  sim::SimTime deadline = platform_.scheduler().now() + options_.run_watchdog;
-  while (open > 0 && !forced_abort) {
-    if (platform_.scheduler().now() >= deadline) break;
-    if (platform_.scheduler().idle()) {
-      // No pending events but processes still open: a wait with no timeout
-      // can never complete.  Abort rather than spin.
-      return err_aborted(strings::format(
-          "run %lld deadlocked: %zu process(es) waiting with no pending "
-          "events",
-          static_cast<long long>(run.run_id), open));
+      if (!executor) {
+        Result<std::unique_ptr<SimPlatform>> r =
+            platform_.replicate(description_);
+        if (!r.ok()) {
+          slot.error = std::move(r).error();
+          ctx->failed.store(true, std::memory_order_relaxed);
+          ctx->note_finished();
+          continue;
+        }
+        replica = std::move(r).value();
+        executor = std::make_unique<RunExecutor>(description_, *replica,
+                                                 executor_options());
+      }
+      const RunSpec& run = *ctx->todo[i];
+      slot.executed = true;
+      Status status =
+          execute_with_retries(*executor, *replica, run, slot.aborted);
+      if (status.ok()) {
+        slot.data = replica->level2().extract_run(run.run_id);
+      } else {
+        slot.error = std::move(status).error();
+        ctx->failed.store(true, std::memory_order_relaxed);
+      }
+      ctx->note_finished();
     }
-    platform_.scheduler().step();
-  }
-  if (forced_abort) {
-    return err_aborted("platform failure injected by abort hook");
-  }
-  if (open > 0) {
-    return err_aborted(strings::format(
-        "run %lld hit the %0.1fs watchdog with %zu process(es) unfinished",
-        static_cast<long long>(run.run_id), options_.run_watchdog.seconds(),
-        open));
-  }
-  if (first_error) return *first_error;
+  };
 
-  // Let in-flight packets drain so captures are complete.
-  platform_.scheduler().run_until(platform_.scheduler().now() +
-                                  options_.settle);
+  // The calling thread always participates; extra workers either ride the
+  // shared pool (campaign nesting) or short-lived dedicated threads.  With
+  // a saturated shared pool the helpers may never start — the caller then
+  // simply executes every run itself.
+  std::vector<std::thread> threads;
+  for (std::size_t w = 1; w < workers; ++w) {
+    if (options_.run_pool) {
+      options_.run_pool->post(work);
+    } else {
+      threads.emplace_back(work);
+    }
+  }
+  work();
+  ctx->wait_all();
+  for (std::thread& thread : threads) thread.join();
+
+  // Deterministic merge: todo order is ascending run-id order, and
+  // merge_run splices each run in where that order dictates, so the master
+  // store is byte-identical to one filled by sequential execution.
+  std::optional<Error> failure;
+  for (std::size_t i = 0; i < ctx->slots.size(); ++i) {
+    RunSlot& slot = ctx->slots[i];
+    aborted_attempts_ += slot.aborted;
+    if (slot.error) {
+      if (!failure) failure = std::move(*slot.error);
+      continue;
+    }
+    if (!slot.executed) continue;  // skipped after another run failed
+    platform_.level2().merge_run(std::move(slot.data));
+    platform_.level2().mark_run_complete(ctx->todo[i]->run_id);
+  }
+  if (failure) return std::move(*failure);
   return {};
 }
 
-Status ExperiMaster::cleanup_run(const RunSpec& run) {
-  // Environment manipulations end with the run.
-  platform_.traffic().stop();
-  if (env_drop_all_) {
-    env_drop_all_->stop();
-    env_drop_all_.reset();
-  }
-  for (const std::string& node : platform_.node_names()) {
-    ValueMap args;
-    args["run_id"] = Value{run.run_id};
-    EXC_TRY(node_action(node, "run_exit", args));
-  }
-  return {};
-}
-
-Status ExperiMaster::node_action(const std::string& concrete_node,
-                                 const std::string& method, ValueMap params) {
+Status ExperiMaster::node_rpc(const std::string& concrete_node,
+                              const std::string& method) {
   rpc::RpcClient client = platform_.client(concrete_node);
   Result<Value> outcome =
-      client.call(method, ValueArray{Value{std::move(params)}});
+      client.call(method, ValueArray{Value{ValueMap{}}});
   if (!outcome.ok()) return std::move(outcome).error();
   return {};
-}
-
-Status ExperiMaster::env_action(const std::string& method, ValueMap params) {
-  if (!current_run_) return err_state("environment action outside a run");
-  const RunSpec& run = *current_run_;
-
-  if (method == "env_traffic_start") {
-    faults::TrafficConfig config;
-    if (auto it = params.find("bw"); it != params.end()) {
-      EXC_ASSIGN_OR_RETURN(config.rate_kbps, it->second.to_double());
-    }
-    if (auto it = params.find("random_pairs"); it != params.end()) {
-      EXC_ASSIGN_OR_RETURN(std::int64_t pairs, it->second.to_int());
-      config.pairs = static_cast<int>(pairs);
-    }
-    if (auto it = params.find("choice"); it != params.end()) {
-      EXC_ASSIGN_OR_RETURN(config.choice,
-                           faults::parse_pair_choice(it->second.to_text()));
-    }
-    if (auto it = params.find("random_seed"); it != params.end()) {
-      EXC_ASSIGN_OR_RETURN(std::int64_t seed, it->second.to_int());
-      config.pair_seed = static_cast<std::uint64_t>(seed);
-    }
-    if (auto it = params.find("random_switch_amount"); it != params.end()) {
-      EXC_ASSIGN_OR_RETURN(std::int64_t amount, it->second.to_int());
-      config.switch_amount = static_cast<int>(amount);
-    }
-    if (auto it = params.find("random_switch_seed"); it != params.end()) {
-      EXC_ASSIGN_OR_RETURN(std::int64_t seed, it->second.to_int());
-      config.switch_seed = static_cast<std::uint64_t>(seed);
-    }
-
-    // Acting nodes of this run (concrete), environment nodes from the
-    // platform.
-    std::vector<net::NodeId> acting;
-    for (const std::string& abstract : run.acting_nodes()) {
-      EXC_ASSIGN_OR_RETURN(std::string concrete,
-                           platform_.concrete_name(abstract));
-      EXC_ASSIGN_OR_RETURN(net::NodeId id, platform_.node_id(concrete));
-      acting.push_back(id);
-    }
-    std::vector<net::NodeId> environment;
-    for (const std::string& name : platform_.environment_node_names()) {
-      EXC_ASSIGN_OR_RETURN(net::NodeId id, platform_.node_id(name));
-      environment.push_back(id);
-    }
-    EXC_TRY(platform_.traffic().start(
-        config, acting, environment,
-        static_cast<std::uint64_t>(run.replication)));
-    platform_.recorder().record(kEnvironmentNode, "env_traffic_start",
-                                Value{static_cast<std::int64_t>(
-                                    platform_.traffic().active_pairs().size())});
-    return {};
-  }
-  if (method == "env_traffic_stop") {
-    platform_.traffic().stop();
-    platform_.recorder().record(kEnvironmentNode, "env_traffic_stop");
-    return {};
-  }
-  if (method == "env_drop_all_start") {
-    if (env_drop_all_) return err_state("drop_all already active");
-    faults::TemporalSpec temporal;  // until stopped
-    EXC_ASSIGN_OR_RETURN(env_drop_all_,
-                         platform_.injector().drop_all_packets(temporal));
-    return {};
-  }
-  if (method == "env_drop_all_stop") {
-    if (!env_drop_all_) return err_state("drop_all not active");
-    env_drop_all_->stop();
-    env_drop_all_.reset();
-    return {};
-  }
-  if (method == "event_flag") {
-    // Environment-scope event flags arrive here when raised through the
-    // dispatcher (interpreter flow control already handles the common case).
-    auto it = params.find("value");
-    if (it == params.end()) return err_invalid("event_flag needs a value");
-    platform_.recorder().record(kEnvironmentNode,
-                                strings::strip_quotes(it->second.to_text()));
-    return {};
-  }
-  // Node-targeted fault actions prefixed env_ run on every node: not in the
-  // default set; extensions land here.
-  return err_unsupported("unknown environment action '" + method + "'");
 }
 
 }  // namespace excovery::core

@@ -13,6 +13,13 @@
 //   clean-up: run_exit on every node (stops roles/faults, collects packet
 //     captures and plugin measurements).
 //
+// Runs are independent — each resets the platform to a defined initial
+// condition and consumes its own RNG substream — so with run_workers > 1
+// the master shards the treatment plan across worker-owned platform
+// replicas and merges each finished run back in run-id order.  The merged
+// level-2 store, and therefore the conditioned package, is bit-identical
+// to sequential execution (DESIGN.md §10).
+//
 // After all runs: collection & conditioning produce the level-3 package
 // (storage::condition), completing the workflow of Fig. 3.
 #pragma once
@@ -20,10 +27,11 @@
 #include <functional>
 #include <memory>
 
+#include "common/thread_pool.hpp"
 #include "core/description.hpp"
-#include "core/interpreter.hpp"
 #include "core/plan.hpp"
 #include "core/platform.hpp"
+#include "core/run_executor.hpp"
 #include "storage/conditioning.hpp"
 #include "storage/package.hpp"
 
@@ -41,13 +49,27 @@ struct MasterOptions {
   /// Comment stored into ExperimentInfo.
   std::string comment;
 
-  /// Progress callback: (run, attempt, ok).
+  /// Worker threads executing runs on platform replicas: 1 = sequential on
+  /// the master's own platform, 0 = hardware concurrency.  The conditioned
+  /// package is bit-identical for every value.
+  std::size_t run_workers = 1;
+  /// Optional shared pool for the extra run workers (run_campaign points
+  /// this at the campaign pool so campaign- and run-level parallelism share
+  /// one set of threads).  The calling thread always participates, so runs
+  /// make progress even when the pool is saturated.  When null, the master
+  /// spawns its own short-lived threads.
+  ThreadPool* run_pool = nullptr;
+
+  /// Progress callback: (run, attempt, ok).  With run_workers > 1 it is
+  /// invoked from worker threads, serialized by the master, in completion
+  /// order rather than run order.
   std::function<void(const RunSpec&, int attempt, bool ok)> progress;
-  /// Test hook: force the given (run_id, attempt) to abort mid-run.
+  /// Test hook: force the given (run_id, attempt) to abort mid-run.  With
+  /// run_workers > 1 it is invoked concurrently from worker threads.
   std::function<bool(std::int64_t run_id, int attempt)> abort_hook;
 };
 
-class ExperiMaster : public ActionDispatcher {
+class ExperiMaster {
  public:
   /// The master drives an already-created platform (the platform embodies
   /// the "platform setup" step of Fig. 3).
@@ -58,7 +80,8 @@ class ExperiMaster : public ActionDispatcher {
   /// package (collection + conditioning + storage of Fig. 3).
   Result<storage::ExperimentPackage> execute();
 
-  /// Execute a single run (used by execute(); public for tests/benches).
+  /// Execute a single run on the master's platform (used by the sequential
+  /// path of execute(); public for tests/benches).
   Status execute_run(const RunSpec& run, int attempt = 1);
 
   const TreatmentPlan& plan() const noexcept { return *plan_; }
@@ -72,21 +95,27 @@ class ExperiMaster : public ActionDispatcher {
   int aborted_attempts() const noexcept { return aborted_attempts_; }
 
  private:
-  // ActionDispatcher implementation -----------------------------------------
-  Status node_action(const std::string& concrete_node,
-                     const std::string& method, ValueMap params) override;
-  Status env_action(const std::string& method, ValueMap params) override;
+  RunExecutorOptions executor_options() const;
 
-  Status prepare_run(const RunSpec& run);
-  Status run_processes(const RunSpec& run, int attempt);
-  Status cleanup_run(const RunSpec& run);
+  /// Retry loop around RunExecutor::execute_run for one run.  On abort the
+  /// attempt's partial data is discarded from `platform`'s store.  Adds the
+  /// number of aborted attempts to `aborted`.
+  Status execute_with_retries(RunExecutor& executor, SimPlatform& platform,
+                              const RunSpec& run, int& aborted);
+
+  /// Control-channel RPC used for experiment_init / experiment_exit.
+  Status node_rpc(const std::string& concrete_node, const std::string& method);
+
+  Status run_all_sequential(const std::vector<const RunSpec*>& todo);
+  Status run_all_sharded(const std::vector<const RunSpec*>& todo,
+                         std::size_t workers);
 
   const ExperimentDescription& description_;
   SimPlatform& platform_;
   MasterOptions options_;
   std::unique_ptr<TreatmentPlan> plan_;
-  const RunSpec* current_run_ = nullptr;
-  faults::FaultHandle env_drop_all_;
+  std::unique_ptr<RunExecutor> executor_;  ///< drives the master's platform
+  std::mutex progress_mutex_;
   int aborted_attempts_ = 0;
   bool experiment_initialized_ = false;
 };

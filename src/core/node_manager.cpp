@@ -307,14 +307,18 @@ Status NodeManager::experiment_init() {
 Status NodeManager::experiment_exit() {
   log_.info("experiment_exit");
   platform_.recorder().record(name_, "experiment_exit");
-  // Persist this node's log into its level-2 store.
-  platform_.level2().node(name_).append_log(log_.text());
+  // The log was flushed run by run (run_exit); experiment-scope lines are
+  // not persisted so the stored log is independent of which platform
+  // instance (master or worker replica) executed each run.
   log_.clear();
   return {};
 }
 
 Status NodeManager::run_init(std::int64_t run_id) {
   current_run_ = run_id;
+  // Drop buffered experiment-scope lines so this run's log segment holds
+  // exactly the lines logged between run_init and run_exit.
+  log_.clear();
   log_.info(strings::format("run_init %lld", static_cast<long long>(run_id)));
   platform_.recorder().record(name_, "run_init", Value{run_id});
   return {};
@@ -342,6 +346,10 @@ Status NodeManager::run_exit(std::int64_t run_id) {
 
   log_.info(strings::format("run_exit %lld", static_cast<long long>(run_id)));
   platform_.recorder().record(name_, "run_exit", Value{run_id});
+  // Flush this run's log lines as a run-scoped segment: discard_run can
+  // drop an aborted attempt's lines and the run-parallel merge can splice
+  // the segment in at the right position.
+  platform_.level2().node(name_).append_run_log(run_id, log_.take());
   return {};
 }
 

@@ -1,6 +1,7 @@
 #include "core/plan.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/strings.hpp"
 
@@ -162,12 +163,11 @@ Result<TreatmentPlan> TreatmentPlan::generate(
 
 std::vector<const RunSpec*> TreatmentPlan::remaining(
     const std::vector<std::int64_t>& completed) const {
+  std::unordered_set<std::int64_t> done(completed.begin(), completed.end());
   std::vector<const RunSpec*> out;
+  out.reserve(runs_.size() - std::min(done.size(), runs_.size()));
   for (const RunSpec& run : runs_) {
-    if (std::find(completed.begin(), completed.end(), run.run_id) ==
-        completed.end()) {
-      out.push_back(&run);
-    }
+    if (done.count(run.run_id) == 0) out.push_back(&run);
   }
   return out;
 }

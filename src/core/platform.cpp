@@ -272,4 +272,23 @@ void SimPlatform::reset_run_state() {
   network_->reset_stats();
 }
 
+void SimPlatform::begin_run(std::int64_t run_id, int attempt) {
+  // Folding the attempt in gives retries fresh randomness while attempt 1
+  // stays a pure function of (seed, run id) across worker layouts.
+  RngFactory rf = RngFactory(config_.seed)
+                      .sub("run", static_cast<std::uint64_t>(run_id))
+                      .sub("attempt", static_cast<std::uint64_t>(attempt));
+  sync_rng_ = rf.stream("time-sync");
+  network_->begin_run(rf.derive_seed("network"));
+}
+
+Result<std::unique_ptr<SimPlatform>> SimPlatform::replicate(
+    const ExperimentDescription& description) const {
+  SimPlatformConfig config = config_;
+  // setup() moved the topology into the network; read the live copy back so
+  // replicas see runtime link-model changes made before replication.
+  config.topology = network_->topology();
+  return create(description, std::move(config));
+}
+
 }  // namespace excovery::core

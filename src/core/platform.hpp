@@ -123,6 +123,22 @@ class SimPlatform {
   /// multicast dedup state, stop stray faults and traffic (§IV-C1).
   void reset_run_state();
 
+  /// Rebase every order-dependent random stream on a substream keyed by
+  /// (experiment seed, run id, attempt): the time-sync exchange delays and
+  /// the network's loss/jitter/clock-read streams.  After this call a run's
+  /// randomness is independent of which runs executed before it on this
+  /// platform instance, so runs can execute out of order or on worker
+  /// replicas and still draw identical values (DESIGN.md §10).
+  void begin_run(std::int64_t run_id, int attempt = 1);
+
+  /// Cheap replica: a fresh platform with this platform's configuration
+  /// (including any runtime link-model changes, since the topology is read
+  /// back from the live network).  Replicas start with a zeroed scheduler
+  /// clock and empty level-2 store; the run executor gives each worker its
+  /// own replica so runs can execute concurrently.
+  Result<std::unique_ptr<SimPlatform>> replicate(
+      const ExperimentDescription& description) const;
+
  private:
   SimPlatform(const ExperimentDescription& description,
               SimPlatformConfig config);

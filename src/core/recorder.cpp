@@ -11,6 +11,10 @@ EventRecorder::EventRecorder(sim::Scheduler& scheduler,
 void EventRecorder::begin_run(std::int64_t run_id) {
   run_id_ = run_id;
   history_.clear();
+  // Node-store pointers can be invalidated between runs (discard_run /
+  // clear on retry); the cache is only trusted within one run.
+  cached_node_ = nullptr;
+  cached_name_.clear();
 }
 
 void EventRecorder::record(const std::string& node, std::string_view type,
@@ -24,7 +28,13 @@ void EventRecorder::record(const std::string& node, std::string_view type,
                                 : scheduler_.now().nanos();
   raw.type = std::string(type);
   raw.parameter = parameter;
-  level2_.node(node).record_event(std::move(raw));
+  // Events cluster by node (one interpreter step emits several on the same
+  // node), so caching the last store skips the map lookup on the hot path.
+  if (cached_node_ == nullptr || cached_name_ != node) {
+    cached_node_ = &level2_.node(node);
+    cached_name_ = node;
+  }
+  cached_node_->record_event(std::move(raw));
 
   // (2)+(3) reference-time publication for flow control.
   sim::BusEvent event;

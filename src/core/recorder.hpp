@@ -64,6 +64,9 @@ class EventRecorder {
   std::vector<sim::BusEvent> history_;
   std::int64_t run_id_ = 0;
   std::uint64_t recorded_ = 0;
+  /// Last-node store cache (valid within one run; reset by begin_run).
+  std::string cached_name_;
+  storage::NodeStore* cached_node_ = nullptr;
 };
 
 }  // namespace excovery::core

@@ -1,0 +1,268 @@
+#include "core/run_executor.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace excovery::core {
+
+RunExecutor::RunExecutor(const ExperimentDescription& description,
+                         SimPlatform& platform, RunExecutorOptions options)
+    : description_(description),
+      platform_(platform),
+      options_(std::move(options)) {}
+
+sim::SimTime RunExecutor::run_epoch(std::int64_t run_id) const noexcept {
+  // Worst case per attempt: the full watchdog plus the settle drain; one
+  // extra second absorbs preparation/clean-up time.  Sizing the slot for
+  // every allowed attempt keeps a retried run inside its own slot, so the
+  // *next* run still starts exactly at its epoch.
+  std::int64_t attempt_ns = options_.run_watchdog.nanos() +
+                            options_.settle.nanos() +
+                            sim::SimDuration::from_seconds(1).nanos();
+  std::int64_t stride = attempt_ns * options_.max_attempts_per_run;
+  return sim::SimTime((run_id - 1) * stride);
+}
+
+Status RunExecutor::execute_run(const RunSpec& run, int attempt) {
+  // Fast-forward to the run's canonical epoch (a no-op when the clock is
+  // already past it, e.g. on retries).  Leftover timers from earlier runs
+  // on this instance fire as gated no-ops during the jump; only then are
+  // the per-run random substreams rebased, so the streams the run consumes
+  // are untouched by the drain.
+  platform_.scheduler().run_until(run_epoch(run.run_id));
+  platform_.begin_run(run.run_id, attempt);
+
+  current_run_ = &run;
+  Status status = prepare_run(run);
+  if (status.ok()) status = run_processes(run, attempt);
+  // Clean-up happens even after a failed execution phase.
+  Status cleanup = cleanup_run(run);
+  current_run_ = nullptr;
+  if (!status.ok()) return status;
+  if (!cleanup.ok()) return cleanup;
+  platform_.level2().mark_run_complete(run.run_id);
+  return {};
+}
+
+Status RunExecutor::prepare_run(const RunSpec& run) {
+  // "During preparation, the whole environment of the experiment process
+  // must be reset to a defined initial working condition ... network
+  // packets generated in previous runs must be dropped on all
+  // participants."
+  platform_.reset_run_state();
+  platform_.recorder().begin_run(run.run_id);
+
+  sim::SimTime run_start = platform_.scheduler().now();
+  for (const std::string& node : platform_.node_names()) {
+    ValueMap args;
+    args["run_id"] = Value{run.run_id};
+    EXC_TRY(node_action(node, "run_init", args));
+
+    // "Preliminary measurements ... such as clock offsets for all
+    // participants" (§IV-C1); stored on the master (§IV-B5).
+    storage::SyncMeasurement sync;
+    sync.run_id = run.run_id;
+    sync.node = node;
+    sync.offset_ns = platform_.measure_offset(node);
+    sync.run_start_ns = run_start.nanos();
+    platform_.level2().add_sync(sync);
+  }
+  return {};
+}
+
+Status RunExecutor::run_processes(const RunSpec& run, int attempt) {
+  // Build interpreters: one per (actor process, mapped node), one per
+  // manipulation process, one per environment process.
+  std::vector<std::unique_ptr<ProcessInterpreter>> interpreters;
+
+  for (const ActorProcess& process : description_.actor_processes) {
+    auto it = run.actor_map.find(process.actor_id);
+    if (it == run.actor_map.end()) continue;  // actor unmapped in this run
+    for (const std::string& abstract : it->second) {
+      EXC_ASSIGN_OR_RETURN(std::string concrete,
+                           platform_.concrete_name(abstract));
+      interpreters.push_back(std::make_unique<ProcessInterpreter>(
+          platform_, description_, run, *this, ProcessInterpreter::Kind::kActor,
+          concrete, process.actions,
+          process.name + "@" + concrete));
+    }
+  }
+  for (const ManipulationProcess& process :
+       description_.manipulation_processes) {
+    EXC_ASSIGN_OR_RETURN(std::string concrete,
+                         platform_.concrete_name(process.node_id));
+    interpreters.push_back(std::make_unique<ProcessInterpreter>(
+        platform_, description_, run, *this,
+        ProcessInterpreter::Kind::kManipulation, concrete, process.actions,
+        "manipulation@" + concrete));
+  }
+  for (const EnvProcess& process : description_.env_processes) {
+    interpreters.push_back(std::make_unique<ProcessInterpreter>(
+        platform_, description_, run, *this,
+        ProcessInterpreter::Kind::kEnvironment, "", process.actions, "env"));
+  }
+
+  std::size_t open = interpreters.size();
+  std::optional<Error> first_error;
+  for (auto& interpreter : interpreters) {
+    interpreter->start([&open, &first_error](const ProcessInterpreter& done) {
+      --open;
+      if (done.state() == ProcessInterpreter::State::kFailed &&
+          !first_error) {
+        first_error = done.error();
+      }
+    });
+  }
+
+  // Test hook: simulate a mid-run platform failure.
+  bool forced_abort = false;
+  if (options_.abort_hook && options_.abort_hook(run.run_id, attempt)) {
+    platform_.scheduler().schedule(
+        sim::SimDuration::from_millis(10),
+        [&forced_abort] { forced_abort = true; });
+  }
+
+  // Drive the simulation until all processes finish or the watchdog fires.
+  sim::SimTime deadline = platform_.scheduler().now() + options_.run_watchdog;
+  while (open > 0 && !forced_abort) {
+    if (platform_.scheduler().now() >= deadline) break;
+    if (platform_.scheduler().idle()) {
+      // No pending events but processes still open: a wait with no timeout
+      // can never complete.  Abort rather than spin.
+      return err_aborted(strings::format(
+          "run %lld deadlocked: %zu process(es) waiting with no pending "
+          "events",
+          static_cast<long long>(run.run_id), open));
+    }
+    platform_.scheduler().step();
+  }
+  if (forced_abort) {
+    return err_aborted("platform failure injected by abort hook");
+  }
+  if (open > 0) {
+    return err_aborted(strings::format(
+        "run %lld hit the %0.1fs watchdog with %zu process(es) unfinished",
+        static_cast<long long>(run.run_id), options_.run_watchdog.seconds(),
+        open));
+  }
+  if (first_error) return *first_error;
+
+  // Let in-flight packets drain so captures are complete.
+  platform_.scheduler().run_until(platform_.scheduler().now() +
+                                  options_.settle);
+  return {};
+}
+
+Status RunExecutor::cleanup_run(const RunSpec& run) {
+  // Environment manipulations end with the run.
+  platform_.traffic().stop();
+  if (env_drop_all_) {
+    env_drop_all_->stop();
+    env_drop_all_.reset();
+  }
+  for (const std::string& node : platform_.node_names()) {
+    ValueMap args;
+    args["run_id"] = Value{run.run_id};
+    EXC_TRY(node_action(node, "run_exit", args));
+  }
+  return {};
+}
+
+Status RunExecutor::node_action(const std::string& concrete_node,
+                                const std::string& method, ValueMap params) {
+  rpc::RpcClient client = platform_.client(concrete_node);
+  Result<Value> outcome =
+      client.call(method, ValueArray{Value{std::move(params)}});
+  if (!outcome.ok()) return std::move(outcome).error();
+  return {};
+}
+
+Status RunExecutor::env_action(const std::string& method, ValueMap params) {
+  if (!current_run_) return err_state("environment action outside a run");
+  const RunSpec& run = *current_run_;
+
+  if (method == "env_traffic_start") {
+    faults::TrafficConfig config;
+    if (auto it = params.find("bw"); it != params.end()) {
+      EXC_ASSIGN_OR_RETURN(config.rate_kbps, it->second.to_double());
+    }
+    if (auto it = params.find("random_pairs"); it != params.end()) {
+      EXC_ASSIGN_OR_RETURN(std::int64_t pairs, it->second.to_int());
+      config.pairs = static_cast<int>(pairs);
+    }
+    if (auto it = params.find("choice"); it != params.end()) {
+      EXC_ASSIGN_OR_RETURN(config.choice,
+                           faults::parse_pair_choice(it->second.to_text()));
+    }
+    if (auto it = params.find("random_seed"); it != params.end()) {
+      EXC_ASSIGN_OR_RETURN(std::int64_t seed, it->second.to_int());
+      config.pair_seed = static_cast<std::uint64_t>(seed);
+    }
+    if (auto it = params.find("random_switch_amount"); it != params.end()) {
+      EXC_ASSIGN_OR_RETURN(std::int64_t amount, it->second.to_int());
+      config.switch_amount = static_cast<int>(amount);
+    }
+    if (auto it = params.find("random_switch_seed"); it != params.end()) {
+      EXC_ASSIGN_OR_RETURN(std::int64_t seed, it->second.to_int());
+      config.switch_seed = static_cast<std::uint64_t>(seed);
+    }
+
+    // Acting nodes of this run (concrete), environment nodes from the
+    // platform.
+    std::vector<net::NodeId> acting;
+    for (const std::string& abstract : run.acting_nodes()) {
+      EXC_ASSIGN_OR_RETURN(std::string concrete,
+                           platform_.concrete_name(abstract));
+      EXC_ASSIGN_OR_RETURN(net::NodeId id, platform_.node_id(concrete));
+      acting.push_back(id);
+    }
+    std::vector<net::NodeId> environment;
+    for (const std::string& name : platform_.environment_node_names()) {
+      EXC_ASSIGN_OR_RETURN(net::NodeId id, platform_.node_id(name));
+      environment.push_back(id);
+    }
+    EXC_TRY(platform_.traffic().start(
+        config, acting, environment,
+        static_cast<std::uint64_t>(run.replication)));
+    platform_.recorder().record(kEnvironmentNode, "env_traffic_start",
+                                Value{static_cast<std::int64_t>(
+                                    platform_.traffic().active_pairs().size())});
+    return {};
+  }
+  if (method == "env_traffic_stop") {
+    platform_.traffic().stop();
+    platform_.recorder().record(kEnvironmentNode, "env_traffic_stop");
+    return {};
+  }
+  if (method == "env_drop_all_start") {
+    if (env_drop_all_) return err_state("drop_all already active");
+    faults::TemporalSpec temporal;  // until stopped
+    EXC_ASSIGN_OR_RETURN(env_drop_all_,
+                         platform_.injector().drop_all_packets(temporal));
+    return {};
+  }
+  if (method == "env_drop_all_stop") {
+    if (!env_drop_all_) return err_state("drop_all not active");
+    env_drop_all_->stop();
+    env_drop_all_.reset();
+    return {};
+  }
+  if (method == "event_flag") {
+    // Environment-scope event flags arrive here when raised through the
+    // dispatcher (interpreter flow control already handles the common case).
+    auto it = params.find("value");
+    if (it == params.end()) return err_invalid("event_flag needs a value");
+    platform_.recorder().record(kEnvironmentNode,
+                                strings::strip_quotes(it->second.to_text()));
+    return {};
+  }
+  // Node-targeted fault actions prefixed env_ run on every node: not in the
+  // default set; extensions land here.
+  return err_unsupported("unknown environment action '" + method + "'");
+}
+
+}  // namespace excovery::core

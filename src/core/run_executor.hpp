@@ -1,0 +1,77 @@
+// Single-run execution engine, shared by the sequential and the sharded
+// (run-parallel) paths of ExperiMaster (DESIGN.md §10).
+//
+// One RunExecutor drives runs on one platform instance — the master's own
+// platform in sequential mode, a worker-owned replica in parallel mode.
+// Every run starts from the same defined initial condition (§IV-C1):
+//   * the scheduler is fast-forwarded to the run's canonical epoch, a
+//     simulated-time slot derived from the run id alone, so timestamps do
+//     not depend on which runs executed before on this instance;
+//   * every order-dependent random stream is rebased on the per-run
+//     substream (SimPlatform::begin_run);
+//   * leftover packets/faults/traffic are cleared (reset_run_state).
+// Together these make a run's recorded data a pure function of
+// (description, platform config, run id, attempt) — the invariant the
+// deterministic level-2 merge relies on.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/description.hpp"
+#include "core/interpreter.hpp"
+#include "core/plan.hpp"
+#include "core/platform.hpp"
+
+namespace excovery::core {
+
+struct RunExecutorOptions {
+  /// Attempts per run before the experiment gives up; also sizes the
+  /// per-run epoch stride so retries never overrun the next run's slot.
+  int max_attempts_per_run = 3;
+  /// Simulated-time watchdog per run; a run whose processes have not all
+  /// completed by then is aborted (and resumed/retried).
+  sim::SimDuration run_watchdog = sim::SimDuration::from_seconds(300);
+  /// Extra simulated settle time after the last process finishes, letting
+  /// in-flight packets drain before clean-up.
+  sim::SimDuration settle = sim::SimDuration::from_millis(200);
+  /// Test hook: force the given (run_id, attempt) to abort mid-run.  May be
+  /// invoked from worker threads in parallel mode.
+  std::function<bool(std::int64_t run_id, int attempt)> abort_hook;
+};
+
+class RunExecutor : public ActionDispatcher {
+ public:
+  RunExecutor(const ExperimentDescription& description, SimPlatform& platform,
+              RunExecutorOptions options);
+
+  /// Canonical simulated-time start of a run: every run gets its own slot,
+  /// wide enough for max_attempts_per_run worst-case attempts, so a run's
+  /// timestamps are identical no matter which instance executes it.
+  sim::SimTime run_epoch(std::int64_t run_id) const noexcept;
+
+  /// Execute one run: fast-forward to its epoch, rebase the per-run RNG
+  /// substreams, then run preparation / execution / clean-up.  Marks the
+  /// run complete in the platform's level-2 store on success.
+  Status execute_run(const RunSpec& run, int attempt = 1);
+
+  SimPlatform& platform() noexcept { return platform_; }
+
+ private:
+  // ActionDispatcher implementation ----------------------------------------
+  Status node_action(const std::string& concrete_node,
+                     const std::string& method, ValueMap params) override;
+  Status env_action(const std::string& method, ValueMap params) override;
+
+  Status prepare_run(const RunSpec& run);
+  Status run_processes(const RunSpec& run, int attempt);
+  Status cleanup_run(const RunSpec& run);
+
+  const ExperimentDescription& description_;
+  SimPlatform& platform_;
+  RunExecutorOptions options_;
+  const RunSpec* current_run_ = nullptr;
+  faults::FaultHandle env_drop_all_;
+};
+
+}  // namespace excovery::core

@@ -158,6 +158,25 @@ void Network::reset_run_state() {
   }
 }
 
+void Network::begin_run(std::uint64_t run_seed) {
+  RngFactory rf(run_seed);
+  loss_rng_ = rf.stream("net-loss");
+  jitter_rng_ = rf.stream("net-jitter");
+  for (std::size_t node = 0; node < nodes_.size(); ++node) {
+    nodes_[node].clock.reseed_jitter(rf.derive_seed("clock-jitter", node));
+  }
+  // Packet identifiers are embedded in the capture wire format, so they are
+  // rebased per run like the RNG streams: a run's captures must not encode
+  // how many packets earlier runs happened to send on this platform
+  // instance.  The dedup sets are cleared with them — a uid from a previous
+  // run must not suppress a fresh packet that was assigned the same id.
+  next_uid_ = 1;
+  for (NodeState& state : nodes_) {
+    state.next_tag = 1;
+    state.seen_uids.clear();
+  }
+}
+
 Status Network::set_link_model(NodeId a, NodeId b, const LinkModel& model) {
   LinkModel* link = topology_.mutable_link_between(a, b);
   if (!link) {

@@ -143,6 +143,13 @@ class Network {
   /// previous runs must be dropped", §IV-C1).
   void reset_run_state();
 
+  /// Rebase every network-owned random stream (link loss, delay jitter,
+  /// per-node clock-read jitter) on a run-scoped seed.  Makes a run's
+  /// network randomness a function of the seed alone rather than of the
+  /// draw counts of whatever ran before on this platform instance — the
+  /// prerequisite for executing runs out of order or on worker replicas.
+  void begin_run(std::uint64_t run_seed);
+
   /// Degrade or restore a specific link at runtime (used by environment
   /// manipulations); rebuilds routing.
   Status set_link_model(NodeId a, NodeId b, const LinkModel& model);

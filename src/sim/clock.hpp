@@ -38,6 +38,13 @@ class LocalClock {
   /// Local reading at global time `global` (with jitter, if configured).
   SimTime read(SimTime global);
 
+  /// Restart the jitter stream from a fresh seed.  Called at run start so a
+  /// run's clock-read jitter depends only on (experiment seed, run id), not
+  /// on how many reads earlier runs performed.
+  void reseed_jitter(std::uint64_t jitter_seed) noexcept {
+    jitter_rng_ = Pcg32(jitter_seed, jitter_seed ^ 0x9E3779B9ULL);
+  }
+
   /// Noise-free local time at a given global time.
   SimTime local_at(SimTime global) const noexcept;
 

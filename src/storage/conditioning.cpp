@@ -149,8 +149,9 @@ Result<ExperimentPackage> condition(const Level2Store& level2,
   // experiment-measurement id sequence.
   std::int64_t measurement_id = 1;
   for (NodeShard& shard : shards) {
-    if (!shard.store->log().empty()) {
-      EXC_TRY(package.add_log(shard.node_name, shard.store->log()));
+    std::string node_log = shard.store->log();
+    if (!node_log.empty()) {
+      EXC_TRY(package.add_log(shard.node_name, std::move(node_log)));
     }
     for (const EventRow& row : shard.events) {
       EXC_TRY(package.add_event(row));

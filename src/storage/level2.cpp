@@ -8,6 +8,66 @@
 
 namespace excovery::storage {
 
+namespace {
+
+/// Move every element of `run_id` out of `src` (order preserved),
+/// compacting `src` in place.
+template <typename T>
+std::vector<T> take_run(std::vector<T>& src, std::int64_t run_id) {
+  std::vector<T> out;
+  auto keep = src.begin();
+  for (auto it = src.begin(); it != src.end(); ++it) {
+    if (it->run_id == run_id) {
+      out.push_back(std::move(*it));
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  src.erase(keep, src.end());
+  return out;
+}
+
+/// Insert `src` where ascending run-id order dictates: before the first
+/// element of a later run.  Run-scoped elements are kept in run order and
+/// experiment-scoped ones (run_id -1) only precede run data, so the common
+/// case — nothing from a later run yet — is a plain append.
+template <typename T>
+void insert_run_ordered(std::vector<T>& dst, std::vector<T>&& src,
+                        std::int64_t run_id) {
+  if (src.empty()) return;
+  auto pos = dst.end();
+  if (!dst.empty() && dst.back().run_id > run_id) {
+    pos = std::find_if(dst.begin(), dst.end(), [run_id](const T& item) {
+      return item.run_id > run_id;
+    });
+  }
+  dst.insert(pos, std::make_move_iterator(src.begin()),
+             std::make_move_iterator(src.end()));
+}
+
+}  // namespace
+
+void NodeStore::set_experiment_blob(const std::string& name,
+                                    std::string content) {
+  for (NamedBlob& blob : blobs_) {
+    if (blob.run_id < 0 && blob.name == name) {
+      blob.content = std::move(content);
+      return;
+    }
+  }
+  blobs_.push_back({-1, name, std::move(content)});
+}
+
+std::string NodeStore::log() const {
+  std::string out;
+  std::size_t total = 0;
+  for (const LogSegment& segment : log_segments_) total += segment.text.size();
+  out.reserve(total);
+  for (const LogSegment& segment : log_segments_) out += segment.text;
+  return out;
+}
+
 void NodeStore::discard_run(std::int64_t run_id) {
   auto run_matches = [run_id](const auto& item) {
     return item.run_id == run_id;
@@ -21,6 +81,27 @@ void NodeStore::discard_run(std::int64_t run_id) {
   plugin_data_.erase(
       std::remove_if(plugin_data_.begin(), plugin_data_.end(), run_matches),
       plugin_data_.end());
+  log_segments_.erase(std::remove_if(log_segments_.begin(),
+                                     log_segments_.end(), run_matches),
+                      log_segments_.end());
+}
+
+RunNodeData NodeStore::extract_run(std::int64_t run_id) {
+  RunNodeData data;
+  data.events = take_run(events_, run_id);
+  data.packets = take_run(packets_, run_id);
+  data.blobs = take_run(blobs_, run_id);
+  data.plugin_data = take_run(plugin_data_, run_id);
+  data.log_segments = take_run(log_segments_, run_id);
+  return data;
+}
+
+void NodeStore::merge_run(std::int64_t run_id, RunNodeData data) {
+  insert_run_ordered(events_, std::move(data.events), run_id);
+  insert_run_ordered(packets_, std::move(data.packets), run_id);
+  insert_run_ordered(blobs_, std::move(data.blobs), run_id);
+  insert_run_ordered(plugin_data_, std::move(data.plugin_data), run_id);
+  insert_run_ordered(log_segments_, std::move(data.log_segments), run_id);
 }
 
 void NodeStore::clear() {
@@ -28,12 +109,12 @@ void NodeStore::clear() {
   packets_.clear();
   blobs_.clear();
   plugin_data_.clear();
-  log_.clear();
+  log_segments_.clear();
 }
 
 Bytes NodeStore::serialize() const {
   ByteWriter w;
-  w.u32(0x4E533200);  // "NS2\0"
+  w.u32(0x4E533300);  // "NS3\0"
   w.u64(events_.size());
   for (const RawEvent& event : events_) {
     w.i64(event.run_id);
@@ -58,14 +139,22 @@ Bytes NodeStore::serialize() const {
   };
   write_blobs(blobs_);
   write_blobs(plugin_data_);
-  w.string(log_);
+  w.u64(log_segments_.size());
+  for (const LogSegment& segment : log_segments_) {
+    w.i64(segment.run_id);
+    w.string(segment.text);
+  }
   return w.take();
 }
 
 Result<NodeStore> NodeStore::deserialize(const Bytes& data) {
   ByteReader r(data);
   EXC_ASSIGN_OR_RETURN(std::uint32_t magic, r.u32());
-  if (magic != 0x4E533200) return err_io("not a node store blob");
+  // 0x4E533200 ("NS2"): single concatenated log string at the tail.
+  // 0x4E533300 ("NS3"): run-scoped log segments.
+  if (magic != 0x4E533200 && magic != 0x4E533300) {
+    return err_io("not a node store blob");
+  }
   NodeStore store;
   EXC_ASSIGN_OR_RETURN(std::uint64_t event_count, r.u64());
   for (std::uint64_t i = 0; i < event_count; ++i) {
@@ -98,7 +187,20 @@ Result<NodeStore> NodeStore::deserialize(const Bytes& data) {
   };
   EXC_TRY(read_blobs(store.blobs_));
   EXC_TRY(read_blobs(store.plugin_data_));
-  EXC_ASSIGN_OR_RETURN(store.log_, r.string());
+  if (magic == 0x4E533200) {
+    // Legacy store: the whole log becomes one experiment-scoped segment.
+    std::string legacy_log;
+    EXC_ASSIGN_OR_RETURN(legacy_log, r.string());
+    store.append_log(std::move(legacy_log));
+  } else {
+    EXC_ASSIGN_OR_RETURN(std::uint64_t segment_count, r.u64());
+    for (std::uint64_t i = 0; i < segment_count; ++i) {
+      LogSegment segment;
+      EXC_ASSIGN_OR_RETURN(segment.run_id, r.i64());
+      EXC_ASSIGN_OR_RETURN(segment.text, r.string());
+      store.log_segments_.push_back(std::move(segment));
+    }
+  }
   return store;
 }
 
@@ -137,6 +239,24 @@ void Level2Store::discard_run(std::int64_t run_id) {
   completed_runs_.erase(
       std::remove(completed_runs_.begin(), completed_runs_.end(), run_id),
       completed_runs_.end());
+}
+
+RunData Level2Store::extract_run(std::int64_t run_id) {
+  RunData data;
+  data.run_id = run_id;
+  for (auto& [name, store] : nodes_) {
+    RunNodeData node_data = store.extract_run(run_id);
+    if (!node_data.empty()) data.nodes.emplace(name, std::move(node_data));
+  }
+  data.syncs = take_run(syncs_, run_id);
+  return data;
+}
+
+void Level2Store::merge_run(RunData data) {
+  for (auto& [name, node_data] : data.nodes) {
+    nodes_[name].merge_run(data.run_id, std::move(node_data));
+  }
+  insert_run_ordered(syncs_, std::move(data.syncs), data.run_id);
 }
 
 void Level2Store::clear() {

@@ -12,6 +12,12 @@
 // plus one for the master) so that collection and resume-after-abort can
 // pick it up, mirroring the prototype's "special hierarchy on a file
 // system".
+//
+// Run extraction/merge (extract_run / merge_run) is the level-2 half of the
+// run-parallel executor (DESIGN.md §10): worker replicas record into private
+// stores, the master pulls each finished run out and splices it in at the
+// position run-id order dictates, so the merged store is byte-identical to
+// one produced by sequential execution.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +53,28 @@ struct NamedBlob {
   std::string content;
 };
 
+/// One flushed chunk of a node's log.  Run-scoped segments let
+/// discard_run drop an aborted run's log lines and let merge_run splice a
+/// run's lines in at the right position.
+struct LogSegment {
+  std::int64_t run_id = -1;  ///< -1 = experiment-scoped
+  std::string text;
+};
+
+/// Everything one node recorded for a single run, in recording order.
+struct RunNodeData {
+  std::vector<RawEvent> events;
+  std::vector<RawPacket> packets;
+  std::vector<NamedBlob> blobs;
+  std::vector<NamedBlob> plugin_data;
+  std::vector<LogSegment> log_segments;
+
+  bool empty() const noexcept {
+    return events.empty() && packets.empty() && blobs.empty() &&
+           plugin_data.empty() && log_segments.empty();
+  }
+};
+
 /// Per-node temporary storage.
 class NodeStore {
  public:
@@ -61,13 +89,24 @@ class NodeStore {
   void add_experiment_blob(std::string name, std::string content) {
     blobs_.push_back({-1, std::move(name), std::move(content)});
   }
+  /// Add or replace an experiment-scoped blob by name.  Replacement keeps
+  /// the original position, so a resumed experiment that re-takes the same
+  /// measurement reproduces the blob order of an uninterrupted one.
+  void set_experiment_blob(const std::string& name, std::string content);
   /// Plugin measurements live in their own location (§IV-B5).
   void add_plugin_measurement(std::int64_t run_id, std::string plugin,
                               std::string name, std::string content) {
     plugin_data_.push_back(
         {run_id, plugin + "/" + std::move(name), std::move(content)});
   }
-  void append_log(const std::string& text) { log_ += text; }
+  /// Append an experiment-scoped log chunk.
+  void append_log(std::string text) {
+    if (!text.empty()) log_segments_.push_back({-1, std::move(text)});
+  }
+  /// Append a run-scoped log chunk (flushed by the node at run exit).
+  void append_run_log(std::int64_t run_id, std::string text) {
+    if (!text.empty()) log_segments_.push_back({run_id, std::move(text)});
+  }
 
   const std::vector<RawEvent>& events() const noexcept { return events_; }
   const std::vector<RawPacket>& packets() const noexcept { return packets_; }
@@ -75,10 +114,21 @@ class NodeStore {
   const std::vector<NamedBlob>& plugin_data() const noexcept {
     return plugin_data_;
   }
-  const std::string& log() const noexcept { return log_; }
+  const std::vector<LogSegment>& log_segments() const noexcept {
+    return log_segments_;
+  }
+  /// The node's full log, segments concatenated in order.
+  std::string log() const;
 
   /// Drop data belonging to one run (used when an aborted run is re-done).
   void discard_run(std::int64_t run_id);
+
+  /// Move out everything belonging to one run, preserving recording order.
+  RunNodeData extract_run(std::int64_t run_id);
+  /// Splice a run's data in where run-id order dictates: appended when this
+  /// store holds nothing from a later run, otherwise inserted before the
+  /// first element of the next run.
+  void merge_run(std::int64_t run_id, RunNodeData data);
 
   void clear();
 
@@ -90,7 +140,7 @@ class NodeStore {
   std::vector<RawPacket> packets_;
   std::vector<NamedBlob> blobs_;
   std::vector<NamedBlob> plugin_data_;
-  std::string log_;
+  std::vector<LogSegment> log_segments_;
 };
 
 /// Time-sync estimate for one (run, node), held by the master.
@@ -99,6 +149,15 @@ struct SyncMeasurement {
   std::string node;
   std::int64_t offset_ns = 0;      ///< estimated local - reference offset
   std::int64_t run_start_ns = 0;   ///< reference-time start of the run
+};
+
+/// All level-2 data one run produced across every node plus the master's
+/// sync measurements — the unit moved from a worker replica's store into
+/// the master store.
+struct RunData {
+  std::int64_t run_id = 0;
+  std::map<std::string, RunNodeData> nodes;
+  std::vector<SyncMeasurement> syncs;
 };
 
 /// The complete level-2 store: per-node stores plus master-side data.
@@ -125,6 +184,13 @@ class Level2Store {
 
   /// Drop all traces of a run on every node (resume of an aborted run).
   void discard_run(std::int64_t run_id);
+
+  /// Move one run's data out of this store (a worker shard hands its run to
+  /// the master this way).  Does not touch the completed-run markers.
+  RunData extract_run(std::int64_t run_id);
+  /// Splice a run's data in at the position ascending run-id order
+  /// dictates on every node and in the sync list.
+  void merge_run(RunData data);
 
   void clear();
 
