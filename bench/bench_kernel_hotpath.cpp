@@ -208,7 +208,11 @@ void BM_UnicastChain(benchmark::State& state) {
                [&delivered](NodeId, const Packet&) { ++delivered; });
   auto send_one = [&] {
     Packet packet;
-    packet.dst = Address::for_node(static_cast<std::uint32_t>(last));
+    // Node addresses are for_node(id + 1) — .0 is reserved — so resolve the
+    // destination through the topology; for_node(last) would address the
+    // previous node (which has no handler) and the packet would silently
+    // stop one hop short.
+    packet.dst = network.topology().node(last).address;
     packet.dst_port = 4000;
     packet.payload.assign(256, 0x5A);
     (void)network.send(0, std::move(packet));

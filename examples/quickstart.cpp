@@ -2,11 +2,20 @@
 // experiment — one publisher (SM), one requester (SU), two bystander nodes,
 // five replications on a simulated wireless mesh.
 //
-//   $ ./quickstart [--run-workers N]
+//   $ ./quickstart [--run-workers N] [--log-level LEVEL]
+//                  [--trace-out FILE] [--metrics-out FILE] [--packet-trace]
 //
 // --run-workers N executes the treatment plan's runs on N parallel platform
 // replicas (0 = hardware concurrency); the conditioned package is
 // bit-identical to the sequential default (DESIGN.md §10).
+//
+// --log-level sets the global log threshold (trace|debug|info|warn|error).
+// --trace-out writes a Chrome/Perfetto trace_event JSON file with a wall
+// track (workers, conditioning) and a simulated-time track (runs, and with
+// --packet-trace per-packet lifecycles); open it in https://ui.perfetto.dev.
+// --metrics-out writes the runtime metrics (counters, histograms and the
+// per-run ledger) as JSON.  All observability is out-of-band: the package
+// bytes are identical with and without these flags (DESIGN.md §11).
 //
 // The program walks the full ExCovery workflow (Fig. 3 of the paper):
 //   1. build the abstract experiment description (Fig. 9/10 processes),
@@ -14,27 +23,70 @@
 //   3. execute the treatment plan with the ExperiMaster,
 //   4. collect + condition measurements into a level-3 package,
 //   5. query the package: responsiveness and the run-1 event timeline.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "common/log.hpp"
 #include "core/master.hpp"
 #include "core/scenario.hpp"
+#include "obs/obs.hpp"
 #include "stats/analysis.hpp"
 
 using namespace excovery;
 
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--run-workers N] [--log-level "
+               "trace|debug|info|warn|error]\n"
+               "          [--trace-out FILE] [--metrics-out FILE] "
+               "[--packet-trace]\n",
+               prog);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   core::MasterOptions master_options;
+  std::string trace_out;
+  std::string metrics_out;
+  bool packet_trace = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--run-workers") == 0 && i + 1 < argc) {
       master_options.run_workers =
           static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
+      Result<LogLevel> level = parse_log_level(argv[++i]);
+      if (!level.ok()) {
+        std::fprintf(stderr, "--log-level: %s\n",
+                     level.error().to_string().c_str());
+        return 2;
+      }
+      Logger::instance().set_level(level.value());
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--packet-trace") == 0) {
+      packet_trace = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--run-workers N]\n", argv[0]);
-      return 2;
+      return usage(argv[0]);
     }
   }
+
+  // Observability: attach a context whenever any output was requested (a
+  // context costs nothing measurable and never changes the package bytes).
+  obs::ObsConfig obs_config;
+  obs_config.trace = !trace_out.empty();
+  obs_config.packet_trace = packet_trace;
+  obs::ObsContext obs(obs_config);
+  master_options.obs = &obs;
+
   // 1. The experiment description.  scenario::two_party_sd builds exactly
   //    the SM/SU processes of the paper's Figures 9 and 10.
   core::scenario::TwoPartyOptions options;
@@ -112,5 +164,32 @@ int main(int argc, char** argv) {
   std::printf("\npackage: %zu events, %zu packets across %zu runs\n",
               package.value().event_count(), package.value().packet_count(),
               package.value().run_ids().size());
+
+  // Observability exports: runtime metrics and the dual-track trace.
+  std::printf("\n=== runtime metrics (deterministic domain, excerpt) ===\n");
+  std::string deterministic = obs.format_deterministic_metrics();
+  std::fwrite(deterministic.data(), 1,
+              std::min<std::size_t>(deterministic.size(), 2000), stdout);
+  if (deterministic.size() > 2000) std::printf("...\n");
+  if (!metrics_out.empty()) {
+    Status written = obs.write_metrics_json(metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "metrics-out: %s\n",
+                   written.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    Status written = obs.trace().write_json(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n",
+                   written.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu events) — open in "
+                "https://ui.perfetto.dev\n",
+                trace_out.c_str(), obs.trace().size());
+  }
   return 0;
 }

@@ -16,6 +16,20 @@ std::string_view to_string(LogLevel level) noexcept {
   return "?";
 }
 
+Result<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower(text);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return err_invalid("unknown log level '" + std::string(text) +
+                     "' (expected trace|debug|info|warn|error)");
+}
+
 Logger& Logger::instance() {
   static Logger logger;
   return logger;

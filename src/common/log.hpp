@@ -10,12 +10,19 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
+
+#include "common/error.hpp"
 
 namespace excovery {
 
 enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError };
 
 std::string_view to_string(LogLevel level) noexcept;
+
+/// Parse a case-insensitive level name ("trace", "debug", "info", "warn" /
+/// "warning", "error") — the format CLI flags like --log-level accept.
+Result<LogLevel> parse_log_level(std::string_view text);
 
 /// Global logger with a pluggable sink.  Thread-safe.
 class Logger {
@@ -42,6 +49,22 @@ class Logger {
   std::mutex mutex_;
   LogLevel level_ = LogLevel::kWarn;
   Sink sink_;
+};
+
+/// RAII sink replacement: installs `sink` on construction and restores the
+/// previous sink when the scope ends, so a test that captures log output
+/// cannot leak its sink into later tests even on early return or throw.
+class ScopedSink {
+ public:
+  explicit ScopedSink(Logger::Sink sink)
+      : previous_(Logger::instance().set_sink(std::move(sink))) {}
+  ~ScopedSink() { Logger::instance().set_sink(std::move(previous_)); }
+
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  Logger::Sink previous_;
 };
 
 /// A per-component capturing log that also forwards to the global logger.
@@ -83,6 +106,8 @@ class CapturingLog {
     }                                                                     \
   } while (false)
 
+#define EXC_LOG_TRACE(component, message) \
+  EXC_LOG(::excovery::LogLevel::kTrace, component, message)
 #define EXC_LOG_DEBUG(component, message) \
   EXC_LOG(::excovery::LogLevel::kDebug, component, message)
 #define EXC_LOG_INFO(component, message) \

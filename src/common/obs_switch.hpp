@@ -1,0 +1,14 @@
+// Compile-time switch for the observability hot-path hooks (src/obs).
+//
+// The build defines EXCOVERY_OBS_ENABLED=0 when configured with
+// -DEXCOVERY_OBS=OFF; every instrumentation hook in the kernel, network and
+// thread-pool hot paths sits behind `#if EXCOVERY_OBS_ENABLED`, so the OFF
+// build collapses them to nothing and the instrumented layers compile to
+// exactly the uninstrumented code.  The obs library itself (registries,
+// trace buffers, exporters) stays available in both configurations — only
+// the per-operation hooks disappear.
+#pragma once
+
+#ifndef EXCOVERY_OBS_ENABLED
+#define EXCOVERY_OBS_ENABLED 1
+#endif

@@ -2,6 +2,16 @@
 
 namespace excovery {
 
+namespace {
+#if EXCOVERY_OBS_ENABLED
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+#endif
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
     workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -21,9 +31,24 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+void ThreadPool::enqueue(std::function<void()> fn) {
+  QueuedTask task;
+  task.fn = std::move(fn);
+#if EXCOVERY_OBS_ENABLED
+  if (observer_.load(std::memory_order_acquire) != nullptr) {
+    task.enqueued_ns = steady_now_ns();
+  }
+#endif
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -31,17 +56,21 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+#if EXCOVERY_OBS_ENABLED
+    if (ThreadPoolObserver* obs = observer_.load(std::memory_order_acquire)) {
+      const std::int64_t start = steady_now_ns();
+      const std::int64_t delay =
+          task.enqueued_ns > 0 ? start - task.enqueued_ns : 0;
+      task.fn();
+      obs->on_task(delay, steady_now_ns() - start);
+      continue;
+    }
+#endif
+    task.fn();
   }
 }
 
-void ThreadPool::post(std::function<void()> task) {
-  {
-    std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(task));
-  }
-  cv_.notify_one();
-}
+void ThreadPool::post(std::function<void()> task) { enqueue(std::move(task)); }
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {

@@ -37,14 +37,28 @@ struct ShardContext {
   std::mutex done_mutex;
   std::condition_variable done_cv;
   std::size_t finished = 0;
+  /// Workers that built an executor and have not yet retired.  wait_all
+  /// blocks on them too, so per-worker epilogue work (metric-shard merges)
+  /// is complete before the caller proceeds — pool-borrowed helpers are
+  /// never joined, only waited for.
+  std::size_t working = 0;
 
   void note_finished() {
     std::lock_guard lock(done_mutex);
     if (++finished == slots.size()) done_cv.notify_all();
   }
+  void note_worker_started() {
+    std::lock_guard lock(done_mutex);
+    ++working;
+  }
+  void note_worker_retired() {
+    std::lock_guard lock(done_mutex);
+    if (--working == 0) done_cv.notify_all();
+  }
   void wait_all() {
     std::unique_lock lock(done_mutex);
-    done_cv.wait(lock, [this] { return finished == slots.size(); });
+    done_cv.wait(lock,
+                 [this] { return finished == slots.size() && working == 0; });
   }
 };
 
@@ -64,6 +78,13 @@ ExperiMaster::ExperiMaster(const ExperimentDescription& description,
   }
   executor_ = std::make_unique<RunExecutor>(description_, platform_,
                                             executor_options());
+#if EXCOVERY_OBS_ENABLED
+  if (options_.obs != nullptr) {
+    obs_shard_ =
+        std::make_unique<obs::MetricsShard>(options_.obs->make_shard());
+    executor_->attach_obs(options_.obs, obs_shard_.get());
+  }
+#endif
 }
 
 RunExecutorOptions ExperiMaster::executor_options() const {
@@ -127,11 +148,32 @@ Result<storage::ExperimentPackage> ExperiMaster::execute() {
   }
   const bool gap_resume =
       !todo.empty() && todo.front()->run_id < max_completed;
+  progress_total_ = todo.size();
+  progress_done_.store(0, std::memory_order_relaxed);
+#if EXCOVERY_OBS_ENABLED
+  obs::WallSpan runs_span;
+  if (options_.obs != nullptr) {
+    runs_span = obs::WallSpan(
+        &options_.obs->trace(),
+        strings::format("execute %zu run(s), %zu worker(s)", todo.size(),
+                        std::max<std::size_t>(workers, 1)),
+        "master");
+  }
+#endif
   if (workers <= 1 && !gap_resume) {
     EXC_TRY(run_all_sequential(todo));
   } else if (!todo.empty()) {
     EXC_TRY(run_all_sharded(todo, std::max<std::size_t>(workers, 1)));
   }
+#if EXCOVERY_OBS_ENABLED
+  runs_span = obs::WallSpan();  // close the span before conditioning
+  if (options_.obs != nullptr && obs_shard_ != nullptr) {
+    // Fold the sequential path's shard into the merged view; re-arm it so a
+    // later execute() on the same master starts from zero again.
+    options_.obs->merge_shard(*obs_shard_);
+    *obs_shard_ = options_.obs->make_shard();
+  }
+#endif
 
   platform_.level2()
       .node(kEnvironmentNode)
@@ -151,6 +193,23 @@ Result<storage::ExperimentPackage> ExperiMaster::execute() {
   storage::ConditioningOptions conditioning;
   conditioning.experiment_name = description_.name;
   conditioning.comment = options_.comment;
+#if EXCOVERY_OBS_ENABLED
+  obs::WallSpan condition_span;
+  if (options_.obs != nullptr) {
+    obs::ObsContext* obs = options_.obs;
+    condition_span = obs::WallSpan(&obs->trace(), "condition", "storage");
+    obs->add(obs->ids().condition_shards,
+             platform_.level2().node_names().size());
+    conditioning.timing_hook = [obs](std::string_view phase,
+                                     std::int64_t wall_ns) {
+      obs->observe(obs->ids().condition_wall_ns,
+                   static_cast<double>(wall_ns));
+      obs->trace().instant(obs::Track::kWall, obs::current_thread_tid(),
+                           "condition:" + std::string(phase), "storage",
+                           obs->trace().wall_now_ns());
+    };
+  }
+#endif
   return storage::condition(platform_.level2(), description_.to_xml_text(),
                             conditioning);
 }
@@ -169,8 +228,25 @@ Status ExperiMaster::execute_with_retries(RunExecutor& executor,
       std::lock_guard lock(progress_mutex_);
       options_.progress(run, attempt, status.ok());
     }
-    if (status.ok()) return {};
+    if (status.ok()) {
+#if EXCOVERY_OBS_ENABLED
+      if (options_.obs != nullptr) {
+        std::size_t done =
+            progress_done_.fetch_add(1, std::memory_order_relaxed) + 1;
+        options_.obs->report_progress(done, progress_total_, run.run_id,
+                                      attempt);
+      }
+#endif
+      return {};
+    }
     ++aborted;
+#if EXCOVERY_OBS_ENABLED
+    // Only attempts that actually get another try count as retries.
+    if (options_.obs != nullptr &&
+        attempt < options_.max_attempts_per_run) {
+      options_.obs->add(options_.obs->ids().runs_retries, 1);
+    }
+#endif
     EXC_LOG_WARN(kComponent,
                  "run " << run.run_id << " attempt " << attempt
                         << " aborted: " << status.error().to_string());
@@ -207,9 +283,16 @@ Status ExperiMaster::run_all_sharded(const std::vector<const RunSpec*>& todo,
   auto work = [this, ctx] {
     std::unique_ptr<SimPlatform> replica;
     std::unique_ptr<RunExecutor> executor;
+#if EXCOVERY_OBS_ENABLED
+    // Each worker records into its own shard — no synchronisation on the
+    // hot path — and folds it into the context when its claim loop ends.
+    // Counter merges commute, so the merged totals do not depend on which
+    // worker claimed which run.
+    std::unique_ptr<obs::MetricsShard> shard;
+#endif
     for (;;) {
       std::size_t i = ctx->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= ctx->todo.size()) return;
+      if (i >= ctx->todo.size()) break;
       RunSlot& slot = ctx->slots[i];
       if (ctx->failed.load(std::memory_order_relaxed)) {
         ctx->note_finished();
@@ -227,6 +310,14 @@ Status ExperiMaster::run_all_sharded(const std::vector<const RunSpec*>& todo,
         replica = std::move(r).value();
         executor = std::make_unique<RunExecutor>(description_, *replica,
                                                  executor_options());
+        ctx->note_worker_started();
+#if EXCOVERY_OBS_ENABLED
+        if (options_.obs != nullptr) {
+          shard = std::make_unique<obs::MetricsShard>(
+              options_.obs->make_shard());
+          executor->attach_obs(options_.obs, shard.get());
+        }
+#endif
       }
       const RunSpec& run = *ctx->todo[i];
       slot.executed = true;
@@ -240,6 +331,12 @@ Status ExperiMaster::run_all_sharded(const std::vector<const RunSpec*>& todo,
       }
       ctx->note_finished();
     }
+#if EXCOVERY_OBS_ENABLED
+    if (shard != nullptr && options_.obs != nullptr) {
+      options_.obs->merge_shard(*shard);
+    }
+#endif
+    if (executor) ctx->note_worker_retired();
   };
 
   // The calling thread always participates; extra workers either ride the

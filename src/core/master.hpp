@@ -24,6 +24,7 @@
 // (storage::condition), completing the workflow of Fig. 3.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
@@ -59,6 +60,11 @@ struct MasterOptions {
   /// make progress even when the pool is saturated.  When null, the master
   /// spawns its own short-lived threads.
   ThreadPool* run_pool = nullptr;
+
+  /// Observability context (metrics, tracing, per-run ledger); null = none.
+  /// Attaching a context never changes the conditioned package: every
+  /// recorded value is out-of-band (DESIGN.md §11).
+  obs::ObsContext* obs = nullptr;
 
   /// Progress callback: (run, attempt, ok).  With run_workers > 1 it is
   /// invoked from worker threads, serialized by the master, in completion
@@ -115,7 +121,12 @@ class ExperiMaster {
   MasterOptions options_;
   std::unique_ptr<TreatmentPlan> plan_;
   std::unique_ptr<RunExecutor> executor_;  ///< drives the master's platform
+  /// Metric shard the master's own executor records into (sequential path);
+  /// merged into the obs context once the run phase completes.
+  std::unique_ptr<obs::MetricsShard> obs_shard_;
   std::mutex progress_mutex_;
+  std::atomic<std::size_t> progress_done_{0};
+  std::size_t progress_total_ = 0;
   int aborted_attempts_ = 0;
   bool experiment_initialized_ = false;
 };

@@ -36,17 +36,256 @@ Status RunExecutor::execute_run(const RunSpec& run, int attempt) {
   platform_.scheduler().run_until(run_epoch(run.run_id));
   platform_.begin_run(run.run_id, attempt);
 
+#if EXCOVERY_OBS_ENABLED
+  // Kernel counters are sampled after the epoch drain so the recorded
+  // deltas cover exactly this attempt, not leftovers from the jump.
+  KernelSample before;
+  std::int64_t sim_start_ns = 0;
+  std::int64_t wall_start_ns = 0;
+  obs::WallSpan wall_span;
+  obs::SimSpan sim_span;
+  if (obs_ != nullptr) {
+    before = sample_kernel();
+    sim_start_ns = platform_.scheduler().now().nanos();
+    wall_start_ns = obs_->trace().wall_now_ns();
+    if (obs_->trace().enabled()) {
+      // Label construction is gated too: in metrics-only mode the spans are
+      // inert and formatting per attempt would be pure overhead.
+      std::string label =
+          strings::format("run %lld attempt %d",
+                          static_cast<long long>(run.run_id), attempt);
+      std::string args =
+          strings::format("{\"run\":%lld,\"attempt\":%d}",
+                          static_cast<long long>(run.run_id), attempt);
+      wall_span = obs::WallSpan(&obs_->trace(), label, "run", args);
+      sim_span = obs::SimSpan(
+          &obs_->trace(), 0, std::move(label), "run",
+          [this] { return platform_.scheduler().now().nanos(); },
+          std::move(args));
+    }
+  }
+#endif
+
   current_run_ = &run;
   Status status = prepare_run(run);
   if (status.ok()) status = run_processes(run, attempt);
   // Clean-up happens even after a failed execution phase.
   Status cleanup = cleanup_run(run);
   current_run_ = nullptr;
+
+#if EXCOVERY_OBS_ENABLED
+  if (obs_ != nullptr) {
+    record_attempt_obs(run, !status.ok() ? status : cleanup, before,
+                       sim_start_ns, wall_start_ns);
+  }
+#endif
+
   if (!status.ok()) return status;
   if (!cleanup.ok()) return cleanup;
   platform_.level2().mark_run_complete(run.run_id);
   return {};
 }
+
+void RunExecutor::attach_obs(obs::ObsContext* context,
+                             obs::MetricsShard* shard) {
+#if EXCOVERY_OBS_ENABLED
+  obs_ = context;
+  obs_shard_ = shard;
+  if (obs_ == nullptr) {
+    platform_.network().set_packet_trace_hook(nullptr);
+    return;
+  }
+  platform_.network().enable_link_stats();
+  if (obs_->config().trace && obs_->config().packet_trace) {
+    platform_.network().set_packet_trace_hook(
+        [this](const net::PacketTraceEvent& event) { on_packet_trace(event); });
+  }
+#else
+  (void)context;
+  (void)shard;
+#endif
+}
+
+#if EXCOVERY_OBS_ENABLED
+
+RunExecutor::KernelSample RunExecutor::sample_kernel() const {
+  KernelSample sample;
+  sample.executed = platform_.scheduler().executed();
+  sample.cancelled = platform_.scheduler().cancelled();
+  sample.published = platform_.recorder().bus().published();
+  sample.dispatched = platform_.recorder().bus().dispatched();
+  sample.activations = platform_.injector().activations();
+  return sample;
+}
+
+void RunExecutor::record_attempt_obs(const RunSpec& run, const Status& status,
+                                     const KernelSample& before,
+                                     std::int64_t sim_start_ns,
+                                     std::int64_t wall_start_ns) {
+  const obs::MetricIds& ids = obs_->ids();
+  auto add = [&](obs::MetricId id, std::uint64_t n) {
+    if (n == 0) return;
+    if (obs_shard_ != nullptr) {
+      obs_shard_->add(id, n);
+    } else {
+      obs_->add(id, n);
+    }
+  };
+  auto observe = [&](obs::MetricId id, double value) {
+    if (obs_shard_ != nullptr) {
+      obs_shard_->observe(id, value);
+    } else {
+      obs_->observe(id, value);
+    }
+  };
+  auto set_gauge = [&](obs::MetricId id, std::int64_t value) {
+    if (obs_shard_ != nullptr) {
+      obs_shard_->set_gauge(id, value);
+    } else {
+      obs_->set_gauge(id, value);
+    }
+  };
+
+  const KernelSample after = sample_kernel();
+  // Network stats were reset by prepare_run (reset_run_state), so the
+  // end-of-attempt values are per-attempt absolutes.
+  const net::NetworkStats& net = platform_.network().stats();
+  const std::uint64_t net_dropped =
+      net.dropped_loss + net.dropped_interface + net.dropped_filter +
+      net.dropped_ttl + net.dropped_no_route + net.dropped_no_handler +
+      net.dropped_queue;
+  const double sim_seconds =
+      static_cast<double>(platform_.scheduler().now().nanos() - sim_start_ns) /
+      1e9;
+
+  // Counters accumulate over every attempt: the attempt sequence of a run
+  // is itself deterministic, so these sums are partition-invariant.
+  add(ids.runs_attempts, 1);
+  if (status.ok()) {
+    add(ids.runs_completed, 1);
+  } else {
+    const std::string& message = status.error().message();
+    if (message.find("watchdog") != std::string::npos) {
+      add(ids.runs_watchdog_aborts, 1);
+    } else if (message.find("deadlock") != std::string::npos) {
+      add(ids.runs_deadlock_aborts, 1);
+    }
+  }
+  add(ids.bus_published, after.published - before.published);
+  add(ids.bus_dispatched, after.dispatched - before.dispatched);
+  add(ids.net_sent, net.sent);
+  add(ids.net_delivered, net.delivered);
+  add(ids.net_forwarded, net.forwarded);
+  add(ids.net_dropped, net_dropped);
+  add(ids.net_bytes_sent, net.bytes_sent);
+  add(ids.fault_activations, after.activations - before.activations);
+  observe(ids.run_sim_seconds, sim_seconds);
+
+  // Best-effort/wall domain: executed counts include gated-timer husks that
+  // drain on shared instances but not on fresh replicas, and gauges depend
+  // on instance history — honest, but excluded from the determinism set.
+  add(ids.sched_events_executed, after.executed - before.executed);
+  add(ids.sched_timers_cancelled, after.cancelled - before.cancelled);
+  set_gauge(ids.sched_max_pending,
+            static_cast<std::int64_t>(platform_.scheduler().max_pending()));
+  set_gauge(ids.sched_arena_slots,
+            static_cast<std::int64_t>(platform_.scheduler().arena_size()));
+  observe(ids.run_wall_ns,
+          static_cast<double>(obs_->trace().wall_now_ns() - wall_start_ns));
+
+  // The ledger holds deterministic per-run values, so only the successful
+  // attempt contributes: a retried run would otherwise produce duplicate
+  // (run, name) keys whose order depends on scheduling.
+  if (!status.ok()) return;
+  obs::RunMetricsLedger& ledger = obs_->ledger();
+  auto led = [&](std::string_view name, double value) {
+    ledger.record(run.run_id, name, value);
+  };
+  led("bus.published", static_cast<double>(after.published - before.published));
+  led("bus.dispatched",
+      static_cast<double>(after.dispatched - before.dispatched));
+  led("net.sent", static_cast<double>(net.sent));
+  led("net.delivered", static_cast<double>(net.delivered));
+  led("net.forwarded", static_cast<double>(net.forwarded));
+  led("net.dropped", static_cast<double>(net_dropped));
+  led("net.bytes_sent", static_cast<double>(net.bytes_sent));
+  led("faults.activations",
+      static_cast<double>(after.activations - before.activations));
+  led("sim.duration_s", sim_seconds);
+  if (platform_.network().link_stats_enabled()) {
+    const net::LinkStats& links = platform_.network().link_stats();
+    const net::Topology& topology = platform_.network().topology();
+    for (std::size_t from = 0; from < links.nodes; ++from) {
+      for (std::size_t to = 0; to < links.nodes; ++to) {
+        const std::size_t at = from * links.nodes + to;
+        const std::string& a = topology.node(static_cast<net::NodeId>(from)).name;
+        const std::string& b = topology.node(static_cast<net::NodeId>(to)).name;
+        if (links.sent[at] != 0) {
+          led(strings::format("net.link.%s->%s.sent", a.c_str(), b.c_str()),
+              static_cast<double>(links.sent[at]));
+        }
+        if (links.dropped[at] != 0) {
+          led(strings::format("net.link.%s->%s.dropped", a.c_str(), b.c_str()),
+              static_cast<double>(links.dropped[at]));
+        }
+      }
+    }
+  }
+}
+
+void RunExecutor::on_packet_trace(const net::PacketTraceEvent& event) {
+  obs::TraceBuffer& trace = obs_->trace();
+  if (!trace.enabled()) return;
+  const std::int64_t ts = platform_.scheduler().now().nanos();
+  const net::Topology& topology = platform_.network().topology();
+  const std::string& node = topology.node(event.node).name;
+  // Flow ids fold the run id in so uids recycled across runs stay distinct.
+  const std::int64_t run_id = current_run_ != nullptr ? current_run_->run_id : 0;
+  const std::uint64_t flow = (static_cast<std::uint64_t>(run_id) << 32) ^
+                             (event.uid & 0xFFFFFFFFull);
+  std::string pkt =
+      strings::format("pkt %llu", static_cast<unsigned long long>(event.uid));
+  switch (event.kind) {
+    case net::PacketTraceEvent::Kind::kSend:
+      trace.async_begin(
+          obs::Track::kSim, flow, std::move(pkt), "packet", ts,
+          strings::format("{\"from\":\"%s\",\"bytes\":%zu}",
+                          obs::json_escape(node).c_str(), event.bytes));
+      break;
+    case net::PacketTraceEvent::Kind::kHop:
+      trace.instant(
+          obs::Track::kSim, 0, "hop", "packet", ts,
+          strings::format(
+              "{\"uid\":%llu,\"from\":\"%s\",\"to\":\"%s\"}",
+              static_cast<unsigned long long>(event.uid),
+              obs::json_escape(node).c_str(),
+              obs::json_escape(topology.node(event.peer).name).c_str()));
+      break;
+    case net::PacketTraceEvent::Kind::kDup:
+      trace.instant(obs::Track::kSim, 0, "dup", "packet", ts,
+                    strings::format("{\"uid\":%llu,\"at\":\"%s\"}",
+                                    static_cast<unsigned long long>(event.uid),
+                                    obs::json_escape(node).c_str()));
+      break;
+    case net::PacketTraceEvent::Kind::kDeliver:
+      trace.instant(obs::Track::kSim, 0, "deliver", "packet", ts,
+                    strings::format("{\"uid\":%llu,\"at\":\"%s\"}",
+                                    static_cast<unsigned long long>(event.uid),
+                                    obs::json_escape(node).c_str()));
+      trace.async_end(obs::Track::kSim, flow, std::move(pkt), "packet", ts);
+      break;
+    case net::PacketTraceEvent::Kind::kDrop:
+      trace.instant(obs::Track::kSim, 0,
+                    strings::format("drop:%s", event.detail), "packet", ts,
+                    strings::format("{\"uid\":%llu,\"at\":\"%s\"}",
+                                    static_cast<unsigned long long>(event.uid),
+                                    obs::json_escape(node).c_str()));
+      trace.async_end(obs::Track::kSim, flow, std::move(pkt), "packet", ts);
+      break;
+  }
+}
+
+#endif  // EXCOVERY_OBS_ENABLED
 
 Status RunExecutor::prepare_run(const RunSpec& run) {
   // "During preparation, the whole environment of the experiment process

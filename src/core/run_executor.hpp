@@ -18,10 +18,12 @@
 #include <functional>
 #include <string>
 
+#include "common/obs_switch.hpp"
 #include "core/description.hpp"
 #include "core/interpreter.hpp"
 #include "core/plan.hpp"
 #include "core/platform.hpp"
+#include "obs/obs.hpp"
 
 namespace excovery::core {
 
@@ -55,6 +57,15 @@ class RunExecutor : public ActionDispatcher {
   /// run complete in the platform's level-2 store on success.
   Status execute_run(const RunSpec& run, int attempt = 1);
 
+  /// Attach observability: per-attempt kernel/network/fault deltas are
+  /// recorded into `shard` (or, when `shard` is null, into the context's
+  /// locked fallback shard), run spans go to the context's trace buffer,
+  /// and deterministic per-run values to its ledger.  Enables per-link
+  /// packet statistics on the platform's network and — when the context
+  /// asks for packet traces — installs the per-packet lifecycle hook.
+  /// Compiled to a no-op when EXCOVERY_OBS is off.
+  void attach_obs(obs::ObsContext* context, obs::MetricsShard* shard);
+
   SimPlatform& platform() noexcept { return platform_; }
 
  private:
@@ -67,11 +78,31 @@ class RunExecutor : public ActionDispatcher {
   Status run_processes(const RunSpec& run, int attempt);
   Status cleanup_run(const RunSpec& run);
 
+#if EXCOVERY_OBS_ENABLED
+  /// Snapshot of the monotonic kernel counters, taken right after the
+  /// fast-forward to the run epoch so the recorded deltas cover exactly one
+  /// attempt (epoch drains of leftover gated timers are excluded).
+  struct KernelSample {
+    std::uint64_t executed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t published = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t activations = 0;
+  };
+  KernelSample sample_kernel() const;
+  void record_attempt_obs(const RunSpec& run, const Status& status,
+                          const KernelSample& before, std::int64_t sim_start_ns,
+                          std::int64_t wall_start_ns);
+  void on_packet_trace(const net::PacketTraceEvent& event);
+#endif
+
   const ExperimentDescription& description_;
   SimPlatform& platform_;
   RunExecutorOptions options_;
   const RunSpec* current_run_ = nullptr;
   faults::FaultHandle env_drop_all_;
+  obs::ObsContext* obs_ = nullptr;
+  obs::MetricsShard* obs_shard_ = nullptr;
 };
 
 }  // namespace excovery::core

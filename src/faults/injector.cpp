@@ -114,6 +114,9 @@ FaultHandle FaultInjector::schedule(std::string kind,
       std::move(kind),
       [this, node_name, start_event, activate = std::move(activate)] {
         activate();
+#if EXCOVERY_OBS_ENABLED
+        ++activations_;
+#endif
         emit(node_name, start_event, Value{});
       },
       [this, node_name, stop_event, deactivate = std::move(deactivate)] {

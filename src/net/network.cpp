@@ -65,6 +65,8 @@ Result<std::uint64_t> Network::send(NodeId from, Packet packet) {
 
   stats_.sent++;
   stats_.bytes_sent += packet.wire_size();
+  emit_packet_trace(PacketTraceEvent::Kind::kSend, packet.uid, from, from,
+                    "send", packet.wire_size());
 
   // Transmit-side interface state.
   if (!sender.tx_up) {
@@ -149,6 +151,12 @@ void Network::set_clock_model(NodeId node, const sim::ClockModel& model) {
   std::uint64_t jitter_seed =
       fnv1a64(topology_.node(node).name) ^ 0xC10C4ULL;
   nodes_.at(node).clock = sim::LocalClock(model, jitter_seed);
+}
+
+void Network::enable_link_stats() {
+  link_stats_.nodes = nodes_.size();
+  link_stats_.sent.assign(nodes_.size() * nodes_.size(), 0);
+  link_stats_.dropped.assign(nodes_.size() * nodes_.size(), 0);
 }
 
 void Network::reset_run_state() {
@@ -247,10 +255,15 @@ void Network::transfer(NodeId from, NodeId to, Packet packet,
   const LinkModel* link = find_link(from, to);
   if (!link) {
     stats_.dropped_no_route++;
+    emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, from, to,
+                      "no_route", packet.wire_size());
     return;
   }
   if (loss_rng_.bernoulli(link->loss)) {
     stats_.dropped_loss++;
+    count_link(from, to, /*dropped=*/true);
+    emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, from, to,
+                      "loss", packet.wire_size());
     return;
   }
   sim::SimDuration delay = hop_delay(*link, packet.wire_size());
@@ -263,19 +276,28 @@ void Network::transfer(NodeId from, NodeId to, Packet packet,
     sim::SimDuration queueing = start - now;
     if (queueing > queue_limit_) {
       stats_.dropped_queue++;
+      count_link(from, to, /*dropped=*/true);
+      emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, from, to,
+                        "queue", packet.wire_size());
       return;
     }
     sender.tx_free_at = start + serialisation(*link, packet.wire_size());
     delay += queueing;
   }
+  count_link(from, to, /*dropped=*/false);
   scheduler_.schedule(
-      delay, [this, to, packet = std::move(packet),
+      delay, [this, from, to, packet = std::move(packet),
               on_arrival = std::move(on_arrival)]() mutable {
         NodeState& receiver = nodes_[to];
         if (!receiver.rx_up) {
           stats_.dropped_interface++;
+          count_link(from, to, /*dropped=*/true);
+          emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, to,
+                            from, "rx_down", packet.wire_size());
           return;
         }
+        emit_packet_trace(PacketTraceEvent::Kind::kHop, packet.uid, to, from,
+                          "hop", packet.wire_size());
         packet.route.push_back(to);
         on_arrival(std::move(packet));
       });
@@ -296,9 +318,13 @@ void Network::deliver_local(NodeId node, Packet packet) {
     auto it = s.handlers.find(packet.dst_port);
     if (it == s.handlers.end()) {
       stats_.dropped_no_handler++;
+      emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, node, node,
+                        "no_handler", packet.wire_size());
       return;
     }
     stats_.delivered++;
+    emit_packet_trace(PacketTraceEvent::Kind::kDeliver, packet.uid, node,
+                      node, "deliver", packet.wire_size());
     it->second(node, packet);
   };
   if (rx_delay->nanos() > 0) {
@@ -350,6 +376,8 @@ void Network::forward_unicast(NodeId current, Packet packet) {
 void Network::flood(NodeId origin_hop, Packet packet) {
   if (packet.ttl == 0) {
     stats_.dropped_ttl++;
+    emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, origin_hop,
+                      origin_hop, "ttl", packet.wire_size());
     return;
   }
   packet.ttl--;
@@ -361,7 +389,11 @@ void Network::flood(NodeId origin_hop, Packet packet) {
     NodeId here = arrived.route.back();
     NodeState& state = nodes_[here];
     // Duplicate suppression: first arrival wins.
-    if (!state.seen_uids.insert(arrived.uid)) return;
+    if (!state.seen_uids.insert(arrived.uid)) {
+      emit_packet_trace(PacketTraceEvent::Kind::kDup, arrived.uid, here, here,
+                        "dup", arrived.wire_size());
+      return;
+    }
     bool member = arrived.dst.is_broadcast() ||
                   state.groups.count(arrived.dst) != 0;
     if (member) {

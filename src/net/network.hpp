@@ -16,6 +16,7 @@
 // DES testbed forwards link-scope multicast for Zeroconf experiments.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/obs_switch.hpp"
 #include "common/rng.hpp"
 #include "net/packet.hpp"
 #include "net/routing.hpp"
@@ -88,6 +90,28 @@ struct NetworkStats {
   std::uint64_t bytes_sent = 0;
 };
 
+/// One moment in a packet's lifecycle, reported to the observability layer
+/// when a trace hook is installed (src/obs renders these as sim-track
+/// events).  `detail` is a static string naming the drop cause or hop kind.
+struct PacketTraceEvent {
+  enum class Kind : std::uint8_t { kSend, kHop, kDeliver, kDup, kDrop };
+  Kind kind = Kind::kSend;
+  std::uint64_t uid = 0;
+  NodeId node = 0;        ///< node where the event happened
+  NodeId peer = 0;        ///< other end of the hop (kSend/kHop only)
+  const char* detail = "";
+  std::size_t bytes = 0;
+};
+using PacketTraceHook = std::function<void(const PacketTraceEvent&)>;
+
+/// Per-directed-link counters (row-major from*n+to), collected only when
+/// enabled: the matrix is O(n^2) and the increments sit on the per-hop path.
+struct LinkStats {
+  std::size_t nodes = 0;
+  std::vector<std::uint64_t> sent;     ///< hops scheduled from->to
+  std::vector<std::uint64_t> dropped;  ///< hops dropped on from->to
+};
+
 class Network {
  public:
   Network(sim::Scheduler& scheduler, Topology topology, std::uint64_t seed);
@@ -136,7 +160,24 @@ class Network {
   void set_clock_model(NodeId node, const sim::ClockModel& model);
 
   const NetworkStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = {}; }
+  void reset_stats() noexcept {
+    stats_ = {};
+    if (link_stats_.nodes != 0) {
+      std::fill(link_stats_.sent.begin(), link_stats_.sent.end(), 0);
+      std::fill(link_stats_.dropped.begin(), link_stats_.dropped.end(), 0);
+    }
+  }
+
+  /// Turn on per-directed-link hop counters (off by default; O(n^2) memory).
+  void enable_link_stats();
+  bool link_stats_enabled() const noexcept { return link_stats_.nodes != 0; }
+  const LinkStats& link_stats() const noexcept { return link_stats_; }
+
+  /// Install (or clear, with nullptr/empty) the packet lifecycle hook.  The
+  /// hook runs synchronously inside the data plane — keep it cheap.
+  void set_packet_trace_hook(PacketTraceHook hook) {
+    trace_hook_ = std::move(hook);
+  }
 
   /// Reset per-run state: duplicate-suppression sets, captures, tag
   /// counters.  Used by run preparation ("network packets generated in
@@ -208,6 +249,41 @@ class Network {
   /// over the cached adjacency instead of a scan of every link.
   const LinkModel* find_link(NodeId from, NodeId to) const noexcept;
 
+  void count_link(NodeId from, NodeId to, bool dropped) noexcept {
+#if EXCOVERY_OBS_ENABLED
+    if (link_stats_.nodes == 0) return;
+    auto& counters = dropped ? link_stats_.dropped : link_stats_.sent;
+    counters[from * link_stats_.nodes + to]++;
+#else
+    (void)from;
+    (void)to;
+    (void)dropped;
+#endif
+  }
+
+  void emit_packet_trace(PacketTraceEvent::Kind kind, std::uint64_t uid,
+                         NodeId node, NodeId peer, const char* detail,
+                         std::size_t bytes) {
+#if EXCOVERY_OBS_ENABLED
+    if (!trace_hook_) return;
+    PacketTraceEvent event;
+    event.kind = kind;
+    event.uid = uid;
+    event.node = node;
+    event.peer = peer;
+    event.detail = detail;
+    event.bytes = bytes;
+    trace_hook_(event);
+#else
+    (void)kind;
+    (void)uid;
+    (void)node;
+    (void)peer;
+    (void)detail;
+    (void)bytes;
+#endif
+  }
+
   sim::Scheduler& scheduler_;
   Topology topology_;
   RoutingTable routing_;
@@ -219,6 +295,8 @@ class Network {
   std::vector<NodeState> nodes_;
   std::vector<InstalledFilter> filters_;
   NetworkStats stats_;
+  LinkStats link_stats_;
+  PacketTraceHook trace_hook_;
   sim::SimDuration queue_limit_ = sim::SimDuration::from_millis(250);
   bool capture_ = true;
   std::uint64_t next_uid_ = 1;

@@ -1,0 +1,193 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace excovery::obs {
+
+std::string_view to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string_view to_string(MetricDomain domain) noexcept {
+  switch (domain) {
+    case MetricDomain::kDeterministic: return "deterministic";
+    case MetricDomain::kBestEffort: return "best-effort";
+    case MetricDomain::kWall: return "wall";
+  }
+  return "?";
+}
+
+MetricId MetricsRegistry::intern(std::string_view name, MetricKind kind,
+                                 MetricDomain domain, std::string_view unit,
+                                 const HistogramSpec& hist) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < descs_.size(); ++i) {
+    if (descs_[i].name == name) {
+      return MetricId{static_cast<std::uint32_t>(i)};
+    }
+  }
+  MetricDesc desc;
+  desc.name = std::string(name);
+  desc.kind = kind;
+  desc.domain = domain;
+  desc.unit = std::string(unit);
+  desc.hist = hist;
+  descs_.push_back(std::move(desc));
+  return MetricId{static_cast<std::uint32_t>(descs_.size() - 1)};
+}
+
+MetricId MetricsRegistry::counter(std::string_view name, MetricDomain domain,
+                                  std::string_view unit) {
+  return intern(name, MetricKind::kCounter, domain, unit, {});
+}
+
+MetricId MetricsRegistry::gauge(std::string_view name, MetricDomain domain,
+                                std::string_view unit) {
+  return intern(name, MetricKind::kGauge, domain, unit, {});
+}
+
+MetricId MetricsRegistry::histogram(std::string_view name, MetricDomain domain,
+                                    double lo, double hi, std::size_t bins,
+                                    std::string_view unit) {
+  HistogramSpec spec;
+  spec.log_scale = false;
+  spec.lo = lo;
+  // Degenerate bounds would make the bin width non-positive; widen like
+  // stats::Histogram does.
+  spec.hi = hi > lo ? hi : lo + 1.0;
+  spec.bins = bins == 0 ? 1 : bins;
+  return intern(name, MetricKind::kHistogram, domain, unit, spec);
+}
+
+MetricId MetricsRegistry::log_histogram(std::string_view name,
+                                        MetricDomain domain,
+                                        std::string_view unit) {
+  HistogramSpec spec;
+  spec.log_scale = true;
+  spec.bins = kLogBins;
+  return intern(name, MetricKind::kHistogram, domain, unit, spec);
+}
+
+std::vector<MetricDesc> MetricsRegistry::descriptors() const {
+  std::lock_guard lock(mutex_);
+  return descs_;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return descs_.size();
+}
+
+std::size_t log_bin(double value) noexcept {
+  if (!(value > 0.0)) return 0;  // non-positive (and NaN callers pre-filter)
+  int exponent = std::ilogb(value);
+  long bin = static_cast<long>(exponent) + kLogBinOffset;
+  if (bin < 0) return 0;
+  if (bin >= static_cast<long>(kLogBins)) return kLogBins - 1;
+  return static_cast<std::size_t>(bin);
+}
+
+double log_bin_lower(std::size_t bin) noexcept {
+  return std::ldexp(1.0, static_cast<int>(bin) - kLogBinOffset);
+}
+
+MetricCell& MetricsShard::ensure(MetricId id) {
+  if (id.index >= cells_.size()) cells_.resize(id.index + 1);
+  return cells_[id.index];
+}
+
+const HistogramSpec& MetricsShard::spec_for(MetricId id) {
+  if (id.index >= spec_cache_.size()) {
+    std::vector<MetricDesc> descs = registry_->descriptors();
+    spec_cache_.resize(descs.size());
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+      spec_cache_[i] = descs[i].hist;
+    }
+  }
+  return spec_cache_[id.index];
+}
+
+const MetricCell* MetricsShard::cell(MetricId id) const noexcept {
+  if (!id.valid() || id.index >= cells_.size()) return nullptr;
+  return &cells_[id.index];
+}
+
+void MetricsShard::add(MetricId id, std::uint64_t n) {
+  if (!id.valid()) return;
+  ensure(id).count += n;
+}
+
+void MetricsShard::set_gauge(MetricId id, std::int64_t value) {
+  if (!id.valid()) return;
+  MetricCell& cell = ensure(id);
+  cell.gauge_last = value;
+  cell.gauge_max = std::max(cell.gauge_max, value);
+  cell.gauge_set = true;
+}
+
+void MetricsShard::observe(MetricId id, double value) {
+  if (!id.valid()) return;
+  MetricCell& cell = ensure(id);
+  if (std::isnan(value)) {
+    ++cell.nan_count;
+    return;
+  }
+  ++cell.count;
+  cell.sum += value;
+  cell.min = std::min(cell.min, value);
+  cell.max = std::max(cell.max, value);
+
+  const HistogramSpec& spec = spec_for(id);
+  if (spec.log_scale) {
+    if (cell.bins.empty()) cell.bins.resize(kLogBins, 0);
+    ++cell.bins[log_bin(value)];
+    return;
+  }
+  if (cell.bins.empty()) cell.bins.resize(spec.bins + 2, 0);
+  if (value < spec.lo) {
+    ++cell.bins.front();
+  } else if (value >= spec.hi) {
+    ++cell.bins.back();
+  } else {
+    double width = (spec.hi - spec.lo) / static_cast<double>(spec.bins);
+    auto bin = static_cast<std::size_t>((value - spec.lo) / width);
+    if (bin >= spec.bins) bin = spec.bins - 1;
+    ++cell.bins[bin + 1];
+  }
+}
+
+void MetricsShard::merge_from(const MetricsShard& other) {
+  if (other.cells_.size() > cells_.size()) {
+    cells_.resize(other.cells_.size());
+  }
+  for (std::size_t i = 0; i < other.cells_.size(); ++i) {
+    const MetricCell& src = other.cells_[i];
+    MetricCell& dst = cells_[i];
+    dst.count += src.count;
+    dst.nan_count += src.nan_count;
+    if (src.gauge_set) {
+      dst.gauge_max = std::max(dst.gauge_max, src.gauge_max);
+      // `last` has no cross-shard meaning; keep the maximum so the merged
+      // value stays partition-invariant.
+      dst.gauge_last = dst.gauge_max;
+      dst.gauge_set = true;
+    }
+    dst.sum += src.sum;
+    dst.min = std::min(dst.min, src.min);
+    dst.max = std::max(dst.max, src.max);
+    if (!src.bins.empty()) {
+      if (dst.bins.size() < src.bins.size()) dst.bins.resize(src.bins.size());
+      for (std::size_t b = 0; b < src.bins.size(); ++b) {
+        dst.bins[b] += src.bins[b];
+      }
+    }
+  }
+}
+
+}  // namespace excovery::obs

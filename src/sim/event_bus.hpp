@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/obs_switch.hpp"
 #include "common/value.hpp"
 #include "sim/time.hpp"
 
@@ -63,6 +64,9 @@ class EventBus {
 
   /// Number of events published so far.
   std::uint64_t published() const noexcept { return published_; }
+  /// Subscriber callbacks invoked across all publishes (fan-out; 0 when
+  /// observability hooks are compiled out).
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
 
  private:
   struct Subscriber {
@@ -85,6 +89,7 @@ class EventBus {
 
   std::uint64_t next_id_ = 1;
   std::uint64_t published_ = 0;
+  std::uint64_t dispatched_ = 0;
   std::unordered_map<std::string, std::uint32_t> name_index_;
   std::vector<SubscriberList> by_name_;  ///< indexed by interned name id
   SubscriberList wildcard_;

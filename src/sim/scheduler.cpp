@@ -36,6 +36,9 @@ TimerHandle Scheduler::schedule_at(SimTime when, Callback fn) {
   slot.fn = std::move(fn);
   heap_push(HeapEntry{when, next_seq_++, index, slot.generation});
   ++live_count_;
+#if EXCOVERY_OBS_ENABLED
+  if (live_count_ > max_pending_) max_pending_ = live_count_;
+#endif
   return TimerHandle(index, slot.generation);
 }
 
@@ -45,6 +48,9 @@ void Scheduler::cancel(TimerHandle handle) {
   // Generation mismatch = the handle's timer already ran or was cancelled
   // (possibly with the slot since reused); never touch the new occupant.
   if (!slot.armed || slot.generation != handle.generation_) return;
+#if EXCOVERY_OBS_ENABLED
+  ++cancelled_;
+#endif
   release_slot(handle.slot_);
   // The heap entry stays behind and is skipped lazily on pop: its recorded
   // generation no longer matches the slot.

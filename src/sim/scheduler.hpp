@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/obs_switch.hpp"
 #include "sim/time.hpp"
 
 namespace excovery::sim {
@@ -179,6 +180,12 @@ class Scheduler {
   /// Arena capacity (slots ever allocated); observability for tests.
   std::size_t arena_size() const noexcept { return slots_.size(); }
 
+  /// Pending-event high-water mark since construction (0 when the build has
+  /// observability hooks compiled out).
+  std::size_t max_pending() const noexcept { return max_pending_; }
+  /// Timers cancelled before firing (0 when hooks are compiled out).
+  std::uint64_t cancelled() const noexcept { return cancelled_; }
+
  private:
   /// One timer cell in the slab arena.  Recycled through a free list; the
   /// generation is bumped on every release so stale handles and stale heap
@@ -222,6 +229,8 @@ class Scheduler {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_count_ = 0;
+  std::size_t max_pending_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<HeapEntry> heap_;  ///< 4-ary min-heap ordered by (when, seq)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "common/strings.hpp"
 
@@ -33,7 +35,13 @@ double max_of(const std::vector<double>& values) {
 }
 
 double percentile(std::vector<double> values, double p) {
+  // NaNs carry no order and would poison the sort's strict weak ordering;
+  // drop them so the percentile is over the comparable values only.
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](double v) { return std::isnan(v); }),
+               values.end());
   if (values.empty()) return 0.0;
+  if (std::isnan(p)) return std::numeric_limits<double>::quiet_NaN();
   std::sort(values.begin(), values.end());
   p = std::clamp(p, 0.0, 100.0);
   double rank = p / 100.0 * static_cast<double>(values.size() - 1);
@@ -62,15 +70,31 @@ Proportion wilson(std::size_t successes, std::size_t trials) {
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {
+  // Reversed bounds describe the same range; normalise instead of letting
+  // every add() fall through with a negative width.
+  if (hi_ < lo_) std::swap(lo_, hi_);
+}
 
 void Histogram::add(double value) {
   ++total_;
+  if (std::isnan(value)) {
+    // NaN compares false against both bounds and would otherwise reach the
+    // bin computation with an undefined float-to-int cast.
+    ++nan_;
+    return;
+  }
   if (value < lo_) {
     ++underflow_;
     return;
   }
   if (value >= hi_) {
+    // Width-zero range (lo == hi): the single representable value lands in
+    // bin 0 rather than counting as overflow.
+    if (value == lo_) {
+      ++counts_.front();
+      return;
+    }
     ++overflow_;
     return;
   }
@@ -100,6 +124,7 @@ std::string Histogram::format(std::size_t width) const {
   }
   if (underflow_ > 0) out += strings::format("underflow: %zu\n", underflow_);
   if (overflow_ > 0) out += strings::format("overflow:  %zu\n", overflow_);
+  if (nan_ > 0) out += strings::format("nan:       %zu\n", nan_);
   return out;
 }
 

@@ -12,7 +12,8 @@ double mean(const std::vector<double>& values);
 double stddev(const std::vector<double>& values);
 double min_of(const std::vector<double>& values);
 double max_of(const std::vector<double>& values);
-/// Linear-interpolated percentile, p in [0, 100].
+/// Linear-interpolated percentile, p clamped to [0, 100].  NaN values are
+/// ignored; 0 for an empty (or all-NaN) input; NaN p yields NaN.
 double percentile(std::vector<double> values, double p);
 inline double median(std::vector<double> values) {
   return percentile(std::move(values), 50.0);
@@ -30,7 +31,10 @@ struct Proportion {
 };
 Proportion wilson(std::size_t successes, std::size_t trials);
 
-/// Equal-width histogram.
+/// Equal-width histogram over [lo, hi).  Reversed bounds are swapped; a
+/// width-zero range keeps value == lo in bin 0.  NaN samples count into a
+/// separate bucket (they belong to no bin), out-of-range samples into
+/// underflow/overflow; all are included in count().
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -39,6 +43,9 @@ class Histogram {
   std::size_t count() const noexcept { return total_; }
   std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
   std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t nan_count() const noexcept { return nan_; }
   double bin_lower(std::size_t bin) const;
 
   /// "0.00-0.10 | ####### 42" style rendering.
@@ -51,6 +58,7 @@ class Histogram {
   std::size_t total_ = 0;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
+  std::size_t nan_ = 0;
 };
 
 }  // namespace excovery::stats

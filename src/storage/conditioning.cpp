@@ -1,5 +1,6 @@
 #include "storage/conditioning.hpp"
 
+#include <chrono>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -132,6 +133,15 @@ Result<ExperimentPackage> condition(const Level2Store& level2,
     auto it = offsets_by_node.find(node);
     return it == offsets_by_node.end() ? nullptr : &it->second;
   };
+  const auto phase_start = std::chrono::steady_clock::now();
+  auto report_phase = [&](std::string_view phase, auto since) {
+    if (!options.timing_hook) return;
+    options.timing_hook(
+        phase, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - since)
+                   .count());
+  };
+
   if (options.workers == 1 || shards.size() <= 1) {
     for (NodeShard& shard : shards) {
       build_shard(shard, offsets_for(shard.node_name), completed_filter);
@@ -143,6 +153,8 @@ Result<ExperimentPackage> condition(const Level2Store& level2,
                   completed_filter);
     });
   }
+  report_phase("build_shards", phase_start);
+  const auto merge_start = std::chrono::steady_clock::now();
 
   // Deterministic merge in node order: shard contents are appended exactly
   // where a sequential pass would have inserted them, including the global
@@ -169,6 +181,7 @@ Result<ExperimentPackage> condition(const Level2Store& level2,
                                                 blob->name, blob->content));
     }
   }
+  report_phase("merge", merge_start);
   return package;
 }
 

@@ -18,12 +18,20 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "storage/level2.hpp"
 #include "storage/package.hpp"
 
 namespace excovery::storage {
+
+/// Wall-clock timing callback for condition(): called once per phase with
+/// the phase name ("build_shards", "merge") and its duration.  Purely
+/// observational — the package bytes do not depend on it being set.
+using ConditioningTimingHook =
+    std::function<void(std::string_view phase, std::int64_t wall_ns)>;
 
 struct ConditioningOptions {
   std::string experiment_name = "experiment";
@@ -35,6 +43,8 @@ struct ConditioningOptions {
   /// concurrency, 1 = fully sequential.  The conditioned package is
   /// identical for every value.
   std::size_t workers = 0;
+  /// Optional per-phase wall timing (see ConditioningTimingHook).
+  ConditioningTimingHook timing_hook;
 };
 
 /// Map a local timestamp to the common time base given the node's estimated

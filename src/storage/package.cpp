@@ -61,6 +61,15 @@ TableSchema packets_schema() {
            {"Data", ValueType::kBytes, false}}};
 }
 
+TableSchema metrics_schema() {
+  return {"Metrics",
+          {{"RunID", ValueType::kInt, false},
+           {"Name", ValueType::kString, false},
+           {"Value", ValueType::kDouble, false}}};
+}
+
+// The Metrics table is deliberately absent here: packages written before it
+// existed must keep loading.
 const char* kRequiredTables[] = {
     "ExperimentInfo", "Logs",      "EEFiles",
     "ExperimentMeasurements",      "RunInfos",
@@ -79,6 +88,7 @@ ExperimentPackage::ExperimentPackage() {
   (void)db_.create_table(extra_run_measurements_schema());
   (void)db_.create_table(events_schema());
   (void)db_.create_table(packets_schema());
+  (void)db_.create_table(metrics_schema());
 }
 
 Result<ExperimentPackage> ExperimentPackage::from_database(Database db) {
@@ -172,6 +182,32 @@ Status ExperimentPackage::add_packet(const PacketRow& packet) {
   return db_.table("Packets")->insert(
       {Value{packet.run_id}, Value{packet.node_id}, Value{packet.common_time},
        Value{packet.src_node_id}, Value{packet.data}});
+}
+
+Status ExperimentPackage::add_metric(std::int64_t run_id,
+                                     const std::string& name, double value) {
+  Table* table = db_.table("Metrics");
+  if (!table) {
+    // Loaded legacy package: materialise the table on first write.
+    EXC_ASSIGN_OR_RETURN(table, db_.create_table(metrics_schema()));
+  }
+  return table->insert({Value{run_id}, Value{name}, Value{value}});
+}
+
+std::vector<MetricRow> ExperimentPackage::metrics() const {
+  const Table* table = db_.table("Metrics");
+  std::vector<MetricRow> out;
+  if (!table) return out;
+  out.reserve(table->row_count());
+  for (std::size_t r = 0; r < table->row_count(); ++r) {
+    RowView row = table->row(r);
+    MetricRow metric;
+    metric.run_id = row.as_int(0);
+    metric.name = std::string(row.as_string(1));
+    metric.value = row.as_double(2);
+    out.push_back(std::move(metric));
+  }
+  return out;
 }
 
 namespace {

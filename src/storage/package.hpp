@@ -10,6 +10,11 @@
 //   ExtraRunMeasurements   | RunID, NodeID, Name, Content
 //   Events                 | RunID, NodeID, CommonTime, EventType, Parameter
 //   Packets                | RunID, NodeID, CommonTime, SrcNodeID, Data
+//
+// One extension beyond Table I: a Metrics table (RunID, Name, Value) holding
+// framework self-measurements from the observability layer (src/obs).  It is
+// part of the fresh-package schema but not required on load, so packages
+// written by older versions still open.
 #pragma once
 
 #include <string>
@@ -38,6 +43,14 @@ struct PacketRow {
   double common_time = 0.0;
   std::string src_node_id;  ///< originating node
   Bytes data;               ///< raw packet bytes (unaltered content)
+};
+
+/// One framework-metric value (see src/obs).  RunID -1 carries
+/// experiment-wide aggregates; run-scoped rows use the real run id.
+struct MetricRow {
+  std::int64_t run_id = 0;
+  std::string name;
+  double value = 0.0;
 };
 
 /// Per-run bookkeeping.
@@ -78,6 +91,10 @@ class ExperimentPackage {
                                    const std::string& content);
   Status add_event(const EventRow& event);
   Status add_packet(const PacketRow& packet);
+  /// Append to the Metrics table (created on demand, so packages written by
+  /// older versions accept metric rows too).
+  Status add_metric(std::int64_t run_id, const std::string& name,
+                    double value);
 
   // ---- readers -----------------------------------------------------------
   /// Events of one run, ordered by CommonTime.
@@ -87,6 +104,8 @@ class ExperimentPackage {
   /// Packets of one run, ordered by CommonTime.
   Result<std::vector<PacketRow>> packets(std::int64_t run_id) const;
   Result<std::vector<RunInfoRow>> run_infos() const;
+  /// All metric rows in insertion order ([] for packages without the table).
+  std::vector<MetricRow> metrics() const;
   /// Distinct run ids present in RunInfos, ascending.
   std::vector<std::int64_t> run_ids() const;
   /// Log text for a node ("" if absent).

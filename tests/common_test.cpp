@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
@@ -422,6 +423,97 @@ TEST(LogTest, SinkReceivesEnabledLevels) {
   logger.set_level(old_level);
   ASSERT_EQ(seen.size(), 1u);
   EXPECT_EQ(seen[0], "visible 1");
+}
+
+TEST(LogTest, ParseLogLevelAcceptsAllNames) {
+  EXPECT_EQ(parse_log_level("trace").value(), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG").value(), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info").value(), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn").value(), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning").value(), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error").value(), LogLevel::kError);
+  Result<LogLevel> bad = parse_log_level("loud");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message().find("unknown log level"),
+            std::string::npos);
+}
+
+TEST(LogTest, ScopedSinkRestoresPreviousSinkOnScopeExit) {
+  Logger& logger = Logger::instance();
+  LogLevel old_level = logger.level();
+  logger.set_level(LogLevel::kInfo);
+  std::vector<std::string> outer;
+  {
+    ScopedSink outer_sink(
+        [&outer](LogLevel, std::string_view, std::string_view message) {
+          outer.emplace_back(message);
+        });
+    {
+      std::vector<std::string> inner;
+      ScopedSink inner_sink(
+          [&inner](LogLevel, std::string_view, std::string_view message) {
+            inner.emplace_back(message);
+          });
+      EXC_LOG_INFO("t", "inner message");
+      ASSERT_EQ(inner.size(), 1u);
+      EXPECT_TRUE(outer.empty());
+    }  // inner sink gone: the outer capture is back in place
+    EXC_LOG_INFO("t", "outer message");
+  }  // outer sink gone: the default (stderr) sink is back in place
+  logger.set_level(old_level);
+  ASSERT_EQ(outer.size(), 1u);
+  EXPECT_EQ(outer[0], "outer message");
+}
+
+TEST(LogTest, TraceMacroRespectsThreshold) {
+  Logger& logger = Logger::instance();
+  LogLevel old_level = logger.level();
+  std::vector<std::string> seen;
+  ScopedSink sink(
+      [&seen](LogLevel level, std::string_view, std::string_view message) {
+        seen.emplace_back(std::string(to_string(level)) + " " +
+                          std::string(message));
+      });
+  logger.set_level(LogLevel::kWarn);
+  EXC_LOG_TRACE("t", "suppressed");
+  logger.set_level(LogLevel::kTrace);
+  EXC_LOG_TRACE("t", "emitted " << 2);
+  logger.set_level(old_level);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "TRACE emitted 2");
+}
+
+TEST(LogTest, CapturingLogConcurrentAppendAndTake) {
+  CapturingLog log("node");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::string drained;
+  std::atomic<bool> stop{false};
+  // One consumer drains with take() while the producers append.
+  std::thread taker([&log, &drained, &stop] {
+    while (!stop.load(std::memory_order_acquire)) drained += log.take();
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.info("m" + std::to_string(t) + "." + std::to_string(i) + ";");
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_release);
+  taker.join();
+  drained += log.take();
+  EXPECT_TRUE(log.text().empty());
+  // No line was lost or torn between take() and the appends.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      std::string needle =
+          "m" + std::to_string(t) + "." + std::to_string(i) + ";";
+      EXPECT_NE(drained.find(needle), std::string::npos) << needle;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,463 @@
+// Observability subsystem (DESIGN.md §11): metrics registry + shards,
+// trace-event buffer, and the end-to-end contracts — deterministic-domain
+// metrics are bit-identical across worker counts, and attaching an
+// ObsContext never changes a byte of the conditioned package.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/obs_switch.hpp"
+#include "common/thread_pool.hpp"
+#include "core/master.hpp"
+#include "core/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "storage/package.hpp"
+
+namespace excovery::obs {
+namespace {
+
+using core::ExperimentDescription;
+using core::MasterOptions;
+using core::SimPlatform;
+using core::SimPlatformConfig;
+using core::scenario::TwoPartyOptions;
+
+// ---- metrics registry + shards ---------------------------------------------
+
+TEST(MetricsRegistry, InternIsIdempotent) {
+  MetricsRegistry registry;
+  MetricId a = registry.counter("events", MetricDomain::kDeterministic);
+  MetricId b = registry.counter("events", MetricDomain::kDeterministic);
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(registry.size(), 1u);
+  MetricId c = registry.gauge("depth", MetricDomain::kBestEffort);
+  EXPECT_NE(c.index, a.index);
+  std::vector<MetricDesc> descs = registry.descriptors();
+  ASSERT_EQ(descs.size(), 2u);
+  EXPECT_EQ(descs[0].name, "events");
+  EXPECT_EQ(descs[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(descs[1].kind, MetricKind::kGauge);
+}
+
+TEST(MetricsShard, CounterMergeIsPartitionInvariant) {
+  MetricsRegistry registry;
+  MetricId id = registry.counter("n");
+  // 1+2+...+9 recorded three ways: one shard, two shards, three shards.
+  auto record = [&](std::vector<MetricsShard>& shards) {
+    for (std::uint64_t i = 1; i <= 9; ++i) {
+      shards[i % shards.size()].add(id, i);
+    }
+    MetricsShard merged(&registry);
+    for (const MetricsShard& shard : shards) merged.merge_from(shard);
+    return merged.cell(id)->count;
+  };
+  std::vector<MetricsShard> one(1, MetricsShard(&registry));
+  std::vector<MetricsShard> two(2, MetricsShard(&registry));
+  std::vector<MetricsShard> three(3, MetricsShard(&registry));
+  const std::uint64_t a = record(one);
+  EXPECT_EQ(a, 45u);
+  EXPECT_EQ(record(two), a);
+  EXPECT_EQ(record(three), a);
+}
+
+TEST(MetricsShard, GaugeMergeTakesMaximum) {
+  MetricsRegistry registry;
+  MetricId id = registry.gauge("depth");
+  MetricsShard a(&registry);
+  MetricsShard b(&registry);
+  a.set_gauge(id, 7);
+  a.set_gauge(id, 3);  // last write smaller than the high-water mark
+  b.set_gauge(id, 5);
+  MetricsShard ab(&registry);
+  ab.merge_from(a);
+  ab.merge_from(b);
+  MetricsShard ba(&registry);
+  ba.merge_from(b);
+  ba.merge_from(a);
+  // Merge keeps the maximum in both fields so the result is order-free.
+  EXPECT_EQ(ab.cell(id)->gauge_max, 7);
+  EXPECT_EQ(ab.cell(id)->gauge_last, ba.cell(id)->gauge_last);
+  EXPECT_TRUE(ab.cell(id)->gauge_set);
+}
+
+TEST(Metrics, LogBinsCoverWideRangeAndInvert) {
+  EXPECT_EQ(log_bin(1.0), static_cast<std::size_t>(kLogBinOffset));
+  // Zero and negatives clamp into the lowest bin, huge values into the top.
+  EXPECT_EQ(log_bin(0.0), 0u);
+  EXPECT_EQ(log_bin(-5.0), 0u);
+  EXPECT_LT(log_bin(1e30), kLogBins);
+  // (values below 2^-16 clamp into bin 0 and are not invertible)
+  for (double v : {0.5, 1.0, 3.0, 1024.0, 1e9}) {
+    std::size_t bin = log_bin(v);
+    EXPECT_LE(log_bin_lower(bin), v) << v;
+    if (bin + 1 < kLogBins) {
+      EXPECT_LT(v, log_bin_lower(bin + 1)) << v;
+    }
+  }
+}
+
+TEST(MetricsShard, EqualWidthHistogramTracksRangeAndNaN) {
+  MetricsRegistry registry;
+  MetricId id =
+      registry.histogram("lat", MetricDomain::kDeterministic, 0.0, 10.0, 10);
+  MetricsShard shard(&registry);
+  shard.observe(id, -1.0);                                   // underflow
+  shard.observe(id, 0.5);                                    // bin 0
+  shard.observe(id, 9.5);                                    // bin 9
+  shard.observe(id, 25.0);                                   // overflow
+  shard.observe(id, std::nan(""));                           // NaN bucket
+  const MetricCell* cell = shard.cell(id);
+  ASSERT_NE(cell, nullptr);
+  // NaN goes to its own bucket, not into count/sum/min/max.
+  EXPECT_EQ(cell->count, 4u);
+  EXPECT_EQ(cell->nan_count, 1u);
+  // Layout: [underflow, 10 bins, overflow].
+  ASSERT_EQ(cell->bins.size(), 12u);
+  EXPECT_EQ(cell->bins.front(), 1u);
+  EXPECT_EQ(cell->bins[1], 1u);
+  EXPECT_EQ(cell->bins[10], 1u);
+  EXPECT_EQ(cell->bins.back(), 1u);
+  EXPECT_EQ(cell->min, -1.0);
+  EXPECT_EQ(cell->max, 25.0);
+}
+
+// ---- trace buffer ----------------------------------------------------------
+
+TEST(Trace, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+/// Structural JSON balance check: braces/brackets outside string literals.
+bool json_balanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(Trace, SpansAsyncAndCountersRenderAsTraceEventJson) {
+  TraceBuffer buffer(true);
+  { WallSpan span(&buffer, "setup", "test"); }
+  std::int64_t sim_clock = 100;
+  {
+    SimSpan span(&buffer, 0, "run 1", "run", [&sim_clock] { return sim_clock; },
+                 "{\"run\":1}");
+    sim_clock = 5000;
+  }
+  buffer.async_begin(Track::kSim, 0x42, "pkt 1", "packet", 200);
+  buffer.instant(Track::kSim, 0, "hop", "packet", 300);
+  buffer.async_end(Track::kSim, 0x42, "pkt 1", "packet", 400);
+  buffer.counter(Track::kWall, 0, "runs_completed", buffer.wall_now_ns(), 3.0);
+#if EXCOVERY_OBS_ENABLED
+  EXPECT_EQ(buffer.size(), 6u);
+#else
+  // With EXCOVERY_OBS=OFF the RAII spans compile to inert guards; only the
+  // four direct buffer calls record.
+  EXPECT_EQ(buffer.size(), 4u);
+#endif
+
+  std::string json = buffer.to_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // Both tracks are named via process metadata.
+  EXPECT_NE(json.find("excovery wall clock"), std::string::npos);
+  EXPECT_NE(json.find("excovery simulated time"), std::string::npos);
+  // One of each phase made it through.
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+#if EXCOVERY_OBS_ENABLED
+  // The complete-span phase and its label come from the spans.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"run\":1"), std::string::npos);
+  EXPECT_NE(json.find("run 1"), std::string::npos);
+#endif
+}
+
+TEST(Trace, DisabledBufferRecordsNothing) {
+  TraceBuffer buffer(false);
+  { WallSpan span(&buffer, "ignored", "test"); }
+  buffer.instant(Track::kWall, 0, "ignored", "test", 1);
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_TRUE(json_balanced(buffer.to_json()));
+}
+
+// ---- thread-pool observer --------------------------------------------------
+
+TEST(ObsContext, PoolObserverCountsTasks) {
+#if !EXCOVERY_OBS_ENABLED
+  GTEST_SKIP() << "thread-pool observer hooks compiled out (EXCOVERY_OBS=OFF)";
+#endif
+  ObsContext obs;
+  {
+    ThreadPool pool(2);
+    pool.set_observer(obs.pool_observer());
+    std::atomic<int> ran{0};
+    pool.parallel_for(8, [&ran](std::size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 8);
+    pool.set_observer(nullptr);
+  }  // pool joined: every on_task callback has run
+  MetricCell tasks = obs.merged_cell(obs.ids().pool_tasks);
+  // The observer may be cleared while callbacks are in flight, so at least
+  // the tasks finished before the clear are counted.
+  EXPECT_GT(tasks.count, 0u);
+  MetricCell busy = obs.merged_cell(obs.ids().pool_busy_ns);
+  EXPECT_EQ(busy.count, tasks.count);
+}
+
+// ---- progress reporting ----------------------------------------------------
+
+TEST(ObsContext, ProgressReportLogsThroughSink) {
+  ObsConfig config;
+  config.progress_interval_s = 0.0;  // log every report
+  ObsContext obs(config);
+  std::string captured;
+  {
+    ScopedSink sink([&captured](LogLevel, std::string_view,
+                                std::string_view message) {
+      captured.append(message);
+      captured.push_back('\n');
+    });
+    LogLevel old_level = Logger::instance().level();
+    Logger::instance().set_level(LogLevel::kInfo);
+    obs.report_progress(1, 4, 7, 2);
+    obs.report_progress(4, 4, 9, 1);
+    Logger::instance().set_level(old_level);
+  }
+  EXPECT_NE(captured.find("runs 1/4"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("last=#7 attempt=2"), std::string::npos);
+  EXPECT_NE(captured.find("runs 4/4 (100.0%)"), std::string::npos);
+}
+
+// ---- package metrics table -------------------------------------------------
+
+TEST(PackageMetrics, ExportWritesTotalsAndLedgerRows) {
+  ObsContext obs;
+  obs.add(obs.ids().runs_completed, 3);
+  obs.ledger().record(2, "net.sent", 10.0);
+  obs.ledger().record(1, "net.sent", 12.0);
+  obs.ledger().record(1, "bus.published", 4.0);
+
+  storage::ExperimentPackage package;
+  ASSERT_TRUE(obs.export_metrics(package).ok());
+  std::vector<storage::MetricRow> rows = package.metrics();
+  ASSERT_FALSE(rows.empty());
+  // Experiment-scope totals first (RunID -1), then ledger in (run, name)
+  // order.
+  EXPECT_EQ(rows.front().run_id, -1);
+  bool found_total = false;
+  for (const storage::MetricRow& row : rows) {
+    if (row.run_id == -1 && row.name == "runs.completed") {
+      EXPECT_EQ(row.value, 3.0);
+      found_total = true;
+    }
+  }
+  EXPECT_TRUE(found_total);
+  const std::size_t n = rows.size();
+  EXPECT_EQ(rows[n - 3].name, "bus.published");
+  EXPECT_EQ(rows[n - 3].run_id, 1);
+  EXPECT_EQ(rows[n - 2].name, "net.sent");
+  EXPECT_EQ(rows[n - 2].run_id, 1);
+  EXPECT_EQ(rows[n - 1].run_id, 2);
+  EXPECT_EQ(rows[n - 1].value, 10.0);
+}
+
+TEST(PackageMetrics, LegacyDatabaseWithoutMetricsTableLoads) {
+  // A package written before the Metrics table existed: the eight Table I
+  // tables only.  It must load, and add_metric must materialise the table.
+  storage::Database db;
+  for (const char* name :
+       {"ExperimentInfo", "Logs", "EEFiles", "ExperimentMeasurements",
+        "RunInfos", "ExtraRunMeasurements", "Events", "Packets"}) {
+    storage::TableSchema schema;
+    schema.name = name;
+    schema.columns = {{"RunID", ValueType::kInt, false}};
+    ASSERT_TRUE(db.create_table(std::move(schema)).ok());
+  }
+  Result<storage::ExperimentPackage> loaded =
+      storage::ExperimentPackage::from_database(std::move(db));
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value().database().table(std::string("Metrics")), nullptr);
+  EXPECT_TRUE(loaded.value().metrics().empty());
+  ASSERT_TRUE(loaded.value().add_metric(1, "net.sent", 5.0).ok());
+  std::vector<storage::MetricRow> rows = loaded.value().metrics();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "net.sent");
+  EXPECT_EQ(rows[0].value, 5.0);
+}
+
+// ---- end to end ------------------------------------------------------------
+
+struct Rig {
+  ExperimentDescription description;
+  std::unique_ptr<SimPlatform> platform;
+};
+
+Result<Rig> make_rig(int replications) {
+  TwoPartyOptions options;
+  options.replications = replications;
+  options.environment_count = 1;
+  EXC_ASSIGN_OR_RETURN(ExperimentDescription description,
+                       core::scenario::two_party_sd(options));
+  EXC_ASSIGN_OR_RETURN(net::Topology topology,
+                       core::scenario::topology_for(description, {}));
+  SimPlatformConfig config;
+  config.topology = std::move(topology);
+  config.seed = 42;
+  EXC_ASSIGN_OR_RETURN(std::unique_ptr<SimPlatform> platform,
+                       SimPlatform::create(description, std::move(config)));
+  return Rig{std::move(description), std::move(platform)};
+}
+
+Result<storage::ExperimentPackage> run_experiment(Rig& rig,
+                                                  MasterOptions options) {
+  core::ExperiMaster master(rig.description, *rig.platform,
+                            std::move(options));
+  return master.execute();
+}
+
+TEST(ObsEndToEnd, PackageBytesIdenticalWithAndWithoutObs) {
+  Result<Rig> plain = make_rig(3);
+  Result<Rig> observed = make_rig(3);
+  ASSERT_TRUE(plain.ok() && observed.ok());
+
+  Result<storage::ExperimentPackage> baseline =
+      run_experiment(plain.value(), {});
+  ASSERT_TRUE(baseline.ok()) << baseline.error().to_string();
+
+  ObsConfig config;
+  config.packet_trace = true;  // heaviest instrumentation on
+  ObsContext obs(config);
+  MasterOptions with_obs;
+  with_obs.obs = &obs;
+  Result<storage::ExperimentPackage> instrumented =
+      run_experiment(observed.value(), std::move(with_obs));
+  ASSERT_TRUE(instrumented.ok()) << instrumented.error().to_string();
+
+  EXPECT_EQ(baseline.value().database().serialize(),
+            instrumented.value().database().serialize());
+
+#if EXCOVERY_OBS_ENABLED
+  // The run actually got observed.
+  EXPECT_EQ(obs.merged_cell(obs.ids().runs_completed).count, 3u);
+  EXPECT_EQ(obs.merged_cell(obs.ids().runs_attempts).count, 3u);
+  EXPECT_GT(obs.merged_cell(obs.ids().net_sent).count, 0u);
+  EXPECT_GT(obs.merged_cell(obs.ids().bus_published).count, 0u);
+  EXPECT_GT(obs.ledger().size(), 0u);
+  // Packet lifecycles landed on the sim track.
+  std::string json = obs.trace().to_json();
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("pkt "), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+#endif  // the byte-identity half above holds in both configurations
+}
+
+TEST(ObsEndToEnd, DeterministicMetricsIdenticalAcrossWorkerCounts) {
+  std::vector<std::string> rendered;
+  std::vector<Bytes> packages;
+  for (std::size_t workers : {1u, 3u}) {
+    Result<Rig> rig = make_rig(4);
+    ASSERT_TRUE(rig.ok());
+    ObsContext obs;
+    MasterOptions options;
+    options.obs = &obs;
+    options.run_workers = workers;
+    Result<storage::ExperimentPackage> package =
+        run_experiment(rig.value(), std::move(options));
+    ASSERT_TRUE(package.ok()) << package.error().to_string();
+    packages.push_back(package.value().database().serialize());
+    rendered.push_back(obs.format_deterministic_metrics());
+#if EXCOVERY_OBS_ENABLED
+    EXPECT_EQ(obs.merged_cell(obs.ids().runs_completed).count, 4u);
+#endif
+  }
+  EXPECT_EQ(packages[0], packages[1]);
+  EXPECT_EQ(rendered[0], rendered[1]) << rendered[0];
+#if EXCOVERY_OBS_ENABLED
+  // Sanity: the rendering actually carries per-run ledger lines.
+  EXPECT_NE(rendered[0].find("run/1/net.sent="), std::string::npos);
+  EXPECT_NE(rendered[0].find("runs.completed=4"), std::string::npos);
+#endif
+}
+
+TEST(ObsEndToEnd, RetriedRunsCountRetriesWithoutDuplicatingLedger) {
+  std::vector<std::string> rendered;
+  for (std::size_t workers : {1u, 2u}) {
+    Result<Rig> rig = make_rig(3);
+    ASSERT_TRUE(rig.ok());
+    ObsContext obs;
+    MasterOptions options;
+    options.obs = &obs;
+    options.run_workers = workers;
+    options.abort_hook = [](std::int64_t run_id, int attempt) {
+      return run_id == 2 && attempt == 1;  // first attempt of run 2 dies
+    };
+    Result<storage::ExperimentPackage> package =
+        run_experiment(rig.value(), std::move(options));
+    ASSERT_TRUE(package.ok()) << package.error().to_string();
+    rendered.push_back(obs.format_deterministic_metrics());
+#if EXCOVERY_OBS_ENABLED
+    EXPECT_EQ(obs.merged_cell(obs.ids().runs_completed).count, 3u);
+    EXPECT_EQ(obs.merged_cell(obs.ids().runs_attempts).count, 4u);
+    EXPECT_EQ(obs.merged_cell(obs.ids().runs_retries).count, 1u);
+    // Exactly one ledger entry per (run, name): the aborted attempt did not
+    // record.
+    std::size_t first = rendered.back().find("run/2/net.sent=");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(rendered.back().find("run/2/net.sent=", first + 1),
+              std::string::npos);
+#endif
+  }
+  EXPECT_EQ(rendered[0], rendered[1]);
+}
+
+TEST(ObsEndToEnd, MetricsJsonAndExportAreWellFormed) {
+  Result<Rig> rig = make_rig(3);
+  ASSERT_TRUE(rig.ok());
+  ObsContext obs;
+  MasterOptions options;
+  options.obs = &obs;
+  Result<storage::ExperimentPackage> package =
+      run_experiment(rig.value(), std::move(options));
+  ASSERT_TRUE(package.ok());
+
+  std::string json = obs.metrics_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"run_summaries\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\""), std::string::npos);
+
+  // Export is explicit and adds rows to the (otherwise empty) table.
+  EXPECT_TRUE(package.value().metrics().empty());
+  ASSERT_TRUE(obs.export_metrics(package.value()).ok());
+  EXPECT_FALSE(package.value().metrics().empty());
+}
+
+}  // namespace
+}  // namespace excovery::obs

@@ -1,6 +1,9 @@
 // Unit tests for descriptive statistics and the SD analysis functions.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "net/packet.hpp"
 #include "sd/message.hpp"
 #include "stats/analysis.hpp"
@@ -71,6 +74,56 @@ TEST(Metrics, HistogramBinning) {
   std::string text = histogram.format();
   EXPECT_NE(text.find("underflow: 1"), std::string::npos);
   EXPECT_NE(text.find("overflow:  2"), std::string::npos);
+}
+
+TEST(Metrics, PercentileEdgeCases) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaN samples are dropped before ranking, not sorted somewhere arbitrary.
+  EXPECT_DOUBLE_EQ(percentile({nan, 1.0, nan, 3.0}, 50), 2.0);
+  // All-NaN behaves like empty input.
+  EXPECT_DOUBLE_EQ(percentile({nan, nan}, 50), 0.0);
+  // A NaN rank is propagated, not silently clamped into the range.
+  EXPECT_TRUE(std::isnan(percentile({1.0, 2.0}, nan)));
+  // Out-of-range p clamps to the extremes.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 400), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 100), 3.0);
+}
+
+TEST(Metrics, HistogramEdgeCases) {
+  // Reversed bounds describe the same range and are normalised.
+  Histogram reversed(10.0, 0.0, 10);
+  reversed.add(9.5);
+  EXPECT_EQ(reversed.bin_count(9), 1u);
+  EXPECT_EQ(reversed.underflow(), 0u);
+  EXPECT_EQ(reversed.overflow(), 0u);
+
+  // Width-zero range: the single representable value lands in bin 0.
+  Histogram degenerate(5.0, 5.0, 4);
+  degenerate.add(5.0);
+  degenerate.add(6.0);
+  degenerate.add(4.0);
+  EXPECT_EQ(degenerate.bin_count(0), 1u);
+  EXPECT_EQ(degenerate.overflow(), 1u);
+  EXPECT_EQ(degenerate.underflow(), 1u);
+  EXPECT_EQ(degenerate.count(), 3u);
+
+  // NaN samples go to a dedicated bucket (they belong to no bin) and are
+  // reported by format().
+  Histogram with_nan(0.0, 1.0, 2);
+  with_nan.add(std::numeric_limits<double>::quiet_NaN());
+  with_nan.add(0.5);
+  EXPECT_EQ(with_nan.count(), 2u);
+  EXPECT_EQ(with_nan.nan_count(), 1u);
+  EXPECT_EQ(with_nan.bin_count(1), 1u);
+  EXPECT_NE(with_nan.format().find("nan:       1"), std::string::npos);
+
+  // Zero requested bins still yields a usable single-bin histogram.
+  Histogram zero_bins(0.0, 1.0, 0);
+  EXPECT_EQ(zero_bins.bins(), 1u);
+  zero_bins.add(0.5);
+  EXPECT_EQ(zero_bins.bin_count(0), 1u);
 }
 
 // ---- analysis over synthetic packages -------------------------------------------

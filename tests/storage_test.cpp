@@ -356,11 +356,14 @@ TEST(Database, CorruptV2ImagesRejected) {
 
 TEST(Package, SchemaMatchesTableI) {
   ExperimentPackage package;
-  // Exactly the eight tables of the paper's Table I, in order.
+  // The eight tables of the paper's Table I, in order, plus the Metrics
+  // extension (out-of-band runtime metrics; not required on load, so legacy
+  // packages still open).
   EXPECT_EQ(package.database().table_names(),
             (std::vector<std::string>{
                 "ExperimentInfo", "Logs", "EEFiles", "ExperimentMeasurements",
-                "RunInfos", "ExtraRunMeasurements", "Events", "Packets"}));
+                "RunInfos", "ExtraRunMeasurements", "Events", "Packets",
+                "Metrics"}));
   std::string schema = package.database().schema_description();
   EXPECT_NE(schema.find("ExperimentInfo | ExpXML, EEVersion, Name, Comment"),
             std::string::npos);
