@@ -44,6 +44,7 @@ ProcessInterpreter::~ProcessInterpreter() {
     platform_.recorder().bus().unsubscribe(wait_->subscription);
     platform_.scheduler().cancel(wait_->timeout_timer);
   }
+  generation_.bump();  // cancels the handle-less timers
 }
 
 void ProcessInterpreter::start(CompletionFn on_complete) {
@@ -51,9 +52,12 @@ void ProcessInterpreter::start(CompletionFn on_complete) {
   state_ = State::kRunning;
   // Defer the first step onto the scheduler so all processes of a run start
   // at the same instant but in deterministic creation order.
-  platform_.scheduler().schedule(sim::SimDuration::zero(), [this] {
-    if (state_ == State::kRunning) step();
-  });
+  platform_.scheduler().schedule(
+      sim::SimDuration::zero(),
+      [this, alive = generation_.token(), generation = generation_.value()] {
+        if (*alive != generation) return;  // interpreter was destroyed
+        if (state_ == State::kRunning) step();
+      });
 }
 
 void ProcessInterpreter::step() {
@@ -126,12 +130,14 @@ Status ProcessInterpreter::do_wait_for_time(const ProcessAction& action) {
   if (seconds < 0) return err_validation("wait_for_time duration is negative");
 
   state_ = State::kWaiting;
-  platform_.scheduler().schedule(sim::SimDuration::from_seconds(seconds),
-                                 [this] {
-                                   if (state_ != State::kWaiting) return;
-                                   state_ = State::kRunning;
-                                   step();
-                                 });
+  platform_.scheduler().schedule(
+      sim::SimDuration::from_seconds(seconds),
+      [this, alive = generation_.token(), generation = generation_.value()] {
+        if (*alive != generation) return;  // interpreter was destroyed
+        if (state_ != State::kWaiting) return;
+        state_ = State::kRunning;
+        step();
+      });
   return {};
 }
 
@@ -269,9 +275,12 @@ void ProcessInterpreter::finish_wait() {
   wait_.reset();
   state_ = State::kRunning;
   // Resume on a fresh scheduler slot to avoid re-entrant publish chains.
-  platform_.scheduler().schedule(sim::SimDuration::zero(), [this] {
-    if (state_ == State::kRunning) step();
-  });
+  platform_.scheduler().schedule(
+      sim::SimDuration::zero(),
+      [this, alive = generation_.token(), generation = generation_.value()] {
+        if (*alive != generation) return;  // interpreter was destroyed
+        if (state_ == State::kRunning) step();
+      });
 }
 
 Result<Value> ProcessInterpreter::resolve(const ParamValue& value) const {

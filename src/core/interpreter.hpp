@@ -32,6 +32,7 @@
 #include "core/description.hpp"
 #include "core/plan.hpp"
 #include "core/recorder.hpp"
+#include "sim/lifetime.hpp"
 #include "sim/scheduler.hpp"
 
 namespace excovery::core {
@@ -136,6 +137,11 @@ class ProcessInterpreter {
   std::optional<sim::SimTime> marker_;
   std::unique_ptr<WaitState> wait_;
   int timeouts_ = 0;
+  /// Invalidates handle-less timers (start deferral, wait_for_time) on
+  /// destruction — an aborted attempt leaves them in the scheduler, and
+  /// they must not touch the destroyed interpreter when the retry's
+  /// scheduler drains them.
+  sim::GenerationGate generation_;
 };
 
 }  // namespace excovery::core

@@ -2,6 +2,7 @@
 
 #include "common/strings.hpp"
 #include "core/platform.hpp"
+#include "faults/schedule.hpp"
 
 namespace excovery::core {
 
@@ -117,7 +118,13 @@ void NodeManager::register_methods() {
         "fault_message_loss_start", "fault_message_loss_stop",
         "fault_message_delay_start", "fault_message_delay_stop",
         "fault_path_loss_start", "fault_path_loss_stop",
-        "fault_path_delay_start", "fault_path_delay_stop"}) {
+        "fault_path_delay_start", "fault_path_delay_stop",
+        "fault_node_crash_start", "fault_node_crash_stop",
+        "fault_node_churn_start", "fault_node_churn_stop",
+        "fault_link_flap_start", "fault_link_flap_stop",
+        "fault_ge_loss_start", "fault_ge_loss_stop",
+        "fault_message_duplicate_start", "fault_message_duplicate_stop",
+        "fault_message_reorder_start", "fault_message_reorder_stop"}) {
     server_.register_method(
         method, wrap([this, method](const ValueMap& params) -> Result<Value> {
           return dispatch_fault(method, params);
@@ -138,6 +145,43 @@ Status NodeManager::ensure_agent() {
 
 Result<Value> NodeManager::dispatch_sd(const std::string& method,
                                        const ValueMap& params) {
+  if (crashed_) {
+    // The control channel stays reachable while the node's SD stack is down
+    // (§IV-A1: management runs out of band), so experiment processes can
+    // still issue SD actions against a crashed node.  Teardown degrades
+    // gracefully — the crashed role's soft state is already gone — and
+    // role-shaping actions are recorded for replay when the node restarts.
+    if (method == "sd_exit") {
+      sd_state_ = {};
+      log_.info("sd_exit (crashed: role already gone)");
+      platform_.recorder().record(name_, "sd_exit_done");
+      return Value{true};
+    }
+    if (method == "sd_stop_publish") {
+      sd_state_.publishes.erase(param_text(params, "instance", name_));
+      return Value{true};
+    }
+    if (method == "sd_stop_search") {
+      sd_state_.searches.erase(param_text(params, "type", "_expservice._udp"));
+      return Value{true};
+    }
+    if (method == "sd_start_publish" || method == "sd_update_publication") {
+      if (!sd_state_.initialized) {
+        return err_state("sd action '" + method + "' before sd_init");
+      }
+      sd_state_.publishes[param_text(params, "instance", name_)] = params;
+      return Value{true};
+    }
+    if (method == "sd_start_search") {
+      if (!sd_state_.initialized) {
+        return err_state("sd action '" + method + "' before sd_init");
+      }
+      sd_state_.searches[param_text(params, "type", "_expservice._udp")] =
+          params;
+      return Value{true};
+    }
+    return err_state("sd action '" + method + "' on crashed node");
+  }
   if (method == "sd_init") {
     EXC_TRY(ensure_agent());
     std::string role_text = param_text(params, "role", "SU");
@@ -147,6 +191,8 @@ Result<Value> NodeManager::dispatch_sd(const std::string& method,
     sdp_params.erase("role");
     log_.info("sd_init role=" + std::string(sd::to_string(role)));
     EXC_TRY(agent_->init(role, sdp_params));
+    sd_state_.initialized = true;
+    sd_state_.init_params = params;
     return Value{true};
   }
   if (!agent_) return err_state("sd action '" + method + "' before sd_init");
@@ -155,16 +201,19 @@ Result<Value> NodeManager::dispatch_sd(const std::string& method,
     log_.info("sd_exit");
     EXC_TRY(agent_->exit());
     agent_.reset();
+    sd_state_ = {};
     return Value{true};
   }
   if (method == "sd_start_search") {
     std::string type = param_text(params, "type", "_expservice._udp");
     EXC_TRY(agent_->start_search(type));
+    sd_state_.searches[type] = params;
     return Value{true};
   }
   if (method == "sd_stop_search") {
     std::string type = param_text(params, "type", "_expservice._udp");
     EXC_TRY(agent_->stop_search(type));
+    sd_state_.searches.erase(type);
     return Value{true};
   }
   if (method == "sd_start_publish") {
@@ -180,11 +229,13 @@ Result<Value> NodeManager::dispatch_sd(const std::string& method,
       }
     }
     EXC_TRY(agent_->start_publish(instance));
+    sd_state_.publishes[instance.instance_name] = params;
     return Value{true};
   }
   if (method == "sd_stop_publish") {
     std::string instance = param_text(params, "instance", name_);
     EXC_TRY(agent_->stop_publish(instance));
+    sd_state_.publishes.erase(instance);
     return Value{true};
   }
   if (method == "sd_update_publication") {
@@ -200,6 +251,8 @@ Result<Value> NodeManager::dispatch_sd(const std::string& method,
       }
     }
     EXC_TRY(agent_->update_publication(instance));
+    // Replay memory keeps the latest parameters per instance.
+    sd_state_.publishes[instance.instance_name] = params;
     return Value{true};
   }
   return err_rpc("unknown sd method '" + method + "'");
@@ -286,11 +339,123 @@ Result<Value> NodeManager::dispatch_fault(const std::string& method,
           node_id_, peer, sim::SimDuration::from_seconds(delay_ms / 1000.0),
           temporal);
     }
+    if (kind == "fault_node_crash") {
+      return platform_.schedule_engine().node_crash(node_id_, temporal);
+    }
+    if (kind == "fault_node_churn" || kind == "fault_link_flap") {
+      EXC_ASSIGN_OR_RETURN(double up_s,
+                           param_double(params, "mean_uptime_s", 2.0));
+      EXC_ASSIGN_OR_RETURN(double down_s,
+                           param_double(params, "mean_downtime_s", 1.0));
+      faults::ChurnSpec spec;
+      spec.mean_uptime = sim::SimDuration::from_seconds(up_s);
+      spec.mean_downtime = sim::SimDuration::from_seconds(down_s);
+      spec.exponential =
+          param_text(params, "distribution", "exponential") != "fixed";
+      if (kind == "fault_node_churn") {
+        return platform_.schedule_engine().node_churn(node_id_, spec,
+                                                      temporal);
+      }
+      std::string peer_name = param_text(params, "peer");
+      if (peer_name.empty()) return err_invalid(kind + " needs a peer");
+      EXC_ASSIGN_OR_RETURN(net::NodeId peer, platform_.node_id(peer_name));
+      return platform_.schedule_engine().link_flap(node_id_, peer, spec,
+                                                   temporal);
+    }
+    if (kind == "fault_ge_loss") {
+      faults::GilbertElliott model;
+      EXC_ASSIGN_OR_RETURN(model.loss_good,
+                           param_double(params, "probability_good", 0.0));
+      EXC_ASSIGN_OR_RETURN(model.loss_bad,
+                           param_double(params, "probability_bad", 1.0));
+      EXC_ASSIGN_OR_RETURN(model.p_enter_bad,
+                           param_double(params, "p_enter_bad", 0.0));
+      EXC_ASSIGN_OR_RETURN(model.p_exit_bad,
+                           param_double(params, "p_exit_bad", 1.0));
+      std::string peer_name = param_text(params, "peer");
+      if (!peer_name.empty()) {
+        EXC_ASSIGN_OR_RETURN(net::NodeId peer, platform_.node_id(peer_name));
+        return injector.ge_path_loss(node_id_, peer, model, temporal);
+      }
+      EXC_ASSIGN_OR_RETURN(
+          faults::FaultDirection direction,
+          faults::parse_fault_direction(param_text(params, "direction",
+                                                   "both")));
+      return injector.ge_loss(node_id_, model, direction, temporal);
+    }
+    if (kind == "fault_message_duplicate") {
+      EXC_ASSIGN_OR_RETURN(double probability,
+                           param_double(params, "probability", 0.0));
+      EXC_ASSIGN_OR_RETURN(std::int64_t copies,
+                           param_int(params, "copies", 1));
+      EXC_ASSIGN_OR_RETURN(double gap_ms, param_double(params, "gap_ms", 0.0));
+      return injector.message_duplicate(
+          node_id_, probability, static_cast<int>(copies),
+          sim::SimDuration::from_seconds(gap_ms / 1000.0), temporal);
+    }
+    if (kind == "fault_message_reorder") {
+      EXC_ASSIGN_OR_RETURN(double probability,
+                           param_double(params, "probability", 0.0));
+      EXC_ASSIGN_OR_RETURN(double max_delay_ms,
+                           param_double(params, "max_delay_ms", 10.0));
+      return injector.message_reorder(
+          node_id_, probability,
+          sim::SimDuration::from_seconds(max_delay_ms / 1000.0), temporal);
+    }
     return err_rpc("unknown fault method '" + method + "'");
   }();
   if (!handle.ok()) return std::move(handle).error();
   active_faults_.emplace(kind, std::move(handle).value());
   return Value{true};
+}
+
+void NodeManager::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  log_.info("node crash: SD soft state lost, interfaces down");
+  if (agent_) {
+    // Drop all soft state without goodbyes or deregistrations; peers keep
+    // stale knowledge of this node until their caches/leases expire.
+    agent_->crash();
+    agent_.reset();
+  }
+  net::Network& network = platform_.network();
+  network.set_interface_up(node_id_, net::Direction::kTransmit, false);
+  network.set_interface_up(node_id_, net::Direction::kReceive, false);
+}
+
+void NodeManager::restore() {
+  if (!crashed_) return;
+  crashed_ = false;
+  net::Network& network = platform_.network();
+  network.set_interface_up(node_id_, net::Direction::kTransmit, true);
+  network.set_interface_up(node_id_, net::Direction::kReceive, true);
+  log_.info("node restart: replaying discovery role");
+  if (!sd_state_.initialized) return;
+  // Replay through the regular dispatch path so re-announcement and
+  // re-registration use the protocol's normal startup machinery (probe /
+  // announce backoff, SCM registration).  Iterate over copies: dispatch_sd
+  // rewrites the replay memory as it goes.
+  ValueMap init_params = sd_state_.init_params;
+  auto publishes = sd_state_.publishes;
+  auto searches = sd_state_.searches;
+  sd_state_ = {};
+  if (Result<Value> r = dispatch_sd("sd_init", init_params); !r.ok()) {
+    log_.warn("restart replay: sd_init failed: " + r.error().message());
+    return;
+  }
+  for (const auto& [instance, params] : publishes) {
+    if (Result<Value> r = dispatch_sd("sd_start_publish", params); !r.ok()) {
+      log_.warn("restart replay: publish '" + instance +
+                "' failed: " + r.error().message());
+    }
+  }
+  for (const auto& [type, params] : searches) {
+    if (Result<Value> r = dispatch_sd("sd_start_search", params); !r.ok()) {
+      log_.warn("restart replay: search '" + type +
+                "' failed: " + r.error().message());
+    }
+  }
 }
 
 void NodeManager::register_plugin(const std::string& plugin,
@@ -316,6 +481,8 @@ Status NodeManager::experiment_exit() {
 
 Status NodeManager::run_init(std::int64_t run_id) {
   current_run_ = run_id;
+  sd_state_ = {};
+  crashed_ = false;
   // Drop buffered experiment-scope lines so this run's log segment holds
   // exactly the lines logged between run_init and run_exit.
   log_.clear();
@@ -325,15 +492,21 @@ Status NodeManager::run_init(std::int64_t run_id) {
 }
 
 Status NodeManager::run_exit(std::int64_t run_id) {
+  // Stop faults still active on this node BEFORE tearing the agent down: a
+  // churn fault's deactivation restores the node (recreating the agent),
+  // which must happen inside the run so the final agent exit below sees it.
+  for (auto& [kind, fault] : active_faults_) fault->stop();
+  active_faults_.clear();
+  // Safety net: a node left crashed by a one-shot crash fault comes back so
+  // the next run starts from a defined state.
+  if (crashed_) restore();
   // Terminate any SD role still active (clean-up phase must leave a
   // defined state for the next run).
   if (agent_ && agent_->initialized()) {
     (void)agent_->exit();
     agent_.reset();
   }
-  // Stop faults still active on this node.
-  for (auto& [kind, fault] : active_faults_) fault->stop();
-  active_faults_.clear();
+  sd_state_ = {};
 
   collect_captures(run_id);
 

@@ -16,6 +16,10 @@
 //   faults:      fault_interface_start/stop, fault_message_loss_start/stop,
 //                fault_message_delay_start/stop, fault_path_loss_start/stop,
 //                fault_path_delay_start/stop
+//   dynamic:     fault_node_crash_start/stop, fault_node_churn_start/stop,
+//                fault_link_flap_start/stop, fault_ge_loss_start/stop,
+//                fault_message_duplicate_start/stop,
+//                fault_message_reorder_start/stop (DESIGN.md §12)
 #pragma once
 
 #include <map>
@@ -66,6 +70,16 @@ class NodeManager {
   Status run_init(std::int64_t run_id);
   Status run_exit(std::int64_t run_id);
 
+  /// Node crash (churn fault): the SD agent loses all soft state without
+  /// goodbyes and both interfaces go down.  Idempotent.
+  void crash();
+  /// Restart after a crash: interfaces come back and the node's recorded
+  /// discovery role (init, publications, searches) is replayed through the
+  /// regular SD action path, so re-announcement/re-registration runs the
+  /// protocol's normal startup machinery.  Idempotent.
+  void restore();
+  bool crashed() const noexcept { return crashed_; }
+
  private:
   void register_methods();
   Result<Value> dispatch_sd(const std::string& method, const ValueMap& params);
@@ -85,6 +99,17 @@ class NodeManager {
   CapturingLog log_;
   std::int64_t current_run_ = 0;
   std::map<std::string, faults::FaultHandle> active_faults_;
+  /// Replay memory for crash-restart: the raw parameters of the SD actions
+  /// that shaped the node's current discovery role.  Cleared at run_init
+  /// and sd_exit; consumed by restore().
+  struct SdSoftState {
+    bool initialized = false;
+    ValueMap init_params;                      ///< includes "role"
+    std::map<std::string, ValueMap> publishes; ///< instance -> params
+    std::map<std::string, ValueMap> searches;  ///< type -> params
+  };
+  SdSoftState sd_state_;
+  bool crashed_ = false;
   struct Plugin {
     std::string plugin;
     std::string name;

@@ -74,6 +74,16 @@ Status SimPlatform::setup(const ExperimentDescription& description) {
     recorder_->record(node.empty() ? kEnvironmentNode : node, event,
                       parameter);
   });
+  engine_ = std::make_unique<faults::FaultScheduleEngine>(*injector_);
+  engine_->set_lifecycle_hooks(
+      [this](const std::string& node) {
+        auto it = managers_.find(node);
+        if (it != managers_.end()) it->second->crash();
+      },
+      [this](const std::string& node) {
+        auto it = managers_.find(node);
+        if (it != managers_.end()) it->second->restore();
+      });
   traffic_ = std::make_unique<faults::TrafficGenerator>(*network_);
 
   // Resolve protocol from the description's informative parameters, if set.

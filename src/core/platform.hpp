@@ -22,6 +22,7 @@
 #include "core/description.hpp"
 #include "core/recorder.hpp"
 #include "faults/injector.hpp"
+#include "faults/schedule.hpp"
 #include "faults/traffic.hpp"
 #include "net/network.hpp"
 #include "rpc/endpoint.hpp"
@@ -78,6 +79,7 @@ class SimPlatform {
   EventRecorder& recorder() noexcept { return *recorder_; }
   storage::Level2Store& level2() noexcept { return level2_; }
   faults::FaultInjector& injector() noexcept { return *injector_; }
+  faults::FaultScheduleEngine& schedule_engine() noexcept { return *engine_; }
   faults::TrafficGenerator& traffic() noexcept { return *traffic_; }
   rpc::InProcessTransport& transport() noexcept { return transport_; }
   const SimPlatformConfig& config() const noexcept { return config_; }
@@ -150,6 +152,7 @@ class SimPlatform {
   storage::Level2Store level2_;
   std::unique_ptr<EventRecorder> recorder_;
   std::unique_ptr<faults::FaultInjector> injector_;
+  std::unique_ptr<faults::FaultScheduleEngine> engine_;
   std::unique_ptr<faults::TrafficGenerator> traffic_;
   rpc::InProcessTransport transport_;
 

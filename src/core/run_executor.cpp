@@ -115,6 +115,7 @@ RunExecutor::KernelSample RunExecutor::sample_kernel() const {
   sample.published = platform_.recorder().bus().published();
   sample.dispatched = platform_.recorder().bus().dispatched();
   sample.activations = platform_.injector().activations();
+  sample.kind_stats = platform_.injector().kind_stats();
   return sample;
 }
 
@@ -153,7 +154,29 @@ void RunExecutor::record_attempt_obs(const RunSpec& run, const Status& status,
   const std::uint64_t net_dropped =
       net.dropped_loss + net.dropped_interface + net.dropped_filter +
       net.dropped_ttl + net.dropped_no_route + net.dropped_no_handler +
-      net.dropped_queue;
+      net.dropped_queue + net.dropped_link_down;
+  // Per-fault-kind counter deltas over this attempt.  The injector's map
+  // only grows, so every `before` kind still exists in `after`.
+  faults::FaultKindStats fault_delta;
+  std::map<std::string, faults::FaultKindStats> kind_delta;
+  for (const auto& [kind, stats] : after.kind_stats) {
+    faults::FaultKindStats d = stats;
+    if (auto it = before.kind_stats.find(kind); it != before.kind_stats.end()) {
+      d.activations -= it->second.activations;
+      d.deactivations -= it->second.deactivations;
+      d.packets_dropped -= it->second.packets_dropped;
+      d.packets_delayed -= it->second.packets_delayed;
+      d.packets_duplicated -= it->second.packets_duplicated;
+      d.packets_reordered -= it->second.packets_reordered;
+    }
+    fault_delta.activations += d.activations;
+    fault_delta.deactivations += d.deactivations;
+    fault_delta.packets_dropped += d.packets_dropped;
+    fault_delta.packets_delayed += d.packets_delayed;
+    fault_delta.packets_duplicated += d.packets_duplicated;
+    fault_delta.packets_reordered += d.packets_reordered;
+    kind_delta.emplace(kind, d);
+  }
   const double sim_seconds =
       static_cast<double>(platform_.scheduler().now().nanos() - sim_start_ns) /
       1e9;
@@ -179,6 +202,11 @@ void RunExecutor::record_attempt_obs(const RunSpec& run, const Status& status,
   add(ids.net_dropped, net_dropped);
   add(ids.net_bytes_sent, net.bytes_sent);
   add(ids.fault_activations, after.activations - before.activations);
+  add(ids.fault_deactivations, fault_delta.deactivations);
+  add(ids.fault_packets_dropped, fault_delta.packets_dropped);
+  add(ids.fault_packets_delayed, fault_delta.packets_delayed);
+  add(ids.fault_packets_duplicated, fault_delta.packets_duplicated);
+  add(ids.fault_packets_reordered, fault_delta.packets_reordered);
   observe(ids.run_sim_seconds, sim_seconds);
 
   // Best-effort/wall domain: executed counts include gated-timer husks that
@@ -211,6 +239,21 @@ void RunExecutor::record_attempt_obs(const RunSpec& run, const Status& status,
   led("net.bytes_sent", static_cast<double>(net.bytes_sent));
   led("faults.activations",
       static_cast<double>(after.activations - before.activations));
+  // Per-kind breakdown for runs where the kind actually did something, so
+  // dynamic-world treatments are analysable from the level-3 Metrics table.
+  for (const auto& [kind, d] : kind_delta) {
+    auto led_kind = [&](const char* counter, std::uint64_t value) {
+      if (value == 0) return;
+      led(strings::format("faults.%s.%s", kind.c_str(), counter),
+          static_cast<double>(value));
+    };
+    led_kind("activations", d.activations);
+    led_kind("deactivations", d.deactivations);
+    led_kind("packets_dropped", d.packets_dropped);
+    led_kind("packets_delayed", d.packets_delayed);
+    led_kind("packets_duplicated", d.packets_duplicated);
+    led_kind("packets_reordered", d.packets_reordered);
+  }
   led("sim.duration_s", sim_seconds);
   if (platform_.network().link_stats_enabled()) {
     const net::LinkStats& links = platform_.network().link_stats();
@@ -403,6 +446,10 @@ Status RunExecutor::cleanup_run(const RunSpec& run) {
     env_drop_all_->stop();
     env_drop_all_.reset();
   }
+  if (env_partition_) {
+    env_partition_->stop();
+    env_partition_.reset();
+  }
   for (const std::string& node : platform_.node_names()) {
     ValueMap args;
     args["run_id"] = Value{run.run_id};
@@ -488,6 +535,34 @@ Status RunExecutor::env_action(const std::string& method, ValueMap params) {
     if (!env_drop_all_) return err_state("drop_all not active");
     env_drop_all_->stop();
     env_drop_all_.reset();
+    return {};
+  }
+  if (method == "env_partition_start") {
+    if (env_partition_) return err_state("partition already active");
+    // "nodes": comma-separated concrete node names forming one side of the
+    // bipartition; every link crossing the cut goes down until _stop.
+    std::string side_text;
+    if (auto it = params.find("nodes"); it != params.end()) {
+      side_text = strings::strip_quotes(it->second.to_text());
+    }
+    std::vector<net::NodeId> side;
+    for (const std::string& name : strings::split(side_text, ',')) {
+      std::string trimmed = strings::trim(name);
+      if (trimmed.empty()) continue;
+      EXC_ASSIGN_OR_RETURN(std::string concrete,
+                           platform_.concrete_name(trimmed));
+      EXC_ASSIGN_OR_RETURN(net::NodeId id, platform_.node_id(concrete));
+      side.push_back(id);
+    }
+    faults::TemporalSpec temporal;  // until stopped
+    EXC_ASSIGN_OR_RETURN(env_partition_,
+                         platform_.schedule_engine().partition(side, temporal));
+    return {};
+  }
+  if (method == "env_partition_stop") {
+    if (!env_partition_) return err_state("partition not active");
+    env_partition_->stop();
+    env_partition_.reset();
     return {};
   }
   if (method == "event_flag") {

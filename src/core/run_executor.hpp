@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 
 #include "common/obs_switch.hpp"
@@ -88,6 +89,8 @@ class RunExecutor : public ActionDispatcher {
     std::uint64_t published = 0;
     std::uint64_t dispatched = 0;
     std::uint64_t activations = 0;
+    /// Per-fault-kind counters (copied: the live map keeps growing).
+    std::map<std::string, faults::FaultKindStats> kind_stats;
   };
   KernelSample sample_kernel() const;
   void record_attempt_obs(const RunSpec& run, const Status& status,
@@ -101,6 +104,7 @@ class RunExecutor : public ActionDispatcher {
   RunExecutorOptions options_;
   const RunSpec* current_run_ = nullptr;
   faults::FaultHandle env_drop_all_;
+  faults::FaultHandle env_partition_;
   obs::ObsContext* obs_ = nullptr;
   obs::MetricsShard* obs_shard_ = nullptr;
 };

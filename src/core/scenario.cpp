@@ -218,6 +218,73 @@ Result<ExperimentDescription> two_party_sd(const TwoPartyOptions& options) {
     }
   }
 
+  // ---- dynamic-world processes (DESIGN.md §12) -----------------------------
+  if (options.dynamic.sm_churn) {
+    for (int i = 0; i < options.sm_count; ++i) {
+      ManipulationProcess manipulation;
+      manipulation.node_id = strings::format("SM%d", i);
+      ProcessAction start = action("fault_node_churn_start");
+      with(start, "mean_uptime_s",
+           lit(strings::format_double(options.dynamic.churn_mean_uptime_s)));
+      with(start, "mean_downtime_s",
+           lit(strings::format_double(options.dynamic.churn_mean_downtime_s)));
+      with(start, "distribution", lit(options.dynamic.churn_distribution));
+      with(start, "randomseed", ParamValue::factor("fact_replication_id"));
+      manipulation.actions.push_back(std::move(start));
+      ProcessAction wait_done = action("wait_for_event");
+      with(wait_done, "event_dependency", lit("done"));
+      with(wait_done, "from_dependency",
+           ParamValue::nodes(NodeSetRef{"actor1", "all"}));
+      manipulation.actions.push_back(std::move(wait_done));
+      manipulation.actions.push_back(action("fault_node_churn_stop"));
+      description.manipulation_processes.push_back(std::move(manipulation));
+    }
+  }
+  if (options.dynamic.ge_loss) {
+    for (int i = 0; i < options.su_count; ++i) {
+      ManipulationProcess manipulation;
+      manipulation.node_id = strings::format("SU%d", i);
+      ProcessAction start = action("fault_ge_loss_start");
+      with(start, "probability_good",
+           lit(strings::format_double(options.dynamic.ge_loss_good)));
+      with(start, "probability_bad",
+           lit(strings::format_double(options.dynamic.ge_loss_bad)));
+      with(start, "p_enter_bad",
+           lit(strings::format_double(options.dynamic.ge_p_enter_bad)));
+      with(start, "p_exit_bad",
+           lit(strings::format_double(options.dynamic.ge_p_exit_bad)));
+      with(start, "direction", lit("both"));
+      with(start, "randomseed", ParamValue::factor("fact_replication_id"));
+      manipulation.actions.push_back(std::move(start));
+      ProcessAction wait_done = action("wait_for_event");
+      with(wait_done, "event_dependency", lit("done"));
+      with(wait_done, "from_dependency",
+           ParamValue::nodes(NodeSetRef{"actor1", "all"}));
+      manipulation.actions.push_back(std::move(wait_done));
+      manipulation.actions.push_back(action("fault_ge_loss_stop"));
+      description.manipulation_processes.push_back(std::move(manipulation));
+    }
+  }
+  if (!options.dynamic.partition_nodes.empty()) {
+    // Timed: wait_for_time shapes avoid waiting on events that may already
+    // have fired before this process reaches its wait.
+    EnvProcess env;
+    ProcessAction wait_start = action("wait_for_time");
+    with(wait_start, "time",
+         lit(strings::format_double(options.dynamic.partition_start_s)));
+    env.actions.push_back(std::move(wait_start));
+    ProcessAction start = action("env_partition_start");
+    with(start, "nodes",
+         lit(strings::join(options.dynamic.partition_nodes, ",")));
+    env.actions.push_back(std::move(start));
+    ProcessAction wait_heal = action("wait_for_time");
+    with(wait_heal, "time",
+         lit(strings::format_double(options.dynamic.partition_duration_s)));
+    env.actions.push_back(std::move(wait_heal));
+    env.actions.push_back(action("env_partition_stop"));
+    description.env_processes.push_back(std::move(env));
+  }
+
   // ---- environment traffic process (Fig. 7) --------------------------------
   if (with_traffic) {
     EnvProcess env;

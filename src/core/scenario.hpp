@@ -18,6 +18,36 @@ namespace excovery::core::scenario {
 
 enum class TopologyKind { kFullMesh, kChain, kGrid, kRandomGeometric };
 
+/// Dynamic-world knobs (DESIGN.md §12): churn, bursty loss and a timed
+/// partition layered onto the canonical scenario as manipulation /
+/// environment processes.  All schedules seed from fact_replication_id, so
+/// realisations vary per run yet stay a pure function of the seed.
+struct DynamicWorldOptions {
+  /// Crash/restart churn on every SM node.
+  bool sm_churn = false;
+  double churn_mean_uptime_s = 3.0;
+  double churn_mean_downtime_s = 1.0;
+  std::string churn_distribution = "exponential";  ///< or "fixed"
+
+  /// Gilbert-Elliott bursty loss on every SU node.
+  bool ge_loss = false;
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 1.0;
+  double ge_p_enter_bad = 0.05;
+  double ge_p_exit_bad = 0.3;
+
+  /// Timed bipartition: the named (concrete) nodes are cut off from the
+  /// rest `partition_start_s` seconds into the run and healed after
+  /// `partition_duration_s` seconds.  Empty disables the partition.
+  std::vector<std::string> partition_nodes;
+  double partition_start_s = 1.0;
+  double partition_duration_s = 5.0;
+
+  bool enabled() const {
+    return sm_churn || ge_loss || !partition_nodes.empty();
+  }
+};
+
 struct TwoPartyOptions {
   int sm_count = 1;          ///< service managers (publishers), actor0
   int su_count = 1;          ///< service users (requesters), actor1
@@ -43,6 +73,9 @@ struct TwoPartyOptions {
   /// publication/registration and the search (e.g. killing the SCM before
   /// directed discovery starts).
   double su_start_delay_s = 0.0;
+
+  /// Dynamic-world fault processes layered onto the scenario.
+  DynamicWorldOptions dynamic;
 };
 
 /// Build the complete experiment description: actor processes per Fig. 9

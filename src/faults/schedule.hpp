@@ -1,0 +1,88 @@
+// Deterministic fault-schedule engine: time-varying fault processes on top
+// of the one-shot injector (DESIGN.md §12).
+//
+// The injector's faults (§IV-D) are static: one activation window, one
+// deactivation.  Dynamic worlds — the scenarios that actually stress
+// service discovery — need *processes*: nodes that crash and come back,
+// links that flap, partitions that form and heal.  The engine builds these
+// as self-rescheduling loops on the simulation scheduler, drawing holding
+// times from per-fault RNG substreams keyed by the description-provided
+// randomseed, so a schedule is a pure function of the seed: identical
+// packages at any worker count, including retries.
+//
+// Every process is registered with the injector (its reset() stops engine
+// faults too) and flows through the same §IV-D event vocabulary
+// (fault_<kind>_start/stop), with inner transitions emitting their own
+// events (fault_node_down/up, fault_link_down/up).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "faults/injector.hpp"
+
+namespace excovery::faults {
+
+/// Up/down alternation for churn-style fault processes.
+struct ChurnSpec {
+  sim::SimDuration mean_uptime;
+  sim::SimDuration mean_downtime;
+  /// true: holding times are exponential with the given means (memoryless
+  /// churn); false: fixed holding times.
+  bool exponential = true;
+};
+
+class FaultScheduleEngine {
+ public:
+  explicit FaultScheduleEngine(FaultInjector& injector)
+      : injector_(injector) {}
+
+  /// Hook invoked (with the node's name) when a churn/crash process takes a
+  /// node down or brings it back.  The platform wires these to the node
+  /// manager, which drops the SD agent's soft state and later replays its
+  /// discovery role.  Without hooks the engine falls back to toggling the
+  /// node's interfaces only.
+  using LifecycleHook = std::function<void(const std::string& node_name)>;
+  void set_lifecycle_hooks(LifecycleHook crash, LifecycleHook restore) {
+    crash_ = std::move(crash);
+    restore_ = std::move(restore);
+  }
+
+  /// One crash/restart cycle: the node is down for the fault's active
+  /// window (soft state lost at activation, role replayed at deactivation).
+  Result<FaultHandle> node_crash(net::NodeId node,
+                                 const TemporalSpec& temporal = {});
+
+  /// Continuous crash/restart churn: while the fault is active the node
+  /// alternates up/down with the spec's holding times.  Emits
+  /// fault_node_down / fault_node_up on every transition.
+  Result<FaultHandle> node_churn(net::NodeId node, const ChurnSpec& spec,
+                                 const TemporalSpec& temporal = {});
+
+  /// Link churn: the link between `a` and `b` alternates up/down.  Routing
+  /// is repaired incrementally on every transition.  Emits
+  /// fault_link_down / fault_link_up at node `a`.
+  Result<FaultHandle> link_flap(net::NodeId a, net::NodeId b,
+                                const ChurnSpec& spec,
+                                const TemporalSpec& temporal = {});
+
+  /// Named bipartition: while active, every link with exactly one endpoint
+  /// in `side` is down, splitting the network into `side` and the rest;
+  /// deactivation heals all of them at once.
+  Result<FaultHandle> partition(const std::vector<net::NodeId>& side,
+                                const TemporalSpec& temporal = {});
+
+ private:
+  /// Take a node down / bring it back, preferring the lifecycle hooks.
+  void crash_node(net::NodeId node, const std::string& name);
+  void restore_node(net::NodeId node, const std::string& name);
+
+  FaultInjector& injector_;
+  LifecycleHook crash_;
+  LifecycleHook restore_;
+};
+
+Status validate(const ChurnSpec& spec);
+
+}  // namespace excovery::faults

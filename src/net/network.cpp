@@ -73,14 +73,16 @@ Result<std::uint64_t> Network::send(NodeId from, Packet packet) {
     stats_.dropped_interface++;
     return packet.uid;
   }
-  // Transmit-side filters (may delay or drop the whole send).
-  std::optional<sim::SimDuration> tx_delay =
-      apply_filters(from, Direction::kTransmit, packet);
-  if (!tx_delay) {
+  // Transmit-side filters (may delay, drop, or duplicate the whole send).
+  FilterOutcome tx = apply_filters(from, Direction::kTransmit, packet);
+  if (tx.drop) {
     stats_.dropped_filter++;
     return packet.uid;
   }
   capture(from, Direction::kTransmit, packet);
+  if (tx.duplicates > 0) {
+    launch_duplicates(from, packet, tx.duplicates, tx.duplicate_gap, tx.delay);
+  }
 
   std::uint64_t uid = packet.uid;
   auto launch = [this, from, packet = std::move(packet)]() mutable {
@@ -98,12 +100,51 @@ Result<std::uint64_t> Network::send(NodeId from, Packet packet) {
       forward_unicast(from, std::move(packet));
     }
   };
-  if (tx_delay->nanos() > 0) {
-    scheduler_.schedule(*tx_delay, std::move(launch));
+  if (tx.delay.nanos() > 0) {
+    scheduler_.schedule(tx.delay, std::move(launch));
   } else {
     launch();
   }
   return uid;
+}
+
+void Network::launch_duplicates(NodeId from, const Packet& packet, int copies,
+                                sim::SimDuration gap,
+                                sim::SimDuration initial_delay) {
+  // Each copy re-enters the data plane as its own transmission — fresh uid
+  // and tag, its own capture record — but skips the filter chain so a
+  // duplication filter cannot amplify its own copies.
+  for (int i = 1; i <= copies; ++i) {
+    sim::SimDuration at = initial_delay;
+    for (int g = 0; g < i; ++g) at += gap;
+    scheduler_.schedule(at, [this, from, copy = packet]() mutable {
+      NodeState& sender = nodes_[from];
+      copy.uid = next_uid_++;
+      copy.tag = sender.next_tag++;
+      if (sender.next_tag == 0) sender.next_tag = 1;
+      copy.route.clear();
+      copy.route.push_back(from);
+      stats_.sent++;
+      stats_.duplicated++;
+      stats_.bytes_sent += copy.wire_size();
+      emit_packet_trace(PacketTraceEvent::Kind::kSend, copy.uid, from, from,
+                        "duplicate", copy.wire_size());
+      if (!sender.tx_up) {
+        stats_.dropped_interface++;
+        return;
+      }
+      capture(from, Direction::kTransmit, copy);
+      if (copy.dst.is_multicast() || copy.dst.is_broadcast()) {
+        sender.seen_uids.insert(copy.uid);
+        if (copy.dst.is_broadcast() || sender.groups.count(copy.dst) != 0) {
+          deliver_local(from, copy);
+        }
+        flood(from, std::move(copy));
+      } else {
+        forward_unicast(from, std::move(copy));
+      }
+    });
+  }
 }
 
 void Network::set_interface_up(NodeId node, Direction direction, bool up) {
@@ -164,6 +205,12 @@ void Network::reset_run_state() {
     state.seen_uids.clear();
     state.captures.clear();
   }
+  // Heal any links a fault schedule left down: every run starts from the
+  // topology the description declared.
+  if (!disabled_links_.empty()) {
+    disabled_links_.clear();
+    routing_.rebuild(topology_);
+  }
 }
 
 void Network::begin_run(std::uint64_t run_seed) {
@@ -192,14 +239,45 @@ Status Network::set_link_model(NodeId a, NodeId b, const LinkModel& model) {
                          " and " + std::to_string(b));
   }
   *link = model;
-  routing_.rebuild(topology_);
+  routing_.rebuild(topology_, disabled_links_);
   return {};
 }
 
-std::optional<sim::SimDuration> Network::apply_filters(NodeId node,
-                                                       Direction dir,
-                                                       Packet& packet) {
-  sim::SimDuration total{};
+Status Network::set_link_up(NodeId a, NodeId b, bool up) {
+  if (a >= nodes_.size() || b >= nodes_.size() || find_link(a, b) == nullptr) {
+    return err_not_found("no link between nodes " + std::to_string(a) +
+                         " and " + std::to_string(b));
+  }
+  const LinkKey key = link_key(a, b);
+  if (up) {
+    if (disabled_links_.erase(key) == 0) return {};  // already up
+  } else {
+    if (!disabled_links_.insert(key).second) return {};  // already down
+  }
+  routing_.set_link_enabled(a, b, up);
+  return {};
+}
+
+Status Network::set_links_up(
+    const std::vector<std::pair<NodeId, NodeId>>& links, bool up) {
+  bool changed = false;
+  for (const auto& [a, b] : links) {
+    if (a >= nodes_.size() || b >= nodes_.size() ||
+        find_link(a, b) == nullptr) {
+      return err_not_found("no link between nodes " + std::to_string(a) +
+                           " and " + std::to_string(b));
+    }
+    const LinkKey key = link_key(a, b);
+    changed |= up ? disabled_links_.erase(key) != 0
+                  : disabled_links_.insert(key).second;
+  }
+  if (changed) routing_.rebuild(topology_, disabled_links_);
+  return {};
+}
+
+FilterOutcome Network::apply_filters(NodeId node, Direction dir,
+                                     Packet& packet) {
+  FilterOutcome outcome;
   for (InstalledFilter& installed : filters_) {
     if (installed.scope.node && *installed.scope.node != node) continue;
     if (installed.scope.direction && *installed.scope.direction != dir) {
@@ -208,15 +286,22 @@ std::optional<sim::SimDuration> Network::apply_filters(NodeId node,
     FilterVerdict verdict = installed.filter(node, dir, packet);
     switch (verdict.action) {
       case FilterVerdict::Action::kDrop:
-        return std::nullopt;
+        outcome.drop = true;
+        return outcome;
       case FilterVerdict::Action::kDelay:
-        total += verdict.delay;
+        outcome.delay += verdict.delay;
+        break;
+      case FilterVerdict::Action::kDuplicate:
+        outcome.duplicates += verdict.copies;
+        if (verdict.copy_gap.nanos() > 0) {
+          outcome.duplicate_gap = verdict.copy_gap;
+        }
         break;
       case FilterVerdict::Action::kPass:
         break;
     }
   }
-  return total;
+  return outcome;
 }
 
 void Network::capture(NodeId node, Direction dir, const Packet& packet) {
@@ -257,6 +342,17 @@ void Network::transfer(NodeId from, NodeId to, Packet packet,
     stats_.dropped_no_route++;
     emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, from, to,
                       "no_route", packet.wire_size());
+    return;
+  }
+  // Administratively-down link (churn/partition faults).  Checked before
+  // the loss draw so a down link consumes no randomness; the empty-set test
+  // keeps the fault-free hot path at one branch.
+  if (!disabled_links_.empty() &&
+      disabled_links_.count(link_key(from, to)) != 0) {
+    stats_.dropped_link_down++;
+    count_link(from, to, /*dropped=*/true);
+    emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, from, to,
+                      "link_down", packet.wire_size());
     return;
   }
   if (loss_rng_.bernoulli(link->loss)) {
@@ -306,9 +402,9 @@ void Network::transfer(NodeId from, NodeId to, Packet packet,
 void Network::deliver_local(NodeId node, Packet packet) {
   NodeState& state = nodes_[node];
   // Receive-side filters and capture apply to locally delivered packets.
-  std::optional<sim::SimDuration> rx_delay =
-      apply_filters(node, Direction::kReceive, packet);
-  if (!rx_delay) {
+  // Duplicate verdicts are origin-send only and ignored here.
+  FilterOutcome rx = apply_filters(node, Direction::kReceive, packet);
+  if (rx.drop) {
     stats_.dropped_filter++;
     return;
   }
@@ -327,8 +423,8 @@ void Network::deliver_local(NodeId node, Packet packet) {
                       node, "deliver", packet.wire_size());
     it->second(node, packet);
   };
-  if (rx_delay->nanos() > 0) {
-    scheduler_.schedule(*rx_delay, std::move(handoff));
+  if (rx.delay.nanos() > 0) {
+    scheduler_.schedule(rx.delay, std::move(handoff));
   } else {
     handoff();
   }
@@ -359,9 +455,7 @@ void Network::forward_unicast(NodeId current, Packet packet) {
       stats_.dropped_interface++;
       return;
     }
-    std::optional<sim::SimDuration> fwd =
-        apply_filters(current, Direction::kTransmit, packet);
-    if (!fwd) {
+    if (apply_filters(current, Direction::kTransmit, packet).drop) {
       stats_.dropped_filter++;
       return;
     }
@@ -406,9 +500,7 @@ void Network::flood(NodeId origin_hop, Packet packet) {
       return;
     }
     Packet onward = std::move(arrived);
-    std::optional<sim::SimDuration> fwd =
-        apply_filters(here, Direction::kTransmit, onward);
-    if (!fwd) {
+    if (apply_filters(here, Direction::kTransmit, onward).drop) {
       stats_.dropped_filter++;
       return;
     }

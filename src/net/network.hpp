@@ -39,14 +39,35 @@ namespace excovery::net {
 
 /// What a packet filter decided for one packet at one node.
 struct FilterVerdict {
-  enum class Action { kPass, kDrop, kDelay } action = Action::kPass;
+  enum class Action { kPass, kDrop, kDelay, kDuplicate } action = Action::kPass;
   sim::SimDuration delay{};  ///< extra delay when action == kDelay
+  int copies = 0;            ///< extra copies when action == kDuplicate
+  sim::SimDuration copy_gap{};  ///< spacing between injected copies
 
   static FilterVerdict pass() { return {}; }
   static FilterVerdict drop() { return {Action::kDrop, {}}; }
   static FilterVerdict delayed(sim::SimDuration d) {
     return {Action::kDelay, d};
   }
+  /// Inject `copies` extra transmissions of this packet, `gap` apart.
+  /// Honoured only at the origin send (relays ignore it — duplication at
+  /// every hop would amplify combinatorially); each copy gets a fresh uid
+  /// and tag and does not re-run the filter chain.
+  static FilterVerdict duplicated(int copies, sim::SimDuration gap) {
+    FilterVerdict v;
+    v.action = Action::kDuplicate;
+    v.copies = copies;
+    v.copy_gap = gap;
+    return v;
+  }
+};
+
+/// Accumulated result of running a filter chain over one packet.
+struct FilterOutcome {
+  bool drop = false;
+  sim::SimDuration delay{};
+  int duplicates = 0;               ///< origin-send only; relays ignore
+  sim::SimDuration duplicate_gap{};
 };
 
 /// A packet manipulation rule (§IV-A2).  May mutate the packet (content
@@ -87,6 +108,8 @@ struct NetworkStats {
   std::uint64_t dropped_no_route = 0; ///< unreachable unicast destination
   std::uint64_t dropped_no_handler = 0;
   std::uint64_t dropped_queue = 0;    ///< egress queue overflow (congestion)
+  std::uint64_t dropped_link_down = 0;///< hop over an administratively-down link
+  std::uint64_t duplicated = 0;       ///< extra copies injected by filters
   std::uint64_t bytes_sent = 0;
 };
 
@@ -195,6 +218,22 @@ class Network {
   /// manipulations); rebuilds routing.
   Status set_link_model(NodeId a, NodeId b, const LinkModel& model);
 
+  // ---- link state (dynamic-world faults, DESIGN.md §12) ------------------
+  /// Administratively take one link down or bring it back up.  Routing is
+  /// repaired incrementally; packets scheduled onto a down link are dropped
+  /// (stats.dropped_link_down).  The link must exist in the topology.
+  Status set_link_up(NodeId a, NodeId b, bool up);
+  /// Bulk toggle (partitions): applies every pair, then rebuilds routing
+  /// once.  All pairs must name existing links.
+  Status set_links_up(const std::vector<std::pair<NodeId, NodeId>>& links,
+                      bool up);
+  bool link_up(NodeId a, NodeId b) const {
+    return disabled_links_.count(link_key(a, b)) == 0;
+  }
+  std::size_t disabled_link_count() const noexcept {
+    return disabled_links_.size();
+  }
+
   /// Shared-medium contention: each node has a single radio, so its
   /// transmissions serialise.  A packet whose queueing delay would exceed
   /// this limit is dropped (tail drop); this is what makes background load
@@ -223,10 +262,14 @@ class Network {
     PacketFilter filter;
   };
 
-  /// Apply filters at a node/direction.  Returns nullopt if dropped;
-  /// otherwise the accumulated extra delay.
-  std::optional<sim::SimDuration> apply_filters(NodeId node, Direction dir,
-                                                Packet& packet);
+  /// Apply filters at a node/direction, accumulating delay and duplicate
+  /// requests across the chain.
+  FilterOutcome apply_filters(NodeId node, Direction dir, Packet& packet);
+
+  /// Schedule `copies` re-transmissions of an already-filtered packet from
+  /// its origin, `gap` apart starting after `initial_delay + gap`.
+  void launch_duplicates(NodeId from, const Packet& packet, int copies,
+                         sim::SimDuration gap, sim::SimDuration initial_delay);
 
   void capture(NodeId node, Direction dir, const Packet& packet);
 
@@ -292,6 +335,10 @@ class Network {
   /// a neighbour vector per relay.  Link-model pointers stay valid because
   /// the owned topology is never structurally modified after construction.
   std::vector<std::vector<std::pair<NodeId, const LinkModel*>>> adjacency_;
+  /// Links currently administratively down (normalised pairs).  Checked on
+  /// the per-hop path only when non-empty; cleared by reset_run_state so a
+  /// run always starts from the described topology.
+  std::set<LinkKey> disabled_links_;
   std::vector<NodeState> nodes_;
   std::vector<InstalledFilter> filters_;
   NetworkStats stats_;

@@ -1,57 +1,114 @@
 #include "net/routing.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace excovery::net {
 
 RoutingTable::RoutingTable(const Topology& topology) { rebuild(topology); }
 
-void RoutingTable::rebuild(const Topology& topology) {
-  size_ = topology.node_count();
-  next_hop_.assign(size_ * size_, kInvalidNode);
-  hops_.assign(size_ * size_, -1);
-
+void RoutingTable::build_adjacency(const Topology& topology,
+                                   const std::set<LinkKey>* disabled) {
   // Adjacency lists, sorted for deterministic BFS order.  The lists (and
   // the per-source scratch below) live on the table and keep their
   // capacity between rebuilds.
   if (scratch_adjacency_.size() < size_) scratch_adjacency_.resize(size_);
   for (std::size_t i = 0; i < size_; ++i) scratch_adjacency_[i].clear();
   for (const Link& link : topology.links()) {
+    if (disabled != nullptr &&
+        disabled->count(link_key(link.a, link.b)) != 0) {
+      continue;
+    }
     scratch_adjacency_[link.a].push_back(link.b);
     scratch_adjacency_[link.b].push_back(link.a);
   }
   for (std::size_t i = 0; i < size_; ++i) {
     std::sort(scratch_adjacency_[i].begin(), scratch_adjacency_[i].end());
   }
+}
 
+void RoutingTable::rebuild(const Topology& topology) {
+  rebuild(topology, std::set<LinkKey>{});
+}
+
+void RoutingTable::rebuild(const Topology& topology,
+                           const std::set<LinkKey>& disabled) {
+  size_ = topology.node_count();
+  next_hop_.assign(size_ * size_, kInvalidNode);
+  hops_.assign(size_ * size_, -1);
+  build_adjacency(topology, disabled.empty() ? nullptr : &disabled);
   scratch_frontier_.reserve(size_);
+  for (NodeId source = 0; source < size_; ++source) bfs_from(source);
+}
 
-  // BFS from every source.
-  for (NodeId source = 0; source < size_; ++source) {
-    scratch_parent_.assign(size_, kInvalidNode);
-    scratch_dist_.assign(size_, -1);
-    scratch_frontier_.clear();
-    scratch_frontier_.push_back(source);
-    scratch_dist_[source] = 0;
-    for (std::size_t head = 0; head < scratch_frontier_.size(); ++head) {
-      NodeId current = scratch_frontier_[head];
-      for (NodeId next : scratch_adjacency_[current]) {
-        if (scratch_dist_[next] < 0) {
-          scratch_dist_[next] =
-              static_cast<std::int16_t>(scratch_dist_[current] + 1);
-          scratch_parent_[next] = current;
-          scratch_frontier_.push_back(next);
-        }
+void RoutingTable::bfs_from(NodeId source) {
+  // Reset this source's rows, then BFS over the current adjacency.
+  for (NodeId target = 0; target < size_; ++target) {
+    next_hop_[index(source, target)] = kInvalidNode;
+  }
+  scratch_parent_.assign(size_, kInvalidNode);
+  scratch_dist_.assign(size_, -1);
+  scratch_frontier_.clear();
+  scratch_frontier_.push_back(source);
+  scratch_dist_[source] = 0;
+  for (std::size_t head = 0; head < scratch_frontier_.size(); ++head) {
+    NodeId current = scratch_frontier_[head];
+    for (NodeId next : scratch_adjacency_[current]) {
+      if (scratch_dist_[next] < 0) {
+        scratch_dist_[next] =
+            static_cast<std::int16_t>(scratch_dist_[current] + 1);
+        scratch_parent_[next] = current;
+        scratch_frontier_.push_back(next);
       }
     }
-    for (NodeId target = 0; target < size_; ++target) {
-      hops_[index(source, target)] = scratch_dist_[target];
-      if (target == source || scratch_dist_[target] < 0) continue;
-      // Walk back from target to the neighbour of source.
-      NodeId walk = target;
-      while (scratch_parent_[walk] != source) walk = scratch_parent_[walk];
-      next_hop_[index(source, target)] = walk;
+  }
+  for (NodeId target = 0; target < size_; ++target) {
+    hops_[index(source, target)] = scratch_dist_[target];
+    if (target == source || scratch_dist_[target] < 0) continue;
+    // Walk back from target to the neighbour of source.
+    NodeId walk = target;
+    while (scratch_parent_[walk] != source) walk = scratch_parent_[walk];
+    next_hop_[index(source, target)] = walk;
+  }
+}
+
+void RoutingTable::set_link_enabled(NodeId a, NodeId b, bool enabled) {
+  if (a >= size_ || b >= size_ || a == b) return;
+  std::vector<NodeId>& adj_a = scratch_adjacency_[a];
+  std::vector<NodeId>& adj_b = scratch_adjacency_[b];
+  if (enabled) {
+    auto pos_a = std::lower_bound(adj_a.begin(), adj_a.end(), b);
+    if (pos_a != adj_a.end() && *pos_a == b) return;  // already enabled
+    adj_a.insert(pos_a, b);
+    adj_b.insert(std::lower_bound(adj_b.begin(), adj_b.end(), a), a);
+  } else {
+    auto pos_a = std::lower_bound(adj_a.begin(), adj_a.end(), b);
+    if (pos_a == adj_a.end() || *pos_a != b) return;  // already disabled
+    adj_a.erase(pos_a);
+    adj_b.erase(std::lower_bound(adj_b.begin(), adj_b.end(), a));
+  }
+
+  // Repair only the sources whose rows can change.  Each source's row is
+  // read before it is (possibly) recomputed, and rows are independent, so
+  // the pre-toggle distances below are always the old values.
+  for (NodeId source = 0; source < size_; ++source) {
+    const std::int16_t da = hops_[index(source, a)];
+    const std::int16_t db = hops_[index(source, b)];
+    if (enabled) {
+      // A new edge between equally-distant nodes (including two nodes in
+      // the same unreachable region, da == db == -1) is never a BFS
+      // discovery edge and cannot shorten any path.
+      if (da == db) continue;
+    } else {
+      // With the edge still present, its endpoints were either both
+      // reachable or both unreachable from `source`; removing an edge
+      // between unreachable nodes changes nothing.
+      if (da < 0) continue;
+      // Equal-distance edges are never BFS tree edges and lie on no
+      // shortest path, so removing one leaves the row untouched.
+      if (da != db + 1 && db != da + 1) continue;
     }
+    bfs_from(source);
   }
 }
 

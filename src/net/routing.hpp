@@ -4,14 +4,29 @@
 // the simulator substitutes precomputed min-hop routing (BFS all-pairs with
 // deterministic tie-breaking on lower node id).  `hop_count` also serves the
 // topology measurement of §IV-B4, taken before and after each experiment.
+//
+// Link churn (dynamic-world faults, DESIGN.md §12) toggles individual links
+// up and down at high frequency; `set_link_enabled` repairs the table
+// incrementally, recomputing only the sources whose BFS tree can actually
+// change, and is guaranteed to produce the same table as a full `rebuild`
+// over the reduced graph (property-tested).
 #pragma once
 
 #include <cstdint>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "net/topology.hpp"
 
 namespace excovery::net {
+
+/// Normalised (min, max) endpoint pair identifying an undirected link.
+using LinkKey = std::pair<NodeId, NodeId>;
+
+inline LinkKey link_key(NodeId a, NodeId b) noexcept {
+  return a < b ? LinkKey{a, b} : LinkKey{b, a};
+}
 
 class RoutingTable {
  public:
@@ -20,6 +35,16 @@ class RoutingTable {
 
   /// Recompute after topology/link changes.
   void rebuild(const Topology& topology);
+
+  /// Recompute, treating every link in `disabled` as absent.  Used for bulk
+  /// partition activation/heal where many links toggle at once.
+  void rebuild(const Topology& topology, const std::set<LinkKey>& disabled);
+
+  /// Incrementally enable/disable one link.  The link must exist in the
+  /// topology the table was last rebuilt from.  Recomputes only the BFS
+  /// sources whose distances or parent trees can change; the result is
+  /// bit-identical to a full rebuild over the same reduced graph.
+  void set_link_enabled(NodeId a, NodeId b, bool enabled);
 
   /// Next hop from `from` toward `to`; kInvalidNode if unreachable or from==to.
   NodeId next_hop(NodeId from, NodeId to) const;
@@ -38,13 +63,23 @@ class RoutingTable {
     return static_cast<std::size_t>(from) * size_ + to;
   }
 
+  /// Rebuild the sorted adjacency lists from `topology`, skipping links in
+  /// `disabled` (may be null).
+  void build_adjacency(const Topology& topology,
+                       const std::set<LinkKey>* disabled);
+
+  /// Recompute the hops_/next_hop_ rows of one source from the current
+  /// adjacency lists.
+  void bfs_from(NodeId source);
+
   std::size_t size_ = 0;
   std::vector<NodeId> next_hop_;  ///< size_ x size_ matrix
   std::vector<std::int16_t> hops_;
 
   // BFS scratch, reused across sources and across rebuilds: `rebuild` runs
   // on every set_link_model during environment manipulations, so it must
-  // not reallocate its working set each time.
+  // not reallocate its working set each time.  The adjacency lists persist
+  // between calls so `set_link_enabled` can patch them in place.
   std::vector<std::vector<NodeId>> scratch_adjacency_;
   std::vector<NodeId> scratch_parent_;
   std::vector<std::int16_t> scratch_dist_;

@@ -89,6 +89,16 @@ ObsContext::ObsContext(ObsConfig config)
       registry_.counter("net.bytes_sent", D::kDeterministic, "bytes");
   ids_.fault_activations =
       registry_.counter("faults.activations", D::kDeterministic);
+  ids_.fault_deactivations =
+      registry_.counter("faults.deactivations", D::kDeterministic);
+  ids_.fault_packets_dropped =
+      registry_.counter("faults.packets_dropped", D::kDeterministic, "packets");
+  ids_.fault_packets_delayed =
+      registry_.counter("faults.packets_delayed", D::kDeterministic, "packets");
+  ids_.fault_packets_duplicated = registry_.counter(
+      "faults.packets_duplicated", D::kDeterministic, "packets");
+  ids_.fault_packets_reordered = registry_.counter(
+      "faults.packets_reordered", D::kDeterministic, "packets");
   ids_.run_sim_seconds =
       registry_.log_histogram("run.sim_seconds", D::kDeterministic, "s");
 

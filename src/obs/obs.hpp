@@ -55,6 +55,11 @@ struct MetricIds {
   MetricId net_dropped;           ///< drops, all causes
   MetricId net_bytes_sent;        ///< payload bytes sent
   MetricId fault_activations;     ///< fault-injector activations
+  MetricId fault_deactivations;   ///< fault-injector deactivations
+  MetricId fault_packets_dropped;    ///< packets dropped by fault filters
+  MetricId fault_packets_delayed;    ///< packets delayed by fault filters
+  MetricId fault_packets_duplicated; ///< duplicate copies injected
+  MetricId fault_packets_reordered;  ///< packets held back for reordering
   MetricId run_sim_seconds;       ///< log-hist of per-run simulated duration
 
   // -- best-effort: simulated-time derived but instance-dependent ----------

@@ -175,6 +175,21 @@ Status HybridAgent::exit() {
   return {};
 }
 
+void HybridAgent::crash() {
+  if (!initialized_) return;
+  // Crash both inner stacks without goodbyes/deregistrations or events.
+  if (mdns_) mdns_->crash();
+  if (slp_) slp_->crash();
+  mdns_.reset();
+  slp_.reset();
+  active_searches_.clear();
+  reported_.clear();
+  published_.clear();
+  directed_mode_ = false;
+  generation_.bump();
+  initialized_ = false;
+}
+
 Status HybridAgent::start_search(const ServiceType& type) {
   if (!initialized_) return err_state("start_search before init");
   if (role_ == SdRole::kServiceCacheManager) {

@@ -118,6 +118,23 @@ Status MdnsAgent::exit() {
   return {};
 }
 
+void MdnsAgent::crash() {
+  if (!initialized_) return;
+  // Ungraceful failure: no goodbyes, no exit event — the process is gone
+  // mid-flight.  Peers keep our announced records until their cache TTLs
+  // expire; our own cache, publications, and pending queries are lost.
+  published_.clear();
+  for (auto& [type, search] : searches_) {
+    network_.scheduler().cancel(search.timer);
+  }
+  searches_.clear();
+  cache_.clear();
+  network_.unbind(node_, net::kSdPort);
+  network_.leave_group(node_, net::Address::sd_multicast());
+  generation_.bump();  // cancels all outstanding scheduled work
+  initialized_ = false;
+}
+
 Status MdnsAgent::start_search(const ServiceType& type) {
   if (!initialized_) return err_state("start_search before init");
   if (searches_.find(type) != searches_.end()) {

@@ -64,6 +64,7 @@ class MdnsAgent final : public SdAgent {
 
   Status init(SdRole role, const ValueMap& params) override;
   Status exit() override;
+  void crash() override;
   Status start_search(const ServiceType& type) override;
   Status stop_search(const ServiceType& type) override;
   Status start_publish(const ServiceInstance& instance) override;

@@ -90,6 +90,13 @@ class SdAgent {
   /// and publishings", emits sd_exit_done.
   virtual Status exit() = 0;
 
+  /// Ungraceful failure (node crash churn, DESIGN.md §12): drop ALL soft
+  /// state — caches, registrations, pending queries, timers — without
+  /// goodbyes, deregistrations, or exit events.  Peers keep whatever stale
+  /// state they hold until their own expiry machinery clears it.  After a
+  /// crash the agent is uninitialised; a later init() starts from scratch.
+  virtual void crash() = 0;
+
   /// "Start searching — initiates a continuous SD process for a given
   /// service type", emits sd_start_search; discovered services emit
   /// sd_service_add with the instance identifier as parameter.

@@ -117,6 +117,26 @@ Status SlpAgent::exit() {
   return {};
 }
 
+void SlpAgent::crash() {
+  if (!initialized_) return;
+  // Ungraceful failure: no deregistrations, no exit event.  An SCM crash
+  // leaves SMs/SUs holding a stale directory until the advert timeout
+  // declares it lost; an SM crash leaves its registrations on the SCM
+  // until their leases expire.
+  published_.clear();
+  for (auto& [type, search] : searches_) {
+    network_.scheduler().cancel(search.poll_timer);
+  }
+  searches_.clear();
+  registrations_.clear();
+  cache_.clear();
+  scm_.reset();
+  network_.unbind(node_, kSlpPort);
+  network_.leave_group(node_, slp_multicast());
+  generation_.bump();
+  initialized_ = false;
+}
+
 // ---- SCM discovery (SU/SM side) -------------------------------------------
 
 void SlpAgent::schedule_scm_query(sim::SimDuration delay) {

@@ -1,7 +1,11 @@
-// Unit tests for fault injection and environment manipulation (§IV-D).
+// Unit tests for fault injection and environment manipulation (§IV-D),
+// plus the dynamic-world fault engine (DESIGN.md §12).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "faults/injector.hpp"
+#include "faults/schedule.hpp"
 #include "faults/traffic.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
@@ -346,6 +350,415 @@ TEST(FaultInjection, ResetStopsEverything) {
   EXPECT_TRUE(fx.network.interface_up(0, net::Direction::kReceive));
   EXPECT_EQ(fx.network.filter_count(), 0u);
 }
+
+// ---- temporal spec validation -----------------------------------------------
+
+TEST(FaultTemporal, MalformedSpecsRejected) {
+  Fixture fx(net::Topology::chain(2));
+  TemporalSpec spec;
+  spec.rate = 0.0;
+  EXPECT_FALSE(validate(spec).ok());
+  EXPECT_FALSE(
+      fx.injector.message_loss(0, 0.5, FaultDirection::kBoth, spec).ok());
+  spec.rate = -0.5;
+  EXPECT_FALSE(validate(spec).ok());
+  spec.rate = 1.5;
+  EXPECT_FALSE(validate(spec).ok());
+  EXPECT_FALSE(fx.injector.interface_fault(0, FaultDirection::kBoth, spec).ok());
+
+  spec.rate = 1.0;
+  spec.duration = sim::SimDuration(0);
+  EXPECT_FALSE(validate(spec).ok());
+  EXPECT_FALSE(fx.injector.drop_all_packets(spec).ok());
+  spec.duration = sim::SimDuration::from_seconds(-2);
+  EXPECT_FALSE(validate(spec).ok());
+  EXPECT_FALSE(
+      fx.injector.message_delay(0, sim::SimDuration::from_millis(1), spec)
+          .ok());
+
+  spec.duration = sim::SimDuration::from_seconds(2);
+  EXPECT_TRUE(validate(spec).ok());
+  spec.duration.reset();
+  EXPECT_TRUE(validate(spec).ok());
+}
+
+// ---- Gilbert-Elliott bursty loss --------------------------------------------
+
+TEST(GilbertElliott, ParametersValidated) {
+  Fixture fx;
+  GilbertElliott bad;
+  bad.p_enter_bad = 1.5;
+  EXPECT_FALSE(fx.injector.ge_loss(0, bad, FaultDirection::kBoth).ok());
+  GilbertElliott bad2;
+  bad2.loss_bad = -0.1;
+  EXPECT_FALSE(fx.injector.ge_path_loss(0, 1, bad2).ok());
+  GilbertElliott good;
+  EXPECT_TRUE(fx.injector.ge_loss(0, good, FaultDirection::kBoth).ok());
+}
+
+TEST(GilbertElliott, AbsorbingBadStateDropsEverythingAfterFirstPacket) {
+  Fixture fx(net::Topology::chain(2));
+  fx.bind_counter(1);
+  GilbertElliott model;
+  model.p_enter_bad = 1.0;  // falls into the bad state after the first packet
+  model.p_exit_bad = 0.0;   // ... and never recovers
+  model.loss_good = 0.0;
+  model.loss_bad = 1.0;
+  TemporalSpec temporal;
+  temporal.randomseed = 3;
+  ASSERT_TRUE(
+      fx.injector.ge_loss(0, model, FaultDirection::kTransmit, temporal).ok());
+  for (int i = 0; i < 50; ++i) fx.send_sd(0, 1);
+  fx.scheduler.run();
+  // The loss draw happens in the CURRENT state before the transition draw,
+  // so exactly the first packet (good state) survives.
+  EXPECT_EQ(fx.received, 1);
+}
+
+TEST(GilbertElliott, DegeneratesToBernoulliDropSequence) {
+  // With p_enter_bad == 0 the chain never leaves the good state; the drop
+  // decisions must be bit-identical to Bernoulli message_loss on the same
+  // randomseed (both derive the same "message-loss" stream).
+  auto deliveries = [](bool use_ge) {
+    Fixture fx(net::Topology::chain(2));
+    std::vector<int> sequence;
+    fx.network.bind(1, kPort, [&](net::NodeId, const net::Packet& p) {
+      sequence.push_back(static_cast<int>(p.payload[0]));
+    });
+    TemporalSpec temporal;
+    temporal.randomseed = 42;
+    if (use_ge) {
+      GilbertElliott model;
+      model.p_enter_bad = 0.0;
+      model.loss_good = 0.4;
+      model.loss_bad = 1.0;
+      EXPECT_TRUE(
+          fx.injector.ge_loss(0, model, FaultDirection::kTransmit, temporal)
+              .ok());
+    } else {
+      EXPECT_TRUE(fx.injector
+                      .message_loss(0, 0.4, FaultDirection::kTransmit, temporal)
+                      .ok());
+    }
+    for (int i = 0; i < 200; ++i) {
+      net::Packet packet;
+      packet.dst = fx.network.topology().node(1).address;
+      packet.src_port = kPort;
+      packet.dst_port = kPort;
+      packet.payload.assign(1, static_cast<std::uint8_t>(i));
+      (void)fx.network.send(0, std::move(packet));
+    }
+    fx.scheduler.run();
+    return sequence;
+  };
+  std::vector<int> ge = deliveries(true);
+  std::vector<int> bernoulli = deliveries(false);
+  EXPECT_FALSE(ge.empty());
+  EXPECT_LT(ge.size(), 200u);
+  EXPECT_EQ(ge, bernoulli);
+}
+
+// ---- duplication and reordering ---------------------------------------------
+
+TEST(FaultInjection, MessageDuplicateInjectsCopies) {
+  Fixture fx(net::Topology::chain(2));
+  fx.bind_counter(1);
+  Result<FaultHandle> fault = fx.injector.message_duplicate(
+      0, 1.0, 2, sim::SimDuration::from_millis(1));
+  ASSERT_TRUE(fault.ok());
+  fx.send_sd(0, 1);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 3);  // original + 2 copies
+
+  fault.value()->stop();
+  fx.received = 0;
+  fx.send_sd(0, 1);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 1);
+}
+
+TEST(FaultInjection, MessageDuplicateSparesRelayedPackets) {
+  Fixture fx(net::Topology::chain(3));
+  fx.bind_counter(2);
+  // Duplication armed on the relay must not clone forwarded packets: only
+  // originated sends (route length 1 at tx filter time) are duplicated.
+  Result<FaultHandle> fault = fx.injector.message_duplicate(
+      1, 1.0, 3, sim::SimDuration::from_millis(1));
+  ASSERT_TRUE(fault.ok());
+  fx.send_sd(0, 2);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 1);
+}
+
+TEST(FaultInjection, MessageDuplicateValidatesCopies) {
+  Fixture fx;
+  EXPECT_FALSE(
+      fx.injector.message_duplicate(0, 0.5, 0, sim::SimDuration::from_millis(1))
+          .ok());
+  EXPECT_FALSE(
+      fx.injector.message_duplicate(0, 1.5, 1, sim::SimDuration::from_millis(1))
+          .ok());
+}
+
+TEST(FaultInjection, MessageReorderLetsLaterPacketsOvertake) {
+  Fixture fx(net::Topology::chain(2));
+  std::vector<int> order;
+  fx.network.bind(1, kPort, [&](net::NodeId, const net::Packet& p) {
+    order.push_back(static_cast<int>(p.payload[0]));
+  });
+  TemporalSpec temporal;
+  temporal.randomseed = 11;
+  Result<FaultHandle> fault = fx.injector.message_reorder(
+      0, 0.5, sim::SimDuration::from_millis(50), temporal);
+  ASSERT_TRUE(fault.ok());
+  for (int i = 0; i < 40; ++i) {
+    net::Packet packet;
+    packet.dst = fx.network.topology().node(1).address;
+    packet.src_port = kPort;
+    packet.dst_port = kPort;
+    packet.payload.assign(1, static_cast<std::uint8_t>(i));
+    (void)fx.network.send(0, std::move(packet));
+  }
+  fx.scheduler.run();
+  ASSERT_EQ(order.size(), 40u);  // reordering never loses packets
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+}
+
+// ---- link control and rerouting ---------------------------------------------
+
+TEST(LinkControl, DownedLinkDropsAndHealRestores) {
+  Fixture fx(net::Topology::chain(2));
+  fx.bind_counter(1);
+  ASSERT_TRUE(fx.network.set_link_up(0, 1, false).ok());
+  EXPECT_FALSE(fx.network.link_up(0, 1));
+  fx.send_sd(0, 1);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 0);
+
+  ASSERT_TRUE(fx.network.set_link_up(0, 1, true).ok());
+  EXPECT_TRUE(fx.network.link_up(0, 1));
+  fx.send_sd(0, 1);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 1);
+}
+
+TEST(LinkControl, ReroutesAroundDownedLink) {
+  // 2x2 grid: links 0-1, 0-2, 1-3, 2-3.  With 0-1 down node 0 still
+  // reaches 3 via 2; cutting 0-2 as well isolates node 0.
+  Fixture fx(net::Topology::grid(2, 2));
+  fx.bind_counter(3);
+  EXPECT_EQ(fx.network.hop_count(0, 3), 2);
+  ASSERT_TRUE(fx.network.set_link_up(0, 1, false).ok());
+  fx.send_sd(0, 3);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 1);
+  EXPECT_EQ(fx.network.hop_count(0, 3), 2);
+
+  ASSERT_TRUE(fx.network.set_link_up(0, 2, false).ok());
+  fx.send_sd(0, 3);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 1);  // unchanged: no route
+  EXPECT_LT(fx.network.hop_count(0, 3), 0);
+}
+
+TEST(LinkControl, UnknownLinkRejected) {
+  Fixture fx(net::Topology::chain(3));
+  EXPECT_FALSE(fx.network.set_link_up(0, 2, false).ok());  // not adjacent
+  EXPECT_FALSE(fx.network.set_link_up(0, 9, false).ok());
+}
+
+// ---- fault-schedule engine (DESIGN.md §12) ----------------------------------
+
+TEST(ScheduleEngine, ChurnSpecValidated) {
+  ChurnSpec bad;
+  bad.mean_uptime = sim::SimDuration(0);
+  bad.mean_downtime = sim::SimDuration::from_seconds(1);
+  EXPECT_FALSE(validate(bad).ok());
+  ChurnSpec good;
+  good.mean_uptime = sim::SimDuration::from_seconds(1);
+  good.mean_downtime = sim::SimDuration::from_seconds(1);
+  EXPECT_TRUE(validate(good).ok());
+}
+
+TEST(ScheduleEngine, NodeCrashTogglesInterfacesForWindow) {
+  Fixture fx(net::Topology::chain(2));
+  FaultScheduleEngine engine(fx.injector);
+  TemporalSpec temporal;
+  temporal.duration = sim::SimDuration::from_seconds(2);
+  Result<FaultHandle> fault = engine.node_crash(0, temporal);
+  ASSERT_TRUE(fault.ok());
+  // rate 1.0 -> the active block covers the whole window, starting at 0.
+  fx.scheduler.run_until(fx.scheduler.now() +
+                         sim::SimDuration::from_seconds(1));
+  EXPECT_FALSE(fx.network.interface_up(0, net::Direction::kTransmit));
+  EXPECT_FALSE(fx.network.interface_up(0, net::Direction::kReceive));
+  fx.scheduler.run();
+  EXPECT_TRUE(fx.network.interface_up(0, net::Direction::kTransmit));
+  EXPECT_TRUE(fx.network.interface_up(0, net::Direction::kReceive));
+  EXPECT_FALSE(fault.value()->active());
+}
+
+TEST(ScheduleEngine, NodeChurnAlternatesAndEmitsEvents) {
+  Fixture fx(net::Topology::chain(2));
+  FaultScheduleEngine engine(fx.injector);
+  std::vector<std::string> events;
+  fx.injector.set_event_sink([&](const std::string& node,
+                                 const std::string& event, const Value&) {
+    events.push_back(node + ":" + event);
+  });
+  ChurnSpec spec;
+  spec.mean_uptime = sim::SimDuration::from_seconds(1);
+  spec.mean_downtime = sim::SimDuration::from_seconds(1);
+  spec.exponential = false;
+  TemporalSpec temporal;
+  temporal.duration = sim::SimDuration::from_seconds(10);
+  temporal.randomseed = 9;
+  Result<FaultHandle> fault = engine.node_churn(0, spec, temporal);
+  ASSERT_TRUE(fault.ok());
+  fx.scheduler.run();
+  // Fixed 1 s holding times in a 10 s window: several full cycles.
+  auto count = [&](const std::string& needle) {
+    return std::count(events.begin(), events.end(), needle);
+  };
+  EXPECT_GE(count("n0:fault_node_down"), 3);
+  EXPECT_EQ(count("n0:fault_node_down"), count("n0:fault_node_up"));
+  EXPECT_EQ(count("n0:fault_node_churn_start"), 1);
+  EXPECT_EQ(count("n0:fault_node_churn_stop"), 1);
+  // The stop handler restored the node.
+  EXPECT_TRUE(fx.network.interface_up(0, net::Direction::kTransmit));
+}
+
+TEST(ScheduleEngine, ChurnScheduleIsDeterministicInSeed) {
+  auto trace = [](std::uint64_t seed) {
+    Fixture fx(net::Topology::chain(2));
+    FaultScheduleEngine engine(fx.injector);
+    std::vector<std::string> events;
+    fx.injector.set_event_sink([&](const std::string&,
+                                   const std::string& event, const Value&) {
+      events.push_back(event + "@" +
+                       std::to_string(fx.scheduler.now().nanos()));
+    });
+    ChurnSpec spec;
+    spec.mean_uptime = sim::SimDuration::from_seconds(2);
+    spec.mean_downtime = sim::SimDuration::from_millis(500);
+    TemporalSpec temporal;
+    temporal.duration = sim::SimDuration::from_seconds(20);
+    temporal.randomseed = seed;
+    EXPECT_TRUE(engine.node_churn(0, spec, temporal).ok());
+    fx.scheduler.run();
+    return events;
+  };
+  EXPECT_EQ(trace(5), trace(5));
+  EXPECT_NE(trace(5), trace(6));
+}
+
+TEST(ScheduleEngine, LifecycleHooksPreferredOverInterfaceToggles) {
+  Fixture fx(net::Topology::chain(2));
+  FaultScheduleEngine engine(fx.injector);
+  std::vector<std::string> calls;
+  engine.set_lifecycle_hooks(
+      [&](const std::string& node) { calls.push_back("crash:" + node); },
+      [&](const std::string& node) { calls.push_back("restore:" + node); });
+  TemporalSpec temporal;
+  temporal.duration = sim::SimDuration::from_seconds(1);
+  ASSERT_TRUE(engine.node_crash(0, temporal).ok());
+  fx.scheduler.run();
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0], "crash:n0");
+  EXPECT_EQ(calls[1], "restore:n0");
+  // Hooks replace the default interface toggling entirely.
+  EXPECT_TRUE(fx.network.interface_up(0, net::Direction::kTransmit));
+}
+
+TEST(ScheduleEngine, LinkFlapRequiresAdjacency) {
+  Fixture fx(net::Topology::chain(3));
+  FaultScheduleEngine engine(fx.injector);
+  ChurnSpec spec;
+  spec.mean_uptime = sim::SimDuration::from_seconds(1);
+  spec.mean_downtime = sim::SimDuration::from_seconds(1);
+  EXPECT_FALSE(engine.link_flap(0, 2, spec, {}).ok());  // not adjacent
+  EXPECT_TRUE(engine.link_flap(0, 1, spec, {}).ok());
+}
+
+TEST(ScheduleEngine, LinkFlapTogglesLinkAndHealsOnStop) {
+  Fixture fx(net::Topology::chain(2));
+  FaultScheduleEngine engine(fx.injector);
+  ChurnSpec spec;
+  spec.mean_uptime = sim::SimDuration::from_seconds(1);
+  spec.mean_downtime = sim::SimDuration::from_seconds(1);
+  spec.exponential = false;
+  TemporalSpec temporal;
+  temporal.duration = sim::SimDuration::from_seconds(5);
+  Result<FaultHandle> fault = engine.link_flap(0, 1, spec, temporal);
+  ASSERT_TRUE(fault.ok());
+  fx.scheduler.run_until(fx.scheduler.now() +
+                         sim::SimDuration::from_millis(1500));
+  EXPECT_FALSE(fx.network.link_up(0, 1));  // first down phase at t=1s
+  fx.scheduler.run();
+  EXPECT_TRUE(fx.network.link_up(0, 1));  // healed by the stop handler
+}
+
+TEST(ScheduleEngine, PartitionCutsCrossingLinksAndHeals) {
+  Fixture fx(net::Topology::full_mesh(4));
+  FaultScheduleEngine engine(fx.injector);
+  fx.bind_counter(3);
+  Result<FaultHandle> fault = engine.partition({0, 1});
+  ASSERT_TRUE(fault.ok());
+  EXPECT_FALSE(fx.network.link_up(0, 2));
+  EXPECT_FALSE(fx.network.link_up(0, 3));
+  EXPECT_FALSE(fx.network.link_up(1, 2));
+  EXPECT_FALSE(fx.network.link_up(1, 3));
+  EXPECT_TRUE(fx.network.link_up(0, 1));  // intra-side links stay up
+  EXPECT_TRUE(fx.network.link_up(2, 3));
+  fx.send_sd(0, 3);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 0);
+
+  fault.value()->stop();
+  fx.send_sd(0, 3);
+  fx.scheduler.run();
+  EXPECT_EQ(fx.received, 1);
+}
+
+TEST(ScheduleEngine, InjectorResetStopsEngineFaults) {
+  Fixture fx(net::Topology::full_mesh(3));
+  FaultScheduleEngine engine(fx.injector);
+  ASSERT_TRUE(engine.partition({0}).ok());
+  EXPECT_EQ(fx.network.disabled_link_count(), 2u);
+  fx.injector.reset();
+  EXPECT_EQ(fx.network.disabled_link_count(), 0u);
+  EXPECT_EQ(fx.injector.active_count(), 0u);
+}
+
+#if EXCOVERY_OBS_ENABLED
+TEST(FaultKindStats, CountersTrackPerKind) {
+  Fixture fx(net::Topology::chain(2));
+  fx.bind_counter(1);
+  Result<FaultHandle> loss =
+      fx.injector.message_loss(0, 1.0, FaultDirection::kTransmit);
+  ASSERT_TRUE(loss.ok());
+  for (int i = 0; i < 5; ++i) fx.send_sd(0, 1);
+  fx.scheduler.run();
+  loss.value()->stop();
+
+  Result<FaultHandle> dup = fx.injector.message_duplicate(
+      0, 1.0, 2, sim::SimDuration::from_millis(1));
+  ASSERT_TRUE(dup.ok());
+  fx.send_sd(0, 1);
+  fx.scheduler.run();
+  dup.value()->stop();
+
+  const auto& stats = fx.injector.kind_stats();
+  auto it = stats.find("message_loss");
+  ASSERT_NE(it, stats.end());
+  EXPECT_EQ(it->second.activations, 1u);
+  EXPECT_EQ(it->second.deactivations, 1u);
+  EXPECT_EQ(it->second.packets_dropped, 5u);
+  auto dup_it = stats.find("message_duplicate");
+  ASSERT_NE(dup_it, stats.end());
+  EXPECT_EQ(dup_it->second.packets_duplicated, 2u);
+}
+#endif
 
 // ---- traffic generation (§IV-D2) ----------------------------------------------------------
 

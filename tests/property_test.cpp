@@ -483,5 +483,133 @@ TEST_P(PlanProperty, PlanIsAPermutationOfTheFullFactorial) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanProperty,
                          ::testing::Values(1, 7, 13, 29, 57, 99));
 
+// ---- incremental routing repair under link churn --------------------------------
+
+class RoutingChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingChurnProperty, IncrementalRepairMatchesFullRebuild) {
+  // Random flap sequence: after every single-link toggle, the incrementally
+  // repaired table must be indistinguishable from a full rebuild over the
+  // same reduced graph — including disconnected segments mid-sequence.
+  Result<net::Topology> topology =
+      net::Topology::random_geometric(14, 0.45, GetParam());
+  ASSERT_TRUE(topology.ok());
+  const net::Topology& topo = topology.value();
+  std::size_t n = topo.node_count();
+  std::vector<net::LinkKey> links;
+  for (net::NodeId a = 0; a < n; ++a) {
+    for (net::NodeId b = a + 1; b < n; ++b) {
+      if (topo.link_between(a, b) != nullptr) links.push_back({a, b});
+    }
+  }
+  ASSERT_FALSE(links.empty());
+
+  net::RoutingTable incremental(topo);
+  net::RoutingTable reference(topo);
+  std::set<net::LinkKey> disabled;
+  Pcg32 rng(GetParam(), 0xFA11);
+  for (int step = 0; step < 60; ++step) {
+    const net::LinkKey& link =
+        links[rng.bounded(static_cast<std::uint32_t>(links.size()))];
+    bool enable = disabled.count(link) > 0;
+    incremental.set_link_enabled(link.first, link.second, enable);
+    if (enable) {
+      disabled.erase(link);
+    } else {
+      disabled.insert(link);
+    }
+    reference.rebuild(topo, disabled);
+    for (net::NodeId a = 0; a < n; ++a) {
+      for (net::NodeId b = 0; b < n; ++b) {
+        ASSERT_EQ(incremental.hop_count(a, b), reference.hop_count(a, b))
+            << "step " << step << " pair " << a << "->" << b;
+        ASSERT_EQ(incremental.next_hop(a, b), reference.next_hop(a, b))
+            << "step " << step << " pair " << a << "->" << b;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingChurnProperty,
+                         ::testing::Values(3, 17, 58));
+
+// ---- dynamic-world determinism (DESIGN.md §12) ----------------------------------
+
+/// Executes the canonical scenario with churn + bursty loss + a timed
+/// partition all active and returns the conditioned package bytes.
+Result<Bytes> dynamic_world_package(std::uint64_t seed,
+                                    core::MasterOptions master_options) {
+  core::scenario::TwoPartyOptions options;
+  options.replications = 2;
+  options.environment_count = 1;
+  options.deadline_s = 10.0;
+  options.dynamic.sm_churn = true;
+  options.dynamic.churn_mean_uptime_s = 2.0;
+  options.dynamic.churn_mean_downtime_s = 0.5;
+  options.dynamic.ge_loss = true;
+  options.dynamic.ge_p_enter_bad = 0.02;
+  options.dynamic.ge_p_exit_bad = 0.4;
+  options.dynamic.partition_nodes = {"ENV0"};
+  options.dynamic.partition_start_s = 1.0;
+  options.dynamic.partition_duration_s = 3.0;
+  EXC_ASSIGN_OR_RETURN(core::ExperimentDescription description,
+                       core::scenario::two_party_sd(options));
+  EXC_ASSIGN_OR_RETURN(net::Topology topology,
+                       core::scenario::topology_for(description, {}));
+  core::SimPlatformConfig config;
+  config.topology = std::move(topology);
+  config.seed = seed;
+  EXC_ASSIGN_OR_RETURN(std::unique_ptr<core::SimPlatform> platform,
+                       core::SimPlatform::create(description,
+                                                 std::move(config)));
+  core::ExperiMaster master(description, *platform,
+                            std::move(master_options));
+  EXC_ASSIGN_OR_RETURN(storage::ExperimentPackage package, master.execute());
+  return package.database().serialize();
+}
+
+class DynamicWorldProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicWorldProperty, PackageBitIdenticalAcrossWorkersAndRetries) {
+  core::MasterOptions sequential;
+  sequential.run_workers = 1;
+  Result<Bytes> baseline = dynamic_world_package(GetParam(), sequential);
+  ASSERT_TRUE(baseline.ok()) << baseline.error().to_string();
+  ASSERT_FALSE(baseline.value().empty());
+
+  for (std::size_t workers : {std::size_t{4}, std::size_t{0}}) {
+    core::MasterOptions parallel;
+    parallel.run_workers = workers;
+    Result<Bytes> bytes = dynamic_world_package(GetParam(), parallel);
+    ASSERT_TRUE(bytes.ok()) << bytes.error().to_string();
+    EXPECT_EQ(bytes.value(), baseline.value()) << "run_workers=" << workers;
+  }
+
+  // Retries in the mix: an aborted first attempt replays the exact same
+  // churn/loss/partition realisation (schedules seed from the replication
+  // factor, not the attempt), so a parallel execution with a forced retry
+  // still matches the sequential execution with the same retry pattern.
+  auto flaky_hook = [](std::int64_t run_id, int attempt) {
+    return run_id == 1 && attempt == 1;
+  };
+  core::MasterOptions flaky_sequential;
+  flaky_sequential.run_workers = 1;
+  flaky_sequential.abort_hook = flaky_hook;
+  Result<Bytes> retried_baseline =
+      dynamic_world_package(GetParam(), flaky_sequential);
+  ASSERT_TRUE(retried_baseline.ok())
+      << retried_baseline.error().to_string();
+
+  core::MasterOptions flaky_parallel;
+  flaky_parallel.run_workers = 2;
+  flaky_parallel.abort_hook = flaky_hook;
+  Result<Bytes> retried = dynamic_world_package(GetParam(), flaky_parallel);
+  ASSERT_TRUE(retried.ok()) << retried.error().to_string();
+  EXPECT_EQ(retried.value(), retried_baseline.value()) << "with forced retry";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicWorldProperty,
+                         ::testing::Values(11, 29));
+
 }  // namespace
 }  // namespace excovery
