@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "net/link_set.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "sim/event_bus.hpp"
@@ -316,6 +317,84 @@ void BM_FloodGridCaptured(benchmark::State& state) {
                           static_cast<std::int64_t>(side * side));
 }
 BENCHMARK(BM_FloodGridCaptured)->Arg(6);
+
+// ---- disabled-link set ------------------------------------------------------
+
+/// Micro-gate for the flat sorted-vector LinkSet that replaced the
+/// std::set<LinkKey> on the packet path: a fault-flap-sized set (a handful
+/// of links down, as the dynamic-world engine produces) under the mix the
+/// kernel actually runs — mostly contains() from transfer()/flood(), with
+/// occasional insert/erase from set_link_up().  Steady state must report 0
+/// allocations: the vector keeps its capacity across flaps.
+void BM_LinkSetChurn(benchmark::State& state) {
+  const NodeId links = static_cast<NodeId>(state.range(0));
+  net::LinkSet set;
+  for (NodeId i = 0; i < links; ++i) set.insert(i, i + 1);  // warm capacity
+  for (NodeId i = 0; i < links; ++i) set.erase(i, i + 1);
+  std::uint64_t hits = 0;
+  AllocCounter allocs;
+  for (auto _ : state) {
+    for (NodeId i = 0; i < links; ++i) set.insert(i, i + 1);
+    for (NodeId i = 0; i < links * 8; ++i) {
+      hits += set.contains(i % (links * 2), i % (links * 2) + 1) ? 1 : 0;
+    }
+    for (NodeId i = 0; i < links; ++i) set.erase(i, i + 1);
+  }
+  benchmark::DoNotOptimize(hits);
+  report_allocs(state, allocs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(links * 10));
+}
+BENCHMARK(BM_LinkSetChurn)->Arg(8)->Arg(64);
+
+/// Flood with links down: every transfer() now takes the LinkSet-lookup
+/// branch (non-empty disabled set), the exact path the std::set used to
+/// gate.  Compare against BM_FloodGrid to see the degraded-path overhead.
+void BM_FloodGridDegraded(benchmark::State& state) {
+  const std::size_t side = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler scheduler;
+  net::Network network(scheduler,
+                       net::Topology::grid(side, side, lossless_link()),
+                       /*seed=*/7);
+  network.set_capture_enabled(false);
+  // Take down a diagonal of links so the disabled set is non-empty but the
+  // grid stays connected and the flood still reaches every node.
+  for (std::size_t i = 0; i + 1 < side; ++i) {
+    const NodeId a = static_cast<NodeId>(i * side + i);
+    (void)network.set_link_up(a, static_cast<NodeId>(a + 1), false);
+  }
+  const Address group = Address::sd_multicast();
+  std::uint64_t delivered = 0;
+  for (NodeId n = 0; n < network.node_count(); ++n) {
+    network.join_group(n, group);
+    network.bind(n, net::kSdPort,
+                 [&delivered](NodeId, const Packet&) { ++delivered; });
+  }
+  auto send_flood = [&] {
+    Packet packet;
+    packet.dst = group;
+    packet.dst_port = net::kSdPort;
+    packet.ttl = 32;
+    packet.payload.assign(512, 0x6B);
+    (void)network.send(0, std::move(packet));
+  };
+  send_flood();
+  scheduler.run();
+  network.reset_run_state();
+  AllocCounter allocs;
+  for (auto _ : state) {
+    send_flood();
+    scheduler.run();
+    state.PauseTiming();
+    network.reset_run_state();
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(delivered);
+  report_allocs(state, allocs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(side * side));
+}
+BENCHMARK(BM_FloodGridDegraded)->Arg(8);
 
 // ---- event bus --------------------------------------------------------------
 

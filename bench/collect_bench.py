@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
 """Merge the repository's BENCH_*.json result files into one summary table.
 
-The perf-tracking benches (bench_kernel_hotpath, bench_storage_pipeline, ...)
-each leave a JSON file in the repository root: either the curated
-seed-vs-current trajectory format (``benchmarks`` is a mapping of name ->
-{seed, current, speedup_*}) or raw google-benchmark output (``benchmarks``
-is a list).  This script collects every BENCH_*.json it finds and renders a
-single markdown summary, BENCH_SUMMARY.md, so the perf trajectory of all
-subsystems can be read in one place.
+The perf-tracking benches (bench_kernel_hotpath, bench_storage_pipeline,
+bench_faults, bench_topology_scale, ...) each leave a JSON file in the
+repository root: either the curated seed-vs-current trajectory format
+(``benchmarks`` is a mapping of name -> {seed, current, speedup_*}) or raw
+google-benchmark output (``benchmarks`` is a list).  Curated entries may
+carry extra context fields (BENCH_topology.json records per-scale
+generation/warm-up/flood seconds and routing memory); the table keeps the
+common columns and the JSON stays the full record.  This script collects
+every BENCH_*.json it finds and renders a single markdown summary,
+BENCH_SUMMARY.md, so the perf trajectory of all subsystems can be read in
+one place.
 
 Usage:
     python3 bench/collect_bench.py            # writes <repo root>/BENCH_SUMMARY.md

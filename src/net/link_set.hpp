@@ -1,0 +1,82 @@
+// Flat sorted set of undirected links, used for the administratively-down
+// link state on the per-hop hot path and inside the routing engine.
+//
+// The previous std::set<std::pair<NodeId, NodeId>> cost a red-black tree
+// walk plus a node allocation per insert on every flap of a link-churn fault
+// schedule, and a pointer-chasing lookup on every packet hop while any link
+// was down.  Link keys pack into one 64-bit word, the live set is small
+// (faults disable tens of links, not thousands), and lookups outnumber
+// mutations by orders of magnitude — a sorted flat vector with binary search
+// is both smaller and faster, and reaches steady state with zero
+// allocations.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace excovery::net {
+
+/// Packed normalised key of an undirected link: (min << 32) | max.
+using PackedLink = std::uint64_t;
+
+inline PackedLink pack_link(NodeId a, NodeId b) noexcept {
+  return a < b ? (static_cast<PackedLink>(a) << 32) | b
+               : (static_cast<PackedLink>(b) << 32) | a;
+}
+
+inline NodeId packed_link_a(PackedLink key) noexcept {
+  return static_cast<NodeId>(key >> 32);
+}
+inline NodeId packed_link_b(PackedLink key) noexcept {
+  return static_cast<NodeId>(key & 0xFFFFFFFFu);
+}
+
+/// Sorted flat vector of packed link keys.  Iteration yields keys in
+/// ascending (a, b) order, which callers rely on for determinism.
+class LinkSet {
+ public:
+  bool contains(NodeId a, NodeId b) const noexcept {
+    return contains(pack_link(a, b));
+  }
+  bool contains(PackedLink key) const noexcept {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    return it != keys_.end() && *it == key;
+  }
+
+  /// Insert; returns false if the link was already present.
+  bool insert(NodeId a, NodeId b) { return insert(pack_link(a, b)); }
+  bool insert(PackedLink key) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it != keys_.end() && *it == key) return false;
+    keys_.insert(it, key);
+    return true;
+  }
+
+  /// Erase; returns false if the link was absent.
+  bool erase(NodeId a, NodeId b) { return erase(pack_link(a, b)); }
+  bool erase(PackedLink key) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it == keys_.end() || *it != key) return false;
+    keys_.erase(it);
+    return true;
+  }
+
+  void clear() noexcept { keys_.clear(); }
+  bool empty() const noexcept { return keys_.empty(); }
+  std::size_t size() const noexcept { return keys_.size(); }
+
+  std::vector<PackedLink>::const_iterator begin() const noexcept {
+    return keys_.begin();
+  }
+  std::vector<PackedLink>::const_iterator end() const noexcept {
+    return keys_.end();
+  }
+
+ private:
+  std::vector<PackedLink> keys_;
+};
+
+}  // namespace excovery::net

@@ -13,17 +13,31 @@ Network::Network(sim::Scheduler& scheduler, Topology topology,
       routing_(topology_),
       loss_rng_(RngFactory(seed).stream("net-loss")),
       jitter_rng_(RngFactory(seed).stream("net-jitter")) {
-  nodes_.resize(topology_.node_count());
-  adjacency_.resize(topology_.node_count());
+  const std::size_t n = topology_.node_count();
+  nodes_.resize(n);
+  // CSR adjacency in link-declaration order per node (counting sort over
+  // the link list preserves the order the per-node vectors used to have).
+  adj_offset_.assign(n + 1, 0);
   for (const Link& link : topology_.links()) {
-    adjacency_[link.a].emplace_back(link.b, &link.model);
-    adjacency_[link.b].emplace_back(link.a, &link.model);
+    adj_offset_[link.a + 1]++;
+    adj_offset_[link.b + 1]++;
+  }
+  for (std::size_t i = 0; i < n; ++i) adj_offset_[i + 1] += adj_offset_[i];
+  adj_neighbour_.assign(adj_offset_[n], kInvalidNode);
+  adj_model_.assign(adj_offset_[n], nullptr);
+  std::vector<std::uint32_t> cursor(adj_offset_.begin(),
+                                    adj_offset_.end() - 1);
+  for (const Link& link : topology_.links()) {
+    adj_neighbour_[cursor[link.a]] = link.b;
+    adj_model_[cursor[link.a]++] = &link.model;
+    adj_neighbour_[cursor[link.b]] = link.a;
+    adj_model_[cursor[link.b]++] = &link.model;
   }
 }
 
 const LinkModel* Network::find_link(NodeId from, NodeId to) const noexcept {
-  for (const auto& [neighbour, model] : adjacency_[from]) {
-    if (neighbour == to) return model;
+  for (std::uint32_t i = adj_offset_[from]; i < adj_offset_[from + 1]; ++i) {
+    if (adj_neighbour_[i] == to) return adj_model_[i];
   }
   return nullptr;
 }
@@ -248,11 +262,11 @@ Status Network::set_link_up(NodeId a, NodeId b, bool up) {
     return err_not_found("no link between nodes " + std::to_string(a) +
                          " and " + std::to_string(b));
   }
-  const LinkKey key = link_key(a, b);
+  const PackedLink key = pack_link(a, b);
   if (up) {
-    if (disabled_links_.erase(key) == 0) return {};  // already up
+    if (!disabled_links_.erase(key)) return {};  // already up
   } else {
-    if (!disabled_links_.insert(key).second) return {};  // already down
+    if (!disabled_links_.insert(key)) return {};  // already down
   }
   routing_.set_link_enabled(a, b, up);
   return {};
@@ -267,9 +281,8 @@ Status Network::set_links_up(
       return err_not_found("no link between nodes " + std::to_string(a) +
                            " and " + std::to_string(b));
     }
-    const LinkKey key = link_key(a, b);
-    changed |= up ? disabled_links_.erase(key) != 0
-                  : disabled_links_.insert(key).second;
+    const PackedLink key = pack_link(a, b);
+    changed |= up ? disabled_links_.erase(key) : disabled_links_.insert(key);
   }
   if (changed) routing_.rebuild(topology_, disabled_links_);
   return {};
@@ -348,7 +361,7 @@ void Network::transfer(NodeId from, NodeId to, Packet packet,
   // the loss draw so a down link consumes no randomness; the empty-set test
   // keeps the fault-free hot path at one branch.
   if (!disabled_links_.empty() &&
-      disabled_links_.count(link_key(from, to)) != 0) {
+      disabled_links_.contains(pack_link(from, to))) {
     stats_.dropped_link_down++;
     count_link(from, to, /*dropped=*/true);
     emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, from, to,
@@ -432,12 +445,21 @@ void Network::deliver_local(NodeId node, Packet packet) {
 }
 
 void Network::forward_unicast(NodeId current, Packet packet) {
-  Result<NodeId> dest = topology_.find(packet.dst);
-  if (!dest.ok()) {
-    stats_.dropped_no_route++;
-    return;
+  // The origin hop resolves the destination address and caches the node id
+  // in the packet; relays verify the hint (one compare) instead of paying
+  // an address lookup per hop.  A stale or foreign hint fails the check and
+  // falls back to a full resolve, so it can never misroute.
+  NodeId target = packet.dst_node;
+  if (target >= nodes_.size() ||
+      !(topology_.node(target).address == packet.dst)) {
+    Result<NodeId> dest = topology_.find(packet.dst);
+    if (!dest.ok()) {
+      stats_.dropped_no_route++;
+      return;
+    }
+    target = dest.value();
+    packet.dst_node = target;
   }
-  NodeId target = dest.value();
   if (current == target) {
     deliver_local(current, std::move(packet));
     return;
@@ -478,7 +500,8 @@ void Network::flood(NodeId origin_hop, Packet packet) {
   // Fan out to every neighbour.  Duplicates share the payload bytes
   // (copy-on-write); only the header and route trace diverge per branch.
   // The last branch moves the packet instead of copying it.
-  const auto& neighbours = adjacency_[origin_hop];
+  const std::uint32_t adj_begin = adj_offset_[origin_hop];
+  const std::uint32_t adj_end = adj_offset_[origin_hop + 1];
   auto arrival = [this](Packet arrived) {
     NodeId here = arrived.route.back();
     NodeState& state = nodes_[here];
@@ -507,10 +530,9 @@ void Network::flood(NodeId origin_hop, Packet packet) {
     stats_.forwarded++;
     flood(here, std::move(onward));
   };
-  for (std::size_t i = 0; i < neighbours.size(); ++i) {
-    Packet copy =
-        i + 1 == neighbours.size() ? std::move(packet) : packet;
-    transfer(origin_hop, neighbours[i].first, std::move(copy), arrival);
+  for (std::uint32_t i = adj_begin; i < adj_end; ++i) {
+    Packet copy = i + 1 == adj_end ? std::move(packet) : packet;
+    transfer(origin_hop, adj_neighbour_[i], std::move(copy), arrival);
   }
 }
 

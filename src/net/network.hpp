@@ -28,6 +28,7 @@
 #include "common/error.hpp"
 #include "common/obs_switch.hpp"
 #include "common/rng.hpp"
+#include "net/link_set.hpp"
 #include "net/packet.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
@@ -228,7 +229,7 @@ class Network {
   Status set_links_up(const std::vector<std::pair<NodeId, NodeId>>& links,
                       bool up);
   bool link_up(NodeId a, NodeId b) const {
-    return disabled_links_.count(link_key(a, b)) == 0;
+    return !disabled_links_.contains(a, b);
   }
   std::size_t disabled_link_count() const noexcept {
     return disabled_links_.size();
@@ -331,14 +332,18 @@ class Network {
   Topology topology_;
   RoutingTable routing_;
   /// Per-node neighbour cache in link-declaration order (the same order
-  /// Topology::neighbours yields).  Built once: flooding must not allocate
-  /// a neighbour vector per relay.  Link-model pointers stay valid because
-  /// the owned topology is never structurally modified after construction.
-  std::vector<std::vector<std::pair<NodeId, const LinkModel*>>> adjacency_;
-  /// Links currently administratively down (normalised pairs).  Checked on
-  /// the per-hop path only when non-empty; cleared by reset_run_state so a
-  /// run always starts from the described topology.
-  std::set<LinkKey> disabled_links_;
+  /// Topology::neighbours yields), CSR/struct-of-arrays so a 50k-node flood
+  /// fan-out streams flat arrays instead of chasing per-node vectors.
+  /// Built once: flooding must not allocate a neighbour vector per relay.
+  /// Link-model pointers stay valid because the owned topology is never
+  /// structurally modified after construction.
+  std::vector<std::uint32_t> adj_offset_;        ///< node_count + 1 entries
+  std::vector<NodeId> adj_neighbour_;            ///< 2 * link_count entries
+  std::vector<const LinkModel*> adj_model_;      ///< parallel to neighbours
+  /// Links currently administratively down (flat sorted set of packed
+  /// keys).  Checked on the per-hop path only when non-empty; cleared by
+  /// reset_run_state so a run always starts from the described topology.
+  LinkSet disabled_links_;
   std::vector<NodeState> nodes_;
   std::vector<InstalledFilter> filters_;
   NetworkStats stats_;

@@ -33,6 +33,10 @@ struct Packet {
   std::uint64_t uid = 0;       ///< globally unique id (set by the network)
   PayloadBuffer payload;       ///< copy-on-write: duplicates share bytes
   std::vector<NodeId> route;   ///< nodes traversed, in order (tracking)
+  /// Unicast destination resolved from `dst` at the origin hop — a routing
+  /// hint so relays skip the address lookup.  Never serialised to the wire;
+  /// every use is re-validated against the topology before trusting it.
+  NodeId dst_node = kInvalidNode;
 
   std::size_t wire_size() const noexcept {
     // 28-byte IP+UDP-style header + 4-byte tag option + payload.

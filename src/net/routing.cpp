@@ -1,99 +1,167 @@
 #include "net/routing.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <limits>
 
 namespace excovery::net {
 
+namespace {
+
+/// Combined budget for cached row entries (next_hop + dist pairs).  With
+/// 8 bytes per entry this bounds steady-state routing memory to ~32 MiB no
+/// matter the world size, while small worlds (<= a few thousand nodes)
+/// still cache every row and behave exactly like the former eager table.
+constexpr std::size_t kRowCacheBudgetEntries = std::size_t{4} << 20;
+
+std::size_t auto_capacity(std::size_t size) {
+  if (size == 0) return 1;
+  return std::min(size, std::max<std::size_t>(16, kRowCacheBudgetEntries /
+                                                      size));
+}
+
+}  // namespace
+
 RoutingTable::RoutingTable(const Topology& topology) { rebuild(topology); }
 
-void RoutingTable::build_adjacency(const Topology& topology,
-                                   const std::set<LinkKey>* disabled) {
-  // Adjacency lists, sorted for deterministic BFS order.  The lists (and
-  // the per-source scratch below) live on the table and keep their
-  // capacity between rebuilds.
-  if (scratch_adjacency_.size() < size_) scratch_adjacency_.resize(size_);
-  for (std::size_t i = 0; i < size_; ++i) scratch_adjacency_[i].clear();
+void RoutingTable::rebuild(const Topology& topology) {
+  rebuild(topology, LinkSet{});
+}
+
+void RoutingTable::rebuild(const Topology& topology, const LinkSet& disabled) {
+  size_ = topology.node_count();
+  generation_++;
+  disabled_ = disabled;
+  capacity_ = auto_capacity(size_);
+  track_lru_ = capacity_ < size_;
+
+  // CSR adjacency: degree count, prefix sum, fill, then sort each row for
+  // deterministic BFS order (ascending node id).
+  adj_offset_.assign(size_ + 1, 0);
   for (const Link& link : topology.links()) {
-    if (disabled != nullptr &&
-        disabled->count(link_key(link.a, link.b)) != 0) {
-      continue;
-    }
-    scratch_adjacency_[link.a].push_back(link.b);
-    scratch_adjacency_[link.b].push_back(link.a);
+    adj_offset_[link.a + 1]++;
+    adj_offset_[link.b + 1]++;
+  }
+  for (std::size_t i = 0; i < size_; ++i) adj_offset_[i + 1] += adj_offset_[i];
+  adj_neighbour_.assign(adj_offset_[size_], kInvalidNode);
+  std::vector<std::uint32_t> cursor(adj_offset_.begin(),
+                                    adj_offset_.end() - 1);
+  for (const Link& link : topology.links()) {
+    adj_neighbour_[cursor[link.a]++] = link.b;
+    adj_neighbour_[cursor[link.b]++] = link.a;
   }
   for (std::size_t i = 0; i < size_; ++i) {
-    std::sort(scratch_adjacency_[i].begin(), scratch_adjacency_[i].end());
+    std::sort(adj_neighbour_.begin() + adj_offset_[i],
+              adj_neighbour_.begin() + adj_offset_[i + 1]);
   }
-}
 
-void RoutingTable::rebuild(const Topology& topology) {
-  rebuild(topology, std::set<LinkKey>{});
-}
-
-void RoutingTable::rebuild(const Topology& topology,
-                           const std::set<LinkKey>& disabled) {
-  size_ = topology.node_count();
-  next_hop_.assign(size_ * size_, kInvalidNode);
-  hops_.assign(size_ * size_, -1);
-  build_adjacency(topology, disabled.empty() ? nullptr : &disabled);
+  // Drop every cached row (slots and their capacity are kept for reuse).
+  row_of_.assign(size_, -1);
+  for (Row& row : rows_) row.generation = 0;
   scratch_frontier_.reserve(size_);
-  for (NodeId source = 0; source < size_; ++source) bfs_from(source);
 }
 
-void RoutingTable::bfs_from(NodeId source) {
-  // Reset this source's rows, then BFS over the current adjacency.
-  for (NodeId target = 0; target < size_; ++target) {
-    next_hop_[index(source, target)] = kInvalidNode;
-  }
-  scratch_parent_.assign(size_, kInvalidNode);
-  scratch_dist_.assign(size_, -1);
+bool RoutingTable::adjacent_in_topology(NodeId a, NodeId b) const noexcept {
+  auto begin = adj_neighbour_.begin() + adj_offset_[a];
+  auto end = adj_neighbour_.begin() + adj_offset_[a + 1];
+  auto it = std::lower_bound(begin, end, b);
+  return it != end && *it == b;
+}
+
+void RoutingTable::compute_row(NodeId source, Row& row) const {
+  row.dist.assign(size_, -1);
+  row.next_hop.assign(size_, kInvalidNode);
   scratch_frontier_.clear();
   scratch_frontier_.push_back(source);
-  scratch_dist_[source] = 0;
+  row.dist[source] = 0;
+  const bool any_disabled = !disabled_.empty();
   for (std::size_t head = 0; head < scratch_frontier_.size(); ++head) {
-    NodeId current = scratch_frontier_[head];
-    for (NodeId next : scratch_adjacency_[current]) {
-      if (scratch_dist_[next] < 0) {
-        scratch_dist_[next] =
-            static_cast<std::int16_t>(scratch_dist_[current] + 1);
-        scratch_parent_[next] = current;
+    const NodeId current = scratch_frontier_[head];
+    const std::int32_t next_dist = row.dist[current] + 1;
+    // The next hop toward anything discovered from `current` is the next
+    // hop toward `current` itself — or the neighbour, when `current` is the
+    // source.  Identical to the former parent-chain walk-back.
+    for (std::uint32_t idx = adj_offset_[current];
+         idx < adj_offset_[current + 1]; ++idx) {
+      const NodeId next = adj_neighbour_[idx];
+      if (any_disabled && disabled_.contains(pack_link(current, next))) {
+        continue;
+      }
+      if (row.dist[next] < 0) {
+        row.dist[next] = next_dist;
+        row.next_hop[next] =
+            current == source ? next : row.next_hop[current];
         scratch_frontier_.push_back(next);
       }
     }
   }
-  for (NodeId target = 0; target < size_; ++target) {
-    hops_[index(source, target)] = scratch_dist_[target];
-    if (target == source || scratch_dist_[target] < 0) continue;
-    // Walk back from target to the neighbour of source.
-    NodeId walk = target;
-    while (scratch_parent_[walk] != source) walk = scratch_parent_[walk];
-    next_hop_[index(source, target)] = walk;
+}
+
+std::size_t RoutingTable::pick_slot() const {
+  std::size_t victim = 0;
+  std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].generation != generation_) return i;  // free slot
+    if (rows_[i].last_used < oldest) {
+      oldest = rows_[i].last_used;
+      victim = i;
+    }
   }
+  if (rows_.size() < capacity_) {
+    rows_.emplace_back();
+    return rows_.size() - 1;
+  }
+  return victim;
+}
+
+const RoutingTable::Row& RoutingTable::row_for(NodeId source) const {
+  const std::int32_t slot = row_of_[source];
+  if (slot >= 0) {
+    Row& row = rows_[static_cast<std::size_t>(slot)];
+    if (row.generation == generation_ && row.source == source) {
+      if (track_lru_) row.last_used = ++tick_;
+      return row;
+    }
+  }
+  const std::size_t idx = pick_slot();
+  Row& row = rows_[idx];
+  // Unmap the evicted source, if the slot still holds a live row.
+  if (row.generation == generation_ && row.source < size_ &&
+      row_of_[row.source] == static_cast<std::int32_t>(idx)) {
+    row_of_[row.source] = -1;
+  }
+  compute_row(source, row);
+  row.source = source;
+  row.generation = generation_;
+  row.last_used = ++tick_;
+  row_of_[source] = static_cast<std::int32_t>(idx);
+  return row;
+}
+
+void RoutingTable::invalidate_row(NodeId source) const {
+  const std::int32_t slot = row_of_[source];
+  if (slot < 0) return;
+  rows_[static_cast<std::size_t>(slot)].generation = 0;
+  row_of_[source] = -1;
 }
 
 void RoutingTable::set_link_enabled(NodeId a, NodeId b, bool enabled) {
   if (a >= size_ || b >= size_ || a == b) return;
-  std::vector<NodeId>& adj_a = scratch_adjacency_[a];
-  std::vector<NodeId>& adj_b = scratch_adjacency_[b];
+  if (!adjacent_in_topology(a, b)) return;  // unknown link
+  const PackedLink key = pack_link(a, b);
   if (enabled) {
-    auto pos_a = std::lower_bound(adj_a.begin(), adj_a.end(), b);
-    if (pos_a != adj_a.end() && *pos_a == b) return;  // already enabled
-    adj_a.insert(pos_a, b);
-    adj_b.insert(std::lower_bound(adj_b.begin(), adj_b.end(), a), a);
+    if (!disabled_.erase(key)) return;  // already enabled
   } else {
-    auto pos_a = std::lower_bound(adj_a.begin(), adj_a.end(), b);
-    if (pos_a == adj_a.end() || *pos_a != b) return;  // already disabled
-    adj_a.erase(pos_a);
-    adj_b.erase(std::lower_bound(adj_b.begin(), adj_b.end(), a));
+    if (!disabled_.insert(key)) return;  // already disabled
   }
 
-  // Repair only the sources whose rows can change.  Each source's row is
-  // read before it is (possibly) recomputed, and rows are independent, so
-  // the pre-toggle distances below are always the old values.
-  for (NodeId source = 0; source < size_; ++source) {
-    const std::int16_t da = hops_[index(source, a)];
-    const std::int16_t db = hops_[index(source, b)];
+  // Selective invalidation: every live row was computed over the pre-toggle
+  // graph (earlier toggles invalidated what they touched), so its distances
+  // decide whether this toggle can change it — the same conditions the
+  // former eager repair used.
+  for (Row& row : rows_) {
+    if (row.generation != generation_) continue;
+    const std::int32_t da = row.dist[a];
+    const std::int32_t db = row.dist[b];
     if (enabled) {
       // A new edge between equally-distant nodes (including two nodes in
       // the same unreachable region, da == db == -1) is never a BFS
@@ -101,25 +169,25 @@ void RoutingTable::set_link_enabled(NodeId a, NodeId b, bool enabled) {
       if (da == db) continue;
     } else {
       // With the edge still present, its endpoints were either both
-      // reachable or both unreachable from `source`; removing an edge
+      // reachable or both unreachable from the source; removing an edge
       // between unreachable nodes changes nothing.
       if (da < 0) continue;
       // Equal-distance edges are never BFS tree edges and lie on no
       // shortest path, so removing one leaves the row untouched.
       if (da != db + 1 && db != da + 1) continue;
     }
-    bfs_from(source);
+    invalidate_row(row.source);
   }
 }
 
 NodeId RoutingTable::next_hop(NodeId from, NodeId to) const {
   if (from >= size_ || to >= size_) return kInvalidNode;
-  return next_hop_[index(from, to)];
+  return row_for(from).next_hop[to];
 }
 
 int RoutingTable::hop_count(NodeId from, NodeId to) const {
   if (from >= size_ || to >= size_) return -1;
-  return hops_[index(from, to)];
+  return row_for(from).dist[to];
 }
 
 std::vector<NodeId> RoutingTable::path(NodeId from, NodeId to) const {
@@ -135,6 +203,48 @@ std::vector<NodeId> RoutingTable::path(NodeId from, NodeId to) const {
     out.push_back(current);
   }
   return out;
+}
+
+std::size_t RoutingTable::cached_row_count() const noexcept {
+  std::size_t count = 0;
+  for (const Row& row : rows_) {
+    if (row.generation == generation_) ++count;
+  }
+  return count;
+}
+
+void RoutingTable::set_row_cache_capacity(std::size_t rows) {
+  capacity_ = std::max<std::size_t>(1, std::min(rows, std::max<std::size_t>(
+                                                          1, size_)));
+  track_lru_ = capacity_ < size_;
+  if (rows_.size() <= capacity_) return;
+  // Shrink: keep the most recently used rows, release the rest.
+  std::vector<Row> kept;
+  kept.reserve(capacity_);
+  std::sort(rows_.begin(), rows_.end(), [](const Row& x, const Row& y) {
+    return x.last_used > y.last_used;
+  });
+  row_of_.assign(size_, -1);
+  for (Row& row : rows_) {
+    if (kept.size() == capacity_) break;
+    if (row.generation != generation_) continue;
+    row_of_[row.source] = static_cast<std::int32_t>(kept.size());
+    kept.push_back(std::move(row));
+  }
+  rows_ = std::move(kept);
+}
+
+std::size_t RoutingTable::memory_bytes() const noexcept {
+  std::size_t bytes = adj_offset_.capacity() * sizeof(std::uint32_t) +
+                      adj_neighbour_.capacity() * sizeof(NodeId) +
+                      disabled_.size() * sizeof(PackedLink) +
+                      row_of_.capacity() * sizeof(std::int32_t) +
+                      scratch_frontier_.capacity() * sizeof(NodeId);
+  for (const Row& row : rows_) {
+    bytes += sizeof(Row) + row.next_hop.capacity() * sizeof(NodeId) +
+             row.dist.capacity() * sizeof(std::int32_t);
+  }
+  return bytes;
 }
 
 }  // namespace excovery::net

@@ -1,22 +1,33 @@
 // Shortest-path routing over a Topology.
 //
 // The DES testbed runs mesh routing protocols below the experiment traffic;
-// the simulator substitutes precomputed min-hop routing (BFS all-pairs with
-// deterministic tie-breaking on lower node id).  `hop_count` also serves the
-// topology measurement of §IV-B4, taken before and after each experiment.
+// the simulator substitutes min-hop routing (BFS with deterministic
+// tie-breaking on lower node id).  `hop_count` also serves the topology
+// measurement of §IV-B4, taken before and after each experiment.
 //
-// Link churn (dynamic-world faults, DESIGN.md §12) toggles individual links
-// up and down at high frequency; `set_link_enabled` repairs the table
-// incrementally, recomputing only the sources whose BFS tree can actually
-// change, and is guaranteed to produce the same table as a full `rebuild`
-// over the reduced graph (property-tested).
+// The engine is *lazy* (DESIGN.md §13): instead of the former all-pairs
+// next-hop matrix (O(V²) memory, full-table rebuild on change), a source's
+// row is BFS-computed on the first `next_hop(from, ...)` / `hop_count`
+// query and kept in a bounded LRU row cache.  Every cached row is a pure
+// function of (adjacency, disabled links), so caching and eviction never
+// change an answer — only when it is computed.  A generation counter
+// invalidates the whole cache on structural rebuilds; link churn
+// (dynamic-world faults, DESIGN.md §12) invalidates selectively:
+// `set_link_enabled` drops only the cached rows whose BFS tree can actually
+// change, using the same distance conditions the former eager repair used,
+// and the result is guaranteed identical to a full rebuild over the reduced
+// graph (property-tested).
+//
+// Adjacency is CSR (offset + neighbour arrays, rows sorted by node id) so
+// BFS over 50k-node worlds streams through two flat arrays instead of a
+// vector-of-vectors pointer chase.
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <utility>
 #include <vector>
 
+#include "net/link_set.hpp"
 #include "net/topology.hpp"
 
 namespace excovery::net {
@@ -30,60 +41,106 @@ inline LinkKey link_key(NodeId a, NodeId b) noexcept {
 
 class RoutingTable {
  public:
-  /// Build next-hop tables for the given topology.
+  /// Build the routing engine for the given topology.  No routes are
+  /// computed yet; rows materialise on first query.
   explicit RoutingTable(const Topology& topology);
 
-  /// Recompute after topology/link changes.
+  /// Rebind to (possibly changed) topology structure.  Drops every cached
+  /// row.
   void rebuild(const Topology& topology);
 
-  /// Recompute, treating every link in `disabled` as absent.  Used for bulk
+  /// Rebind, treating every link in `disabled` as absent.  Used for bulk
   /// partition activation/heal where many links toggle at once.
-  void rebuild(const Topology& topology, const std::set<LinkKey>& disabled);
+  void rebuild(const Topology& topology, const LinkSet& disabled);
 
   /// Incrementally enable/disable one link.  The link must exist in the
-  /// topology the table was last rebuilt from.  Recomputes only the BFS
-  /// sources whose distances or parent trees can change; the result is
-  /// bit-identical to a full rebuild over the same reduced graph.
+  /// topology the table was last rebuilt from (unknown links are ignored).
+  /// Cached rows whose distances or BFS trees cannot change are kept; the
+  /// rest recompute lazily.  Query results are bit-identical to a full
+  /// rebuild over the same reduced graph.
   void set_link_enabled(NodeId a, NodeId b, bool enabled);
 
-  /// Next hop from `from` toward `to`; kInvalidNode if unreachable or from==to.
+  /// Next hop from `from` toward `to`; kInvalidNode if either id is out of
+  /// range, the destination is unreachable, or from == to.
   NodeId next_hop(NodeId from, NodeId to) const;
 
-  /// Hop count between nodes; -1 if unreachable, 0 if identical.
+  /// Hop count between nodes; -1 if out of range or unreachable, 0 if
+  /// identical.
   int hop_count(NodeId from, NodeId to) const;
 
-  /// Full path from `from` to `to` including both endpoints; empty if
-  /// unreachable.
+  /// Full path from `from` to `to` including both endpoints; empty if out
+  /// of range or unreachable.
   std::vector<NodeId> path(NodeId from, NodeId to) const;
 
   std::size_t node_count() const noexcept { return size_; }
 
+  // ---- scale introspection (bench_topology_scale, DESIGN.md §13) ---------
+  /// Rows currently materialised in the cache.
+  std::size_t cached_row_count() const noexcept;
+  /// Maximum rows the cache may hold.
+  std::size_t row_cache_capacity() const noexcept { return capacity_; }
+  /// Override the row-cache bound (clamped to >= 1 and <= node count).
+  /// Shrinking evicts least-recently-used rows immediately.
+  void set_row_cache_capacity(std::size_t rows);
+  /// Bytes held by the engine: CSR adjacency + cached rows + scratch.
+  std::size_t memory_bytes() const noexcept;
+  /// Structural generation; bumped by every rebuild.
+  std::uint64_t generation() const noexcept { return generation_; }
+
  private:
-  std::size_t index(NodeId from, NodeId to) const noexcept {
-    return static_cast<std::size_t>(from) * size_ + to;
-  }
+  /// One cached per-source BFS result.  `dist`/`next_hop` are valid iff
+  /// `generation == RoutingTable::generation_` and `row_of_[source]` points
+  /// here.
+  struct Row {
+    NodeId source = kInvalidNode;
+    std::uint64_t generation = 0;  ///< 0 = slot free / invalidated
+    std::uint64_t last_used = 0;
+    std::vector<NodeId> next_hop;
+    std::vector<std::int32_t> dist;  ///< wide enough for 100k-node chains
+  };
 
-  /// Rebuild the sorted adjacency lists from `topology`, skipping links in
-  /// `disabled` (may be null).
-  void build_adjacency(const Topology& topology,
-                       const std::set<LinkKey>* disabled);
+  /// Row for `source`, computing and caching it if absent.  `source` must
+  /// be < size_.
+  const Row& row_for(NodeId source) const;
 
-  /// Recompute the hops_/next_hop_ rows of one source from the current
-  /// adjacency lists.
-  void bfs_from(NodeId source);
+  /// BFS from `source` over the CSR adjacency minus `disabled_`, filling
+  /// `row` (deterministic: neighbours visited in ascending node id).
+  void compute_row(NodeId source, Row& row) const;
+
+  /// Slot index to hold a new row: a free slot, a new slot while under
+  /// capacity, or the least-recently-used victim.
+  std::size_t pick_slot() const;
+
+  /// Drop the cached row of `source`, if any.
+  void invalidate_row(NodeId source) const;
+
+  /// True if the topology the engine was rebuilt from contains link (a, b).
+  bool adjacent_in_topology(NodeId a, NodeId b) const noexcept;
 
   std::size_t size_ = 0;
-  std::vector<NodeId> next_hop_;  ///< size_ x size_ matrix
-  std::vector<std::int16_t> hops_;
+  std::uint64_t generation_ = 0;
 
-  // BFS scratch, reused across sources and across rebuilds: `rebuild` runs
-  // on every set_link_model during environment manipulations, so it must
-  // not reallocate its working set each time.  The adjacency lists persist
-  // between calls so `set_link_enabled` can patch them in place.
-  std::vector<std::vector<NodeId>> scratch_adjacency_;
-  std::vector<NodeId> scratch_parent_;
-  std::vector<std::int16_t> scratch_dist_;
-  std::vector<NodeId> scratch_frontier_;  ///< flat FIFO (head index scans)
+  // CSR adjacency over *all* topology links, rows sorted ascending.
+  // Disabled links stay in the arrays and are skipped during BFS via
+  // `disabled_` — patching a flat CSR per flap would shift O(E) entries,
+  // while the skip costs one branch only while any link is down.
+  std::vector<std::uint32_t> adj_offset_;  ///< size_ + 1 entries
+  std::vector<NodeId> adj_neighbour_;      ///< 2 * link_count entries
+  LinkSet disabled_;
+
+  // Row cache.  Mutable: queries are logically const (answers depend only
+  // on the graph) but materialise rows on demand.  Not thread-safe — each
+  // platform replica owns its Network/RoutingTable.
+  std::size_t capacity_ = 1;
+  // LRU timestamps only matter once eviction is possible (capacity < size);
+  // below that the hot hit path skips the bookkeeping store entirely.
+  bool track_lru_ = false;
+  mutable std::uint64_t tick_ = 0;
+  mutable std::vector<Row> rows_;
+  mutable std::vector<std::int32_t> row_of_;  ///< source -> slot, -1 = none
+
+  // BFS scratch, reused across row computations.
+  mutable std::vector<NodeId> scratch_frontier_;  ///< flat FIFO (head scans)
 };
 
 }  // namespace excovery::net

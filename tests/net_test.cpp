@@ -100,6 +100,28 @@ TEST(Topology, DisconnectedDetected) {
   EXPECT_FALSE(topo.connected());
 }
 
+// ---- LinkSet ---------------------------------------------------------------------
+
+TEST(LinkSet, InsertEraseContainsNormaliseEndpoints) {
+  LinkSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.insert(3, 1));
+  EXPECT_FALSE(set.insert(1, 3));  // same undirected link
+  EXPECT_TRUE(set.contains(1, 3));
+  EXPECT_TRUE(set.contains(3, 1));
+  EXPECT_FALSE(set.contains(1, 2));
+  EXPECT_TRUE(set.insert(0, 2));
+  EXPECT_EQ(set.size(), 2u);
+  // Iteration yields packed keys in ascending (a, b) order.
+  std::vector<PackedLink> keys(set.begin(), set.end());
+  EXPECT_EQ(keys, (std::vector<PackedLink>{pack_link(0, 2), pack_link(1, 3)}));
+  EXPECT_TRUE(set.erase(3, 1));
+  EXPECT_FALSE(set.erase(3, 1));
+  EXPECT_FALSE(set.contains(1, 3));
+  set.clear();
+  EXPECT_TRUE(set.empty());
+}
+
 // ---- Routing ---------------------------------------------------------------------
 
 TEST(Routing, HopCountsOnChain) {
@@ -118,6 +140,60 @@ TEST(Routing, GridUsesShortestPaths) {
   RoutingTable routing(grid);
   // Corner to corner: manhattan distance 6.
   EXPECT_EQ(routing.hop_count(0, 15), 6);
+}
+
+TEST(Routing, OutOfRangeNodeIdsAreRejectedNotUndefined) {
+  Topology chain = Topology::chain(4);
+  RoutingTable routing(chain);
+  // Every query entry point must reject ids beyond the topology (including
+  // kInvalidNode itself) instead of indexing out of bounds.
+  for (NodeId bad : {NodeId{4}, NodeId{100}, kInvalidNode}) {
+    EXPECT_EQ(routing.next_hop(bad, 1), kInvalidNode);
+    EXPECT_EQ(routing.next_hop(1, bad), kInvalidNode);
+    EXPECT_EQ(routing.next_hop(bad, bad), kInvalidNode);
+    EXPECT_EQ(routing.hop_count(bad, 1), -1);
+    EXPECT_EQ(routing.hop_count(1, bad), -1);
+    EXPECT_TRUE(routing.path(bad, 1).empty());
+    EXPECT_TRUE(routing.path(1, bad).empty());
+  }
+  // Out-of-range link toggles are ignored, valid queries still work.
+  routing.set_link_enabled(99, 1, false);
+  routing.set_link_enabled(1, kInvalidNode, false);
+  routing.set_link_enabled(2, 2, false);
+  EXPECT_EQ(routing.hop_count(0, 3), 3);
+}
+
+TEST(Routing, LazyRowCacheIsBoundedAndInvisible) {
+  Topology grid = Topology::grid(6, 6);
+  RoutingTable routing(grid);
+  routing.set_row_cache_capacity(4);
+  EXPECT_EQ(routing.row_cache_capacity(), 4u);
+  // Query from more sources than the cache holds; answers must match a
+  // fresh unbounded table.
+  RoutingTable reference(grid);
+  for (NodeId from = 0; from < 36; ++from) {
+    for (NodeId to = 0; to < 36; to += 5) {
+      ASSERT_EQ(routing.hop_count(from, to), reference.hop_count(from, to));
+      ASSERT_EQ(routing.next_hop(from, to), reference.next_hop(from, to));
+    }
+    EXPECT_LE(routing.cached_row_count(), 4u);
+  }
+  // Shrinking a warm cache evicts immediately.
+  reference.set_row_cache_capacity(2);
+  EXPECT_LE(reference.cached_row_count(), 2u);
+  EXPECT_EQ(reference.hop_count(0, 35), routing.hop_count(0, 35));
+}
+
+TEST(Routing, SetLinkEnabledIgnoresLinksOutsideTheTopology) {
+  Topology chain = Topology::chain(4);
+  RoutingTable routing(chain);
+  EXPECT_EQ(routing.hop_count(0, 3), 3);
+  // 0-2 is not a topology link: disabling it must be a no-op, and a later
+  // "enable" of it must not invent an edge.
+  routing.set_link_enabled(0, 2, false);
+  EXPECT_EQ(routing.hop_count(0, 3), 3);
+  routing.set_link_enabled(0, 2, true);
+  EXPECT_EQ(routing.hop_count(0, 2), 2);
 }
 
 TEST(Routing, UnreachableIsSignalled) {

@@ -2,6 +2,8 @@
 // randomised inputs and parameter grids.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/bytes.hpp"
 #include "common/strings.hpp"
 #include "common/rng.hpp"
@@ -505,18 +507,24 @@ TEST_P(RoutingChurnProperty, IncrementalRepairMatchesFullRebuild) {
   ASSERT_FALSE(links.empty());
 
   net::RoutingTable incremental(topo);
+  // A second engine with a tiny row cache: eviction and recomputation under
+  // pressure must not change any answer (rows are pure functions of the
+  // reduced graph).
+  net::RoutingTable thrashed(topo);
+  thrashed.set_row_cache_capacity(3);
   net::RoutingTable reference(topo);
-  std::set<net::LinkKey> disabled;
+  net::LinkSet disabled;
   Pcg32 rng(GetParam(), 0xFA11);
   for (int step = 0; step < 60; ++step) {
     const net::LinkKey& link =
         links[rng.bounded(static_cast<std::uint32_t>(links.size()))];
-    bool enable = disabled.count(link) > 0;
+    bool enable = disabled.contains(link.first, link.second);
     incremental.set_link_enabled(link.first, link.second, enable);
+    thrashed.set_link_enabled(link.first, link.second, enable);
     if (enable) {
-      disabled.erase(link);
+      disabled.erase(link.first, link.second);
     } else {
-      disabled.insert(link);
+      disabled.insert(link.first, link.second);
     }
     reference.rebuild(topo, disabled);
     for (net::NodeId a = 0; a < n; ++a) {
@@ -525,6 +533,63 @@ TEST_P(RoutingChurnProperty, IncrementalRepairMatchesFullRebuild) {
             << "step " << step << " pair " << a << "->" << b;
         ASSERT_EQ(incremental.next_hop(a, b), reference.next_hop(a, b))
             << "step " << step << " pair " << a << "->" << b;
+        ASSERT_EQ(thrashed.hop_count(a, b), reference.hop_count(a, b))
+            << "thrashed, step " << step << " pair " << a << "->" << b;
+        ASSERT_EQ(thrashed.next_hop(a, b), reference.next_hop(a, b))
+            << "thrashed, step " << step << " pair " << a << "->" << b;
+      }
+    }
+    EXPECT_LE(thrashed.cached_row_count(), 3u);
+  }
+}
+
+TEST_P(RoutingChurnProperty, LazyRepairSurvivesPartitionBulkToggles) {
+  // Partition-style bulk sequences: several links toggled per step through
+  // set_link_enabled with only sparse interleaved queries, so most cached
+  // rows go stale between queries rather than being refreshed each step.
+  Result<net::Topology> topology =
+      net::Topology::random_geometric(16, 0.42, GetParam() ^ 0xBEEF);
+  ASSERT_TRUE(topology.ok());
+  const net::Topology& topo = topology.value();
+  std::size_t n = topo.node_count();
+  std::vector<net::LinkKey> links;
+  for (net::NodeId a = 0; a < n; ++a) {
+    for (net::NodeId b = a + 1; b < n; ++b) {
+      if (topo.link_between(a, b) != nullptr) links.push_back({a, b});
+    }
+  }
+  net::RoutingTable lazy(topo);
+  net::RoutingTable reference(topo);
+  net::LinkSet disabled;
+  Pcg32 rng(GetParam(), 0x9A27);
+  for (int step = 0; step < 60; ++step) {
+    std::uint32_t toggles = 1 + rng.bounded(4);
+    for (std::uint32_t t = 0; t < toggles; ++t) {
+      const net::LinkKey& link =
+          links[rng.bounded(static_cast<std::uint32_t>(links.size()))];
+      bool enable = disabled.contains(link.first, link.second);
+      lazy.set_link_enabled(link.first, link.second, enable);
+      if (enable) {
+        disabled.erase(link.first, link.second);
+      } else {
+        disabled.insert(link.first, link.second);
+      }
+    }
+    // Sparse queries: a handful of random pairs, then (every few steps) a
+    // full sweep against an eager reference rebuilt from scratch.
+    reference.rebuild(topo, disabled);
+    for (int q = 0; q < 5; ++q) {
+      net::NodeId a = rng.bounded(static_cast<std::uint32_t>(n));
+      net::NodeId b = rng.bounded(static_cast<std::uint32_t>(n));
+      ASSERT_EQ(lazy.next_hop(a, b), reference.next_hop(a, b))
+          << "step " << step << " pair " << a << "->" << b;
+    }
+    if (step % 7 == 0) {
+      for (net::NodeId a = 0; a < n; ++a) {
+        for (net::NodeId b = 0; b < n; ++b) {
+          ASSERT_EQ(lazy.hop_count(a, b), reference.hop_count(a, b))
+              << "sweep at step " << step << " pair " << a << "->" << b;
+        }
       }
     }
   }
@@ -532,6 +597,84 @@ TEST_P(RoutingChurnProperty, IncrementalRepairMatchesFullRebuild) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoutingChurnProperty,
                          ::testing::Values(3, 17, 58));
+
+// ---- spatial-indexed geometric generation ----------------------------------------
+
+/// Reference implementation: the pre-spatial-index O(V²) pairwise scan the
+/// grid-indexed generator must reproduce byte for byte.
+Result<net::Topology> naive_random_geometric(std::size_t size, double radius,
+                                             std::uint64_t seed) {
+  constexpr int kMaxAttempts = 64;
+  RngFactory factory(seed);
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Pcg32 rng = factory.stream("geometric-topology",
+                               static_cast<std::uint64_t>(attempt));
+    net::Topology topo;
+    for (std::size_t i = 0; i < size; ++i) {
+      topo.add_node("n" + std::to_string(i), rng.uniform01(), rng.uniform01());
+    }
+    for (std::size_t i = 0; i < size; ++i) {
+      for (std::size_t j = i + 1; j < size; ++j) {
+        double dx = topo.nodes()[i].x - topo.nodes()[j].x;
+        double dy = topo.nodes()[i].y - topo.nodes()[j].y;
+        if (std::sqrt(dx * dx + dy * dy) <= radius) {
+          (void)topo.connect(static_cast<net::NodeId>(i),
+                             static_cast<net::NodeId>(j), {});
+        }
+      }
+    }
+    if (topo.connected()) return topo;
+  }
+  return err_invalid("naive geometric generation failed");
+}
+
+struct GeometricParam {
+  std::uint64_t seed;
+  std::size_t size;
+  double radius;
+};
+
+class GeometricIndexProperty
+    : public ::testing::TestWithParam<GeometricParam> {};
+
+TEST_P(GeometricIndexProperty, GridIndexedGenerationMatchesNaiveScanExactly) {
+  const GeometricParam& param = GetParam();
+  Result<net::Topology> indexed =
+      net::Topology::random_geometric(param.size, param.radius, param.seed);
+  Result<net::Topology> naive =
+      naive_random_geometric(param.size, param.radius, param.seed);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(naive.ok());
+  ASSERT_EQ(indexed.value().node_count(), naive.value().node_count());
+  for (std::size_t i = 0; i < naive.value().node_count(); ++i) {
+    // Positions drawn from the identical RNG stream: bit-equal doubles.
+    EXPECT_EQ(indexed.value().nodes()[i].x, naive.value().nodes()[i].x);
+    EXPECT_EQ(indexed.value().nodes()[i].y, naive.value().nodes()[i].y);
+    EXPECT_EQ(indexed.value().nodes()[i].name, naive.value().nodes()[i].name);
+  }
+  // The link *sequence* must match, not just the link set: downstream
+  // consumers (CSR layouts, flood fan-out order, capture streams) depend on
+  // declaration order.
+  ASSERT_EQ(indexed.value().link_count(), naive.value().link_count());
+  for (std::size_t l = 0; l < naive.value().link_count(); ++l) {
+    EXPECT_EQ(indexed.value().links()[l].a, naive.value().links()[l].a)
+        << "link " << l;
+    EXPECT_EQ(indexed.value().links()[l].b, naive.value().links()[l].b)
+        << "link " << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeometricIndexProperty,
+    ::testing::Values(GeometricParam{1, 40, 0.3},
+                      GeometricParam{7, 120, 0.18},
+                      GeometricParam{21, 300, 0.12},
+                      GeometricParam{33, 80, 0.9},    // radius ~ whole square
+                      GeometricParam{58, 250, 0.14}),
+    [](const ::testing::TestParamInfo<GeometricParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "n" +
+             std::to_string(info.param.size);
+    });
 
 // ---- dynamic-world determinism (DESIGN.md §12) ----------------------------------
 

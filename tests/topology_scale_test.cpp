@@ -1,0 +1,99 @@
+// Mega-scale topology smoke test (DESIGN.md §13): a 10k-node random
+// geometric world must generate, route and flood inside a wall-clock and
+// memory budget.  This is the tier-1 guard against regressions back toward
+// O(V²) behaviour — the former eager all-pairs routing table alone would
+// need ~600 MB and tens of seconds here; the former pairwise generator and
+// per-packet linear address scans would blow the time budget on their own.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "net/network.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "sim/scheduler.hpp"
+
+namespace excovery::net {
+namespace {
+
+constexpr std::size_t kNodes = 10'000;
+constexpr double kRadius = 0.03;  // mean degree ~ pi * r^2 * V ~ 28
+constexpr std::uint64_t kSeed = 20260808;
+
+// Generous for slow CI machines, but far below what any O(V²) regression
+// costs at this scale.
+constexpr double kWallBudgetSeconds = 60.0;
+
+LinkModel fast_link() {
+  LinkModel model = LinkModel::ideal();
+  model.jitter_frac = 0.0;
+  return model;
+}
+
+TEST(TopologyScale, TenThousandNodeWorldWithinBudget) {
+  const auto start = std::chrono::steady_clock::now();
+
+  // Generation (grid-indexed neighbour discovery).
+  Result<Topology> topology =
+      Topology::random_geometric(kNodes, kRadius, kSeed, fast_link());
+  ASSERT_TRUE(topology.ok()) << topology.error().to_string();
+  ASSERT_EQ(topology.value().node_count(), kNodes);
+  ASSERT_TRUE(topology.value().connected());
+  // Sanity: the geometric world is mesh-like, not degenerate.
+  EXPECT_GT(topology.value().link_count(), kNodes);
+
+  sim::Scheduler scheduler;
+  Network network(scheduler, std::move(topology).value(), /*seed=*/7);
+  network.set_capture_enabled(false);
+
+  // Routing warm-up: unicast-style row queries from a spread of sources.
+  // Memory must stay O(cached rows), never O(V²).
+  int reachable = 0;
+  for (NodeId from = 0; from < kNodes; from += 997) {
+    if (network.hop_count(from, kNodes - 1 - from) >= 0) ++reachable;
+  }
+  EXPECT_GT(reachable, 0);
+
+  // One full multicast flood: every node joined, every node delivered once.
+  const Address group = Address::sd_multicast();
+  std::uint64_t delivered = 0;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    network.join_group(n, group);
+    network.bind(n, kSdPort,
+                 [&delivered](NodeId, const Packet&) { ++delivered; });
+  }
+  Packet packet;
+  packet.dst = group;
+  packet.dst_port = kSdPort;
+  packet.ttl = 255;
+  packet.payload.assign(256, 0x5A);
+  ASSERT_TRUE(network.send(0, std::move(packet)).ok());
+  scheduler.run();
+  EXPECT_EQ(delivered, kNodes);
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, kWallBudgetSeconds)
+      << "10k-node world exceeded the scale budget";
+}
+
+TEST(TopologyScale, RoutingMemoryStaysFarBelowAllPairs) {
+  Result<Topology> topology =
+      Topology::random_geometric(kNodes, kRadius, kSeed, fast_link());
+  ASSERT_TRUE(topology.ok());
+  RoutingTable routing(topology.value());
+  // Warm the cache to its bound with row queries from every source.
+  for (NodeId from = 0; from < kNodes; from += 13) {
+    (void)routing.hop_count(from, (from * 7919) % kNodes);
+  }
+  EXPECT_LE(routing.cached_row_count(), routing.row_cache_capacity());
+  // The former eager table stored V² next-hop + V² hop entries (6 bytes per
+  // pair).  The lazy engine must stay an order of magnitude under that.
+  const std::size_t eager_bytes = kNodes * kNodes * 6;
+  EXPECT_LT(routing.memory_bytes(), eager_bytes / 10)
+      << "routing memory is no longer O(cached rows)";
+}
+
+}  // namespace
+}  // namespace excovery::net
