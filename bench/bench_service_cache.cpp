@@ -1,0 +1,280 @@
+// Content-addressed memoization payoff (DESIGN.md §14).
+//
+// The ExperimentService answers a repeated campaign submission from its
+// result cache instead of re-simulating; because the digest covers every
+// answer-relevant input, the served package is byte-identical to a fresh
+// run.  This bench records what that buys:
+//
+//  * cold-miss latency: a submission that must simulate (fresh service);
+//  * warm-hit latency: the identical submission against a warm cache —
+//    the canonical-hash + LRU lookup path, gated to be at least 100x
+//    faster than the cold miss (WARN-only under --smoke);
+//  * hit throughput at 1, 4 and hardware-concurrency client threads, all
+//    hammering the same digest;
+//  * heap allocations on the hit path (dominated by the canonical XML
+//    serialisation feeding the digest) — reported for trajectory.
+//
+// Results go to BENCH_cache.json (curated format, bench/collect_bench.py).
+// The JSON is written in --smoke mode too so CI can archive the file from
+// the smoke run.
+//
+// Flags:
+//   --smoke     tiny campaign + iteration counts, WARN-only gate — CI
+//   --reps N    repetitions (default 5, median taken)
+//   --out PATH  override the JSON output path (default BENCH_cache.json)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "core/scenario.hpp"
+#include "core/service.hpp"
+
+namespace {
+
+using excovery::Result;
+using excovery::core::ExperimentDescription;
+using excovery::core::ExperimentService;
+using excovery::core::ServiceReply;
+using excovery::core::Submission;
+using excovery::core::SubmitOutcome;
+
+// ---- allocation counting ---------------------------------------------------
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+// The replacement operator new/delete intentionally pair ::new with
+// std::malloc/std::free (same idiom as bench_kernel_hotpath).
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+Submission campaign(int replications) {
+  excovery::core::scenario::TwoPartyOptions options;
+  options.replications = replications;
+  options.environment_count = 2;
+  options.deadline_s = 5.0;
+  Result<ExperimentDescription> description =
+      excovery::core::scenario::two_party_sd(options);
+  if (!description.ok()) std::abort();
+  Submission submission;
+  submission.description = std::move(description).value();
+  submission.scope.platform_seed = 2026;
+  return submission;
+}
+
+ServiceReply must_submit(ExperimentService& service,
+                         const Submission& submission) {
+  ServiceReply reply = service.submit(submission);
+  if (!reply.status.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 reply.status.error().to_string().c_str());
+    std::abort();
+  }
+  return reply;
+}
+
+/// Warm-cache submissions per second with `clients` threads hammering the
+/// same digest for ~`iterations` submissions each.
+double hit_throughput(ExperimentService& service,
+                      const Submission& submission, unsigned clients,
+                      int iterations) {
+  std::atomic<std::uint64_t> total{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < iterations; ++i) {
+        if (service.submit(submission).outcome != SubmitOutcome::kMemoryHit) {
+          std::abort();
+        }
+        total.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return static_cast<double>(total.load()) / seconds_since(start);
+}
+
+std::string today() {
+  std::time_t now = std::time(nullptr);
+  char buffer[32];
+  std::strftime(buffer, sizeof buffer, "%Y-%m-%d", std::localtime(&now));
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int reps = 5;
+  std::string out = "BENCH_cache.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      reps = 3;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--reps N] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const int replications = smoke ? 5 : 50;
+  const int hit_iterations = smoke ? 200 : 2000;
+  const Submission submission = campaign(replications);
+  std::printf("service cache bench: %d-replication campaign, %d reps%s\n",
+              replications, reps, smoke ? " (smoke)" : "");
+
+  // Cold miss: a fresh service per repetition, so every submission
+  // simulates the full campaign.
+  std::vector<double> cold_times;
+  for (int rep = 0; rep < reps; ++rep) {
+    ExperimentService::Config config;
+    config.workers = 1;
+    ExperimentService service(std::move(config));
+    const auto start = std::chrono::steady_clock::now();
+    ServiceReply reply = must_submit(service, submission);
+    cold_times.push_back(seconds_since(start));
+    if (reply.outcome != SubmitOutcome::kSimulated) std::abort();
+  }
+  const double cold_s = median(cold_times);
+
+  // Warm hit: one service, one simulation, then timed repeats.  The timed
+  // path is digest computation + LRU lookup.
+  ExperimentService::Config config;
+  config.workers = 1;
+  ExperimentService service(std::move(config));
+  (void)must_submit(service, submission);
+  std::vector<double> warm_times;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < hit_iterations; ++i) {
+      if (service.submit(submission).outcome != SubmitOutcome::kMemoryHit) {
+        std::abort();
+      }
+    }
+    warm_times.push_back(seconds_since(start) / hit_iterations);
+  }
+  const double warm_s = median(warm_times);
+  const double speedup = cold_s / warm_s;
+
+  // Allocations on one hit.
+  const std::uint64_t allocs_before =
+      g_allocs.load(std::memory_order_relaxed);
+  (void)must_submit(service, submission);
+  const std::uint64_t hit_allocs =
+      g_allocs.load(std::memory_order_relaxed) - allocs_before;
+
+  // Hit throughput at 1 / 4 / hardware-concurrency clients.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const double rate_1 = hit_throughput(service, submission, 1, hit_iterations);
+  const double rate_4 = hit_throughput(service, submission, 4, hit_iterations);
+  const double rate_hw =
+      hit_throughput(service, submission, hw, hit_iterations);
+
+  std::printf("  cold miss  %10.3f ms\n", cold_s * 1e3);
+  std::printf("  warm hit   %10.3f us   (%0.0fx faster, %llu allocations)\n",
+              warm_s * 1e6, speedup,
+              static_cast<unsigned long long>(hit_allocs));
+  std::printf("  hit throughput: 1 client %8.0f/s   4 clients %8.0f/s   "
+              "%u clients %8.0f/s\n",
+              rate_1, rate_4, hw, rate_hw);
+
+  const double gate = 100.0;
+  bool failed = false;
+  if (speedup < gate) {
+    std::fprintf(stderr,
+                 "%s: warm hit only %.1fx faster than cold miss "
+                 "(gate: >= %.0fx)\n",
+                 smoke ? "WARN (smoke, not gated)" : "FAIL", speedup, gate);
+    failed = !smoke;
+  }
+
+  std::string json;
+  json += "{\n";
+  json +=
+      " \"description\": \"Content-addressed campaign memoization "
+      "(bench/bench_service_cache.cpp, DESIGN.md \\u00a714). 'seed' = "
+      "cold-miss submission latency (the service must simulate the whole "
+      "campaign); 'current' = warm-hit latency for the identical submission "
+      "(canonical digest + LRU lookup, byte-identical reply). The speedup "
+      "is gated >= 100x outside --smoke. clients_*_per_second are warm-hit "
+      "submissions/s with that many client threads on one digest; "
+      "hit_allocations counts heap allocations for a single hit "
+      "(dominated by the canonical XML serialisation). Median over "
+      "repetitions.\",\n";
+  json += " \"machine\": \"vm\",\n";
+  json += " \"date\": \"" + today() + "\",\n";
+  json += " \"benchmarks\": {\n";
+  json += excovery::strings::format(
+      "  \"BM_ServiceCache/warm_hit_vs_cold_miss\": {\n"
+      "   \"seed\": {\"items_per_second\": %.3f, \"cpu_time_ns\": %.0f},\n"
+      "   \"current\": {\"items_per_second\": %.0f, \"cpu_time_ns\": "
+      "%.0f},\n"
+      "   \"speedup_vs_cold_miss\": %.1f,\n"
+      "   \"hit_allocations\": %llu,\n"
+      "   \"campaign_replications\": %d\n"
+      "  },\n",
+      1.0 / cold_s, cold_s * 1e9, 1.0 / warm_s, warm_s * 1e9, speedup,
+      static_cast<unsigned long long>(hit_allocs), replications);
+  json += excovery::strings::format(
+      "  \"BM_ServiceCache/hit_throughput\": {\n"
+      "   \"current\": {\"items_per_second\": %.0f, \"cpu_time_ns\": "
+      "%.0f},\n"
+      "   \"clients_1_per_second\": %.0f,\n"
+      "   \"clients_4_per_second\": %.0f,\n"
+      "   \"clients_%u_per_second\": %.0f\n"
+      "  }\n",
+      rate_hw, 1e9 / rate_hw, rate_1, rate_4, hw, rate_hw);
+  json += " }\n}\n";
+
+  std::FILE* file = std::fopen(out.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::printf("wrote %s\n", out.c_str());
+  return failed ? 1 : 0;
+}

@@ -2,7 +2,8 @@
 """Merge the repository's BENCH_*.json result files into one summary table.
 
 The perf-tracking benches (bench_kernel_hotpath, bench_storage_pipeline,
-bench_faults, bench_topology_scale, ...) each leave a JSON file in the
+bench_faults, bench_topology_scale, bench_service_cache, ...) each leave a
+JSON file in the
 repository root: either the curated seed-vs-current trajectory format
 (``benchmarks`` is a mapping of name -> {seed, current, speedup_*}) or raw
 google-benchmark output (``benchmarks`` is a list).  Curated entries may

@@ -1,0 +1,55 @@
+// Self-contained cryptographic-strength content digest (SHA-256, FIPS
+// 180-4), used for content addressing: experiment packages are pure
+// functions of (canonical description, seed, protocol version), so a digest
+// over those inputs names the package the way Nix names build outputs.  No
+// external crypto dependency; the implementation is the textbook
+// compression loop and is covered by the published test vectors in
+// tests/canonical_hash_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace excovery {
+
+class Sha256 {
+ public:
+  using Digest = std::array<std::uint8_t, 32>;
+
+  Sha256();
+
+  /// Stream raw bytes into the digest.
+  Sha256& update(const void* data, std::size_t size);
+  Sha256& update(std::string_view text);
+  /// Fixed-width little-endian integers, for seeds / versions / counters.
+  Sha256& update_u32(std::uint32_t v);
+  Sha256& update_u64(std::uint64_t v);
+  /// A double by its bit pattern (distinguishes -0.0 from 0.0 and every
+  /// NaN payload — exactly the identity the byte-deterministic store uses).
+  Sha256& update_f64(double v);
+  /// Length-prefixed string, so concatenated fields cannot alias
+  /// ("ab" + "c" vs "a" + "bc").
+  Sha256& update_sized(std::string_view text);
+
+  /// Finalise; the object must not be updated afterwards.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest digest(std::string_view text);
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t length_ = 0;  ///< total bytes absorbed
+  std::size_t buffered_ = 0;
+};
+
+/// Lower-case hex rendering ("e3b0c442..."), 64 characters.
+std::string to_hex(const Sha256::Digest& digest);
+
+}  // namespace excovery

@@ -1,0 +1,45 @@
+#include "core/canonical.hpp"
+
+#include "common/hash.hpp"
+#include "storage/package.hpp"
+#include "xml/writer.hpp"
+
+namespace excovery::core {
+
+std::string canonical_description_text(const ExperimentDescription& d) {
+  xml::ElementPtr root = d.to_xml();
+  return xml::write_canonical(*root);
+}
+
+std::string campaign_digest(const ExperimentDescription& description,
+                            const CampaignScope& scope,
+                            std::uint32_t version) {
+  Sha256 hash;
+  hash.update_sized("excovery-campaign");
+  hash.update_u32(version);
+  // The package file format is part of the contract: a cache entry written
+  // by a different format version would not be byte-identical to a fresh
+  // simulation, so the EEVersion string is folded into the address.
+  hash.update_sized(storage::kEeVersion);
+
+  hash.update_sized(canonical_description_text(description));
+  hash.update_u64(description.seed);
+
+  hash.update_u64(scope.platform_seed);
+  hash.update_u32(static_cast<std::uint32_t>(scope.topology.kind));
+  hash.update_u64(
+      static_cast<std::uint64_t>(scope.topology.link.base_delay.nanos()));
+  hash.update_f64(scope.topology.link.loss);
+  hash.update_f64(scope.topology.link.jitter_frac);
+  hash.update_f64(scope.topology.link.bandwidth_bps);
+  hash.update_u32(static_cast<std::uint32_t>(scope.topology.chain_spacing));
+  hash.update_f64(scope.topology.radius);
+  hash.update_u64(scope.topology.seed);
+  hash.update_u32(static_cast<std::uint32_t>(scope.max_attempts_per_run));
+  hash.update_u64(static_cast<std::uint64_t>(scope.run_watchdog.nanos()));
+  hash.update_u64(static_cast<std::uint64_t>(scope.settle.nanos()));
+
+  return to_hex(hash.finish());
+}
+
+}  // namespace excovery::core

@@ -1,0 +1,58 @@
+// Canonical form and content digest of a campaign submission.
+//
+// DESIGN.md §10/§12/§13 pinned the invariant this module exploits: the
+// conditioned level-3 package is a pure function of (experiment
+// description, platform seed, answer-relevant execution knobs, package
+// format version) — bit-identical across worker counts, retries, fault
+// schedules and topology-cache behaviour.  A digest over exactly those
+// inputs therefore *names* the package: two submissions with equal digests
+// are guaranteed byte-identical results, so re-simulation is pure waste
+// (the Nix binary-cache insight applied to experiments; DESIGN.md §14).
+//
+// Canonicalisation goes through the XML model: a description is serialised
+// via xml::write_canonical (sorted attributes, no whitespace), so attribute
+// order and formatting never reach the digest, while every semantic field —
+// factors, levels, processes, actions, platform mapping, seed — does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/description.hpp"
+#include "core/scenario.hpp"
+#include "sim/time.hpp"
+
+namespace excovery::core {
+
+/// Version of the digest protocol.  Bump whenever the canonical form, the
+/// digest field order, the package file format, or any simulation default
+/// that affects package bytes changes — a bump invalidates every cache
+/// entry instead of serving stale (now unreproducible) packages.
+inline constexpr std::uint32_t kCampaignDigestVersion = 1;
+
+/// Attribute-order- and whitespace-invariant serialisation of a
+/// description (its to_xml() tree through xml::write_canonical).
+std::string canonical_description_text(const ExperimentDescription& d);
+
+/// Everything answer-relevant about a submission besides the description:
+/// the platform seed and topology shape (which nodes, links, clocks the
+/// world has) and the master knobs that can alter recorded events.
+/// Execution-only knobs (run_workers, progress callbacks, observability)
+/// are deliberately absent — DESIGN.md §10/§11 pin them answer-invisible.
+struct CampaignScope {
+  std::uint64_t platform_seed = 1;  ///< SimPlatformConfig::seed
+  scenario::TopologyOptions topology;
+  int max_attempts_per_run = 3;
+  sim::SimDuration run_watchdog = sim::SimDuration::from_seconds(300);
+  sim::SimDuration settle = sim::SimDuration::from_millis(200);
+};
+
+/// Content address of the (description, scope, version) triple: 64 hex
+/// characters of SHA-256.  Equal digests guarantee byte-identical packages;
+/// any semantic change to the description, the scope, or the version
+/// produces a different digest.
+std::string campaign_digest(const ExperimentDescription& description,
+                            const CampaignScope& scope = {},
+                            std::uint32_t version = kCampaignDigestVersion);
+
+}  // namespace excovery::core

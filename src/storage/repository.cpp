@@ -2,10 +2,77 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 namespace excovery::storage {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+bool plain_name(const std::string& name) {
+  return !name.empty() && name.find('/') == std::string::npos &&
+         name.find('\\') == std::string::npos;
+}
+
+bool hex_digest(const std::string& digest) {
+  if (digest.size() < 2) return false;
+  for (char c : digest) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+/// Write `contents` to `path` crash-safely: a temporary sibling file is
+/// written in full, then atomically renamed over the destination.  A crash
+/// mid-write leaves at worst a stale .tmp sibling, never a truncated
+/// destination; re-storing over an existing file replaces it in place.
+Status atomic_write(const fs::path& path, const std::string& contents) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return err_io("cannot write '" + tmp.string() + "'");
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    if (!out.flush()) return err_io("cannot flush '" + tmp.string() + "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return err_io("cannot rename into '" + path.string() + "'");
+  }
+  return {};
+}
+
+Status atomic_save_package(const ExperimentPackage& package,
+                           const fs::path& path) {
+  const Bytes bytes = package.database().serialize();
+  return atomic_write(
+      path, std::string(reinterpret_cast<const char*>(bytes.data()),
+                        bytes.size()));
+}
+
+/// Read a tab-separated two-column index file, invoking `entry` per
+/// well-formed line.  Corrupt lines (no tab, empty columns, embedded
+/// separators) are skipped: an index damaged by a crash degrades to the
+/// directory scan instead of failing open().
+template <typename Fn>
+void load_index_lines(const fs::path& path, Fn&& entry) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0 || tab + 1 >= line.size()) {
+      continue;
+    }
+    entry(line.substr(0, tab), line.substr(tab + 1));
+  }
+}
+
+}  // namespace
 
 Result<Repository> Repository::open(const std::string& directory) {
   std::error_code ec;
@@ -15,8 +82,28 @@ Result<Repository> Repository::open(const std::string& directory) {
                   "': " + ec.message());
   }
   Repository repo(directory);
-  // Rebuild the index from the files actually present (self-healing if the
-  // index file is stale or missing).
+
+  // Index files first (tolerating corrupt lines), keeping only entries
+  // whose package file actually exists.
+  load_index_lines(fs::path(directory) / "index.txt",
+                   [&](std::string id, std::string file) {
+                     if (!plain_name(id) || !plain_name(file)) return;
+                     if (!fs::exists(fs::path(directory) / file)) return;
+                     repo.index_.insert_or_assign(std::move(id),
+                                                  std::move(file));
+                   });
+  load_index_lines(
+      fs::path(directory) / "cas-index.txt",
+      [&](std::string digest, std::string relative) {
+        if (!hex_digest(digest)) return;
+        if (relative.find("..") != std::string::npos) return;
+        if (!fs::exists(fs::path(directory) / relative)) return;
+        repo.cas_index_.insert_or_assign(std::move(digest),
+                                         std::move(relative));
+      });
+
+  // Then rebuild from the files actually present (self-healing if either
+  // index file is stale, corrupt or missing).
   std::vector<fs::path> entries;
   for (const auto& entry : fs::directory_iterator(directory, ec)) {
     entries.push_back(entry.path());
@@ -24,7 +111,25 @@ Result<Repository> Repository::open(const std::string& directory) {
   std::sort(entries.begin(), entries.end());
   for (const fs::path& path : entries) {
     if (path.extension() == ".excovery") {
-      repo.index_.emplace(path.stem().string(), path.filename().string());
+      repo.index_.insert_or_assign(path.stem().string(),
+                                   path.filename().string());
+    }
+  }
+  const fs::path cas_root = fs::path(directory) / "cas";
+  if (fs::is_directory(cas_root, ec)) {
+    std::vector<fs::path> cas_files;
+    for (const auto& entry :
+         fs::recursive_directory_iterator(cas_root, ec)) {
+      if (entry.path().extension() == ".excovery") {
+        cas_files.push_back(entry.path());
+      }
+    }
+    std::sort(cas_files.begin(), cas_files.end());
+    for (const fs::path& path : cas_files) {
+      const std::string digest = path.stem().string();
+      if (!hex_digest(digest)) continue;
+      repo.cas_index_.insert_or_assign(
+          digest, fs::relative(path, directory, ec).generic_string());
     }
   }
   return repo;
@@ -34,26 +139,34 @@ std::string Repository::path_for(const std::string& experiment_id) const {
   return (fs::path(directory_) / (experiment_id + ".excovery")).string();
 }
 
+std::string Repository::cas_relative_path(const std::string& digest) {
+  return "cas/" + digest.substr(0, 2) + "/" + digest + ".excovery";
+}
+
 Status Repository::save_index() const {
-  std::ofstream out(fs::path(directory_) / "index.txt", std::ios::trunc);
-  if (!out) return err_io("cannot write repository index");
+  std::ostringstream out;
   for (const auto& [id, file] : index_) out << id << "\t" << file << "\n";
-  return {};
+  return atomic_write(fs::path(directory_) / "index.txt", out.str());
+}
+
+Status Repository::save_cas_index() const {
+  std::ostringstream out;
+  for (const auto& [digest, relative] : cas_index_) {
+    out << digest << "\t" << relative << "\n";
+  }
+  return atomic_write(fs::path(directory_) / "cas-index.txt", out.str());
 }
 
 Status Repository::store(const std::string& experiment_id,
                          const ExperimentPackage& package) {
-  if (experiment_id.empty() ||
-      experiment_id.find('/') != std::string::npos ||
-      experiment_id.find('\\') != std::string::npos) {
+  if (!plain_name(experiment_id)) {
     return err_invalid("experiment id must be a non-empty plain name");
   }
-  if (contains(experiment_id)) {
-    return err_state("experiment '" + experiment_id +
-                     "' already in repository");
-  }
-  EXC_TRY(package.save(path_for(experiment_id)));
-  index_.emplace(experiment_id, experiment_id + ".excovery");
+  // The file name is a pure function of the id, so the atomic rename
+  // replaces any previous package for this id in place: no leaked file,
+  // and the index entry below overwrites rather than duplicates.
+  EXC_TRY(atomic_save_package(package, path_for(experiment_id)));
+  index_.insert_or_assign(experiment_id, experiment_id + ".excovery");
   return save_index();
 }
 
@@ -74,6 +187,48 @@ std::vector<std::string> Repository::experiment_ids() const {
   std::vector<std::string> out;
   out.reserve(index_.size());
   for (const auto& [id, file] : index_) out.push_back(id);
+  return out;
+}
+
+Status Repository::store_by_hash(const std::string& digest,
+                                 const ExperimentPackage& package) {
+  if (!hex_digest(digest)) {
+    return err_invalid("content digest must be lower-case hex: '" + digest +
+                       "'");
+  }
+  if (contains_hash(digest)) return {};  // content-addressed: idempotent
+  const std::string relative = cas_relative_path(digest);
+  const fs::path path = fs::path(directory_) / relative;
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) {
+    return err_io("cannot create CAS directory '" +
+                  path.parent_path().string() + "': " + ec.message());
+  }
+  EXC_TRY(atomic_save_package(package, path));
+  cas_index_.insert_or_assign(digest, relative);
+  return save_cas_index();
+}
+
+Result<ExperimentPackage> Repository::fetch_by_hash(
+    const std::string& digest) const {
+  auto it = cas_index_.find(digest);
+  if (it == cas_index_.end()) {
+    return err_not_found("no package with digest '" + digest +
+                         "' in repository");
+  }
+  return ExperimentPackage::load(
+      (fs::path(directory_) / it->second).string());
+}
+
+bool Repository::contains_hash(const std::string& digest) const {
+  return cas_index_.find(digest) != cas_index_.end();
+}
+
+std::vector<std::string> Repository::hashes() const {
+  std::vector<std::string> out;
+  out.reserve(cas_index_.size());
+  for (const auto& [digest, relative] : cas_index_) out.push_back(digest);
   return out;
 }
 

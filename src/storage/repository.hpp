@@ -6,6 +6,21 @@
 // realize this level."  It is realised here (the paper marks it as future
 // work): a directory of level-3 packages with an index and cross-experiment
 // query helpers.
+//
+// Two key spaces share one repository directory (DESIGN.md §14):
+//
+//  * the legacy id space — human-chosen experiment ids, one file
+//    <dir>/<id>.excovery, replace-on-re-store;
+//  * the content-addressed space — SHA-256 digests of the canonical
+//    campaign submission (core::campaign_digest), laid out Nix-style as
+//    <dir>/cas/<first-2-hex>/<digest>.excovery.  Content addressing makes
+//    stores idempotent: equal digest means byte-identical package, so
+//    re-storing an existing digest is a no-op success.
+//
+// Persistence is crash-safe: package files and both index files are
+// written to a temporary sibling and atomically renamed into place, and
+// index reload skips corrupt lines / dangling entries instead of failing
+// open() (the directory scan self-heals the index anyway).
 #pragma once
 
 #include <map>
@@ -23,8 +38,10 @@ class Repository {
 
   const std::string& directory() const noexcept { return directory_; }
 
-  /// Store a package under a unique experiment id; persists it as
-  /// <dir>/<id>.excovery and updates the index.
+  /// Store a package under an experiment id; persists it atomically as
+  /// <dir>/<id>.excovery and updates the index.  Re-storing an existing id
+  /// replaces the previous package in place (no leaked file, no stale
+  /// index entry).
   Status store(const std::string& experiment_id,
                const ExperimentPackage& package);
 
@@ -35,6 +52,22 @@ class Repository {
   /// All experiment ids, sorted.
   std::vector<std::string> experiment_ids() const;
   std::size_t size() const noexcept { return index_.size(); }
+
+  // ---- content-addressed store (DESIGN.md §14) ---------------------------
+  /// Store a package under its content digest (64 lower-case hex chars from
+  /// core::campaign_digest).  Idempotent: storing a digest that is already
+  /// present succeeds without rewriting the file.
+  Status store_by_hash(const std::string& digest,
+                       const ExperimentPackage& package);
+  /// Load the package stored under a digest.
+  Result<ExperimentPackage> fetch_by_hash(const std::string& digest) const;
+  bool contains_hash(const std::string& digest) const;
+  /// All stored digests, sorted.
+  std::vector<std::string> hashes() const;
+  std::size_t cas_size() const noexcept { return cas_index_.size(); }
+  /// Repository-relative CAS file path ("cas/ab/<digest>.excovery") — the
+  /// on-disk layout contract, exposed for tooling.
+  static std::string cas_relative_path(const std::string& digest);
 
   /// Cross-experiment query: every event of a given type across all stored
   /// experiments, tagged with the experiment id.
@@ -62,9 +95,11 @@ class Repository {
 
   std::string path_for(const std::string& experiment_id) const;
   Status save_index() const;
+  Status save_cas_index() const;
 
   std::string directory_;
-  std::map<std::string, std::string> index_;  // id -> file name
+  std::map<std::string, std::string> index_;      // id -> file name
+  std::map<std::string, std::string> cas_index_;  // digest -> relative path
 };
 
 }  // namespace excovery::storage

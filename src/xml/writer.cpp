@@ -1,5 +1,8 @@
 #include "xml/writer.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "xml/parser.hpp"
 
 namespace excovery::xml {
@@ -54,6 +57,42 @@ void write_element(const Element& element, const WriteOptions& options,
   out.push_back('>');
 }
 
+void write_canonical_element(const Element& element, std::string& out) {
+  out.push_back('<');
+  out += element.name();
+  // Attribute order is presentation, not meaning: emit sorted by name.
+  // Stable sort keeps original order for (invalid) duplicate names, so the
+  // output is still deterministic.
+  std::vector<const Attribute*> attrs;
+  attrs.reserve(element.attributes().size());
+  for (const Attribute& a : element.attributes()) attrs.push_back(&a);
+  std::stable_sort(attrs.begin(), attrs.end(),
+                   [](const Attribute* a, const Attribute* b) {
+                     return a->name < b->name;
+                   });
+  for (const Attribute* a : attrs) {
+    out.push_back(' ');
+    out += a->name;
+    out += "=\"";
+    out += escape_attr(a->value);
+    out.push_back('"');
+  }
+
+  const std::string text = element.text();
+  if (element.children().empty() && text.empty()) {
+    out += "/>";
+    return;
+  }
+  out.push_back('>');
+  if (!text.empty()) out += escape_text(text);
+  for (const ElementPtr& child : element.children()) {
+    write_canonical_element(*child, out);
+  }
+  out += "</";
+  out += element.name();
+  out.push_back('>');
+}
+
 }  // namespace
 
 std::string write(const Element& root, const WriteOptions& options) {
@@ -69,6 +108,12 @@ std::string write(const Element& root, const WriteOptions& options) {
 
 std::string write(const Document& doc, const WriteOptions& options) {
   return write(*doc.root, options);
+}
+
+std::string write_canonical(const Element& root) {
+  std::string out;
+  write_canonical_element(root, out);
+  return out;
 }
 
 }  // namespace excovery::xml

@@ -19,4 +19,12 @@ std::string write(const Element& root, const WriteOptions& options = {});
 /// Serialise a document.
 std::string write(const Document& doc, const WriteOptions& options = {});
 
+/// Canonical serialisation for content addressing: no XML declaration, no
+/// indentation or inter-element whitespace, attributes sorted by name, and
+/// character data reduced to the element's trimmed text() (emitted before
+/// any children).  Two documents that differ only in attribute order,
+/// indentation or surrounding whitespace canonicalise to the same string;
+/// any change to names, attribute values, text or child order changes it.
+std::string write_canonical(const Element& root);
+
 }  // namespace excovery::xml

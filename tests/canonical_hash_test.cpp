@@ -1,0 +1,260 @@
+// Canonical-form and content-digest properties (DESIGN.md §14): the digest
+// must be invariant under XML presentation (attribute order, whitespace)
+// and must change on every semantic field, the seeds, the scope knobs and
+// the digest protocol version.  These properties are what make serving a
+// cached package for an equal digest answer-invisible.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/canonical.hpp"
+#include "core/scenario.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace excovery::core {
+namespace {
+
+using scenario::TwoPartyOptions;
+
+ExperimentDescription small_description(std::uint64_t seed = 5) {
+  TwoPartyOptions options;
+  options.replications = 2;
+  options.environment_count = 1;
+  options.seed = seed;
+  options.loss_levels = {0.0, 0.2};
+  Result<ExperimentDescription> description =
+      scenario::two_party_sd(options);
+  EXPECT_TRUE(description.ok());
+  return std::move(description).value();
+}
+
+/// Deep copy of an element tree with every attribute list reversed — a
+/// presentation-only change a canonicaliser must erase.
+xml::ElementPtr reverse_attributes(const xml::Element& element) {
+  auto copy = std::make_unique<xml::Element>(element.name());
+  const auto& attrs = element.attributes();
+  for (auto it = attrs.rbegin(); it != attrs.rend(); ++it) {
+    copy->set_attr(it->name, it->value);
+  }
+  const std::string text = element.text();
+  if (!text.empty()) copy->set_text(text);
+  for (const xml::ElementPtr& child : element.children()) {
+    copy->adopt(reverse_attributes(*child));
+  }
+  return copy;
+}
+
+// ---- the digest primitive ------------------------------------------------
+
+TEST(Sha256, PublishedTestVectors) {
+  EXPECT_EQ(to_hex(Sha256::digest("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(to_hex(Sha256::digest("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      to_hex(Sha256::digest(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const std::string text(1000, 'x');
+  Sha256 streamed;
+  for (std::size_t i = 0; i < text.size(); i += 7) {
+    streamed.update(text.substr(i, 7));
+  }
+  EXPECT_EQ(to_hex(streamed.finish()), to_hex(Sha256::digest(text)));
+}
+
+TEST(Sha256, SizedUpdatesCannotAlias) {
+  Sha256 a;
+  a.update_sized("ab").update_sized("c");
+  Sha256 b;
+  b.update_sized("a").update_sized("bc");
+  EXPECT_NE(to_hex(a.finish()), to_hex(b.finish()));
+}
+
+// ---- canonical XML -------------------------------------------------------
+
+TEST(CanonicalXml, AttributeOrderDoesNotMatter) {
+  xml::Element a("node");
+  a.set_attr("id", "A").set_attr("address", "10.0.0.1").set_attr("x", "3");
+  xml::Element b("node");
+  b.set_attr("x", "3").set_attr("id", "A").set_attr("address", "10.0.0.1");
+  EXPECT_EQ(xml::write_canonical(a), xml::write_canonical(b));
+  EXPECT_NE(xml::write(a, {}), xml::write(b, {}));  // pretty writer keeps order
+}
+
+TEST(CanonicalXml, WhitespaceDoesNotMatter) {
+  Result<xml::Document> compact =
+      xml::parse("<e a=\"1\"><c>text</c><d/></e>");
+  Result<xml::Document> spaced = xml::parse(
+      "<e   a = \"1\" >\n   <c>\n     text\n   </c>\n   <d></d>\n</e>\n");
+  ASSERT_TRUE(compact.ok());
+  ASSERT_TRUE(spaced.ok());
+  EXPECT_EQ(xml::write_canonical(*compact.value().root),
+            xml::write_canonical(*spaced.value().root));
+}
+
+TEST(CanonicalXml, SemanticDifferencesSurvive) {
+  Result<xml::Document> base = xml::parse("<e a=\"1\"><c>text</c></e>");
+  ASSERT_TRUE(base.ok());
+  const std::string canonical = xml::write_canonical(*base.value().root);
+  for (const char* variant :
+       {"<e a=\"2\"><c>text</c></e>", "<e a=\"1\"><c>other</c></e>",
+        "<e a=\"1\" b=\"0\"><c>text</c></e>", "<e a=\"1\"><d>text</d></e>",
+        "<e a=\"1\"><c>text</c><c>text</c></e>"}) {
+    Result<xml::Document> parsed = xml::parse(variant);
+    ASSERT_TRUE(parsed.ok()) << variant;
+    EXPECT_NE(xml::write_canonical(*parsed.value().root), canonical)
+        << variant;
+  }
+}
+
+// ---- description canonical form -----------------------------------------
+
+TEST(CanonicalDescription, InvariantUnderAttributeReorderAndWhitespace) {
+  const ExperimentDescription description = small_description();
+  const std::string digest = campaign_digest(description);
+
+  // Whitespace: re-parse a compact serialisation of the same tree.
+  xml::ElementPtr root = description.to_xml();
+  xml::WriteOptions compact;
+  compact.pretty = false;
+  compact.declaration = false;
+  Result<ExperimentDescription> reparsed =
+      ExperimentDescription::parse(xml::write(*root, compact));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(canonical_description_text(reparsed.value()),
+            canonical_description_text(description));
+  EXPECT_EQ(campaign_digest(reparsed.value()), digest);
+
+  // Attribute order: reverse every attribute list, re-parse, re-digest.
+  xml::ElementPtr reversed = reverse_attributes(*root);
+  EXPECT_EQ(xml::write_canonical(*root), xml::write_canonical(*reversed));
+  Result<ExperimentDescription> from_reversed =
+      ExperimentDescription::parse(xml::write(*reversed, {}));
+  ASSERT_TRUE(from_reversed.ok());
+  EXPECT_EQ(campaign_digest(from_reversed.value()), digest);
+}
+
+TEST(CanonicalDescription, RoundTripStableAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ExperimentDescription description = small_description(seed);
+    Result<ExperimentDescription> round =
+        ExperimentDescription::parse(description.to_xml_text());
+    ASSERT_TRUE(round.ok());
+    EXPECT_EQ(campaign_digest(round.value()), campaign_digest(description))
+        << "seed " << seed;
+  }
+}
+
+TEST(CanonicalDescription, EverySemanticChangeChangesTheDigest) {
+  const ExperimentDescription base = small_description();
+  const CampaignScope base_scope;
+  const std::string base_digest = campaign_digest(base, base_scope);
+
+  struct Mutation {
+    const char* what;
+    std::function<void(ExperimentDescription&, CampaignScope&)> apply;
+  };
+  const std::vector<Mutation> mutations = {
+      {"experiment name",
+       [](ExperimentDescription& d, CampaignScope&) { d.name += "-x"; }},
+      {"description seed",
+       [](ExperimentDescription& d, CampaignScope&) { d.seed += 1; }},
+      {"replication count",
+       [](ExperimentDescription& d, CampaignScope&) { d.replications += 1; }},
+      {"informative parameter",
+       [](ExperimentDescription& d, CampaignScope&) {
+         d.info_params["sd_architecture"] = Value("three-party");
+       }},
+      {"abstract node set",
+       [](ExperimentDescription& d, CampaignScope&) {
+         d.abstract_nodes.push_back("EXTRA");
+       }},
+      {"factor level",
+       [](ExperimentDescription& d, CampaignScope&) {
+         for (Factor& factor : d.factors) {
+           if (factor.id == "fact_loss") {
+             factor.levels.push_back(Value(0.7));
+             return;
+           }
+         }
+         FAIL() << "no loss factor";
+       }},
+      {"action parameter",
+       [](ExperimentDescription& d, CampaignScope&) {
+         ASSERT_FALSE(d.actor_processes.empty());
+         ASSERT_FALSE(d.actor_processes[0].actions.empty());
+         d.actor_processes[0].actions[0].params.emplace_back(
+             "extra", ParamValue::lit(Value(std::int64_t{1})));
+       }},
+      {"platform address",
+       [](ExperimentDescription& d, CampaignScope&) {
+         ASSERT_FALSE(d.platform.actor_nodes.empty());
+         d.platform.actor_nodes[0].address = "10.9.9.9";
+       }},
+      {"platform seed",
+       [](ExperimentDescription&, CampaignScope& s) {
+         s.platform_seed += 1;
+       }},
+      {"topology kind",
+       [](ExperimentDescription&, CampaignScope& s) {
+         s.topology.kind = scenario::TopologyKind::kChain;
+       }},
+      {"topology link loss",
+       [](ExperimentDescription&, CampaignScope& s) {
+         s.topology.link.loss = 0.01;
+       }},
+      {"topology radius",
+       [](ExperimentDescription&, CampaignScope& s) {
+         s.topology.radius += 0.05;
+       }},
+      {"topology seed",
+       [](ExperimentDescription&, CampaignScope& s) { s.topology.seed += 1; }},
+      {"chain spacing",
+       [](ExperimentDescription&, CampaignScope& s) {
+         s.topology.chain_spacing += 1;
+       }},
+      {"max attempts",
+       [](ExperimentDescription&, CampaignScope& s) {
+         s.max_attempts_per_run += 1;
+       }},
+      {"run watchdog",
+       [](ExperimentDescription&, CampaignScope& s) {
+         s.run_watchdog = s.run_watchdog + sim::SimDuration::from_millis(1);
+       }},
+      {"settle time",
+       [](ExperimentDescription&, CampaignScope& s) {
+         s.settle = s.settle + sim::SimDuration::from_millis(1);
+       }},
+  };
+
+  std::set<std::string> digests = {base_digest};
+  for (const Mutation& mutation : mutations) {
+    ExperimentDescription mutated = base;
+    CampaignScope scope = base_scope;
+    mutation.apply(mutated, scope);
+    const std::string digest = campaign_digest(mutated, scope);
+    EXPECT_NE(digest, base_digest) << mutation.what;
+    // All mutations must also be pairwise distinct — no two semantic
+    // changes may collapse onto one address.
+    EXPECT_TRUE(digests.insert(digest).second)
+        << mutation.what << " collided with an earlier mutation";
+  }
+}
+
+TEST(CanonicalDescription, ProtocolVersionChangesTheDigest) {
+  const ExperimentDescription description = small_description();
+  EXPECT_NE(campaign_digest(description, {}, kCampaignDigestVersion),
+            campaign_digest(description, {}, kCampaignDigestVersion + 1));
+}
+
+}  // namespace
+}  // namespace excovery::core

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <numeric>
 
 #include "stats/analysis.hpp"
@@ -681,7 +682,6 @@ TEST(Repository, StoreFetchAndIndex) {
 
   ASSERT_TRUE(repo.value().store("exp-a", tiny_package("A", 2)).ok());
   ASSERT_TRUE(repo.value().store("exp-b", tiny_package("B", 3)).ok());
-  EXPECT_FALSE(repo.value().store("exp-a", tiny_package("A", 1)).ok());
   EXPECT_FALSE(repo.value().store("../evil", tiny_package("E", 1)).ok());
 
   EXPECT_TRUE(repo.value().contains("exp-a"));
@@ -691,6 +691,33 @@ TEST(Repository, StoreFetchAndIndex) {
   ASSERT_TRUE(fetched.ok());
   EXPECT_EQ(fetched.value().experiment_name().value(), "B");
   EXPECT_FALSE(repo.value().fetch("nope").ok());
+}
+
+TEST(Repository, ReStoreReplacesWithoutLeakingFilesOrIndexEntries) {
+  TempDir dir;
+  Result<Repository> repo = Repository::open(dir.path.string());
+  ASSERT_TRUE(repo.ok());
+  ASSERT_TRUE(repo.value().store("exp-a", tiny_package("old", 2)).ok());
+  ASSERT_TRUE(repo.value().store("exp-a", tiny_package("new", 1)).ok());
+
+  // Replace semantics: the new content is served, exactly one package
+  // file and one index line remain, and no .tmp sibling leaks.
+  Result<ExperimentPackage> fetched = repo.value().fetch("exp-a");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value().experiment_name().value(), "new");
+  EXPECT_EQ(repo.value().size(), 1u);
+
+  std::size_t packages = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+    if (entry.path().extension() == ".excovery") ++packages;
+  }
+  EXPECT_EQ(packages, 1u);
+
+  std::ifstream index(dir.path / "index.txt");
+  std::size_t lines = 0;
+  for (std::string line; std::getline(index, line);) ++lines;
+  EXPECT_EQ(lines, 1u);
 }
 
 TEST(Repository, ReopenRebuildsIndexFromFiles) {
@@ -723,6 +750,87 @@ TEST(Repository, CrossExperimentQueries) {
   ASSERT_EQ(summaries.value().size(), 2u);
   EXPECT_EQ(summaries.value()[0].runs, 2u);
   EXPECT_EQ(summaries.value()[1].events, 3u);
+}
+
+// ---- repository CAS space ------------------------------------------------------------------
+
+constexpr char kDigestA[] =
+    "aa11223344556677889900aabbccddeeff00112233445566778899aabbccddee";
+constexpr char kDigestB[] =
+    "bb11223344556677889900aabbccddeeff00112233445566778899aabbccddee";
+
+TEST(Repository, CasStoreFetchAndLayout) {
+  TempDir dir;
+  Result<Repository> repo = Repository::open(dir.path.string());
+  ASSERT_TRUE(repo.ok());
+  EXPECT_FALSE(repo.value().contains_hash(kDigestA));
+
+  ASSERT_TRUE(repo.value().store_by_hash(kDigestA, tiny_package("A", 2)).ok());
+  EXPECT_TRUE(repo.value().contains_hash(kDigestA));
+  EXPECT_EQ(repo.value().cas_size(), 1u);
+  // Sharded layout: cas/<first two hex chars>/<digest>.excovery.
+  EXPECT_TRUE(fs::exists(dir.path / "cas" / "aa" /
+                         (std::string(kDigestA) + ".excovery")));
+
+  Result<ExperimentPackage> fetched = repo.value().fetch_by_hash(kDigestA);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value().experiment_name().value(), "A");
+  EXPECT_FALSE(repo.value().fetch_by_hash(kDigestB).ok());
+
+  // Content addressing makes re-storing idempotent: equal digest means
+  // equal content, so the original file is kept as-is.
+  ASSERT_TRUE(repo.value().store_by_hash(kDigestA, tiny_package("A", 2)).ok());
+  EXPECT_EQ(repo.value().cas_size(), 1u);
+
+  // Digest validation: ids and digests live in separate namespaces.
+  EXPECT_FALSE(repo.value().store_by_hash("UPPER", tiny_package("X", 1)).ok());
+  EXPECT_FALSE(
+      repo.value().store_by_hash("../evil", tiny_package("X", 1)).ok());
+  EXPECT_FALSE(repo.value().contains("exp-a"));
+}
+
+TEST(Repository, CasSurvivesReopenAndToleratesCorruptIndexes) {
+  TempDir dir;
+  {
+    Result<Repository> repo = Repository::open(dir.path.string());
+    ASSERT_TRUE(repo.ok());
+    ASSERT_TRUE(
+        repo.value().store_by_hash(kDigestA, tiny_package("A", 2)).ok());
+    ASSERT_TRUE(repo.value().store("exp-a", tiny_package("plain", 1)).ok());
+  }
+
+  // Corrupt both index files the way a crash mid-write could: garbage
+  // lines, missing columns, and entries pointing at files that don't
+  // exist.  open() must skip the damage and keep the real packages.
+  std::ofstream(dir.path / "index.txt", std::ios::app)
+      << "no-tab-line\n\t\nexp-gone\tgone.excovery\n";
+  std::ofstream(dir.path / "cas-index.txt", std::ios::app)
+      << "NOT-HEX\tcas/xx/y.excovery\n"
+      << kDigestB << "\tcas/bb/" << kDigestB << ".excovery\n"
+      << kDigestA << "\t../outside.excovery\n";
+
+  Result<Repository> reopened = Repository::open(dir.path.string());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened.value().contains("exp-a"));
+  EXPECT_FALSE(reopened.value().contains("exp-gone"));
+  EXPECT_TRUE(reopened.value().contains_hash(kDigestA));
+  EXPECT_FALSE(reopened.value().contains_hash(kDigestB));
+  EXPECT_EQ(reopened.value().cas_size(), 1u);
+  Result<ExperimentPackage> fetched =
+      reopened.value().fetch_by_hash(kDigestA);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value().experiment_name().value(), "A");
+}
+
+TEST(Repository, StoreLeavesNoTempFilesBehind) {
+  TempDir dir;
+  Result<Repository> repo = Repository::open(dir.path.string());
+  ASSERT_TRUE(repo.ok());
+  ASSERT_TRUE(repo.value().store("exp-a", tiny_package("A", 1)).ok());
+  ASSERT_TRUE(repo.value().store_by_hash(kDigestA, tiny_package("A", 1)).ok());
+  for (const auto& entry : fs::recursive_directory_iterator(dir.path)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
 }
 
 }  // namespace
