@@ -44,9 +44,10 @@ BENCHMARK(BM_DescriptionSerialize);
 
 void BM_SchemaValidate(benchmark::State& state) {
   core::ExperimentDescription description = make_description();
-  xml::ElementPtr root = description.to_xml();
+  xml::Document doc = description.to_xml();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::description_schema().validate(*root).ok());
+    benchmark::DoNotOptimize(
+        core::description_schema().validate(doc.root()).ok());
   }
 }
 BENCHMARK(BM_SchemaValidate);

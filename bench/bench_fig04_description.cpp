@@ -29,8 +29,8 @@ int main() {
       core::ExperimentDescription::parse(xml_text), "reparse");
   bool identical = reparsed.to_xml_text() == xml_text;
 
-  xml::ElementPtr root = bench::must(xml::parse_element(xml_text), "parse");
-  Status schema_ok = core::description_schema().validate(*root);
+  xml::Document doc = bench::must(xml::parse(xml_text), "parse");
+  Status schema_ok = core::description_schema().validate(doc.root());
 
   std::printf("round trip identical: %s\n", identical ? "yes" : "NO");
   std::printf("schema validation:    %s\n",

@@ -54,6 +54,25 @@ def rate_of(measurement):
         "bytes_per_second")
 
 
+def format_allocs(seed, current, entry):
+    """Seed -> current heap allocations per call, when a bench records them.
+
+    The zero-copy benches (bench_xml_rpc, bench_service_cache) count operator
+    new calls per operation; the trajectory "336 -> 12" is the headline for
+    allocation-focused work, so it earns a column.  bench_service_cache keeps
+    its single per-hit count at entry level as ``hit_allocations``.
+    """
+    seed_allocs = (seed or {}).get("allocations")
+    cur_allocs = (current or {}).get("allocations")
+    if cur_allocs is None:
+        cur_allocs = entry.get("hit_allocations")
+    if cur_allocs is None:
+        return ""
+    if seed_allocs is None:
+        return str(cur_allocs)
+    return f"{seed_allocs} -> {cur_allocs}"
+
+
 def curated_rows(benchmarks):
     """Rows from the curated trajectory format (mapping name -> entry)."""
     rows = []
@@ -67,6 +86,7 @@ def curated_rows(benchmarks):
             "seed": format_rate(rate_of(seed)),
             "current": format_rate(rate_of(current)),
             "cpu": format_ns((current or {}).get("cpu_time_ns")),
+            "allocs": format_allocs(seed, current, entry),
             "speedup": f"{speedup:.2f}x" if speedup is not None else "",
         })
     return rows
@@ -85,6 +105,7 @@ def gbench_rows(benchmarks):
             "seed": "",
             "current": format_rate(rate_of(bench)),
             "cpu": format_ns(bench["cpu_time"] * scale),
+            "allocs": "",
             "speedup": "",
         })
     return rows
@@ -118,12 +139,12 @@ def render(files):
             lines += ["", data["description"]]
         lines += ["",
                   "| Benchmark | Seed rate | Current rate | Current CPU | "
-                  "Speedup |",
-                  "|---|---|---|---|---|"]
+                  "Allocs/call | Speedup |",
+                  "|---|---|---|---|---|---|"]
         for row in rows:
             lines.append(
-                "| {name} | {seed} | {current} | {cpu} | {speedup} |".format(
-                    **row))
+                "| {name} | {seed} | {current} | {cpu} | {allocs} "
+                "| {speedup} |".format(**row))
     lines.append("")
     return "\n".join(lines)
 

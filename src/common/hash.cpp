@@ -4,6 +4,12 @@
 #include <cassert>
 #include <cstring>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <cpuid.h>
+#include <immintrin.h>
+#define EXCOVERY_SHA_NI 1
+#endif
+
 namespace excovery {
 
 namespace {
@@ -25,54 +31,206 @@ constexpr std::uint32_t rotr(std::uint32_t x, int n) noexcept {
   return (x >> n) | (x << (32 - n));
 }
 
+void compress_scalar(std::uint32_t* state, const std::uint8_t* block,
+                     std::size_t count) {
+  for (; count > 0; --count, block += 64) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (std::uint32_t{block[i * 4]} << 24) |
+             (std::uint32_t{block[i * 4 + 1]} << 16) |
+             (std::uint32_t{block[i * 4 + 2]} << 8) |
+             std::uint32_t{block[i * 4 + 3]};
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t temp1 = h + s1 + ch + kRound[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+#ifdef EXCOVERY_SHA_NI
+
+/// True when the CPU exposes the SHA extensions (CPUID.7.0:EBX bit 29) plus
+/// the SSSE3/SSE4.1 shuffles the kernel below relies on.
+bool detect_sha_ni() noexcept {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  if ((ebx & (1u << 29)) == 0) return false;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & (1u << 9)) != 0 && (ecx & (1u << 19)) != 0;
+}
+
+const bool g_has_sha_ni = detect_sha_ni();
+
+/// SHA-256 message schedule + rounds on the SHA-NI execution units.  The
+/// two-lane (ABEF/CDGH) state layout and the per-four-rounds structure
+/// follow the Intel SHA extensions reference flow; round constants are
+/// loaded straight from kRound (lane order matches the little-endian
+/// 128-bit load).  Compiled with a function-level target so the rest of
+/// the TU keeps the portable baseline ISA.
+__attribute__((target("sha,sse4.1,ssse3"))) void compress_sha_ni(
+    std::uint32_t* state, const std::uint8_t* block, std::size_t count) {
+  const auto k = [](int i) {
+    return _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(kRound.data() + i));
+  };
+  const __m128i kFlip =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // Load H0..H7 and swizzle into the ABEF / CDGH lane pairs the
+  // SHA256RNDS2 instruction expects.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i st1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  st1 = _mm_shuffle_epi32(st1, 0x1B);
+  __m128i st0 = _mm_alignr_epi8(tmp, st1, 8);
+  st1 = _mm_blend_epi16(st1, tmp, 0xF0);
+
+  for (; count > 0; --count, block += 64) {
+    const __m128i abef_save = st0;
+    const __m128i cdgh_save = st1;
+    __m128i msg;
+
+    // Rounds 0-3.
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block)), kFlip);
+    msg = _mm_add_epi32(msg0, k(0));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    // Rounds 4-7.
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16)), kFlip);
+    msg = _mm_add_epi32(msg1, k(4));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11.
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 32)), kFlip);
+    msg = _mm_add_epi32(msg2, k(8));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15.
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 48)), kFlip);
+    msg = _mm_add_epi32(msg3, k(12));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-51: the schedule recurrence in steady state, four rounds
+    // per step, message registers rotating msg0 -> msg1 -> msg2 -> msg3.
+    // The msg1 seeding must continue through the 48-51 group: it feeds the
+    // W56..W63 expansions consumed by the final rounds.
+    __m128i* m[4] = {&msg0, &msg1, &msg2, &msg3};
+    for (int round = 16; round < 52; round += 4) {
+      const int i = (round / 4) & 3;
+      __m128i& cur = *m[i];
+      __m128i& prev = *m[(i + 3) & 3];
+      __m128i& next = *m[(i + 1) & 3];
+      msg = _mm_add_epi32(cur, k(round));
+      st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+      tmp = _mm_alignr_epi8(cur, prev, 4);
+      next = _mm_add_epi32(next, tmp);
+      next = _mm_sha256msg2_epu32(next, cur);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+      // prev has been consumed by the alignr above; it now becomes the
+      // partially expanded schedule word four steps ahead.
+      prev = _mm_sha256msg1_epu32(prev, cur);
+    }
+
+    // Rounds 52-59: schedule winds down (no more msg1 expansions).
+    for (int round = 52; round < 60; round += 4) {
+      const int i = (round / 4) & 3;
+      __m128i& cur = *m[i];
+      __m128i& prev = *m[(i + 3) & 3];
+      __m128i& next = *m[(i + 1) & 3];
+      msg = _mm_add_epi32(cur, k(round));
+      st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+      tmp = _mm_alignr_epi8(cur, prev, 4);
+      next = _mm_add_epi32(next, tmp);
+      next = _mm_sha256msg2_epu32(next, cur);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    }
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(msg3, k(60));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    st0 = _mm_add_epi32(st0, abef_save);
+    st1 = _mm_add_epi32(st1, cdgh_save);
+  }
+
+  // Swizzle ABEF/CDGH back to H0..H7.
+  tmp = _mm_shuffle_epi32(st0, 0x1B);
+  st1 = _mm_shuffle_epi32(st1, 0xB1);
+  st0 = _mm_blend_epi16(tmp, st1, 0xF0);
+  st1 = _mm_alignr_epi8(st1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), st0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), st1);
+}
+
+#endif  // EXCOVERY_SHA_NI
+
 }  // namespace
 
 Sha256::Sha256()
     : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
              0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
 
-void Sha256::compress(const std::uint8_t block[64]) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (std::uint32_t{block[i * 4]} << 24) |
-           (std::uint32_t{block[i * 4 + 1]} << 16) |
-           (std::uint32_t{block[i * 4 + 2]} << 8) |
-           std::uint32_t{block[i * 4 + 3]};
+void Sha256::compress(const std::uint8_t* blocks, std::size_t count) {
+#ifdef EXCOVERY_SHA_NI
+  if (g_has_sha_ni) {
+    compress_sha_ni(state_.data(), blocks, count);
+    return;
   }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 =
-        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 =
-        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t temp1 = h + s1 + ch + kRound[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+#endif
+  compress_scalar(state_.data(), blocks, count);
 }
 
 Sha256& Sha256::update(const void* data, std::size_t size) {
@@ -80,10 +238,12 @@ Sha256& Sha256::update(const void* data, std::size_t size) {
   length_ += size;
   while (size > 0) {
     if (buffered_ == 0 && size >= 64) {
-      // Full blocks straight from the input, no buffering.
-      compress(bytes);
-      bytes += 64;
-      size -= 64;
+      // Full blocks straight from the input, no buffering; one dispatch
+      // for the whole run keeps the SHA-NI state in registers.
+      const std::size_t blocks = size / 64;
+      compress(bytes, blocks);
+      bytes += blocks * 64;
+      size -= blocks * 64;
       continue;
     }
     const std::size_t take = std::min<std::size_t>(64 - buffered_, size);
@@ -92,7 +252,7 @@ Sha256& Sha256::update(const void* data, std::size_t size) {
     bytes += take;
     size -= take;
     if (buffered_ == 64) {
-      compress(buffer_.data());
+      compress(buffer_.data(), 1);
       buffered_ = 0;
     }
   }
@@ -149,6 +309,8 @@ Sha256::Digest Sha256::finish() {
   }
   return digest;
 }
+
+std::string Sha256::finish_hex() { return to_hex(finish()); }
 
 Sha256::Digest Sha256::digest(std::string_view text) {
   Sha256 hash;

@@ -37,11 +37,18 @@ class Sha256 {
   /// Finalise; the object must not be updated afterwards.
   Digest finish();
 
+  /// Finalise and render as lower-case hex in one step.
+  std::string finish_hex();
+
   /// One-shot convenience.
   static Digest digest(std::string_view text);
 
  private:
-  void compress(const std::uint8_t block[64]);
+  /// Absorb `count` consecutive 64-byte blocks.  Dispatches to the x86
+  /// SHA-NI compression when the CPU has it (detected once at startup),
+  /// falling back to the portable scalar loop; both produce the same
+  /// FIPS 180-4 digest bit for bit.
+  void compress(const std::uint8_t* blocks, std::size_t count);
 
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;

@@ -6,9 +6,26 @@
 
 namespace excovery::core {
 
+namespace {
+
+/// Streams serialised canonical bytes straight into an incremental
+/// SHA-256, so digesting never materialises the canonical string.
+class HashSink final : public xml::Sink {
+ public:
+  explicit HashSink(Sha256& hash) noexcept : hash_(hash) {}
+  void write(const char* data, std::size_t size) override {
+    hash_.update(data, size);
+  }
+
+ private:
+  Sha256& hash_;
+};
+
+}  // namespace
+
 std::string canonical_description_text(const ExperimentDescription& d) {
-  xml::ElementPtr root = d.to_xml();
-  return xml::write_canonical(*root);
+  xml::Document doc = d.to_xml();
+  return xml::write_canonical(doc.root());
 }
 
 std::string campaign_digest(const ExperimentDescription& description,
@@ -22,7 +39,13 @@ std::string campaign_digest(const ExperimentDescription& description,
   // simulation, so the EEVersion string is folded into the address.
   hash.update_sized(storage::kEeVersion);
 
-  hash.update_sized(canonical_description_text(description));
+  // Stream the canonical description text: a counting pass supplies the
+  // length prefix (identical bytes to update_sized), then the canonical
+  // writer feeds SHA-256 directly — zero intermediate string.
+  xml::Document doc = description.to_xml();
+  hash.update_u64(xml::canonical_size(doc.root()));
+  HashSink sink(hash);
+  xml::write_canonical(doc.root(), sink);
   hash.update_u64(description.seed);
 
   hash.update_u64(scope.platform_seed);
@@ -39,7 +62,7 @@ std::string campaign_digest(const ExperimentDescription& description,
   hash.update_u64(static_cast<std::uint64_t>(scope.run_watchdog.nanos()));
   hash.update_u64(static_cast<std::uint64_t>(scope.settle.nanos()));
 
-  return to_hex(hash.finish());
+  return hash.finish_hex();
 }
 
 }  // namespace excovery::core

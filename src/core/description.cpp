@@ -117,17 +117,18 @@ Result<ParamValue> parse_param_value(const xml::Element& element) {
 
 Result<ProcessAction> parse_action(const xml::Element& element) {
   ProcessAction action;
-  action.name = element.name();
+  action.name = std::string(element.name());
   for (const xml::Attribute& attr : element.attributes()) {
-    action.params.emplace_back(attr.name, ParamValue::lit(Value{attr.value}));
+    action.params.emplace_back(std::string(attr.name),
+                               ParamValue::lit(Value{std::string(attr.value)}));
   }
-  for (const xml::ElementPtr& child : element.children()) {
-    EXC_ASSIGN_OR_RETURN(ParamValue value, parse_param_value(*child));
-    action.params.emplace_back(child->name(), std::move(value));
+  for (const xml::Element& child : element.children()) {
+    EXC_ASSIGN_OR_RETURN(ParamValue value, parse_param_value(child));
+    action.params.emplace_back(std::string(child.name()), std::move(value));
   }
   // Bare text content (e.g. <event_flag>"done"</event_flag> shorthand)
   // becomes the "value" parameter.
-  if (element.children().empty() && !element.text().empty() &&
+  if (!element.has_children() && element.has_text() &&
       element.attributes().empty()) {
     action.params.emplace_back(
         "value", ParamValue::lit(Value{strings::strip_quotes(element.text())}));
@@ -137,8 +138,8 @@ Result<ProcessAction> parse_action(const xml::Element& element) {
 
 Result<std::vector<ProcessAction>> parse_actions(const xml::Element& list) {
   std::vector<ProcessAction> actions;
-  for (const xml::ElementPtr& child : list.children()) {
-    EXC_ASSIGN_OR_RETURN(ProcessAction action, parse_action(*child));
+  for (const xml::Element& child : list.children()) {
+    EXC_ASSIGN_OR_RETURN(ProcessAction action, parse_action(child));
     actions.push_back(std::move(action));
   }
   return actions;
@@ -163,12 +164,12 @@ Result<ExperimentDescription> ExperimentDescription::from_xml(
     const xml::Element& root) {
   if (root.name() != "experiment") {
     return err_validation("root element must be <experiment>, got <" +
-                          root.name() + ">");
+                          std::string(root.name()) + ">");
   }
   ExperimentDescription description;
   description.name = root.attr_or("name", "experiment");
-  if (const std::string* seed = root.attr("seed")) {
-    EXC_ASSIGN_OR_RETURN(std::int64_t s, Value{*seed}.to_int());
+  if (const std::string_view* seed = root.attr("seed")) {
+    EXC_ASSIGN_OR_RETURN(std::int64_t s, Value{std::string(*seed)}.to_int());
     description.seed = static_cast<std::uint64_t>(s);
   }
 
@@ -187,17 +188,17 @@ Result<ExperimentDescription> ExperimentDescription::from_xml(
   }
 
   if (const xml::Element* factorlist = root.child("factorlist")) {
-    for (const xml::ElementPtr& child : factorlist->children()) {
-      if (child->name() == "factor") {
-        EXC_ASSIGN_OR_RETURN(Factor factor, parse_factor(*child));
+    for (const xml::Element& child : factorlist->children()) {
+      if (child.name() == "factor") {
+        EXC_ASSIGN_OR_RETURN(Factor factor, parse_factor(child));
         if (factor.type == "actor_node_map") {
           description.node_factor_id = factor.id;
         }
         description.factors.push_back(std::move(factor));
-      } else if (child->name() == "replicationfactor") {
+      } else if (child.name() == "replicationfactor") {
         EXC_ASSIGN_OR_RETURN(description.replication_factor_id,
-                             child->require_attr("id"));
-        EXC_ASSIGN_OR_RETURN(std::int64_t n, Value{child->text()}.to_int());
+                             child.require_attr("id"));
+        EXC_ASSIGN_OR_RETURN(std::int64_t n, Value{child.text()}.to_int());
         if (n < 1) return err_validation("replication factor must be >= 1");
         description.replications = static_cast<int>(n);
       }
@@ -205,9 +206,9 @@ Result<ExperimentDescription> ExperimentDescription::from_xml(
   }
 
   if (const xml::Element* processes = root.child("processes")) {
-    for (const xml::ElementPtr& child : processes->children()) {
-      if (child->name() == "node_process") {
-        for (const xml::Element* actor : child->children_named("actor")) {
+    for (const xml::Element& child : processes->children()) {
+      if (child.name() == "node_process") {
+        for (const xml::Element* actor : child.children_named("actor")) {
           ActorProcess process;
           EXC_ASSIGN_OR_RETURN(process.actor_id, actor->require_attr("id"));
           process.name = actor->attr_or("name", process.actor_id);
@@ -218,16 +219,16 @@ Result<ExperimentDescription> ExperimentDescription::from_xml(
           }
           description.actor_processes.push_back(std::move(process));
         }
-      } else if (child->name() == "manipulation_process") {
+      } else if (child.name() == "manipulation_process") {
         ManipulationProcess process;
-        EXC_ASSIGN_OR_RETURN(process.node_id, child->require_attr("node"));
-        if (const xml::Element* actions = child->child("actions")) {
+        EXC_ASSIGN_OR_RETURN(process.node_id, child.require_attr("node"));
+        if (const xml::Element* actions = child.child("actions")) {
           EXC_ASSIGN_OR_RETURN(process.actions, parse_actions(*actions));
         }
         description.manipulation_processes.push_back(std::move(process));
-      } else if (child->name() == "env_process") {
+      } else if (child.name() == "env_process") {
         EnvProcess process;
-        if (const xml::Element* actions = child->child("env_actions")) {
+        if (const xml::Element* actions = child.child("env_actions")) {
           EXC_ASSIGN_OR_RETURN(process.actions, parse_actions(*actions));
         }
         description.env_processes.push_back(std::move(process));
@@ -257,8 +258,9 @@ Result<ExperimentDescription> ExperimentDescription::from_xml(
 
 Result<ExperimentDescription> ExperimentDescription::parse(
     const std::string& xml_text) {
-  EXC_ASSIGN_OR_RETURN(xml::ElementPtr root, xml::parse_element(xml_text));
-  EXC_ASSIGN_OR_RETURN(ExperimentDescription description, from_xml(*root));
+  EXC_ASSIGN_OR_RETURN(xml::Document doc, xml::parse(xml_text));
+  EXC_ASSIGN_OR_RETURN(ExperimentDescription description,
+                       from_xml(doc.root()));
   EXC_TRY(description.validate());
   return description;
 }
@@ -321,13 +323,14 @@ void write_actions(const std::vector<ProcessAction>& actions,
 
 }  // namespace
 
-xml::ElementPtr ExperimentDescription::to_xml() const {
-  auto root = std::make_unique<xml::Element>("experiment");
-  root->set_attr("name", name);
-  root->set_attr("seed", std::to_string(seed));
+xml::Document ExperimentDescription::to_xml() const {
+  xml::Document doc("experiment");
+  xml::Element& root = doc.root();
+  root.set_attr("name", name);
+  root.set_attr("seed", std::to_string(seed));
 
   if (!info_params.empty()) {
-    xml::Element& params = root->add_child("parameterlist");
+    xml::Element& params = root.add_child("parameterlist");
     for (const auto& [key, value] : info_params) {
       xml::Element& param = params.add_child("parameter");
       param.set_attr("key", key);
@@ -335,12 +338,12 @@ xml::ElementPtr ExperimentDescription::to_xml() const {
     }
   }
 
-  xml::Element& nodes = root->add_child("nodelist");
+  xml::Element& nodes = root.add_child("nodelist");
   for (const std::string& id : abstract_nodes) {
     nodes.add_child("node").set_attr("id", id);
   }
 
-  xml::Element& factorlist = root->add_child("factorlist");
+  xml::Element& factorlist = root.add_child("factorlist");
   for (const Factor& factor : factors) {
     xml::Element& element = factorlist.add_child("factor");
     element.set_attr("id", factor.id);
@@ -357,7 +360,7 @@ xml::ElementPtr ExperimentDescription::to_xml() const {
   replication.set_attr("id", replication_factor_id);
   replication.set_text(std::to_string(replications));
 
-  xml::Element& processes = root->add_child("processes");
+  xml::Element& processes = root.add_child("processes");
   if (!actor_processes.empty()) {
     xml::Element& node_process = processes.add_child("node_process");
     for (const ActorProcess& process : actor_processes) {
@@ -380,7 +383,7 @@ xml::ElementPtr ExperimentDescription::to_xml() const {
     write_actions(process.actions, actions);
   }
 
-  xml::Element& platform_element = root->add_child("platform");
+  xml::Element& platform_element = root.add_child("platform");
   xml::Element& actor_nodes = platform_element.add_child("actor_nodes");
   for (const PlatformNode& node : platform.actor_nodes) {
     xml::Element& element = actor_nodes.add_child("node");
@@ -395,11 +398,11 @@ xml::ElementPtr ExperimentDescription::to_xml() const {
     if (!node.address.empty()) element.set_attr("address", node.address);
   }
 
-  return root;
+  return doc;
 }
 
 std::string ExperimentDescription::to_xml_text() const {
-  return xml::write(*to_xml());
+  return xml::write(to_xml());
 }
 
 // ===== validation ===========================================================

@@ -181,7 +181,8 @@ struct ExperimentDescription {
   // ---- XML ---------------------------------------------------------------
   static Result<ExperimentDescription> from_xml(const xml::Element& root);
   static Result<ExperimentDescription> parse(const std::string& xml_text);
-  xml::ElementPtr to_xml() const;
+  /// Serialise into a fresh arena-backed document.
+  xml::Document to_xml() const;
   std::string to_xml_text() const;
 
   /// Semantic validation: factor references resolve, node maps reference

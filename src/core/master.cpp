@@ -286,8 +286,9 @@ Status ExperiMaster::run_all_sharded(const std::vector<const RunSpec*>& todo,
 #if EXCOVERY_OBS_ENABLED
     // Each worker records into its own shard — no synchronisation on the
     // hot path — and folds it into the context when its claim loop ends.
-    // Counter merges commute, so the merged totals do not depend on which
-    // worker claimed which run.
+    // Counter merges commute and histogram sums use exact (order-invariant)
+    // summation, so the merged totals do not depend on which worker claimed
+    // which run.
     std::unique_ptr<obs::MetricsShard> shard;
 #endif
     for (;;) {

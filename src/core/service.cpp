@@ -106,8 +106,10 @@ std::pair<std::shared_future<ServiceReply>, bool> ExperimentService::enqueue(
     return {ready_reply(std::move(reply)), false};
   }
 
-  if (config_.repository != nullptr &&
-      config_.repository->contains_hash(digest)) {
+  if (config_.repository != nullptr) {
+    // One CAS index lookup: fetch directly and branch on the error code
+    // (kNotFound is the ordinary cold-cache case, anything else is a
+    // damaged entry) instead of probing contains_hash() first.
     Result<storage::ExperimentPackage> loaded =
         config_.repository->fetch_by_hash(digest);
     if (loaded.ok()) {
@@ -120,10 +122,13 @@ std::pair<std::shared_future<ServiceReply>, bool> ExperimentService::enqueue(
       reply.package = std::move(package);
       return {ready_reply(std::move(reply)), false};
     }
-    // A corrupt CAS entry degrades to a miss: re-simulate rather than fail.
-    EXC_LOG_WARN("service", "CAS entry " << digest << " unreadable ("
-                                         << loaded.error().to_string()
-                                         << "), re-simulating");
+    if (loaded.error().code() != ErrorCode::kNotFound) {
+      // A corrupt CAS entry degrades to a miss: re-simulate rather than
+      // fail.
+      EXC_LOG_WARN("service", "CAS entry " << digest << " unreadable ("
+                                           << loaded.error().to_string()
+                                           << "), re-simulating");
+    }
   }
 
   // Admission control before counting the miss: a rejected submission was

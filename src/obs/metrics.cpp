@@ -97,6 +97,73 @@ double log_bin_lower(std::size_t bin) noexcept {
   return std::ldexp(1.0, static_cast<int>(bin) - kLogBinOffset);
 }
 
+namespace {
+
+/// Fold `value` into the non-overlapping expansion `partials` exactly
+/// (Shewchuk grow-expansion).  Non-finite values are kept as a single
+/// saturating slot: ±inf and inf-inf=NaN are order-invariant anyway, and
+/// letting them enter the two-sum would poison the partials with NaNs.
+void accumulate_exact(std::vector<double>& partials, double value) {
+  if (!std::isfinite(value)) {
+    if (partials.empty() || std::isfinite(partials.front())) {
+      partials.insert(partials.begin(), value);
+    } else {
+      partials.front() += value;
+    }
+    return;
+  }
+  std::size_t begin = partials.empty() || std::isfinite(partials.front())
+                          ? 0
+                          : 1;
+  std::size_t used = begin;
+  for (std::size_t i = begin; i < partials.size(); ++i) {
+    double p = partials[i];
+    if (std::abs(value) < std::abs(p)) std::swap(value, p);
+    const double hi = value + p;
+    const double lo = p - (hi - value);
+    if (lo != 0.0) partials[used++] = lo;
+    value = hi;
+  }
+  partials.resize(used);
+  partials.push_back(value);  // ascending magnitude, largest last
+}
+
+/// Correctly-rounded value of the expansion: the partials are summed from
+/// the largest down, with the half-ulp tie broken by the sign of the next
+/// partial (as in CPython's math.fsum), so the result only depends on the
+/// exact real value the expansion represents.
+double round_expansion(const std::vector<double>& partials) {
+  const double inf_part =
+      !partials.empty() && !std::isfinite(partials.front())
+          ? partials.front()
+          : 0.0;
+  const std::size_t begin = inf_part != 0.0 || std::isnan(inf_part) ? 1 : 0;
+  std::size_t n = partials.size();
+  double hi = 0.0;
+  if (n > begin) {
+    double lo = 0.0;
+    hi = partials[--n];
+    while (n > begin) {
+      const double x = hi;
+      const double y = partials[--n];
+      hi = x + y;
+      const double yr = hi - x;
+      lo = y - yr;
+      if (lo != 0.0) break;
+    }
+    if (n > begin && ((lo < 0.0 && partials[n - 1] < 0.0) ||
+                      (lo > 0.0 && partials[n - 1] > 0.0))) {
+      const double y = lo * 2.0;
+      const double x = hi + y;
+      if (y == x - hi) hi = x;
+    }
+  }
+  if (begin != 0) return inf_part + hi;
+  return hi;
+}
+
+}  // namespace
+
 MetricCell& MetricsShard::ensure(MetricId id) {
   if (id.index >= cells_.size()) cells_.resize(id.index + 1);
   return cells_[id.index];
@@ -139,7 +206,8 @@ void MetricsShard::observe(MetricId id, double value) {
     return;
   }
   ++cell.count;
-  cell.sum += value;
+  accumulate_exact(cell.sum_parts, value);
+  cell.sum = round_expansion(cell.sum_parts);
   cell.min = std::min(cell.min, value);
   cell.max = std::max(cell.max, value);
 
@@ -178,7 +246,15 @@ void MetricsShard::merge_from(const MetricsShard& other) {
       dst.gauge_last = dst.gauge_max;
       dst.gauge_set = true;
     }
-    dst.sum += src.sum;
+    // Fold the source expansion in exactly: the merged sum stays a pure
+    // function of the observed multiset no matter how observations were
+    // partitioned across shards or in which order shards merge.
+    for (double part : src.sum_parts) {
+      accumulate_exact(dst.sum_parts, part);
+    }
+    if (!src.sum_parts.empty()) {
+      dst.sum = round_expansion(dst.sum_parts);
+    }
     dst.min = std::min(dst.min, src.min);
     dst.max = std::max(dst.max, src.max);
     if (!src.bins.empty()) {

@@ -112,9 +112,18 @@ struct MetricCell {
   std::int64_t gauge_last = 0;
   std::int64_t gauge_max = std::numeric_limits<std::int64_t>::min();
   bool gauge_set = false;
+  /// Correctly-rounded sum of the observed values — a pure function of the
+  /// observed multiset, independent of observation and merge order (see
+  /// sum_parts).  Histogram sums cross shard merges whose partitioning
+  /// depends on which worker claimed which run, so naive `sum += value`
+  /// accumulation would make the last ulp timing-dependent.
   double sum = 0.0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
+  /// Non-overlapping partials representing the exact sum (Shewchuk
+  /// grow-expansion, the algorithm behind Python's math.fsum); `sum` is
+  /// this expansion correctly rounded.
+  std::vector<double> sum_parts;
   /// Equal-width: [underflow, bins..., overflow]; log-scale: kLogBins cells.
   std::vector<std::uint64_t> bins;
 };

@@ -117,14 +117,16 @@ void encode_value(const Value& value, xml::Element& parent) {
 
 Result<Value> decode_value(const xml::Element& value_element) {
   if (value_element.name() != "value") {
-    return err_parse("expected <value>, got <" + value_element.name() + ">");
+    return err_parse("expected <value>, got <" +
+                     std::string(value_element.name()) + ">");
   }
-  if (value_element.children().empty()) {
+  const xml::Element* typed_ptr = value_element.first_child();
+  if (!typed_ptr) {
     // Bare text inside <value> is a string per the spec.
     return Value{value_element.text()};
   }
-  const xml::Element& typed = *value_element.children().front();
-  const std::string& type = typed.name();
+  const xml::Element& typed = *typed_ptr;
+  std::string_view type = typed.name();
   if (type == "nil") return Value{};
   if (type == "boolean") {
     std::string t = typed.text();
@@ -148,32 +150,33 @@ Result<Value> decode_value(const xml::Element& value_element) {
   if (type == "array") {
     EXC_ASSIGN_OR_RETURN(const xml::Element* data, typed.require_child("data"));
     ValueArray array;
-    for (const xml::ElementPtr& child : data->children()) {
-      EXC_ASSIGN_OR_RETURN(Value item, decode_value(*child));
+    for (const xml::Element& child : data->children()) {
+      EXC_ASSIGN_OR_RETURN(Value item, decode_value(child));
       array.push_back(std::move(item));
     }
     return Value{std::move(array)};
   }
   if (type == "struct") {
     ValueMap map;
-    for (const xml::ElementPtr& member : typed.children()) {
-      if (member->name() != "member") {
+    for (const xml::Element& member : typed.children()) {
+      if (member.name() != "member") {
         return err_parse("expected <member> inside <struct>");
       }
       EXC_ASSIGN_OR_RETURN(const xml::Element* name,
-                           member->require_child("name"));
+                           member.require_child("name"));
       EXC_ASSIGN_OR_RETURN(const xml::Element* inner,
-                           member->require_child("value"));
+                           member.require_child("value"));
       EXC_ASSIGN_OR_RETURN(Value item, decode_value(*inner));
       map.emplace(name->text(), std::move(item));
     }
     return Value{std::move(map)};
   }
-  return err_parse("unknown XML-RPC scalar type <" + type + ">");
+  return err_parse("unknown XML-RPC scalar type <" + std::string(type) + ">");
 }
 
 std::string encode(const MethodCall& call) {
-  xml::Element root("methodCall");
+  xml::Document doc("methodCall");
+  xml::Element& root = doc.root();
   root.add_text_child("methodName", call.method);
   xml::Element& params = root.add_child("params");
   for (const Value& param : call.params) {
@@ -184,7 +187,8 @@ std::string encode(const MethodCall& call) {
 }
 
 std::string encode(const MethodResponse& response) {
-  xml::Element root("methodResponse");
+  xml::Document doc("methodResponse");
+  xml::Element& root = doc.root();
   if (response.is_fault) {
     xml::Element& fault = root.add_child("fault");
     ValueMap detail;
@@ -199,15 +203,17 @@ std::string encode(const MethodResponse& response) {
 }
 
 Result<MethodCall> decode_call(const std::string& xml_text) {
-  EXC_ASSIGN_OR_RETURN(xml::ElementPtr root, xml::parse_element(xml_text));
-  if (root->name() != "methodCall") {
-    return err_parse("expected <methodCall>, got <" + root->name() + ">");
+  EXC_ASSIGN_OR_RETURN(xml::Document doc, xml::parse(xml_text));
+  const xml::Element& root = doc.root();
+  if (root.name() != "methodCall") {
+    return err_parse("expected <methodCall>, got <" + std::string(root.name()) +
+                     ">");
   }
   EXC_ASSIGN_OR_RETURN(const xml::Element* name,
-                       root->require_child("methodName"));
+                       root.require_child("methodName"));
   MethodCall call;
   call.method = name->text();
-  if (const xml::Element* params = root->child("params")) {
+  if (const xml::Element* params = root.child("params")) {
     for (const xml::Element* param : params->children_named("param")) {
       EXC_ASSIGN_OR_RETURN(const xml::Element* holder,
                            param->require_child("value"));
@@ -219,11 +225,13 @@ Result<MethodCall> decode_call(const std::string& xml_text) {
 }
 
 Result<MethodResponse> decode_response(const std::string& xml_text) {
-  EXC_ASSIGN_OR_RETURN(xml::ElementPtr root, xml::parse_element(xml_text));
-  if (root->name() != "methodResponse") {
-    return err_parse("expected <methodResponse>, got <" + root->name() + ">");
+  EXC_ASSIGN_OR_RETURN(xml::Document doc, xml::parse(xml_text));
+  const xml::Element& root = doc.root();
+  if (root.name() != "methodResponse") {
+    return err_parse("expected <methodResponse>, got <" +
+                     std::string(root.name()) + ">");
   }
-  if (const xml::Element* fault = root->child("fault")) {
+  if (const xml::Element* fault = root.child("fault")) {
     EXC_ASSIGN_OR_RETURN(const xml::Element* holder,
                          fault->require_child("value"));
     EXC_ASSIGN_OR_RETURN(Value detail, decode_value(*holder));
@@ -240,7 +248,7 @@ Result<MethodResponse> decode_response(const std::string& xml_text) {
     return response;
   }
   EXC_ASSIGN_OR_RETURN(const xml::Element* params,
-                       root->require_child("params"));
+                       root.require_child("params"));
   EXC_ASSIGN_OR_RETURN(const xml::Element* param,
                        params->require_child("param"));
   EXC_ASSIGN_OR_RETURN(const xml::Element* holder,

@@ -161,7 +161,15 @@ Status Database::save(const std::string& path) const {
 Result<Database> Database::load(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (!file) return err_io("cannot open '" + path + "' for reading");
+  // Size the buffer once from the file length so a package load is a single
+  // allocation and a single read; the chunked tail loop only runs if the
+  // file grows between the seek and the read (or the size was unavailable).
   Bytes data;
+  if (std::fseek(file, 0, SEEK_END) == 0) {
+    long size = std::ftell(file);
+    if (size > 0) data.reserve(static_cast<std::size_t>(size));
+    std::rewind(file);
+  }
   std::uint8_t buffer[64 * 1024];
   std::size_t n = 0;
   while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0) {

@@ -1,62 +1,173 @@
 #include "xml/dom.hpp"
 
-#include "common/strings.hpp"
+#include <new>
 
 namespace excovery::xml {
 
-const std::string* Element::attr(std::string_view name) const noexcept {
-  for (const Attribute& a : attrs_) {
-    if (a.name == name) return &a.value;
+// ===== Arena ================================================================
+
+void* Arena::allocate_slow(std::size_t size, std::size_t align) {
+  std::size_t chunk = capacity_ ? capacity_ * 2 : 1024;
+  if (chunk < size + align) chunk = size + align;
+  chunks_.push_back(std::make_unique<char[]>(chunk));
+  retired_ += used_;
+  current_ = chunks_.back().get();
+  capacity_ = chunk;
+  used_ = 0;
+  return allocate(size, align);  // guaranteed to fit in the fresh chunk
+}
+
+// ===== DocCore (name interning) =============================================
+
+namespace {
+
+std::size_t fnv1a(std::string_view s) noexcept {
+  std::size_t h = 14695981039346656037ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string_view DocCore::intern(std::string_view name, bool stable) {
+  if (name.empty()) return {};
+  if (slots_.empty()) slots_.resize(16);
+  if ((count_ + 1) * 10 >= slots_.size() * 7) rehash();
+  std::size_t mask = slots_.size() - 1;
+  std::size_t slot = fnv1a(name) & mask;
+  while (!slots_[slot].empty()) {
+    if (slots_[slot] == name) return slots_[slot];
+    slot = (slot + 1) & mask;
+  }
+  std::string_view stored = stable ? name : arena.store(name);
+  slots_[slot] = stored;
+  ++count_;
+  return stored;
+}
+
+void DocCore::rehash() {
+  std::vector<std::string_view> old = std::move(slots_);
+  slots_.assign(old.empty() ? 16 : old.size() * 2, {});
+  std::size_t mask = slots_.size() - 1;
+  for (std::string_view v : old) {
+    if (v.empty()) continue;
+    std::size_t slot = fnv1a(v) & mask;
+    while (!slots_[slot].empty()) slot = (slot + 1) & mask;
+    slots_[slot] = v;
+  }
+}
+
+// ===== Element ==============================================================
+
+void Element::set_name(std::string_view name) {
+  name_ = core_->intern(name);
+}
+
+const std::string_view* Element::attr(std::string_view name) const noexcept {
+  for (const Attribute* a = first_attr_; a; a = a->next) {
+    if (a->name == name) return &a->value;
   }
   return nullptr;
 }
 
 std::string Element::attr_or(std::string_view name,
                              std::string_view fallback) const {
-  const std::string* v = attr(name);
-  return v ? *v : std::string(fallback);
+  const std::string_view* v = attr(name);
+  return std::string(v ? *v : fallback);
 }
 
 Result<std::string> Element::require_attr(std::string_view name) const {
-  const std::string* v = attr(name);
+  const std::string_view* v = attr(name);
   if (!v) {
-    return err_validation("element <" + name_ + "> missing attribute '" +
-                          std::string(name) + "'");
+    return err_validation("element <" + std::string(name_) +
+                          "> missing attribute '" + std::string(name) + "'");
   }
-  return *v;
+  return std::string(*v);
+}
+
+Attribute* Element::find_attr(std::string_view name) noexcept {
+  for (Attribute* a = first_attr_; a; a = const_cast<Attribute*>(a->next)) {
+    if (a->name == name) return a;
+  }
+  return nullptr;
+}
+
+void Element::link_child(Element* child) noexcept {
+  if (last_child_) {
+    last_child_->next_sibling_ = child;
+  } else {
+    first_child_ = child;
+  }
+  last_child_ = child;
+}
+
+void Element::link_attr(Attribute* attr) noexcept {
+  if (last_attr_) {
+    last_attr_->next = attr;
+  } else {
+    first_attr_ = attr;
+  }
+  last_attr_ = attr;
+}
+
+void Element::link_text(TextSegment* segment) noexcept {
+  if (last_text_) {
+    last_text_->next = segment;
+  } else {
+    first_text_ = segment;
+  }
+  last_text_ = segment;
 }
 
 Element& Element::set_attr(std::string_view name, std::string_view value) {
-  for (Attribute& a : attrs_) {
-    if (a.name == name) {
-      a.value = std::string(value);
-      return *this;
-    }
+  if (Attribute* existing = find_attr(name)) {
+    existing->value = core_->arena.store(value);
+    return *this;
   }
-  attrs_.push_back({std::string(name), std::string(value)});
+  auto* a = new (core_->arena.allocate(sizeof(Attribute), alignof(Attribute)))
+      Attribute();
+  a->name = core_->intern(name);
+  a->value = core_->arena.store(value);
+  link_attr(a);
   return *this;
 }
 
-Element& Element::add_child(std::string name) {
-  children_.push_back(std::make_unique<Element>(std::move(name)));
-  return *children_.back();
+Element& Element::add_child(std::string_view name) {
+  auto* child =
+      new (core_->arena.allocate(sizeof(Element), alignof(Element))) Element();
+  child->core_ = core_;
+  child->name_ = core_->intern(name);
+  link_child(child);
+  return *child;
 }
 
-Element& Element::adopt(ElementPtr child) {
-  children_.push_back(std::move(child));
-  return *children_.back();
+Element& Element::add_subtree_copy(const Element& subtree) {
+  Element& copy = add_child(subtree.name_);
+  for (const Attribute* a = subtree.first_attr_; a; a = a->next) {
+    copy.set_attr(a->name, a->value);
+  }
+  for (const TextSegment* s = subtree.first_text_; s; s = s->next) {
+    copy.append_text(s->text);
+  }
+  for (const Element* c = subtree.first_child_; c; c = c->next_sibling_) {
+    copy.add_subtree_copy(*c);
+  }
+  return copy;
 }
 
 const Element* Element::child(std::string_view name) const noexcept {
-  for (const ElementPtr& c : children_) {
-    if (c->name() == name) return c.get();
+  for (const Element* c = first_child_; c; c = c->next_sibling_) {
+    if (c->name_ == name) return c;
   }
   return nullptr;
 }
 
 Element* Element::child(std::string_view name) noexcept {
-  for (ElementPtr& c : children_) {
-    if (c->name() == name) return c.get();
+  for (Element* c = first_child_; c; c = c->next_sibling_) {
+    if (c->name_ == name) return c;
   }
   return nullptr;
 }
@@ -64,67 +175,96 @@ Element* Element::child(std::string_view name) noexcept {
 Result<const Element*> Element::require_child(std::string_view name) const {
   const Element* c = child(name);
   if (!c) {
-    return err_validation("element <" + name_ + "> missing child <" +
-                          std::string(name) + ">");
+    return err_validation("element <" + std::string(name_) +
+                          "> missing child <" + std::string(name) + ">");
   }
   return c;
 }
 
-std::vector<const Element*> Element::children_named(
-    std::string_view name) const {
-  std::vector<const Element*> out;
-  for (const ElementPtr& c : children_) {
-    if (c->name() == name) out.push_back(c.get());
-  }
+std::string Element::text() const {
+  std::string out;
+  for_each_text_span([&](std::string_view span) { out.append(span); });
   return out;
 }
 
-std::string Element::text() const {
-  std::string joined;
-  for (const std::string& seg : text_segments_) joined += seg;
-  return strings::trim(joined);
+bool Element::has_text() const noexcept {
+  for (const TextSegment* s = first_text_; s; s = s->next) {
+    if (s->first_ns != std::string_view::npos) return true;
+  }
+  return false;
 }
 
 void Element::append_text(std::string_view text) {
-  text_segments_.emplace_back(text);
+  auto* segment =
+      new (core_->arena.allocate(sizeof(TextSegment), alignof(TextSegment)))
+          TextSegment();
+  segment->set(core_->arena.store(text));
+  link_text(segment);
 }
 
 Element& Element::set_text(std::string_view text) {
-  text_segments_.clear();
-  if (!text.empty()) text_segments_.emplace_back(text);
+  first_text_ = nullptr;
+  last_text_ = nullptr;
+  if (!text.empty()) append_text(text);
   return *this;
 }
 
-Element& Element::add_text_child(std::string name, std::string_view text) {
-  Element& c = add_child(std::move(name));
+Element& Element::add_text_child(std::string_view name, std::string_view text) {
+  Element& c = add_child(name);
   c.set_text(text);
   return c;
 }
 
-ElementPtr Element::clone() const {
-  auto copy = std::make_unique<Element>(name_);
-  copy->attrs_ = attrs_;
-  copy->text_segments_ = text_segments_;
-  copy->children_.reserve(children_.size());
-  for (const ElementPtr& c : children_) copy->children_.push_back(c->clone());
-  return copy;
-}
-
 bool Element::equals(const Element& other) const {
   if (name_ != other.name_) return false;
-  if (attrs_.size() != other.attrs_.size()) return false;
-  for (std::size_t i = 0; i < attrs_.size(); ++i) {
-    if (attrs_[i].name != other.attrs_[i].name ||
-        attrs_[i].value != other.attrs_[i].value) {
-      return false;
-    }
+  const Attribute* a = first_attr_;
+  const Attribute* b = other.first_attr_;
+  while (a && b) {
+    if (a->name != b->name || a->value != b->value) return false;
+    a = a->next;
+    b = b->next;
   }
+  if (a || b) return false;
   if (text() != other.text()) return false;
-  if (children_.size() != other.children_.size()) return false;
-  for (std::size_t i = 0; i < children_.size(); ++i) {
-    if (!children_[i]->equals(*other.children_[i])) return false;
+  const Element* c = first_child_;
+  const Element* d = other.first_child_;
+  while (c && d) {
+    if (!c->equals(*d)) return false;
+    c = c->next_sibling_;
+    d = d->next_sibling_;
   }
-  return true;
+  return !c && !d;
+}
+
+// ===== Document =============================================================
+
+Document::Document() : core_(std::make_unique<DocCore>()) {}
+
+Document::Document(std::string_view root_name) : Document() {
+  root_ = new_element(root_name, /*stable_name=*/false);
+}
+
+Element* Document::new_element(std::string_view name, bool stable_name) {
+  auto* e =
+      new (core_->arena.allocate(sizeof(Element), alignof(Element))) Element();
+  e->core_ = core_.get();
+  e->name_ = core_->intern(name, stable_name);
+  return e;
+}
+
+Document Document::clone() const {
+  Document copy(root().name());
+  Element& to = copy.root();
+  for (const Attribute* a = root().first_attr_; a; a = a->next) {
+    to.set_attr(a->name, a->value);
+  }
+  for (const TextSegment* s = root().first_text_; s; s = s->next) {
+    to.append_text(s->text);
+  }
+  for (const Element* c = root().first_child_; c; c = c->next_sibling_) {
+    to.add_subtree_copy(*c);
+  }
+  return copy;
 }
 
 }  // namespace excovery::xml

@@ -1,6 +1,7 @@
 #include "xml/schema.hpp"
 
 #include <algorithm>
+#include <string_view>
 
 #include "common/strings.hpp"
 
@@ -8,7 +9,7 @@ namespace excovery::xml {
 
 Status Schema::validate(const Element& root, bool strict) const {
   std::vector<std::string> problems;
-  validate_element(root, strict, "/" + root.name(), problems);
+  validate_element(root, strict, "/" + std::string(root.name()), problems);
   if (problems.empty()) return {};
   return err_validation(strings::join(problems, "; "));
 }
@@ -22,15 +23,16 @@ void Schema::validate_element(const Element& element, bool strict,
       problems.push_back(path + ": unknown element");
     }
     // Even without a rule, recurse so descendants with rules are checked.
-    for (const ElementPtr& child : element.children()) {
-      validate_element(*child, strict, path + "/" + child->name(), problems);
+    for (const Element& child : element.children()) {
+      validate_element(child, strict, path + "/" + std::string(child.name()),
+                       problems);
     }
     return;
   }
 
   // Attributes.
   for (const auto& [name, attr_rule] : rule->attributes) {
-    const std::string* v = element.attr(name);
+    const std::string_view* v = element.attr(name);
     if (!v) {
       if (attr_rule.required) {
         problems.push_back(path + ": missing required attribute '" + name +
@@ -42,23 +44,25 @@ void Schema::validate_element(const Element& element, bool strict,
         std::find(attr_rule.allowed_values.begin(),
                   attr_rule.allowed_values.end(),
                   *v) == attr_rule.allowed_values.end()) {
-      problems.push_back(path + ": attribute '" + name + "' has value '" + *v +
-                         "' not in {" +
+      problems.push_back(path + ": attribute '" + name + "' has value '" +
+                         std::string(*v) + "' not in {" +
                          strings::join(attr_rule.allowed_values, ", ") + "}");
     }
   }
   if (!rule->allow_other_attrs) {
     for (const Attribute& a : element.attributes()) {
       if (rule->attributes.find(a.name) == rule->attributes.end()) {
-        problems.push_back(path + ": unexpected attribute '" + a.name + "'");
+        problems.push_back(path + ": unexpected attribute '" +
+                           std::string(a.name) + "'");
       }
     }
   }
 
-  // Children occurrence counts.
-  std::map<std::string, std::size_t> counts;
-  for (const ElementPtr& child : element.children()) {
-    ++counts[child->name()];
+  // Children occurrence counts (keys are interned names owned by the
+  // document, so views are safe for the duration of validation).
+  std::map<std::string_view, std::size_t> counts;
+  for (const Element& child : element.children()) {
+    ++counts[child.name()];
   }
   for (const auto& [name, occurs] : rule->children) {
     std::size_t n = 0;
@@ -78,25 +82,26 @@ void Schema::validate_element(const Element& element, bool strict,
     for (const auto& [name, n] : counts) {
       (void)n;
       if (rule->children.find(name) == rule->children.end()) {
-        problems.push_back(path + ": unexpected child <" + name + ">");
+        problems.push_back(path + ": unexpected child <" + std::string(name) +
+                           ">");
       }
     }
   }
 
   // Text policy.
-  if (!rule->allow_text && !element.text().empty()) {
+  if (!rule->allow_text && element.has_text()) {
     problems.push_back(path + ": character data not allowed here");
   }
 
   // Recurse.
-  std::map<std::string, std::size_t> sibling_index;
-  for (const ElementPtr& child : element.children()) {
-    std::size_t idx = ++sibling_index[child->name()];
-    std::string child_path = path + "/" + child->name();
-    if (counts[child->name()] > 1) {
+  std::map<std::string_view, std::size_t> sibling_index;
+  for (const Element& child : element.children()) {
+    std::size_t idx = ++sibling_index[child.name()];
+    std::string child_path = path + "/" + std::string(child.name());
+    if (counts[child.name()] > 1) {
       child_path += "[" + std::to_string(idx) + "]";
     }
-    validate_element(*child, strict, child_path, problems);
+    validate_element(child, strict, child_path, problems);
   }
 }
 

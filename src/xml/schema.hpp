@@ -39,10 +39,11 @@ struct AttrRule {
   std::vector<std::string> allowed_values;  // empty = any value
 };
 
-/// Rule for one element type.
+/// Rule for one element type.  Maps use transparent comparators so the
+/// validator can look up the DOM's string_view names without allocating.
 struct ElementRule {
-  std::map<std::string, AttrRule> attributes;
-  std::map<std::string, Occurs> children;
+  std::map<std::string, AttrRule, std::less<>> attributes;
+  std::map<std::string, Occurs, std::less<>> children;
   bool allow_other_children = false;  ///< tolerate unknown child names
   bool allow_other_attrs = false;     ///< tolerate unknown attribute names
   bool allow_text = true;             ///< character data permitted
@@ -76,7 +77,7 @@ class Schema {
  public:
   ElementRule& element(std::string name) { return rules_[std::move(name)]; }
 
-  const ElementRule* find(const std::string& name) const {
+  const ElementRule* find(std::string_view name) const {
     auto it = rules_.find(name);
     return it == rules_.end() ? nullptr : &it->second;
   }
@@ -90,7 +91,7 @@ class Schema {
                         const std::string& path,
                         std::vector<std::string>& problems) const;
 
-  std::map<std::string, ElementRule> rules_;
+  std::map<std::string, ElementRule, std::less<>> rules_;
 };
 
 }  // namespace excovery::xml

@@ -48,7 +48,7 @@ std::vector<Step> parse_path(std::string_view path) {
 bool matches(const Element& e, const Step& step) {
   if (step.name != "*" && e.name() != step.name) return false;
   if (!step.attr_name.empty()) {
-    const std::string* v = e.attr(step.attr_name);
+    const std::string_view* v = e.attr(step.attr_name);
     if (!v || *v != step.attr_value) return false;
   }
   return true;
@@ -58,11 +58,11 @@ void apply_step(const std::vector<const Element*>& in, const Step& step,
                 std::vector<const Element*>& out) {
   for (const Element* e : in) {
     int position = 0;
-    for (const ElementPtr& child : e->children()) {
-      if (matches(*child, step)) {
+    for (const Element& child : e->children()) {
+      if (matches(child, step)) {
         ++position;
         if (step.index < 0 || position == step.index) {
-          out.push_back(child.get());
+          out.push_back(&child);
         }
       }
     }
@@ -93,23 +93,29 @@ Result<const Element*> select_required(const Element& root,
   const Element* e = select_first(root, path);
   if (!e) {
     return err_not_found("no element matches path '" + std::string(path) +
-                         "' under <" + root.name() + ">");
+                         "' under <" + std::string(root.name()) + ">");
   }
   return e;
 }
 
 std::vector<const Element*> select_all_recursive(const Element& root,
                                                  std::string_view name) {
+  // Preorder walk over the sibling-linked tree: visit a node, descend into
+  // its first child, and resume pending siblings from the stack — document
+  // order without materialising child lists.
   std::vector<const Element*> out;
-  std::vector<const Element*> stack{&root};
-  while (!stack.empty()) {
-    const Element* e = stack.back();
-    stack.pop_back();
-    if (e != &root && e->name() == name) out.push_back(e);
-    // Push children in reverse so traversal is document order.
-    const auto& children = e->children();
-    for (auto it = children.rbegin(); it != children.rend(); ++it) {
-      stack.push_back(it->get());
+  std::vector<const Element*> pending;
+  const Element* cur = root.first_child();
+  while (cur) {
+    if (cur->name() == name) out.push_back(cur);
+    if (cur->next_sibling()) pending.push_back(cur->next_sibling());
+    if (cur->first_child()) {
+      cur = cur->first_child();
+    } else if (!pending.empty()) {
+      cur = pending.back();
+      pending.pop_back();
+    } else {
+      cur = nullptr;
     }
   }
   return out;

@@ -1,7 +1,16 @@
 // Serialise DOM trees back to XML text.
+//
+// Both writers are two-pass: a counting pass computes the exact output
+// size (escapes and indentation included), then the emit pass streams into
+// a pre-sized buffer — no reallocation, no per-element temporaries.  The
+// canonical writer additionally streams into an arbitrary Sink, so content
+// addressing can hash canonical bytes without materialising them
+// (core::campaign_digest feeds them straight into SHA-256).
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <string_view>
 
 #include "xml/dom.hpp"
 
@@ -11,6 +20,15 @@ struct WriteOptions {
   bool pretty = true;       ///< newline + indentation per nesting level
   int indent_width = 2;     ///< spaces per level when pretty
   bool declaration = true;  ///< emit <?xml version="1.0" encoding="UTF-8"?>
+};
+
+/// Byte sink for streaming serialisation.  Chunks arrive in document
+/// order; their concatenation is exactly the serialised text.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void write(const char* data, std::size_t size) = 0;
+  void write(std::string_view chunk) { write(chunk.data(), chunk.size()); }
 };
 
 /// Serialise an element subtree.
@@ -26,5 +44,11 @@ std::string write(const Document& doc, const WriteOptions& options = {});
 /// indentation or surrounding whitespace canonicalise to the same string;
 /// any change to names, attribute values, text or child order changes it.
 std::string write_canonical(const Element& root);
+
+/// Stream the canonical bytes into a sink without building a string.
+void write_canonical(const Element& root, Sink& sink);
+
+/// Exact byte count of write_canonical(root) without producing output.
+std::size_t canonical_size(const Element& root);
 
 }  // namespace excovery::xml

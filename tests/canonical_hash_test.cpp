@@ -35,18 +35,23 @@ ExperimentDescription small_description(std::uint64_t seed = 5) {
 
 /// Deep copy of an element tree with every attribute list reversed — a
 /// presentation-only change a canonicaliser must erase.
-xml::ElementPtr reverse_attributes(const xml::Element& element) {
-  auto copy = std::make_unique<xml::Element>(element.name());
-  const auto& attrs = element.attributes();
+void copy_with_reversed_attrs(const xml::Element& from, xml::Element& to) {
+  std::vector<const xml::Attribute*> attrs;
+  for (const xml::Attribute& attr : from.attributes()) attrs.push_back(&attr);
   for (auto it = attrs.rbegin(); it != attrs.rend(); ++it) {
-    copy->set_attr(it->name, it->value);
+    to.set_attr((*it)->name, (*it)->value);
   }
-  const std::string text = element.text();
-  if (!text.empty()) copy->set_text(text);
-  for (const xml::ElementPtr& child : element.children()) {
-    copy->adopt(reverse_attributes(*child));
+  const std::string text = from.text();
+  if (!text.empty()) to.set_text(text);
+  for (const xml::Element& child : from.children()) {
+    copy_with_reversed_attrs(child, to.add_child(child.name()));
   }
-  return copy;
+}
+
+xml::Document reverse_attributes(const xml::Element& element) {
+  xml::Document doc(element.name());
+  copy_with_reversed_attrs(element, doc.root());
+  return doc;
 }
 
 // ---- the digest primitive ------------------------------------------------
@@ -82,12 +87,15 @@ TEST(Sha256, SizedUpdatesCannotAlias) {
 // ---- canonical XML -------------------------------------------------------
 
 TEST(CanonicalXml, AttributeOrderDoesNotMatter) {
-  xml::Element a("node");
-  a.set_attr("id", "A").set_attr("address", "10.0.0.1").set_attr("x", "3");
-  xml::Element b("node");
-  b.set_attr("x", "3").set_attr("id", "A").set_attr("address", "10.0.0.1");
-  EXPECT_EQ(xml::write_canonical(a), xml::write_canonical(b));
-  EXPECT_NE(xml::write(a, {}), xml::write(b, {}));  // pretty writer keeps order
+  xml::Document a("node");
+  a.root().set_attr("id", "A").set_attr("address", "10.0.0.1").set_attr("x",
+                                                                        "3");
+  xml::Document b("node");
+  b.root().set_attr("x", "3").set_attr("id", "A").set_attr("address",
+                                                           "10.0.0.1");
+  EXPECT_EQ(xml::write_canonical(a.root()), xml::write_canonical(b.root()));
+  // pretty writer keeps order
+  EXPECT_NE(xml::write(a.root(), {}), xml::write(b.root(), {}));
 }
 
 TEST(CanonicalXml, WhitespaceDoesNotMatter) {
@@ -97,21 +105,21 @@ TEST(CanonicalXml, WhitespaceDoesNotMatter) {
       "<e   a = \"1\" >\n   <c>\n     text\n   </c>\n   <d></d>\n</e>\n");
   ASSERT_TRUE(compact.ok());
   ASSERT_TRUE(spaced.ok());
-  EXPECT_EQ(xml::write_canonical(*compact.value().root),
-            xml::write_canonical(*spaced.value().root));
+  EXPECT_EQ(xml::write_canonical(compact.value().root()),
+            xml::write_canonical(spaced.value().root()));
 }
 
 TEST(CanonicalXml, SemanticDifferencesSurvive) {
   Result<xml::Document> base = xml::parse("<e a=\"1\"><c>text</c></e>");
   ASSERT_TRUE(base.ok());
-  const std::string canonical = xml::write_canonical(*base.value().root);
+  const std::string canonical = xml::write_canonical(base.value().root());
   for (const char* variant :
        {"<e a=\"2\"><c>text</c></e>", "<e a=\"1\"><c>other</c></e>",
         "<e a=\"1\" b=\"0\"><c>text</c></e>", "<e a=\"1\"><d>text</d></e>",
         "<e a=\"1\"><c>text</c><c>text</c></e>"}) {
     Result<xml::Document> parsed = xml::parse(variant);
     ASSERT_TRUE(parsed.ok()) << variant;
-    EXPECT_NE(xml::write_canonical(*parsed.value().root), canonical)
+    EXPECT_NE(xml::write_canonical(parsed.value().root()), canonical)
         << variant;
   }
 }
@@ -123,22 +131,23 @@ TEST(CanonicalDescription, InvariantUnderAttributeReorderAndWhitespace) {
   const std::string digest = campaign_digest(description);
 
   // Whitespace: re-parse a compact serialisation of the same tree.
-  xml::ElementPtr root = description.to_xml();
+  xml::Document doc = description.to_xml();
   xml::WriteOptions compact;
   compact.pretty = false;
   compact.declaration = false;
   Result<ExperimentDescription> reparsed =
-      ExperimentDescription::parse(xml::write(*root, compact));
+      ExperimentDescription::parse(xml::write(doc.root(), compact));
   ASSERT_TRUE(reparsed.ok());
   EXPECT_EQ(canonical_description_text(reparsed.value()),
             canonical_description_text(description));
   EXPECT_EQ(campaign_digest(reparsed.value()), digest);
 
   // Attribute order: reverse every attribute list, re-parse, re-digest.
-  xml::ElementPtr reversed = reverse_attributes(*root);
-  EXPECT_EQ(xml::write_canonical(*root), xml::write_canonical(*reversed));
+  xml::Document reversed = reverse_attributes(doc.root());
+  EXPECT_EQ(xml::write_canonical(doc.root()),
+            xml::write_canonical(reversed.root()));
   Result<ExperimentDescription> from_reversed =
-      ExperimentDescription::parse(xml::write(*reversed, {}));
+      ExperimentDescription::parse(xml::write(reversed.root(), {}));
   ASSERT_TRUE(from_reversed.ok());
   EXPECT_EQ(campaign_digest(from_reversed.value()), digest);
 }

@@ -205,8 +205,8 @@ TEST(Description, SchemaAcceptsGeneratedDocuments) {
   Result<ExperimentDescription> parsed =
       ExperimentDescription::parse(kFullDocument);
   ASSERT_TRUE(parsed.ok());
-  xml::ElementPtr root = parsed.value().to_xml();
-  Status status = description_schema().validate(*root);
+  xml::Document doc = parsed.value().to_xml();
+  Status status = description_schema().validate(doc.root());
   EXPECT_TRUE(status.ok()) << (status.ok() ? "" : status.error().to_string());
 }
 

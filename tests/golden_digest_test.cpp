@@ -1,0 +1,239 @@
+// Golden-digest pin (DESIGN.md §14/§15): the canonical bytes and the
+// campaign digest of a fixed description are part of the storage contract —
+// every cached package on disk is addressed by them.  The fixtures below
+// were captured from the PR 8 implementation (the pre-arena DOM and string
+// canonical writer); the arena DOM, in-situ parser and streaming digest
+// must reproduce them byte for byte, with kCampaignDigestVersion still at
+// 1.  If this test fails, cached packages are silently orphaned: bump
+// kCampaignDigestVersion *and* regenerate the fixtures in the same change.
+//
+// The fixtures are embedded (not read from tests/data) so the test is
+// independent of the working directory; tests/data keeps the same bytes
+// for humans and external tools.
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+#include "core/canonical.hpp"
+#include "core/description.hpp"
+#include "core/scenario.hpp"
+#include "storage/package.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace excovery::core {
+namespace {
+
+// tests/data/golden_campaign.xml — pretty serialisation of
+// scenario::two_party_sd with replications=2, environment_count=1, seed=5,
+// loss_levels={0.0, 0.2}.
+constexpr const char* kGoldenPretty = R"gold(<?xml version="1.0" encoding="UTF-8"?>
+<experiment name="sd-mdns-two-party" seed="5">
+  <parameterlist>
+    <parameter key="sd_architecture">two-party</parameter>
+    <parameter key="sd_comm">active</parameter>
+    <parameter key="sd_protocol">mdns</parameter>
+    <parameter key="sd_service_type">_expservice._udp</parameter>
+  </parameterlist>
+  <nodelist>
+    <node id="SM0" />
+    <node id="SU0" />
+  </nodelist>
+  <factorlist>
+    <factor id="fact_nodes" type="actor_node_map" usage="blocking">
+      <levels>
+        <level>
+          <actor id="actor0">
+            <instance id="0">SM0</instance>
+          </actor>
+          <actor id="actor1">
+            <instance id="0">SU0</instance>
+          </actor>
+        </level>
+      </levels>
+    </factor>
+    <factor id="fact_loss" type="double" usage="constant">
+      <levels>
+        <level>0</level>
+        <level>0.2</level>
+      </levels>
+    </factor>
+    <replicationfactor usage="replication" type="int" id="fact_replication_id">2</replicationfactor>
+  </factorlist>
+  <processes>
+    <node_process>
+      <actor id="actor0" name="SM">
+        <sd_actions>
+          <sd_init>
+            <role>SM</role>
+          </sd_init>
+          <sd_start_publish>
+            <type>_expservice._udp</type>
+          </sd_start_publish>
+          <wait_for_event>
+            <event_dependency>done</event_dependency>
+            <from_dependency>
+              <node actor="actor1" instance="all" />
+            </from_dependency>
+          </wait_for_event>
+          <sd_stop_publish>
+            <type>_expservice._udp</type>
+          </sd_stop_publish>
+          <sd_exit />
+        </sd_actions>
+      </actor>
+      <actor id="actor1" name="SU">
+        <sd_actions>
+          <wait_for_event>
+            <from_dependency>
+              <node actor="actor0" instance="all" />
+            </from_dependency>
+            <event_dependency>sd_start_publish</event_dependency>
+          </wait_for_event>
+          <sd_init>
+            <role>SU</role>
+          </sd_init>
+          <wait_marker />
+          <sd_start_search>
+            <type>_expservice._udp</type>
+          </sd_start_search>
+          <wait_for_event>
+            <from_dependency>
+              <node actor="actor1" instance="all" />
+            </from_dependency>
+            <event_dependency>sd_service_add</event_dependency>
+            <param_dependency>
+              <node actor="actor0" instance="all" />
+            </param_dependency>
+            <timeout>30</timeout>
+          </wait_for_event>
+          <event_flag>
+            <value>done</value>
+          </event_flag>
+          <sd_stop_search>
+            <type>_expservice._udp</type>
+          </sd_stop_search>
+          <sd_exit />
+        </sd_actions>
+      </actor>
+    </node_process>
+    <manipulation_process node="SU0">
+      <actions>
+        <fault_message_loss_start>
+          <probability>
+            <factorref id="fact_loss" />
+          </probability>
+          <direction>both</direction>
+          <randomseed>
+            <factorref id="fact_replication_id" />
+          </randomseed>
+        </fault_message_loss_start>
+        <wait_for_event>
+          <event_dependency>done</event_dependency>
+          <from_dependency>
+            <node actor="actor1" instance="all" />
+          </from_dependency>
+        </wait_for_event>
+        <fault_message_loss_stop />
+      </actions>
+    </manipulation_process>
+  </processes>
+  <platform>
+    <actor_nodes>
+      <node id="SM0" abstract="SM0" />
+      <node id="SU0" abstract="SU0" />
+    </actor_nodes>
+    <environment_nodes>
+      <node id="ENV0" />
+    </environment_nodes>
+  </platform>
+</experiment>
+)gold";
+
+// tests/data/golden_campaign_canonical.xml — canonical form of the same
+// document (sorted attributes, no insignificant whitespace).
+constexpr const char* kGoldenCanonical = R"gold(<experiment name="sd-mdns-two-party" seed="5"><parameterlist><parameter key="sd_architecture">two-party</parameter><parameter key="sd_comm">active</parameter><parameter key="sd_protocol">mdns</parameter><parameter key="sd_service_type">_expservice._udp</parameter></parameterlist><nodelist><node id="SM0"/><node id="SU0"/></nodelist><factorlist><factor id="fact_nodes" type="actor_node_map" usage="blocking"><levels><level><actor id="actor0"><instance id="0">SM0</instance></actor><actor id="actor1"><instance id="0">SU0</instance></actor></level></levels></factor><factor id="fact_loss" type="double" usage="constant"><levels><level>0</level><level>0.2</level></levels></factor><replicationfactor id="fact_replication_id" type="int" usage="replication">2</replicationfactor></factorlist><processes><node_process><actor id="actor0" name="SM"><sd_actions><sd_init><role>SM</role></sd_init><sd_start_publish><type>_expservice._udp</type></sd_start_publish><wait_for_event><event_dependency>done</event_dependency><from_dependency><node actor="actor1" instance="all"/></from_dependency></wait_for_event><sd_stop_publish><type>_expservice._udp</type></sd_stop_publish><sd_exit/></sd_actions></actor><actor id="actor1" name="SU"><sd_actions><wait_for_event><from_dependency><node actor="actor0" instance="all"/></from_dependency><event_dependency>sd_start_publish</event_dependency></wait_for_event><sd_init><role>SU</role></sd_init><wait_marker/><sd_start_search><type>_expservice._udp</type></sd_start_search><wait_for_event><from_dependency><node actor="actor1" instance="all"/></from_dependency><event_dependency>sd_service_add</event_dependency><param_dependency><node actor="actor0" instance="all"/></param_dependency><timeout>30</timeout></wait_for_event><event_flag><value>done</value></event_flag><sd_stop_search><type>_expservice._udp</type></sd_stop_search><sd_exit/></sd_actions></actor></node_process><manipulation_process node="SU0"><actions><fault_message_loss_start><probability><factorref id="fact_loss"/></probability><direction>both</direction><randomseed><factorref id="fact_replication_id"/></randomseed></fault_message_loss_start><wait_for_event><event_dependency>done</event_dependency><from_dependency><node actor="actor1" instance="all"/></from_dependency></wait_for_event><fault_message_loss_stop/></actions></manipulation_process></processes><platform><actor_nodes><node abstract="SM0" id="SM0"/><node abstract="SU0" id="SU0"/></actor_nodes><environment_nodes><node id="ENV0"/></environment_nodes></platform></experiment>)gold";
+
+// Digests captured from the seed implementation.
+constexpr const char* kGoldenDigestDefaultScope =
+    "5dc830da3f71c60ce59b15a14fe545a48f3f66b213d7e5eb50b11e1c4685a856";
+constexpr const char* kGoldenDigestScoped =
+    "bf6008c51c7fcacf9b29f4f299d9823e2a8bca308e5880014100a9b7d7b9235e";
+
+static_assert(kCampaignDigestVersion == 1,
+              "changing the digest protocol version orphans every cached "
+              "package; regenerate the golden fixtures in the same change");
+
+ExperimentDescription golden_description() {
+  scenario::TwoPartyOptions options;
+  options.replications = 2;
+  options.environment_count = 1;
+  options.seed = 5;
+  options.loss_levels = {0.0, 0.2};
+  Result<ExperimentDescription> description =
+      scenario::two_party_sd(options);
+  EXPECT_TRUE(description.ok());
+  return std::move(description).value();
+}
+
+TEST(GoldenDigest, PrettySerialisationUnchanged) {
+  EXPECT_EQ(golden_description().to_xml_text(), kGoldenPretty);
+}
+
+TEST(GoldenDigest, CanonicalBytesUnchanged) {
+  EXPECT_EQ(canonical_description_text(golden_description()),
+            kGoldenCanonical);
+}
+
+TEST(GoldenDigest, ParsedFixtureReproducesCanonicalBytes) {
+  // The canonical bytes must also be reachable *through the parser*: pretty
+  // fixture -> description -> canonical text.
+  Result<ExperimentDescription> parsed =
+      ExperimentDescription::parse(kGoldenPretty);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(canonical_description_text(parsed.value()), kGoldenCanonical);
+}
+
+TEST(GoldenDigest, CampaignDigestUnchangedDefaultScope) {
+  EXPECT_EQ(campaign_digest(golden_description()),
+            kGoldenDigestDefaultScope);
+}
+
+TEST(GoldenDigest, CampaignDigestUnchangedScoped) {
+  CampaignScope scope;
+  scope.platform_seed = 2026;
+  scope.topology.kind = scenario::TopologyKind::kChain;
+  scope.max_attempts_per_run = 5;
+  EXPECT_EQ(campaign_digest(golden_description(), scope),
+            kGoldenDigestScoped);
+}
+
+TEST(GoldenDigest, StreamedDigestMatchesMaterialisedForm) {
+  // Cross-check the streaming path against the definitionally-correct
+  // one-shot form: length-prefixed canonical text hashed in one update.
+  const ExperimentDescription description = golden_description();
+  const std::string canonical = canonical_description_text(description);
+  Sha256 hash;
+  hash.update_sized("excovery-campaign");
+  hash.update_u32(kCampaignDigestVersion);
+  hash.update_sized(storage::kEeVersion);
+  hash.update_sized(canonical);
+  hash.update_u64(description.seed);
+  const CampaignScope scope;
+  hash.update_u64(scope.platform_seed);
+  hash.update_u32(static_cast<std::uint32_t>(scope.topology.kind));
+  hash.update_u64(
+      static_cast<std::uint64_t>(scope.topology.link.base_delay.nanos()));
+  hash.update_f64(scope.topology.link.loss);
+  hash.update_f64(scope.topology.link.jitter_frac);
+  hash.update_f64(scope.topology.link.bandwidth_bps);
+  hash.update_u32(static_cast<std::uint32_t>(scope.topology.chain_spacing));
+  hash.update_f64(scope.topology.radius);
+  hash.update_u64(scope.topology.seed);
+  hash.update_u32(static_cast<std::uint32_t>(scope.max_attempts_per_run));
+  hash.update_u64(static_cast<std::uint64_t>(scope.run_watchdog.nanos()));
+  hash.update_u64(static_cast<std::uint64_t>(scope.settle.nanos()));
+  EXPECT_EQ(hash.finish_hex(), campaign_digest(description));
+}
+
+}  // namespace
+}  // namespace excovery::core

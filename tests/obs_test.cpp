@@ -67,6 +67,39 @@ TEST(MetricsShard, CounterMergeIsPartitionInvariant) {
   EXPECT_EQ(record(three), a);
 }
 
+TEST(MetricsShard, HistogramSumIsPartitionAndOrderInvariant) {
+  MetricsRegistry registry;
+  MetricId id = registry.log_histogram("dur", MetricDomain::kDeterministic);
+  // Magnitudes chosen so naive double accumulation is order-sensitive in
+  // the last ulp: a small value among several near-equal large ones (the
+  // run.sim_seconds shape), plus values spanning many exponents.
+  const std::vector<double> values = {0.01,   1.0007040469999999,
+                                      1.0007, 1.0007040469999998,
+                                      1e-9,   3.5e8,
+                                      -1e8,   2.25e-7};
+  auto record = [&](std::size_t shard_count, bool reversed) {
+    std::vector<MetricsShard> shards(shard_count, MetricsShard(&registry));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::size_t v = reversed ? values.size() - 1 - i : i;
+      shards[v % shard_count].observe(id, values[v]);
+    }
+    MetricsShard merged(&registry);
+    for (const MetricsShard& shard : shards) merged.merge_from(shard);
+    return merged.cell(id)->sum;
+  };
+  const double expected = record(1, false);
+  for (std::size_t shard_count : {1u, 2u, 3u, 5u}) {
+    for (bool reversed : {false, true}) {
+      const double sum = record(shard_count, reversed);
+      EXPECT_EQ(sum, expected)
+          << shard_count << " shards, reversed=" << reversed;
+    }
+  }
+  // The exact sum is also the correctly rounded one (math.fsum agrees),
+  // not just consistent across partitionings.
+  EXPECT_EQ(expected, 250000003.01210833);
+}
+
 TEST(MetricsShard, GaugeMergeTakesMaximum) {
   MetricsRegistry registry;
   MetricId id = registry.gauge("depth");

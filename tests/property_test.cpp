@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/bytes.hpp"
 #include "common/strings.hpp"
@@ -86,9 +87,9 @@ TEST_P(ValueCodecProperty, XmlRpcRoundTripIsIdentity) {
   Pcg32 rng(GetParam(), GetParam() ^ 0x1234);
   for (int i = 0; i < 30; ++i) {
     Value original = random_value(rng, 2);
-    xml::Element holder("h");
-    rpc::encode_value(original, holder);
-    Result<Value> back = rpc::decode_value(*holder.child("value"));
+    xml::Document holder("h");
+    rpc::encode_value(original, holder.root());
+    Result<Value> back = rpc::decode_value(*holder.root().child("value"));
     ASSERT_TRUE(back.ok());
     // Doubles survive because format_double round-trips exactly.
     EXPECT_EQ(back.value(), original);
@@ -97,6 +98,121 @@ TEST_P(ValueCodecProperty, XmlRpcRoundTripIsIdentity) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ValueCodecProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---- XML-RPC codec: special doubles ----------------------------------------
+
+/// Value equality with IEEE edge semantics: any NaN matches any NaN, and
+/// zeros must agree in sign (variant operator== would reject NaN==NaN and
+/// accept -0.0==0.0, hiding codec defects either way).
+bool equivalent(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::kDouble: {
+      double x = a.as_double();
+      double y = b.as_double();
+      if (std::isnan(x) || std::isnan(y)) {
+        return std::isnan(x) && std::isnan(y);
+      }
+      return x == y && std::signbit(x) == std::signbit(y);
+    }
+    case ValueType::kArray: {
+      const ValueArray& xs = a.as_array();
+      const ValueArray& ys = b.as_array();
+      if (xs.size() != ys.size()) return false;
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (!equivalent(xs[i], ys[i])) return false;
+      }
+      return true;
+    }
+    case ValueType::kMap: {
+      const ValueMap& xs = a.as_map();
+      const ValueMap& ys = b.as_map();
+      if (xs.size() != ys.size()) return false;
+      auto it = ys.begin();
+      for (const auto& [key, item] : xs) {
+        if (it->first != key || !equivalent(item, it->second)) return false;
+        ++it;
+      }
+      return true;
+    }
+    default:
+      return a == b;
+  }
+}
+
+double special_double(Pcg32& rng) {
+  switch (rng.bounded(6)) {
+    case 0: return std::numeric_limits<double>::quiet_NaN();
+    case 1: return -0.0;
+    case 2: return std::numeric_limits<double>::infinity();
+    case 3: return -std::numeric_limits<double>::infinity();
+    case 4: return std::numeric_limits<double>::denorm_min();
+    default: return rng.uniform(-1e308, 1e308);
+  }
+}
+
+Value random_edge_value(Pcg32& rng, int depth) {
+  switch (depth <= 0 ? rng.bounded(2) : rng.bounded(4)) {
+    case 0: return Value{special_double(rng)};
+    case 1: return Value{static_cast<std::int64_t>(rng()) - INT32_MAX};
+    case 2: {
+      ValueArray array;
+      std::uint32_t len = rng.bounded(4);
+      for (std::uint32_t i = 0; i < len; ++i) {
+        array.push_back(random_edge_value(rng, depth - 1));
+      }
+      return Value{std::move(array)};
+    }
+    default: {
+      ValueMap map;
+      std::uint32_t len = rng.bounded(4);
+      for (std::uint32_t i = 0; i < len; ++i) {
+        map.emplace("k" + std::to_string(i), random_edge_value(rng, depth - 1));
+      }
+      return Value{std::move(map)};
+    }
+  }
+}
+
+class RpcEdgeDoubleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RpcEdgeDoubleProperty, SpecialDoublesSurviveNestedRoundTrips) {
+  Pcg32 rng(GetParam(), 0xD0B1);
+  for (int i = 0; i < 60; ++i) {
+    Value original = random_edge_value(rng, 3);
+    xml::Document holder("h");
+    rpc::encode_value(original, holder.root());
+    Result<Value> back = rpc::decode_value(*holder.root().child("value"));
+    ASSERT_TRUE(back.ok()) << back.error().to_string();
+    EXPECT_TRUE(equivalent(back.value(), original)) << "iteration " << i;
+  }
+}
+
+TEST_P(RpcEdgeDoubleProperty, DeterministicEdgeCases) {
+  (void)GetParam();
+  ValueMap nested;
+  nested.emplace("nan", Value{std::numeric_limits<double>::quiet_NaN()});
+  nested.emplace("neg_zero", Value{-0.0});
+  nested.emplace("inf", Value{std::numeric_limits<double>::infinity()});
+  ValueArray deep{Value{nested}, Value{-0.0}};
+  Value original{ValueMap{{"deep", Value{deep}}}};
+
+  xml::Document holder("h");
+  rpc::encode_value(original, holder.root());
+  Result<Value> back = rpc::decode_value(*holder.root().child("value"));
+  ASSERT_TRUE(back.ok());
+  const Value* round = back.value().find("deep");
+  ASSERT_NE(round, nullptr);
+  const ValueMap& map = round->as_array()[0].as_map();
+  EXPECT_TRUE(std::isnan(map.at("nan").as_double()));
+  EXPECT_TRUE(std::signbit(map.at("neg_zero").as_double()));
+  EXPECT_EQ(map.at("neg_zero").as_double(), 0.0);
+  EXPECT_TRUE(std::isinf(map.at("inf").as_double()));
+  EXPECT_TRUE(std::signbit(round->as_array()[1].as_double()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RpcEdgeDoubleProperty,
+                         ::testing::Values(9, 27, 81));
 
 // ---- XML escaping --------------------------------------------------------------
 
@@ -112,21 +228,117 @@ TEST_P(XmlEscapingProperty, ArbitraryTextSurvivesElementRoundTrip) {
       text.push_back(alphabet[rng.bounded(
           static_cast<std::uint32_t>(alphabet.size()))]);
     }
-    xml::Element root("t");
-    root.set_text(text);
-    root.set_attr("a", text);
-    Result<xml::ElementPtr> back = xml::parse_element(
-        xml::write(root, {.pretty = false, .declaration = false}));
+    xml::Document doc("t");
+    doc.root().set_text(text);
+    doc.root().set_attr("a", text);
+    Result<xml::Document> back = xml::parse(
+        xml::write(doc.root(), {.pretty = false, .declaration = false}));
     ASSERT_TRUE(back.ok());
     // Text content is whitespace-trimmed by the DOM accessor; compare
     // trimmed forms.  Attributes must match exactly.
-    EXPECT_EQ(back.value()->text(), strings::trim(text));
-    EXPECT_EQ(*back.value()->attr("a"), text);
+    EXPECT_EQ(back.value().root().text(), strings::trim(text));
+    EXPECT_EQ(*back.value().root().attr("a"), text);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, XmlEscapingProperty,
                          ::testing::Values(7, 11, 19, 23));
+
+// ---- random-DOM round trips and canonical invariance -----------------------
+
+std::string random_markupish_text(Pcg32& rng, std::uint32_t max_len) {
+  static const std::string alphabet = "abcXYZ<>&\"' \t\n;=[]{}]]>";
+  std::string text;
+  std::uint32_t len = rng.bounded(max_len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    text.push_back(alphabet[rng.bounded(
+        static_cast<std::uint32_t>(alphabet.size()))]);
+  }
+  return text;
+}
+
+void grow_random_subtree(Pcg32& rng, xml::Element& into, int depth) {
+  std::uint32_t attrs = rng.bounded(4);
+  for (std::uint32_t a = 0; a < attrs; ++a) {
+    into.set_attr("a" + std::to_string(a), random_markupish_text(rng, 12));
+  }
+  if (rng.bernoulli(0.6)) into.set_text(random_markupish_text(rng, 20));
+  if (depth > 0) {
+    std::uint32_t children = rng.bounded(4);
+    for (std::uint32_t c = 0; c < children; ++c) {
+      grow_random_subtree(
+          rng, into.add_child("e" + std::to_string(rng.bounded(5))),
+          depth - 1);
+    }
+  }
+}
+
+xml::Document random_document(Pcg32& rng) {
+  xml::Document doc("root");
+  grow_random_subtree(rng, doc.root(), 3);
+  return doc;
+}
+
+/// Deep copy with every attribute list Fisher-Yates shuffled — a
+/// presentation-only permutation the canonical writer must erase.
+void copy_with_shuffled_attrs(Pcg32& rng, const xml::Element& from,
+                              xml::Element& to) {
+  std::vector<const xml::Attribute*> attrs;
+  for (const xml::Attribute& attr : from.attributes()) attrs.push_back(&attr);
+  for (std::size_t i = attrs.size(); i > 1; --i) {
+    std::swap(attrs[i - 1], attrs[rng.bounded(static_cast<std::uint32_t>(i))]);
+  }
+  for (const xml::Attribute* attr : attrs) to.set_attr(attr->name, attr->value);
+  const std::string text = from.text();
+  if (!text.empty()) to.set_text(text);
+  for (const xml::Element& child : from.children()) {
+    copy_with_shuffled_attrs(rng, child, to.add_child(child.name()));
+  }
+}
+
+class XmlDomProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlDomProperty, ParseOfWriteIsIdentity) {
+  Pcg32 rng(GetParam(), 0xD0C5);
+  for (int i = 0; i < 200; ++i) {
+    xml::Document doc = random_document(rng);
+    // Compact and pretty serialisations must both re-parse to an
+    // equal tree (equality compares trimmed text, which both writers
+    // preserve).
+    Result<xml::Document> compact = xml::parse(
+        xml::write(doc.root(), {.pretty = false, .declaration = false}));
+    ASSERT_TRUE(compact.ok()) << compact.error().to_string();
+    EXPECT_TRUE(doc.root().equals(compact.value().root())) << "iteration "
+                                                           << i;
+    Result<xml::Document> pretty = xml::parse(xml::write(doc.root(), {}));
+    ASSERT_TRUE(pretty.ok()) << pretty.error().to_string();
+    EXPECT_TRUE(doc.root().equals(pretty.value().root())) << "iteration " << i;
+  }
+}
+
+TEST_P(XmlDomProperty, CanonicalFormErasesPresentation) {
+  Pcg32 rng(GetParam(), 0xCA40);
+  for (int i = 0; i < 200; ++i) {
+    xml::Document doc = random_document(rng);
+    const std::string canonical = xml::write_canonical(doc.root());
+    // Whitespace/indentation: canonical form survives a pretty round trip.
+    Result<xml::Document> pretty = xml::parse(xml::write(doc.root(), {}));
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(xml::write_canonical(pretty.value().root()), canonical)
+        << "iteration " << i;
+    // Attribute order: canonical form is invariant under permutation.
+    xml::Document shuffled(doc.root().name());
+    copy_with_shuffled_attrs(rng, doc.root(), shuffled.root());
+    EXPECT_EQ(xml::write_canonical(shuffled.root()), canonical)
+        << "iteration " << i;
+    // The streaming sink and the string writer must agree byte for byte.
+    EXPECT_EQ(xml::canonical_size(doc.root()), canonical.size())
+        << "iteration " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlDomProperty,
+                         ::testing::Values(5, 23, 77, 131));
 
 // ---- SD message codec -------------------------------------------------------------
 

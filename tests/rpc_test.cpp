@@ -12,9 +12,9 @@ namespace {
 // ---- codec: values ------------------------------------------------------------
 
 Value round_trip(const Value& value) {
-  xml::Element holder("holder");
-  encode_value(value, holder);
-  Result<Value> back = decode_value(*holder.child("value"));
+  xml::Document doc("holder");
+  encode_value(value, doc.root());
+  Result<Value> back = decode_value(*doc.root().child("value"));
   EXPECT_TRUE(back.ok()) << (back.ok() ? "" : back.error().to_string());
   return back.ok() ? back.value() : Value{};
 }
@@ -33,9 +33,9 @@ TEST(RpcCodec, ScalarRoundTrips) {
 TEST(RpcCodec, WideIntegersUseI8Extension) {
   std::int64_t wide = 5'000'000'000LL;
   EXPECT_EQ(round_trip(Value{wide}), Value{wide});
-  xml::Element holder("holder");
-  encode_value(Value{wide}, holder);
-  EXPECT_NE(holder.child("value")->child("i8"), nullptr);
+  xml::Document doc("holder");
+  encode_value(Value{wide}, doc.root());
+  EXPECT_NE(doc.root().child("value")->child("i8"), nullptr);
 }
 
 TEST(RpcCodec, Base64RoundTripsAllLengths) {
@@ -56,26 +56,24 @@ TEST(RpcCodec, ArraysAndStructsNest) {
 }
 
 TEST(RpcCodec, BareValueTextIsString) {
-  Result<xml::ElementPtr> holder =
-      xml::parse_element("<value>plain</value>");
+  Result<xml::Document> holder = xml::parse("<value>plain</value>");
   ASSERT_TRUE(holder.ok());
-  Result<Value> value = decode_value(*holder.value());
+  Result<Value> value = decode_value(holder.value().root());
   ASSERT_TRUE(value.ok());
   EXPECT_EQ(value.value(), Value{"plain"});
 }
 
 TEST(RpcCodec, I4AliasAccepted) {
-  Result<xml::ElementPtr> holder =
-      xml::parse_element("<value><i4>7</i4></value>");
+  Result<xml::Document> holder = xml::parse("<value><i4>7</i4></value>");
   ASSERT_TRUE(holder.ok());
-  EXPECT_EQ(decode_value(*holder.value()).value(), Value{7});
+  EXPECT_EQ(decode_value(holder.value().root()).value(), Value{7});
 }
 
 TEST(RpcCodec, UnknownScalarRejected) {
-  Result<xml::ElementPtr> holder =
-      xml::parse_element("<value><dateTime.iso8601>x</dateTime.iso8601></value>");
+  Result<xml::Document> holder =
+      xml::parse("<value><dateTime.iso8601>x</dateTime.iso8601></value>");
   ASSERT_TRUE(holder.ok());
-  EXPECT_FALSE(decode_value(*holder.value()).ok());
+  EXPECT_FALSE(decode_value(holder.value().root()).ok());
 }
 
 // ---- codec: messages ------------------------------------------------------------
