@@ -3,7 +3,8 @@
 // five replications on a simulated wireless mesh.
 //
 //   $ ./quickstart [--run-workers N] [--log-level LEVEL]
-//                  [--trace-out FILE] [--metrics-out FILE] [--packet-trace]
+//                  [--trace-out FILE] [--metrics-out FILE]
+//                  [--provenance-out FILE] [--packet-trace]
 //                  [--cache] [--repo DIR]
 //
 // --run-workers N executes the treatment plan's runs on N parallel platform
@@ -23,8 +24,12 @@
 // track (workers, conditioning) and a simulated-time track (runs, and with
 // --packet-trace per-packet lifecycles); open it in https://ui.perfetto.dev.
 // --metrics-out writes the runtime metrics (counters, histograms and the
-// per-run ledger) as JSON.  All observability is out-of-band: the package
-// bytes are identical with and without these flags (DESIGN.md §11).
+// per-run ledger) as JSON.
+// --provenance-out writes each run's discovery critical paths — which query
+// round, retransmission or cache hop produced every sd_service_add, with
+// per-edge simulated latencies — as JSON (DESIGN.md §16).  All
+// observability is out-of-band: the package bytes are identical with and
+// without these flags (DESIGN.md §11).
 //
 // The program walks the full ExCovery workflow (Fig. 3 of the paper):
 //   1. build the abstract experiment description (Fig. 9/10 processes),
@@ -42,6 +47,7 @@
 #include <string>
 
 #include "common/log.hpp"
+#include "common/obs_switch.hpp"
 #include "core/master.hpp"
 #include "core/scenario.hpp"
 #include "core/service.hpp"
@@ -58,8 +64,8 @@ int usage(const char* prog) {
                "usage: %s [--run-workers N] [--log-level "
                "trace|debug|info|warn|error]\n"
                "          [--trace-out FILE] [--metrics-out FILE] "
-               "[--packet-trace]\n"
-               "          [--cache] [--repo DIR]\n",
+               "[--provenance-out FILE]\n"
+               "          [--packet-trace] [--cache] [--repo DIR]\n",
                prog);
   return 2;
 }
@@ -76,6 +82,7 @@ int main(int argc, char** argv) {
   core::MasterOptions master_options;
   std::string trace_out;
   std::string metrics_out;
+  std::string provenance_out;
   bool packet_trace = false;
   bool cache_mode = false;
   std::string repo_dir;
@@ -100,12 +107,28 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--provenance-out") == 0 &&
+               i + 1 < argc) {
+      provenance_out = argv[++i];
     } else if (std::strcmp(argv[i], "--packet-trace") == 0) {
       packet_trace = true;
     } else {
       return usage(argv[0]);
     }
   }
+
+#if !EXCOVERY_OBS_ENABLED
+  // Observability was compiled out; requesting its outputs would otherwise
+  // silently produce empty files.
+  if (!trace_out.empty() || !metrics_out.empty() || !provenance_out.empty()) {
+    std::fprintf(stderr,
+                 "warning: this binary was built with -DEXCOVERY_OBS=OFF; "
+                 "--trace-out, --metrics-out and --provenance-out will "
+                 "produce empty output.\n"
+                 "         Rebuild with -DEXCOVERY_OBS=ON (the default) to "
+                 "collect traces, metrics and provenance.\n");
+  }
+#endif
 
   // Observability: attach a context whenever any output was requested (a
   // context costs nothing measurable and never changes the package bytes).
@@ -289,6 +312,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!provenance_out.empty()) {
+    Status written = obs.write_provenance_json(provenance_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "provenance-out: %s\n",
+                   written.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("provenance written to %s (%zu critical-path step(s))\n",
+                provenance_out.c_str(), obs.provenance().size());
   }
   if (!trace_out.empty()) {
     Status written = obs.trace().write_json(trace_out);

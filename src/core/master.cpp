@@ -93,6 +93,7 @@ RunExecutorOptions ExperiMaster::executor_options() const {
   options.run_watchdog = options_.run_watchdog;
   options.settle = options_.settle;
   options.abort_hook = options_.abort_hook;
+  options.flight_dir = options_.flight_dir;
   return options;
 }
 

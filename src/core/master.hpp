@@ -49,6 +49,12 @@ struct MasterOptions {
   sim::SimDuration settle = sim::SimDuration::from_millis(200);
   /// Comment stored into ExperimentInfo.
   std::string comment;
+  /// Directory for post-mortem flight-recorder dumps: every failed run
+  /// attempt writes the lineage ring there as a readable artifact
+  /// (DESIGN.md §16).  Empty falls back to EXCOVERY_FLIGHT_DIR; unset means
+  /// no dumps.  Dump files are diagnostics only — they never feed back into
+  /// the conditioned package.
+  std::string flight_dir;
 
   /// Worker threads executing runs on platform replicas: 1 = sequential on
   /// the master's own platform, 0 = hardware concurrency.  The conditioned

@@ -55,6 +55,7 @@ Status SimPlatform::setup(const ExperimentDescription& description) {
   network_ = std::make_unique<net::Network>(scheduler_,
                                             std::move(config_.topology),
                                             config_.seed);
+  network_->set_lineage(&lineage_);
 
   recorder_ = std::make_unique<EventRecorder>(
       scheduler_, level2_, [this](const std::string& node) -> std::int64_t {
@@ -65,6 +66,8 @@ Status SimPlatform::setup(const ExperimentDescription& description) {
         }
         return network_->clock(it->second).read(scheduler_.now()).nanos();
       });
+
+  recorder_->set_lineage(&lineage_);
 
   injector_ = std::make_unique<faults::FaultInjector>(*network_,
                                                       net::kSdPort);
@@ -290,6 +293,8 @@ void SimPlatform::begin_run(std::int64_t run_id, int attempt) {
                       .sub("attempt", static_cast<std::uint64_t>(attempt));
   sync_rng_ = rf.stream("time-sync");
   network_->begin_run(rf.derive_seed("network"));
+  lineage_.begin_run(static_cast<std::uint64_t>(run_id),
+                     static_cast<std::uint32_t>(attempt));
 }
 
 Result<std::unique_ptr<SimPlatform>> SimPlatform::replicate(

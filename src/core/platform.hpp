@@ -29,6 +29,7 @@
 #include "sd/mdns.hpp"
 #include "sd/model.hpp"
 #include "sd/slp.hpp"
+#include "sim/lineage.hpp"
 #include "sim/scheduler.hpp"
 #include "storage/level2.hpp"
 
@@ -82,6 +83,7 @@ class SimPlatform {
   faults::FaultScheduleEngine& schedule_engine() noexcept { return *engine_; }
   faults::TrafficGenerator& traffic() noexcept { return *traffic_; }
   rpc::InProcessTransport& transport() noexcept { return transport_; }
+  sim::LineageLog& lineage() noexcept { return lineage_; }
   const SimPlatformConfig& config() const noexcept { return config_; }
 
   /// Concrete node names in description order (actor nodes then env nodes).
@@ -148,6 +150,7 @@ class SimPlatform {
 
   SimPlatformConfig config_;
   sim::Scheduler scheduler_;
+  sim::LineageLog lineage_;
   std::unique_ptr<net::Network> network_;
   storage::Level2Store level2_;
   std::unique_ptr<EventRecorder> recorder_;

@@ -33,6 +33,9 @@ void EventRecorder::record(const std::string& node, std::string_view type,
   if (cached_node_ == nullptr || cached_name_ != node) {
     cached_node_ = &level2_.node(node);
     cached_name_ = node;
+#if EXCOVERY_OBS_ENABLED
+    cached_label_ = lineage_ ? lineage_->intern(node) : 0;
+#endif
   }
   cached_node_->record_event(std::move(raw));
 
@@ -43,6 +46,20 @@ void EventRecorder::record(const std::string& node, std::string_view type,
   event.name = std::string(type);
   event.parameter = parameter;
   history_.push_back(event);
+
+  // (4) lineage: the event is a causal node (parent = whatever activity
+  // raised it), and every bus subscriber — flow-control waits resuming the
+  // interpreter included — runs as its descendant.
+  std::uint64_t lin_event = 0;
+  if (lineage_) {
+    const std::uint16_t param_label =
+        parameter.is_string() ? lineage_->intern(parameter.as_string()) : 0;
+    lin_event =
+        lineage_->record(sim::LineageKind::kSdEvent, scheduler_.current_context(),
+                         0, scheduler_.now(), cached_label_, param_label,
+                         lineage_->intern(type));
+  }
+  sim::LineageScope lin_scope(scheduler_, lin_event);
   bus_.publish(event);
 }
 

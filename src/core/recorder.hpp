@@ -19,6 +19,7 @@
 
 #include "common/value.hpp"
 #include "sim/event_bus.hpp"
+#include "sim/lineage.hpp"
 #include "sim/scheduler.hpp"
 #include "storage/level2.hpp"
 
@@ -46,6 +47,12 @@ class EventRecorder {
   void record(const std::string& node, std::string_view type,
               const Value& parameter = {});
 
+  /// Attach the causal lineage log: every recorded event then becomes a
+  /// lineage node (parent = ambient context), and its bus subscribers run
+  /// under it — so flow-control reactions chain to the event that woke
+  /// them.  nullptr detaches.
+  void set_lineage(sim::LineageLog* lineage) noexcept { lineage_ = lineage; }
+
   /// Reference-time history of the current run (for marker-based waits).
   const std::vector<sim::BusEvent>& history() const noexcept {
     return history_;
@@ -67,6 +74,8 @@ class EventRecorder {
   /// Last-node store cache (valid within one run; reset by begin_run).
   std::string cached_name_;
   storage::NodeStore* cached_node_ = nullptr;
+  sim::LineageLog* lineage_ = nullptr;
+  std::uint16_t cached_label_ = 0;  ///< interned name of cached_name_
 };
 
 }  // namespace excovery::core

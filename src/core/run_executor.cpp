@@ -1,11 +1,14 @@
 #include "core/run_executor.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/strings.hpp"
+#include "obs/recorder.hpp"
 
 namespace excovery::core {
 
@@ -13,7 +16,13 @@ RunExecutor::RunExecutor(const ExperimentDescription& description,
                          SimPlatform& platform, RunExecutorOptions options)
     : description_(description),
       platform_(platform),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  if (options_.flight_dir.empty()) {
+    if (const char* env = std::getenv("EXCOVERY_FLIGHT_DIR")) {
+      options_.flight_dir = env;
+    }
+  }
+}
 
 sim::SimTime RunExecutor::run_epoch(std::int64_t run_id) const noexcept {
   // Worst case per attempt: the full watchdog plus the settle drain; one
@@ -74,10 +83,18 @@ Status RunExecutor::execute_run(const RunSpec& run, int attempt) {
   current_run_ = nullptr;
 
 #if EXCOVERY_OBS_ENABLED
+  const Status& outcome = !status.ok() ? status : cleanup;
   if (obs_ != nullptr) {
-    record_attempt_obs(run, !status.ok() ? status : cleanup, before,
-                       sim_start_ns, wall_start_ns);
+    record_attempt_obs(run, outcome, before, sim_start_ns, wall_start_ns);
+    if (outcome.ok()) {
+      // Only the successful attempt contributes critical paths (the same
+      // rule as the metrics ledger): an aborted attempt's graph is partial
+      // and its rows would duplicate the retry's.
+      obs_->provenance().record_run(
+          run.run_id, obs::extract_critical_paths(platform_.lineage()));
+    }
   }
+  if (!outcome.ok()) dump_flight_recorder(outcome);
 #endif
 
   if (!status.ok()) return status;
@@ -91,6 +108,10 @@ void RunExecutor::attach_obs(obs::ObsContext* context,
 #if EXCOVERY_OBS_ENABLED
   obs_ = context;
   obs_shard_ = shard;
+  // Full lineage-graph retention only while a context is attached: the
+  // flight-recorder ring is always on, but provenance extraction needs the
+  // whole run.  Takes effect at the next begin_run.
+  platform_.lineage().set_graph_enabled(context != nullptr);
   if (obs_ == nullptr) {
     platform_.network().set_packet_trace_hook(nullptr);
     return;
@@ -325,6 +346,20 @@ void RunExecutor::on_packet_trace(const net::PacketTraceEvent& event) {
                                     obs::json_escape(node).c_str()));
       trace.async_end(obs::Track::kSim, flow, std::move(pkt), "packet", ts);
       break;
+  }
+}
+
+void RunExecutor::dump_flight_recorder(const Status& failure) {
+  if (options_.flight_dir.empty()) return;
+  Result<std::string> written = obs::write_flight_dump(
+      platform_.lineage(), options_.flight_dir,
+      failure.ok() ? std::string_view("unknown failure")
+                   : std::string_view(failure.error().message()));
+  if (written.ok()) {
+    EXC_LOG_WARN("core.run", "flight recorder dumped to " << written.value());
+  } else {
+    EXC_LOG_WARN("core.run", "flight recorder dump failed: "
+                                 << written.error().to_string());
   }
 }
 

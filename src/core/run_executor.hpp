@@ -41,6 +41,11 @@ struct RunExecutorOptions {
   /// Test hook: force the given (run_id, attempt) to abort mid-run.  May be
   /// invoked from worker threads in parallel mode.
   std::function<bool(std::int64_t run_id, int attempt)> abort_hook;
+  /// Directory for post-mortem flight-recorder dumps (DESIGN.md §16): every
+  /// failed attempt writes its lineage ring there as a readable artifact.
+  /// Empty falls back to the EXCOVERY_FLIGHT_DIR environment variable; if
+  /// that is unset too, no dumps are written.
+  std::string flight_dir;
 };
 
 class RunExecutor : public ActionDispatcher {
@@ -62,9 +67,11 @@ class RunExecutor : public ActionDispatcher {
   /// recorded into `shard` (or, when `shard` is null, into the context's
   /// locked fallback shard), run spans go to the context's trace buffer,
   /// and deterministic per-run values to its ledger.  Enables per-link
-  /// packet statistics on the platform's network and — when the context
-  /// asks for packet traces — installs the per-packet lifecycle hook.
-  /// Compiled to a no-op when EXCOVERY_OBS is off.
+  /// packet statistics on the platform's network, full lineage-graph
+  /// retention for provenance extraction (each successful attempt's
+  /// critical paths land in the context's provenance ledger), and — when
+  /// the context asks for packet traces — installs the per-packet
+  /// lifecycle hook.  Compiled to a no-op when EXCOVERY_OBS is off.
   void attach_obs(obs::ObsContext* context, obs::MetricsShard* shard);
 
   SimPlatform& platform() noexcept { return platform_; }
@@ -97,6 +104,9 @@ class RunExecutor : public ActionDispatcher {
                           const KernelSample& before, std::int64_t sim_start_ns,
                           std::int64_t wall_start_ns);
   void on_packet_trace(const net::PacketTraceEvent& event);
+  /// Failed attempt: dump the lineage ring to the flight directory (no-op
+  /// when none is configured).
+  void dump_flight_recorder(const Status& failure);
 #endif
 
   const ExperimentDescription& description_;

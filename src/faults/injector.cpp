@@ -254,7 +254,7 @@ Result<FaultHandle> FaultInjector::message_loss(net::NodeId node,
               }
               if (rng->bernoulli(probability)) {
                 count_one(ks.packets_dropped);
-                return net::FilterVerdict::drop();
+                return net::FilterVerdict::drop("fault:message_loss");
               }
               return net::FilterVerdict::pass();
             });
@@ -323,7 +323,7 @@ Result<FaultHandle> FaultInjector::path_loss(net::NodeId node,
               }
               if (rng->bernoulli(probability)) {
                 count_one(ks.packets_dropped);
-                return net::FilterVerdict::drop();
+                return net::FilterVerdict::drop("fault:path_loss");
               }
               return net::FilterVerdict::pass();
             });
@@ -382,7 +382,7 @@ Result<FaultHandle> FaultInjector::drop_all_packets(
                 return net::FilterVerdict::pass();
               }
               count_one(ks.packets_dropped);
-              return net::FilterVerdict::drop();
+              return net::FilterVerdict::drop("fault:drop_all");
             });
       },
       [this, handle] { network_.remove_filter(*handle); });
@@ -439,7 +439,7 @@ Result<FaultHandle> FaultInjector::ge_loss(net::NodeId node,
               }
               if (drop) {
                 count_one(ks.packets_dropped);
-                return net::FilterVerdict::drop();
+                return net::FilterVerdict::drop("fault:ge_loss");
               }
               return net::FilterVerdict::pass();
             });
@@ -490,7 +490,7 @@ Result<FaultHandle> FaultInjector::ge_path_loss(net::NodeId node,
               }
               if (drop) {
                 count_one(ks.packets_dropped);
-                return net::FilterVerdict::drop();
+                return net::FilterVerdict::drop("fault:ge_path_loss");
               }
               return net::FilterVerdict::pass();
             });

@@ -81,19 +81,29 @@ Result<std::uint64_t> Network::send(NodeId from, Packet packet) {
   stats_.bytes_sent += packet.wire_size();
   emit_packet_trace(PacketTraceEvent::Kind::kSend, packet.uid, from, from,
                     "send", packet.wire_size());
+  const std::uint64_t lin_send = lin_record(
+      sim::LineageKind::kSend, lin_ambient(), packet.uid, from, from,
+      lin_labels_.send);
 
   // Transmit-side interface state.
   if (!sender.tx_up) {
     stats_.dropped_interface++;
+    lin_record(sim::LineageKind::kDrop, lin_send, packet.uid, from, from,
+               lin_labels_.tx_down);
     return packet.uid;
   }
   // Transmit-side filters (may delay, drop, or duplicate the whole send).
   FilterOutcome tx = apply_filters(from, Direction::kTransmit, packet);
   if (tx.drop) {
     stats_.dropped_filter++;
+    lin_record_cause(sim::LineageKind::kDrop, lin_send, packet.uid, from,
+                     from, tx.drop_cause);
     return packet.uid;
   }
   capture(from, Direction::kTransmit, packet);
+  // Everything launched below — duplicate copies, the (possibly delayed)
+  // flood / unicast forwarding — descends from this send.
+  sim::LineageScope lin_scope(scheduler_, lin_send);
   if (tx.duplicates > 0) {
     launch_duplicates(from, packet, tx.duplicates, tx.duplicate_gap, tx.delay);
   }
@@ -143,11 +153,19 @@ void Network::launch_duplicates(NodeId from, const Packet& packet, int copies,
       stats_.bytes_sent += copy.wire_size();
       emit_packet_trace(PacketTraceEvent::Kind::kSend, copy.uid, from, from,
                         "duplicate", copy.wire_size());
+      // The ambient context here is the original send (captured when the
+      // copy was scheduled), so injected copies link to their cause.
+      const std::uint64_t lin_copy = lin_record(
+          sim::LineageKind::kSend, lin_ambient(), copy.uid, from, from,
+          lin_labels_.duplicate);
       if (!sender.tx_up) {
         stats_.dropped_interface++;
+        lin_record(sim::LineageKind::kDrop, lin_copy, copy.uid, from, from,
+                   lin_labels_.tx_down);
         return;
       }
       capture(from, Direction::kTransmit, copy);
+      sim::LineageScope lin_scope(scheduler_, lin_copy);
       if (copy.dst.is_multicast() || copy.dst.is_broadcast()) {
         sender.seen_uids.insert(copy.uid);
         if (copy.dst.is_broadcast() || sender.groups.count(copy.dst) != 0) {
@@ -206,6 +224,32 @@ void Network::set_clock_model(NodeId node, const sim::ClockModel& model) {
   std::uint64_t jitter_seed =
       fnv1a64(topology_.node(node).name) ^ 0xC10C4ULL;
   nodes_.at(node).clock = sim::LocalClock(model, jitter_seed);
+}
+
+void Network::set_lineage(sim::LineageLog* log) {
+  lineage_ = log;
+  node_labels_.clear();
+  lin_labels_ = {};
+#if EXCOVERY_OBS_ENABLED
+  if (!log) return;
+  node_labels_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    node_labels_.push_back(log->intern(topology_.node(i).name));
+  }
+  lin_labels_.send = log->intern("send");
+  lin_labels_.duplicate = log->intern("duplicate");
+  lin_labels_.hop = log->intern("hop");
+  lin_labels_.deliver = log->intern("deliver");
+  lin_labels_.dup = log->intern("dup");
+  lin_labels_.tx_down = log->intern("tx_down");
+  lin_labels_.rx_down = log->intern("rx_down");
+  lin_labels_.link_down = log->intern("link_down");
+  lin_labels_.loss = log->intern("loss");
+  lin_labels_.queue = log->intern("queue");
+  lin_labels_.ttl = log->intern("ttl");
+  lin_labels_.no_route = log->intern("no_route");
+  lin_labels_.no_handler = log->intern("no_handler");
+#endif
 }
 
 void Network::enable_link_stats() {
@@ -300,6 +344,7 @@ FilterOutcome Network::apply_filters(NodeId node, Direction dir,
     switch (verdict.action) {
       case FilterVerdict::Action::kDrop:
         outcome.drop = true;
+        outcome.drop_cause = verdict.cause;
         return outcome;
       case FilterVerdict::Action::kDelay:
         outcome.delay += verdict.delay;
@@ -355,6 +400,8 @@ void Network::transfer(NodeId from, NodeId to, Packet packet,
     stats_.dropped_no_route++;
     emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, from, to,
                       "no_route", packet.wire_size());
+    lin_record(sim::LineageKind::kDrop, lin_ambient(), packet.uid, from, to,
+               lin_labels_.no_route);
     return;
   }
   // Administratively-down link (churn/partition faults).  Checked before
@@ -366,6 +413,8 @@ void Network::transfer(NodeId from, NodeId to, Packet packet,
     count_link(from, to, /*dropped=*/true);
     emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, from, to,
                       "link_down", packet.wire_size());
+    lin_record(sim::LineageKind::kDrop, lin_ambient(), packet.uid, from, to,
+               lin_labels_.link_down);
     return;
   }
   if (loss_rng_.bernoulli(link->loss)) {
@@ -373,6 +422,8 @@ void Network::transfer(NodeId from, NodeId to, Packet packet,
     count_link(from, to, /*dropped=*/true);
     emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, from, to,
                       "loss", packet.wire_size());
+    lin_record(sim::LineageKind::kDrop, lin_ambient(), packet.uid, from, to,
+               lin_labels_.loss);
     return;
   }
   sim::SimDuration delay = hop_delay(*link, packet.wire_size());
@@ -388,6 +439,8 @@ void Network::transfer(NodeId from, NodeId to, Packet packet,
       count_link(from, to, /*dropped=*/true);
       emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, from, to,
                         "queue", packet.wire_size());
+      lin_record(sim::LineageKind::kDrop, lin_ambient(), packet.uid, from,
+                 to, lin_labels_.queue);
       return;
     }
     sender.tx_free_at = start + serialisation(*link, packet.wire_size());
@@ -398,15 +451,21 @@ void Network::transfer(NodeId from, NodeId to, Packet packet,
       delay, [this, from, to, packet = std::move(packet),
               on_arrival = std::move(on_arrival)]() mutable {
         NodeState& receiver = nodes_[to];
+        // The ambient context is the upstream send/hop captured when this
+        // arrival was scheduled.
         if (!receiver.rx_up) {
           stats_.dropped_interface++;
           count_link(from, to, /*dropped=*/true);
           emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, to,
                             from, "rx_down", packet.wire_size());
+          lin_record(sim::LineageKind::kDrop, lin_ambient(), packet.uid, to,
+                     from, lin_labels_.rx_down);
           return;
         }
         emit_packet_trace(PacketTraceEvent::Kind::kHop, packet.uid, to, from,
                           "hop", packet.wire_size());
+        // Lineage hop recording is the callback's job: flood suppresses
+        // duplicates first so a dead-end arrival costs one event, not two.
         packet.route.push_back(to);
         on_arrival(std::move(packet));
       });
@@ -419,6 +478,8 @@ void Network::deliver_local(NodeId node, Packet packet) {
   FilterOutcome rx = apply_filters(node, Direction::kReceive, packet);
   if (rx.drop) {
     stats_.dropped_filter++;
+    lin_record_cause(sim::LineageKind::kDrop, lin_ambient(), packet.uid,
+                     node, node, rx.drop_cause);
     return;
   }
   auto handoff = [this, node, packet = std::move(packet)]() mutable {
@@ -429,11 +490,20 @@ void Network::deliver_local(NodeId node, Packet packet) {
       stats_.dropped_no_handler++;
       emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, node, node,
                         "no_handler", packet.wire_size());
+      lin_record(sim::LineageKind::kDrop, lin_ambient(), packet.uid, node,
+                 node, lin_labels_.no_handler);
       return;
     }
     stats_.delivered++;
     emit_packet_trace(PacketTraceEvent::Kind::kDeliver, packet.uid, node,
                       node, "deliver", packet.wire_size());
+    // The handler (and everything it sends, schedules or stores) descends
+    // from this delivery — this is the link that lets provenance walk from
+    // an sd_service_add back to the packet that caused it.
+    const std::uint64_t lin_deliver = lin_record(
+        sim::LineageKind::kDeliver, lin_ambient(), packet.uid, node, node,
+        lin_labels_.deliver);
+    sim::LineageScope lin_scope(scheduler_, lin_deliver);
     it->second(node, packet);
   };
   if (rx.delay.nanos() > 0) {
@@ -455,6 +525,8 @@ void Network::forward_unicast(NodeId current, Packet packet) {
     Result<NodeId> dest = topology_.find(packet.dst);
     if (!dest.ok()) {
       stats_.dropped_no_route++;
+      lin_record(sim::LineageKind::kDrop, lin_ambient(), packet.uid, current,
+                 current, lin_labels_.no_route);
       return;
     }
     target = dest.value();
@@ -467,6 +539,8 @@ void Network::forward_unicast(NodeId current, Packet packet) {
   NodeId next = routing_.next_hop(current, target);
   if (next == kInvalidNode) {
     stats_.dropped_no_route++;
+    lin_record(sim::LineageKind::kDrop, lin_ambient(), packet.uid, current,
+               target, lin_labels_.no_route);
     return;
   }
   // Intermediate nodes must be willing to forward: a node whose interfaces
@@ -475,16 +549,30 @@ void Network::forward_unicast(NodeId current, Packet packet) {
     NodeState& relay = nodes_[current];
     if (!relay.tx_up) {
       stats_.dropped_interface++;
+      lin_record(sim::LineageKind::kDrop, lin_ambient(), packet.uid, current,
+                 next, lin_labels_.tx_down);
       return;
     }
-    if (apply_filters(current, Direction::kTransmit, packet).drop) {
+    FilterOutcome relay_tx =
+        apply_filters(current, Direction::kTransmit, packet);
+    if (relay_tx.drop) {
       stats_.dropped_filter++;
+      lin_record_cause(sim::LineageKind::kDrop, lin_ambient(), packet.uid,
+                       current, next, relay_tx.drop_cause);
       return;
     }
     stats_.forwarded++;
   }
   transfer(current, next, std::move(packet), [this](Packet arrived) {
     NodeId here = arrived.route.back();
+    const NodeId prev = arrived.route[arrived.route.size() - 2];
+    const std::uint64_t lin_hop =
+        lin_record(sim::LineageKind::kHop, lin_ambient(), arrived.uid, here,
+                   prev, lin_labels_.hop);
+    // Tail of this timer dispatch: the scheduler clears the ambient
+    // context after every callback, so a bare set (no RAII restore)
+    // suffices — this is the hottest lineage site in the kernel.
+    if (lin_hop != 0) scheduler_.set_current_context(lin_hop);
     forward_unicast(here, std::move(arrived));
   });
 }
@@ -494,6 +582,8 @@ void Network::flood(NodeId origin_hop, Packet packet) {
     stats_.dropped_ttl++;
     emit_packet_trace(PacketTraceEvent::Kind::kDrop, packet.uid, origin_hop,
                       origin_hop, "ttl", packet.wire_size());
+    lin_record(sim::LineageKind::kDrop, lin_ambient(), packet.uid,
+               origin_hop, origin_hop, lin_labels_.ttl);
     return;
   }
   packet.ttl--;
@@ -504,13 +594,27 @@ void Network::flood(NodeId origin_hop, Packet packet) {
   const std::uint32_t adj_end = adj_offset_[origin_hop + 1];
   auto arrival = [this](Packet arrived) {
     NodeId here = arrived.route.back();
+    const NodeId prev = arrived.route[arrived.route.size() - 2];
     NodeState& state = nodes_[here];
-    // Duplicate suppression: first arrival wins.
+    // Duplicate suppression: first arrival wins.  Suppressed arrivals
+    // dominate a flood (~2.5 per fresh hop on a grid) yet are causally
+    // dead — no descendants, never on a critical path — so they are
+    // retained only for the opt-in provenance graph.  Ring-only mode
+    // skips them: they would evict live events from the bounded flight
+    // recorder, and packet traces still carry every suppression.
     if (!state.seen_uids.insert(arrived.uid)) {
       emit_packet_trace(PacketTraceEvent::Kind::kDup, arrived.uid, here, here,
                         "dup", arrived.wire_size());
+      if (lineage_ && lineage_->graph_active())
+        lin_record(sim::LineageKind::kDup, lin_ambient(), arrived.uid, here,
+                   prev, lin_labels_.dup);
       return;
     }
+    const std::uint64_t lin_hop =
+        lin_record(sim::LineageKind::kHop, lin_ambient(), arrived.uid, here,
+                   prev, lin_labels_.hop);
+    // Tail position within this arrival dispatch (see forward_unicast).
+    if (lin_hop != 0) scheduler_.set_current_context(lin_hop);
     bool member = arrived.dst.is_broadcast() ||
                   state.groups.count(arrived.dst) != 0;
     if (member) {
@@ -520,11 +624,16 @@ void Network::flood(NodeId origin_hop, Packet packet) {
     // Relay onward if the node can transmit.
     if (!state.tx_up) {
       stats_.dropped_interface++;
+      lin_record(sim::LineageKind::kDrop, lin_ambient(), arrived.uid, here,
+                 here, lin_labels_.tx_down);
       return;
     }
     Packet onward = std::move(arrived);
-    if (apply_filters(here, Direction::kTransmit, onward).drop) {
+    FilterOutcome relay_tx = apply_filters(here, Direction::kTransmit, onward);
+    if (relay_tx.drop) {
       stats_.dropped_filter++;
+      lin_record_cause(sim::LineageKind::kDrop, lin_ambient(), onward.uid,
+                       here, here, relay_tx.drop_cause);
       return;
     }
     stats_.forwarded++;

@@ -34,6 +34,7 @@
 #include "net/topology.hpp"
 #include "net/uid_set.hpp"
 #include "sim/clock.hpp"
+#include "sim/lineage.hpp"
 #include "sim/scheduler.hpp"
 
 namespace excovery::net {
@@ -44,9 +45,18 @@ struct FilterVerdict {
   sim::SimDuration delay{};  ///< extra delay when action == kDelay
   int copies = 0;            ///< extra copies when action == kDuplicate
   sim::SimDuration copy_gap{};  ///< spacing between injected copies
+  /// Why a kDrop verdict dropped — a static string naming the injector or
+  /// rule ("fault:loss", "fault:partition", …).  Recorded as the label of
+  /// the lineage terminator so provenance can attribute the loss.
+  const char* cause = "filter";
 
   static FilterVerdict pass() { return {}; }
-  static FilterVerdict drop() { return {Action::kDrop, {}}; }
+  static FilterVerdict drop(const char* cause = "filter") {
+    FilterVerdict v;
+    v.action = Action::kDrop;
+    v.cause = cause;
+    return v;
+  }
   static FilterVerdict delayed(sim::SimDuration d) {
     return {Action::kDelay, d};
   }
@@ -66,6 +76,7 @@ struct FilterVerdict {
 /// Accumulated result of running a filter chain over one packet.
 struct FilterOutcome {
   bool drop = false;
+  const char* drop_cause = "filter";  ///< cause of the dropping verdict
   sim::SimDuration delay{};
   int duplicates = 0;               ///< origin-send only; relays ignore
   sim::SimDuration duplicate_gap{};
@@ -203,6 +214,46 @@ class Network {
     trace_hook_ = std::move(hook);
   }
 
+  /// Attach (or detach, with nullptr) the causal lineage log (DESIGN.md
+  /// §16).  Every send/hop/deliver/drop/dup then records a LineageEvent
+  /// whose parent is the ambient scheduler context, and delivery handlers
+  /// run under their packet's deliver event, so causality threads through
+  /// the whole data plane.  Recording consumes no randomness and schedules
+  /// nothing: simulation results are identical with or without a log.
+  void set_lineage(sim::LineageLog* log);
+  /// The attached lineage log (nullptr when none) — the SD agents record
+  /// their protocol-level events (query rounds, answers, cache hits)
+  /// through the same log.
+  sim::LineageLog* lineage() noexcept { return lineage_; }
+  /// Interned lineage label of a node's name (0 when no log is attached).
+  std::uint16_t lineage_node_label(NodeId node) const noexcept {
+    return node < node_labels_.size() ? node_labels_[node] : 0;
+  }
+  /// The ambient causal context (current scheduler context); what an SD
+  /// agent should use as the parent of a protocol-level event.
+  std::uint64_t lineage_ambient() const noexcept {
+    return scheduler_.current_context();
+  }
+  /// Record a protocol-level lineage event attributed to `node` (for the
+  /// SD agents).  No-op returning 0 when no log is attached.
+  std::uint64_t record_lineage(sim::LineageKind kind, std::uint64_t parent,
+                               std::uint64_t uid, NodeId node,
+                               std::string_view label) {
+#if EXCOVERY_OBS_ENABLED
+    if (!lineage_) return 0;
+    return lineage_->record(kind, parent, uid, scheduler_.now(),
+                            lineage_node_label(node), 0,
+                            lineage_->intern(label));
+#else
+    (void)kind;
+    (void)parent;
+    (void)uid;
+    (void)node;
+    (void)label;
+    return 0;
+#endif
+  }
+
   /// Reset per-run state: duplicate-suppression sets, captures, tag
   /// counters.  Used by run preparation ("network packets generated in
   /// previous runs must be dropped", §IV-C1).
@@ -328,6 +379,61 @@ class Network {
 #endif
   }
 
+  /// Ambient causal context (the lineage id the current activity descends
+  /// from); 0 outside any context or with observability compiled out.
+  std::uint64_t lin_ambient() const noexcept {
+    return scheduler_.current_context();
+  }
+
+  /// Record one packet lineage event with an explicit parent and a
+  /// pre-interned label.  Returns its id, 0 when no log is attached (or
+  /// the hooks are compiled out) — a 0 id makes LineageScope a no-op.
+  std::uint64_t lin_record(sim::LineageKind kind, std::uint64_t parent,
+                           std::uint64_t uid, NodeId node, NodeId peer,
+                           std::uint16_t label) {
+#if EXCOVERY_OBS_ENABLED
+    if (!lineage_) return 0;
+    return lineage_->record(kind, parent, uid, scheduler_.now(),
+                            lineage_node_label(node),
+                            lineage_node_label(peer), label);
+#else
+    (void)kind;
+    (void)parent;
+    (void)uid;
+    (void)node;
+    (void)peer;
+    (void)label;
+    return 0;
+#endif
+  }
+
+  /// Same, interning a dynamic cause string (filter verdicts).  Off the
+  /// hot path: only dropped packets pay the interner lookup.
+  std::uint64_t lin_record_cause(sim::LineageKind kind, std::uint64_t parent,
+                                 std::uint64_t uid, NodeId node, NodeId peer,
+                                 const char* cause) {
+#if EXCOVERY_OBS_ENABLED
+    if (!lineage_) return 0;
+    return lin_record(kind, parent, uid, node, peer, lineage_->intern(cause));
+#else
+    (void)kind;
+    (void)parent;
+    (void)uid;
+    (void)node;
+    (void)peer;
+    (void)cause;
+    return 0;
+#endif
+  }
+
+  /// Pre-interned labels for the fixed data-plane sites, resolved once in
+  /// set_lineage so the hot path never touches the interner.
+  struct LineageLabels {
+    std::uint16_t send = 0, duplicate = 0, hop = 0, deliver = 0, dup = 0,
+                  tx_down = 0, rx_down = 0, link_down = 0, loss = 0,
+                  queue = 0, ttl = 0, no_route = 0, no_handler = 0;
+  };
+
   sim::Scheduler& scheduler_;
   Topology topology_;
   RoutingTable routing_;
@@ -349,6 +455,9 @@ class Network {
   NetworkStats stats_;
   LinkStats link_stats_;
   PacketTraceHook trace_hook_;
+  sim::LineageLog* lineage_ = nullptr;
+  std::vector<std::uint16_t> node_labels_;  ///< NodeId -> interned name
+  LineageLabels lin_labels_;
   sim::SimDuration queue_limit_ = sim::SimDuration::from_millis(250);
   bool capture_ = true;
   std::uint64_t next_uid_ = 1;

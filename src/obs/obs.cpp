@@ -460,4 +460,63 @@ Status ObsContext::export_metrics(storage::ExperimentPackage& package) const {
   return Status::ok_status();
 }
 
+std::string ObsContext::provenance_json() const {
+  const std::vector<storage::ProvenanceRow> rows = provenance_.sorted();
+  std::string out = "{\n\"paths\":[";
+  bool path_open = false;
+  std::int64_t open_run = 0;
+  std::int64_t open_path = 0;
+  bool first_path = true;
+  for (const storage::ProvenanceRow& row : rows) {
+    if (!path_open || row.run_id != open_run || row.path != open_path) {
+      if (path_open) out += "]}";
+      if (!first_path) out += ',';
+      first_path = false;
+      path_open = true;
+      open_run = row.run_id;
+      open_path = row.path;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "\n{\"run\":%lld,\"path\":%lld",
+                    static_cast<long long>(row.run_id),
+                    static_cast<long long>(row.path));
+      out += buf;
+      out += ",\"steps\":[";
+    } else {
+      out += ',';
+    }
+    out += "\n{\"kind\":\"";
+    out += json_escape(row.kind);
+    out += "\",\"node\":\"";
+    out += json_escape(row.node_id);
+    out += "\",\"detail\":\"";
+    out += json_escape(row.detail);
+    out += "\",\"t\":";
+    append_double(out, row.time);
+    out += ",\"latency\":";
+    append_double(out, row.latency);
+    out += '}';
+  }
+  if (path_open) out += "]}";
+  out += "\n]\n}\n";
+  return out;
+}
+
+Status ObsContext::write_provenance_json(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return err_io("cannot open provenance output file " + path);
+  const std::string json = provenance_json();
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  file.flush();
+  if (!file) return err_io("failed writing provenance output file " + path);
+  return Status::ok_status();
+}
+
+Status ObsContext::export_provenance(
+    storage::ExperimentPackage& package) const {
+  for (const storage::ProvenanceRow& row : provenance_.sorted()) {
+    EXC_TRY(package.add_provenance(row));
+  }
+  return Status::ok_status();
+}
+
 }  // namespace excovery::obs

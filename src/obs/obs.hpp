@@ -19,6 +19,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 
 namespace excovery::storage {
@@ -108,6 +109,8 @@ class ObsContext {
   const MetricIds& ids() const noexcept { return ids_; }
   TraceBuffer& trace() noexcept { return trace_; }
   RunMetricsLedger& ledger() noexcept { return ledger_; }
+  ProvenanceLedger& provenance() noexcept { return provenance_; }
+  const ProvenanceLedger& provenance() const noexcept { return provenance_; }
 
   /// Fresh shard over this context's registry, for one worker/instance to
   /// record into without synchronisation.
@@ -146,6 +149,15 @@ class ObsContext {
   /// into the package's Metrics table.
   Status export_metrics(storage::ExperimentPackage& package) const;
 
+  /// Per-discovery critical paths (DESIGN.md §16) as a JSON object, one
+  /// entry per (run, path) with its root-to-discovery steps.  Deterministic:
+  /// identical across run_workers values.
+  std::string provenance_json() const;
+  Status write_provenance_json(const std::string& path) const;
+
+  /// Write the provenance ledger into the package's Provenance table.
+  Status export_provenance(storage::ExperimentPackage& package) const;
+
  private:
   class PoolObserverImpl : public ThreadPoolObserver {
    public:
@@ -161,6 +173,7 @@ class ObsContext {
   MetricIds ids_;
   TraceBuffer trace_;
   RunMetricsLedger ledger_;
+  ProvenanceLedger provenance_;
 
   mutable std::mutex merge_mutex_;
   MetricsShard merged_;

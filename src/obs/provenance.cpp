@@ -1,0 +1,121 @@
+#include "obs/provenance.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/strings.hpp"
+
+namespace excovery::obs {
+
+namespace {
+
+/// The event type the recorder logs when an SD agent reports a discovery
+/// (sd::events::kServiceAdd; spelled out here so obs does not depend on the
+/// sd layer).
+constexpr std::string_view kServiceAddEvent = "sd_service_add";
+
+}  // namespace
+
+std::string describe(const sim::LineageLog& log,
+                     const sim::LineageEvent& event) {
+  std::string out(log.name(event.label));
+  const std::string_view peer = log.name(event.peer);
+  if (!peer.empty() && peer != log.name(event.node)) {
+    if (!out.empty()) out += ' ';
+    out += peer;
+  }
+  if (event.kind == sim::LineageKind::kQuery) {
+    out += strings::format(" round %llu",
+                           static_cast<unsigned long long>(event.uid));
+  }
+  return out;
+}
+
+std::vector<CriticalPath> extract_critical_paths(const sim::LineageLog& log) {
+  const std::vector<sim::LineageEvent>& events = log.events();
+  std::vector<CriticalPath> out;
+  // First discovery per (node, instance); later re-reports (e.g. a refresh
+  // after a cache expiry) are not *the* discovery being attributed.
+  std::set<std::pair<std::uint16_t, std::uint16_t>> seen;
+  for (const sim::LineageEvent& event : events) {
+    if (event.kind != sim::LineageKind::kSdEvent) continue;
+    if (log.name(event.label) != kServiceAddEvent) continue;
+    if (!seen.insert({event.node, event.peer}).second) continue;
+
+    // Walk the parent chain to the root.  Parents always have smaller ids
+    // (they were recorded first), so the walk terminates; the bound check
+    // guards against a graph truncated by a mid-run enable.
+    std::vector<const sim::LineageEvent*> chain;
+    const sim::LineageEvent* current = &event;
+    for (;;) {
+      chain.push_back(current);
+      if (current->parent == 0 || current->parent >= current->id) break;
+      if (current->parent > events.size()) break;
+      current = &events[current->parent - 1];
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    CriticalPath path;
+    path.node = std::string(log.name(event.node));
+    path.instance = std::string(log.name(event.peer));
+    path.found_ns = event.ts_ns;
+    path.total_ns = event.ts_ns - chain.front()->ts_ns;
+    path.steps.reserve(chain.size());
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      ProvenanceStep step;
+      step.kind = std::string(to_string(chain[i]->kind));
+      step.node = std::string(log.name(chain[i]->node));
+      step.detail = describe(log, *chain[i]);
+      step.t_ns = chain[i]->ts_ns;
+      step.latency_ns = i == 0 ? 0 : chain[i]->ts_ns - chain[i - 1]->ts_ns;
+      path.steps.push_back(std::move(step));
+    }
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+void ProvenanceLedger::record_run(std::int64_t run_id,
+                                  const std::vector<CriticalPath>& paths) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const CriticalPath& path = paths[p];
+    for (std::size_t s = 0; s < path.steps.size(); ++s) {
+      const ProvenanceStep& step = path.steps[s];
+      storage::ProvenanceRow row;
+      row.run_id = run_id;
+      row.path = static_cast<std::int64_t>(p);
+      row.seq = static_cast<std::int64_t>(s);
+      row.kind = step.kind;
+      row.node_id = step.node;
+      row.detail = step.detail;
+      row.time = static_cast<double>(step.t_ns) / 1e9;
+      row.latency = static_cast<double>(step.latency_ns) / 1e9;
+      rows_.push_back(std::move(row));
+    }
+  }
+}
+
+std::vector<storage::ProvenanceRow> ProvenanceLedger::sorted() const {
+  std::vector<storage::ProvenanceRow> out;
+  {
+    std::lock_guard lock(mutex_);
+    out = rows_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const storage::ProvenanceRow& a,
+                      const storage::ProvenanceRow& b) {
+                     if (a.run_id != b.run_id) return a.run_id < b.run_id;
+                     if (a.path != b.path) return a.path < b.path;
+                     return a.seq < b.seq;
+                   });
+  return out;
+}
+
+std::size_t ProvenanceLedger::size() const {
+  std::lock_guard lock(mutex_);
+  return rows_.size();
+}
+
+}  // namespace excovery::obs

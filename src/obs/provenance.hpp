@@ -1,0 +1,70 @@
+// Responsiveness attribution (DESIGN.md §16): turn a run's causal lineage
+// graph into per-discovery *critical paths*.
+//
+// A discovery is the first sd_service_add event a node records for a given
+// service instance.  Walking its lineage parents back to the root yields the
+// exact chain that produced it — which query round, which retransmission,
+// which cache or SCM hop — with the simulated-time latency of every edge.
+// The extraction is a pure function of the (deterministic) lineage graph,
+// so the resulting rows are bit-identical across worker counts and obs
+// configurations; they are exported into the level-3 Provenance table only
+// through the explicit ObsContext::export_provenance call.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/lineage.hpp"
+#include "storage/package.hpp"
+
+namespace excovery::obs {
+
+/// One step of a critical path, root first.
+struct ProvenanceStep {
+  std::string kind;    ///< lineage kind ("root", "query", "deliver", …)
+  std::string node;    ///< node the step happened on
+  std::string detail;  ///< human-readable site detail (see describe())
+  std::int64_t t_ns = 0;        ///< simulated time of the step
+  std::int64_t latency_ns = 0;  ///< elapsed since the previous step
+};
+
+/// The causal chain behind one discovery.
+struct CriticalPath {
+  std::string node;      ///< discovering node
+  std::string instance;  ///< discovered service instance
+  std::int64_t found_ns = 0;  ///< when the discovery event fired
+  std::int64_t total_ns = 0;  ///< found - root (attributed latency)
+  std::vector<ProvenanceStep> steps;
+};
+
+/// Compact one-line description of a lineage event: its label, the peer
+/// string when distinct from the node, and the query round when present.
+std::string describe(const sim::LineageLog& log,
+                     const sim::LineageEvent& event);
+
+/// Extract the critical path of every discovery in the log's retained
+/// graph: the *first* sd_service_add per (node, instance), its parent chain
+/// walked back to the root.  Returns paths in discovery order; empty when
+/// graph retention was off (or EXCOVERY_OBS is off).
+std::vector<CriticalPath> extract_critical_paths(const sim::LineageLog& log);
+
+/// Per-run critical-path rows for a whole experiment.  Like the metrics
+/// ledger, every entry is attributable to exactly one run, so the
+/// collection is a set: identical no matter which worker recorded which
+/// run, and exported in (run, path, seq) order.
+class ProvenanceLedger {
+ public:
+  void record_run(std::int64_t run_id,
+                  const std::vector<CriticalPath>& paths);
+  /// All rows ordered by (run_id, path, seq).
+  std::vector<storage::ProvenanceRow> sorted() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<storage::ProvenanceRow> rows_;
+};
+
+}  // namespace excovery::obs

@@ -1,0 +1,30 @@
+// Post-mortem flight recorder (DESIGN.md §16): render the lineage log's
+// always-on bounded ring into a readable artifact when a run attempt fails.
+//
+// The ring itself lives in sim::LineageLog (zero steady-state allocation;
+// recording never schedules or consumes randomness).  This module only
+// *renders*: it runs on the cold failure path, after the attempt's outcome
+// is already decided, so formatting cost is irrelevant and the successful
+// path never pays anything.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "sim/lineage.hpp"
+
+namespace excovery::obs {
+
+/// Human-readable dump of the ring: a header naming the run, attempt and
+/// failure reason, then one line per retained event, oldest first.
+std::string render_flight_dump(const sim::LineageLog& log,
+                               std::string_view reason);
+
+/// Write the dump into `dir` (created if missing) as
+/// flight-run<id>-attempt<n>.txt; returns the path written.
+Result<std::string> write_flight_dump(const sim::LineageLog& log,
+                                      const std::string& dir,
+                                      std::string_view reason);
+
+}  // namespace excovery::obs

@@ -2,7 +2,7 @@
 
 namespace excovery::sd {
 
-void ServiceCache::store(const ServiceRecord& record) {
+void ServiceCache::store(const ServiceRecord& record, std::uint64_t lineage) {
   const std::string& name = record.instance.instance_name;
   auto it = entries_.find(name);
 
@@ -24,6 +24,7 @@ void ServiceCache::store(const ServiceRecord& record) {
     Entry entry;
     entry.record = record;
     entry.expires = expires;
+    entry.lineage = lineage;
     auto [inserted, ok] = entries_.emplace(name, std::move(entry));
     (void)ok;
     schedule_expiry(name, inserted->second);
@@ -35,6 +36,7 @@ void ServiceCache::store(const ServiceRecord& record) {
   scheduler_.cancel(it->second.expiry_timer);
   it->second.record = record;
   it->second.expires = expires;
+  if (lineage != 0) it->second.lineage = lineage;
   schedule_expiry(name, it->second);
   if (is_update) notify(CacheChange::kUpdated, record.instance);
   // Same-version refresh: TTL extended silently (cache maintenance).
@@ -75,6 +77,11 @@ std::vector<ServiceInstance> ServiceCache::all_instances() const {
 
 bool ServiceCache::contains(const std::string& instance_name) const {
   return entries_.find(instance_name) != entries_.end();
+}
+
+std::uint64_t ServiceCache::lineage(const std::string& instance_name) const {
+  auto it = entries_.find(instance_name);
+  return it == entries_.end() ? 0 : it->second.lineage;
 }
 
 std::uint32_t ServiceCache::remaining_ttl(

@@ -34,7 +34,14 @@ class ServiceCache {
 
   /// Insert or refresh a record.  A record with ttl 0 withdraws (goodbye).
   /// A record with a higher version than the cached one is an update.
-  void store(const ServiceRecord& record);
+  /// `lineage` is the causal event id the record arrived under (typically
+  /// the delivering packet's cache-store event); it is retained so a later
+  /// passive discovery can attribute its answer to the storing packet.
+  void store(const ServiceRecord& record, std::uint64_t lineage = 0);
+
+  /// Causal lineage id the instance's record was stored under (0 if absent
+  /// or recorded without lineage).
+  std::uint64_t lineage(const std::string& instance_name) const;
 
   /// All live instances of a type.
   std::vector<ServiceInstance> instances(const ServiceType& type) const;
@@ -58,6 +65,7 @@ class ServiceCache {
     ServiceRecord record;
     sim::SimTime expires;
     sim::TimerHandle expiry_timer;
+    std::uint64_t lineage = 0;  ///< causal event the record arrived under
   };
 
   void notify(CacheChange change, const ServiceInstance& instance) {

@@ -89,6 +89,13 @@ void HybridAgent::route_inner_event(std::string_view event,
         if (instance.instance_name != name) continue;
         if (reported_[type].insert(name).second) {
           emit(events::kServiceAdd, parameter);
+        } else {
+          // The other stack reported this instance first; leave a lineage
+          // marker so provenance shows the losing stack's answer arrived
+          // (and when) even though no event was emitted for it.
+          network_.record_lineage(sim::LineageKind::kDup,
+                                  network_.lineage_ambient(), 0, node_,
+                                  "hybrid_dedup");
         }
         return;
       }

@@ -144,10 +144,21 @@ Status MdnsAgent::start_search(const ServiceType& type) {
   search.type = type;
   search.next_interval = config_.query_interval;
   searches_.emplace(type, std::move(search));
+  // Root of this discovery's causal tree: the start_search event, the
+  // passive head start and the first query round all descend from it.
+  const std::uint64_t lin_search = network_.record_lineage(
+      sim::LineageKind::kRoot, network_.lineage_ambient(), 0, node_, type);
+  sim::LineageScope lin_search_scope(network_.scheduler(), lin_search);
   emit(events::kStartSearch, Value{type});
 
-  // Passive head start: anything already cached counts as discovered.
+  // Passive head start: anything already cached counts as discovered.  The
+  // discovery's lineage points at the packet that stored the record, via
+  // the cache-hit event — "answered from cache" is an attributable edge.
   for (const ServiceInstance& instance : cache_.instances(type)) {
+    const std::uint64_t lin_hit = network_.record_lineage(
+        sim::LineageKind::kCacheHit, cache_.lineage(instance.instance_name),
+        0, node_, instance.instance_name);
+    sim::LineageScope lin_scope(network_.scheduler(), lin_hit);
     emit(events::kServiceAdd, Value{instance.instance_name});
   }
 
@@ -169,6 +180,14 @@ void MdnsAgent::schedule_query(const ServiceType& type,
     if (*alive != generation) return;
     auto it = searches_.find(type);
     if (it == searches_.end()) return;  // search stopped
+    // One query round: the round's packet and the next round's timer both
+    // descend from this event, so retransmission rounds chain — the
+    // provenance walk can say "closed by round N".
+    const std::uint32_t round = ++it->second.round;
+    const std::uint64_t lin_query =
+        network_.record_lineage(sim::LineageKind::kQuery,
+                                network_.lineage_ambient(), round, node_, type);
+    sim::LineageScope lin_scope(network_.scheduler(), lin_query);
     send_query(type);
     // Exponential back-off for the next round.
     sim::SimDuration next = it->second.next_interval;
@@ -416,6 +435,12 @@ void MdnsAgent::handle_query(const SdMessage& message) {
     response.sender_name = network_.topology().node(node_).name;
     response.records = answers;
     counters_.responses_sent++;
+    // Ambient context = the delivery of the query this answers (captured
+    // when the aggregation timer was scheduled).
+    const std::uint64_t lin_answer = network_.record_lineage(
+        sim::LineageKind::kAnswer, network_.lineage_ambient(), txn, node_,
+        "mdns_response");
+    sim::LineageScope lin_scope(network_.scheduler(), lin_answer);
     send_message(response);
   });
 }
@@ -493,7 +518,13 @@ void MdnsAgent::handle_records(const SdMessage& message) {
       resolve_conflict(record.instance.instance_name);
       continue;
     }
-    cache_.store(record);
+    // The store event ties the cache entry to the packet delivering it;
+    // the cache listener's sd_service_add fires under the same ambient
+    // context, so fresh discoveries chain to the answer automatically.
+    const std::uint64_t lin_store = network_.record_lineage(
+        sim::LineageKind::kCacheStore, network_.lineage_ambient(), 0, node_,
+        record.instance.instance_name);
+    cache_.store(record, lin_store);
   }
 }
 

@@ -102,6 +102,7 @@ class MdnsAgent final : public SdAgent {
     ServiceType type;
     sim::SimDuration next_interval;
     sim::TimerHandle timer;
+    std::uint32_t round = 0;  ///< query rounds fired (lineage attribution)
   };
 
   void on_packet(const net::Packet& packet);

@@ -293,8 +293,11 @@ void SlpAgent::handle_register(const SdMessage& message, net::Address from) {
                                     : config_.lease_seconds));
     auto it = registrations_.find(name);
     if (it == registrations_.end()) {
-      registrations_.emplace(
-          name, Registration{record, message.sender_name, expires});
+      // The directory entry remembers the delivery it arrived under, so a
+      // later directed reply can attribute its answer to this SCM hop.
+      registrations_.emplace(name,
+                             Registration{record, message.sender_name,
+                                          expires, network_.lineage_ambient()});
       // "If an SM registers its service on an SCM node, a
       // scm_registration_add event is generated with the registering
       // node's identification as parameter" (§V).
@@ -305,6 +308,7 @@ void SlpAgent::handle_register(const SdMessage& message, net::Address from) {
       it->second.record = record;
       it->second.lease_expires = expires;
       if (changed) {
+        it->second.lineage = network_.lineage_ambient();
         emit(events::kScmRegistrationUpd, Value{message.sender_name});
       }
     }
@@ -338,9 +342,17 @@ void SlpAgent::handle_directed_query(const SdMessage& message,
   for (const auto& [name, registration] : registrations_) {
     if (registration.record.instance.type == message.service_type) {
       reply.records.push_back(registration.record);
+      // Side branch: the answered record descends from the registration
+      // that brought it into the directory ("which SCM hop delivered").
+      network_.record_lineage(sim::LineageKind::kScmHit, registration.lineage,
+                              message.txn_id, node_, name);
     }
   }
   counters_.directed_replies_sent++;
+  const std::uint64_t lin_answer = network_.record_lineage(
+      sim::LineageKind::kAnswer, network_.lineage_ambient(), message.txn_id,
+      node_, "scm_reply");
+  sim::LineageScope lin_scope(network_.scheduler(), lin_answer);
   send_unicast(from, reply);
 }
 
@@ -356,6 +368,13 @@ void SlpAgent::poll_scm(const ServiceType& type) {
   query.service_type = type;
   query.sender_name = network_.topology().node(node_).name;
   counters_.directed_queries_sent++;
+  // One directed-poll round; the next round's timer descends from it, so
+  // poll rounds chain for responsiveness attribution.
+  const std::uint32_t round = ++it->second.round;
+  const std::uint64_t lin_query = network_.record_lineage(
+      sim::LineageKind::kQuery, network_.lineage_ambient(), round, node_,
+      type);
+  sim::LineageScope lin_scope(network_.scheduler(), lin_query);
   send_unicast(*scm_, query);
 
   std::uint64_t generation = generation_.value();
@@ -369,7 +388,10 @@ void SlpAgent::poll_scm(const ServiceType& type) {
 
 void SlpAgent::handle_directed_reply(const SdMessage& message) {
   for (const ServiceRecord& record : message.records) {
-    cache_.store(record);
+    const std::uint64_t lin_store = network_.record_lineage(
+        sim::LineageKind::kCacheStore, network_.lineage_ambient(), 0, node_,
+        record.instance.instance_name);
+    cache_.store(record, lin_store);
   }
 }
 
@@ -384,8 +406,16 @@ Status SlpAgent::start_search(const ServiceType& type) {
     return err_state("search for '" + type + "' already active");
   }
   searches_.emplace(type, Search{type, {}});
+  // Root of this discovery's causal tree (mirrors the mdns agent).
+  const std::uint64_t lin_search = network_.record_lineage(
+      sim::LineageKind::kRoot, network_.lineage_ambient(), 0, node_, type);
+  sim::LineageScope lin_search_scope(network_.scheduler(), lin_search);
   emit(events::kStartSearch, Value{type});
   for (const ServiceInstance& instance : cache_.instances(type)) {
+    const std::uint64_t lin_hit = network_.record_lineage(
+        sim::LineageKind::kCacheHit, cache_.lineage(instance.instance_name),
+        0, node_, instance.instance_name);
+    sim::LineageScope lin_scope(network_.scheduler(), lin_hit);
     emit(events::kServiceAdd, Value{instance.instance_name});
   }
   // Directed discovery starts as soon as an SCM is known; otherwise the

@@ -100,6 +100,7 @@ class SlpAgent final : public SdAgent {
     ServiceRecord record;
     std::string owner;        // registering SM name
     sim::SimTime lease_expires;
+    std::uint64_t lineage = 0;  ///< causal event of the registering packet
   };
   struct Publication {        // SM-side state per instance
     ServiceInstance instance;
@@ -108,6 +109,7 @@ class SlpAgent final : public SdAgent {
   struct Search {
     ServiceType type;
     sim::TimerHandle poll_timer;
+    std::uint32_t round = 0;  ///< directed-poll rounds (lineage attribution)
   };
 
   void on_packet(const net::Packet& packet);

@@ -186,6 +186,19 @@ class Scheduler {
   /// Timers cancelled before firing (0 when hooks are compiled out).
   std::uint64_t cancelled() const noexcept { return cancelled_; }
 
+  /// Ambient causal context: the lineage event id (sim/lineage.hpp) the
+  /// currently-running activity descends from.  Captured into every timer
+  /// at schedule time and restored around its dispatch, so causality
+  /// propagates through arbitrary async chains without explicit plumbing.
+  /// 0 = no context.  Compiled out (always 0) under -DEXCOVERY_OBS=OFF.
+#if EXCOVERY_OBS_ENABLED
+  std::uint64_t current_context() const noexcept { return current_ctx_; }
+  void set_current_context(std::uint64_t ctx) noexcept { current_ctx_ = ctx; }
+#else
+  static constexpr std::uint64_t current_context() noexcept { return 0; }
+  static constexpr void set_current_context(std::uint64_t) noexcept {}
+#endif
+
  private:
   /// One timer cell in the slab arena.  Recycled through a free list; the
   /// generation is bumped on every release so stale handles and stale heap
@@ -193,6 +206,9 @@ class Scheduler {
   struct Slot {
     std::uint32_t generation = 1;
     bool armed = false;
+#if EXCOVERY_OBS_ENABLED
+    std::uint64_t ctx = 0;  ///< ambient causal context captured at schedule
+#endif
     Callback fn;
   };
 
@@ -231,6 +247,9 @@ class Scheduler {
   std::size_t live_count_ = 0;
   std::size_t max_pending_ = 0;
   std::uint64_t cancelled_ = 0;
+#if EXCOVERY_OBS_ENABLED
+  std::uint64_t current_ctx_ = 0;
+#endif
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<HeapEntry> heap_;  ///< 4-ary min-heap ordered by (when, seq)

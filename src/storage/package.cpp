@@ -68,8 +68,20 @@ TableSchema metrics_schema() {
            {"Value", ValueType::kDouble, false}}};
 }
 
-// The Metrics table is deliberately absent here: packages written before it
-// existed must keep loading.
+TableSchema provenance_schema() {
+  return {"Provenance",
+          {{"RunID", ValueType::kInt, false},
+           {"Path", ValueType::kInt, false},
+           {"Seq", ValueType::kInt, false},
+           {"Kind", ValueType::kString, false},
+           {"NodeID", ValueType::kString, false},
+           {"Detail", ValueType::kString, true},
+           {"Time", ValueType::kDouble, false},
+           {"Latency", ValueType::kDouble, false}}};
+}
+
+// The Metrics and Provenance tables are deliberately absent here: packages
+// written before they existed must keep loading.
 const char* kRequiredTables[] = {
     "ExperimentInfo", "Logs",      "EEFiles",
     "ExperimentMeasurements",      "RunInfos",
@@ -89,6 +101,7 @@ ExperimentPackage::ExperimentPackage() {
   (void)db_.create_table(events_schema());
   (void)db_.create_table(packets_schema());
   (void)db_.create_table(metrics_schema());
+  (void)db_.create_table(provenance_schema());
 }
 
 Result<ExperimentPackage> ExperimentPackage::from_database(Database db) {
@@ -192,6 +205,39 @@ Status ExperimentPackage::add_metric(std::int64_t run_id,
     EXC_ASSIGN_OR_RETURN(table, db_.create_table(metrics_schema()));
   }
   return table->insert({Value{run_id}, Value{name}, Value{value}});
+}
+
+Status ExperimentPackage::add_provenance(const ProvenanceRow& row) {
+  Table* table = db_.table("Provenance");
+  if (!table) {
+    // Loaded legacy package: materialise the table on first write.
+    EXC_ASSIGN_OR_RETURN(table, db_.create_table(provenance_schema()));
+  }
+  return table->insert({Value{row.run_id}, Value{row.path}, Value{row.seq},
+                        Value{row.kind}, Value{row.node_id},
+                        Value{row.detail}, Value{row.time},
+                        Value{row.latency}});
+}
+
+std::vector<ProvenanceRow> ExperimentPackage::provenance() const {
+  const Table* table = db_.table("Provenance");
+  std::vector<ProvenanceRow> out;
+  if (!table) return out;
+  out.reserve(table->row_count());
+  for (std::size_t r = 0; r < table->row_count(); ++r) {
+    RowView row = table->row(r);
+    ProvenanceRow step;
+    step.run_id = row.as_int(0);
+    step.path = row.as_int(1);
+    step.seq = row.as_int(2);
+    step.kind = std::string(row.as_string(3));
+    step.node_id = std::string(row.as_string(4));
+    step.detail = row.is_null(5) ? "" : std::string(row.as_string(5));
+    step.time = row.as_double(6);
+    step.latency = row.as_double(7);
+    out.push_back(std::move(step));
+  }
+  return out;
 }
 
 std::vector<MetricRow> ExperimentPackage::metrics() const {

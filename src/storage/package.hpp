@@ -11,10 +11,13 @@
 //   Events                 | RunID, NodeID, CommonTime, EventType, Parameter
 //   Packets                | RunID, NodeID, CommonTime, SrcNodeID, Data
 //
-// One extension beyond Table I: a Metrics table (RunID, Name, Value) holding
-// framework self-measurements from the observability layer (src/obs).  It is
-// part of the fresh-package schema but not required on load, so packages
-// written by older versions still open.
+// Two extensions beyond Table I, both written by the observability layer
+// (src/obs), both part of the fresh-package schema but not required on load
+// so packages written by older versions still open:
+//   Metrics    | RunID, Name, Value — framework self-measurements;
+//   Provenance | RunID, Path, Seq, Kind, NodeID, Detail, Time, Latency —
+//     per-discovery critical paths from causal lineage tracing
+//     (DESIGN.md §16).
 #pragma once
 
 #include <string>
@@ -51,6 +54,21 @@ struct MetricRow {
   std::int64_t run_id = 0;
   std::string name;
   double value = 0.0;
+};
+
+/// One step of a discovery's critical path (see obs::CriticalPath).  Rows
+/// with the same (RunID, Path) form one root-to-discovery chain ordered by
+/// Seq; Time is the step's common time (seconds into the run's timeline),
+/// Latency the seconds elapsed since the previous step.
+struct ProvenanceRow {
+  std::int64_t run_id = 0;
+  std::int64_t path = 0;  ///< per-run path index (one per discovery)
+  std::int64_t seq = 0;   ///< step index within the path, root first
+  std::string kind;       ///< lineage kind ("root", "send", "deliver", …)
+  std::string node_id;    ///< node the step happened on
+  std::string detail;     ///< site detail (label / instance / cause)
+  double time = 0.0;
+  double latency = 0.0;
 };
 
 /// Per-run bookkeeping.
@@ -95,6 +113,8 @@ class ExperimentPackage {
   /// older versions accept metric rows too).
   Status add_metric(std::int64_t run_id, const std::string& name,
                     double value);
+  /// Append to the Provenance table (created on demand, like Metrics).
+  Status add_provenance(const ProvenanceRow& row);
 
   // ---- readers -----------------------------------------------------------
   /// Events of one run, ordered by CommonTime.
@@ -106,6 +126,8 @@ class ExperimentPackage {
   Result<std::vector<RunInfoRow>> run_infos() const;
   /// All metric rows in insertion order ([] for packages without the table).
   std::vector<MetricRow> metrics() const;
+  /// All provenance rows in insertion order ([] when the table is absent).
+  std::vector<ProvenanceRow> provenance() const;
   /// Distinct run ids present in RunInfos, ascending.
   std::vector<std::int64_t> run_ids() const;
   /// Log text for a node ("" if absent).

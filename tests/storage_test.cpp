@@ -357,14 +357,14 @@ TEST(Database, CorruptV2ImagesRejected) {
 
 TEST(Package, SchemaMatchesTableI) {
   ExperimentPackage package;
-  // The eight tables of the paper's Table I, in order, plus the Metrics
-  // extension (out-of-band runtime metrics; not required on load, so legacy
-  // packages still open).
+  // The eight tables of the paper's Table I, in order, plus the Metrics and
+  // Provenance extensions (out-of-band observability data; not required on
+  // load, so legacy packages still open).
   EXPECT_EQ(package.database().table_names(),
             (std::vector<std::string>{
                 "ExperimentInfo", "Logs", "EEFiles", "ExperimentMeasurements",
                 "RunInfos", "ExtraRunMeasurements", "Events", "Packets",
-                "Metrics"}));
+                "Metrics", "Provenance"}));
   std::string schema = package.database().schema_description();
   EXPECT_NE(schema.find("ExperimentInfo | ExpXML, EEVersion, Name, Comment"),
             std::string::npos);
